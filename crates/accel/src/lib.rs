@@ -1,0 +1,40 @@
+//! A calibrated analytical model of the Corki TS-CTC accelerator
+//! (paper §4.2-§4.3, Fig. 8).
+//!
+//! The accelerator turns a predicted trajectory into joint torques in real
+//! time.  Its three architectural ideas — and the knobs this crate models —
+//! are:
+//!
+//! 1. **Data reuse** across the five key computing blocks (forward
+//!    kinematics, Jacobian, Jacobian transpose, task-space mass matrix,
+//!    task-space bias force): shared per-link quantities (pose, velocity,
+//!    acceleration, force) are computed once instead of per consuming block
+//!    (paper: −54.0 % latency).
+//! 2. **Link-level pipelining** of the pose → velocity → acceleration → force
+//!    dataflow units connected by FIFOs and a line buffer (paper: a further
+//!    −69.6 %, −86.0 % total against the unoptimised implementation).
+//! 3. **Application-specific approximate computing (ACE)**: per-joint impact
+//!    factors decide when the mass matrix / Jacobian can be reused from the
+//!    previous control cycle instead of recomputed (paper: >51 % of updates
+//!    skipped with no accuracy loss at the 40 % threshold).
+//!
+//! Absolute latencies are calibrated to the paper's measurements (≈45 ms
+//! per control computation on the robot's Intel i7-6770HQ, up to 29× faster
+//! on the ZC706 accelerator); the *relative* effects of the three ideas are
+//! produced structurally by the model so that the ablation (Fig. 15, §4.2)
+//! can be regenerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ace;
+mod cpu;
+mod dataflow;
+mod ops;
+mod resources;
+
+pub use ace::{AceConfig, AceState, AceStatistics, JointImpactFactors};
+pub use cpu::{CpuControlModel, CpuKind};
+pub use dataflow::{AcceleratorConfig, AcceleratorModel, ControlLatencyBreakdown};
+pub use ops::{BlockKind, OpCounts, QuantityKind};
+pub use resources::{FpgaDevice, ResourceReport, ResourceUsage};

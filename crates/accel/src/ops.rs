@@ -1,0 +1,227 @@
+//! Operation counts of the TS-CTC computing blocks.
+//!
+//! The counts are parameterised by the number of links so the model scales to
+//! other arms; the default numbers correspond to the 7-DoF Panda (9 bodies
+//! including flange and hand) and are derived by counting multiply-accumulate
+//! operations in the `corki-robot` implementation of each block.
+
+use serde::{Deserialize, Serialize};
+
+/// The shared per-link quantities flowing through the dataflow accelerator
+/// (Fig. 8, blue blocks) plus the derived per-robot quantities produced by
+/// the customised circuits (yellow blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuantityKind {
+    /// Link poses (forward-kinematics chain).
+    Pose,
+    /// Link spatial velocities.
+    Velocity,
+    /// Link spatial accelerations.
+    Acceleration,
+    /// Link spatial forces.
+    Force,
+    /// Geometric Jacobian columns.
+    Jacobian,
+    /// The separately-stored Jacobian transpose copy.
+    JacobianTranspose,
+    /// The task-space mass matrix `Mx(θ)` (composite inertias + 6×6 solve).
+    TaskMassMatrix,
+    /// The task-space bias force `hx(θ, θ̇)`.
+    TaskBiasForce,
+    /// The final joint-torque combination `τ = Jᵀ(Mx ẍ + hx)`.
+    JointTorque,
+}
+
+impl QuantityKind {
+    /// Every quantity, in dataflow order.
+    pub const ALL: [QuantityKind; 9] = [
+        QuantityKind::Pose,
+        QuantityKind::Velocity,
+        QuantityKind::Acceleration,
+        QuantityKind::Force,
+        QuantityKind::Jacobian,
+        QuantityKind::JacobianTranspose,
+        QuantityKind::TaskMassMatrix,
+        QuantityKind::TaskBiasForce,
+        QuantityKind::JointTorque,
+    ];
+}
+
+/// The five "key computing blocks" of Fig. 6/7 plus the final torque unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Forward kinematics.
+    ForwardKinematics,
+    /// Geometric Jacobian.
+    Jacobian,
+    /// Jacobian transpose.
+    JacobianTranspose,
+    /// Task-space mass matrix.
+    TaskMassMatrix,
+    /// Task-space bias force.
+    TaskBiasForce,
+    /// Joint torque combination.
+    JointTorque,
+}
+
+impl BlockKind {
+    /// Every block.
+    pub const ALL: [BlockKind; 6] = [
+        BlockKind::ForwardKinematics,
+        BlockKind::Jacobian,
+        BlockKind::JacobianTranspose,
+        BlockKind::TaskMassMatrix,
+        BlockKind::TaskBiasForce,
+        BlockKind::JointTorque,
+    ];
+
+    /// The quantities a block needs to produce its output when it cannot
+    /// reuse anything computed by the other blocks (Fig. 7's arrows, walked
+    /// transitively).
+    pub fn required_quantities(self) -> &'static [QuantityKind] {
+        use QuantityKind::*;
+        match self {
+            BlockKind::ForwardKinematics => &[Pose],
+            BlockKind::Jacobian => &[Pose, Jacobian],
+            BlockKind::JacobianTranspose => &[Pose, Jacobian, JacobianTranspose],
+            BlockKind::TaskMassMatrix => &[Pose, Jacobian, TaskMassMatrix],
+            BlockKind::TaskBiasForce => &[
+                Pose,
+                Velocity,
+                Acceleration,
+                Force,
+                Jacobian,
+                JacobianTranspose,
+                TaskMassMatrix,
+                TaskBiasForce,
+            ],
+            BlockKind::JointTorque => &[JointTorque],
+        }
+    }
+}
+
+/// Floating-point operation counts of each quantity for a given robot size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Number of rigid bodies in the chain (9 for the Panda with hand).
+    pub num_links: usize,
+    /// Number of actuated joints (7 for the Panda).
+    pub dof: usize,
+}
+
+impl Default for OpCounts {
+    fn default() -> Self {
+        OpCounts { num_links: 9, dof: 7 }
+    }
+}
+
+impl OpCounts {
+    /// Creates operation counts for a robot with the given chain size.
+    pub fn new(num_links: usize, dof: usize) -> Self {
+        OpCounts { num_links, dof }
+    }
+
+    /// Multiply-accumulate count of one quantity over the whole chain.
+    pub fn ops(&self, quantity: QuantityKind) -> usize {
+        let n = self.num_links;
+        let d = self.dof;
+        match quantity {
+            // Per-link homogeneous-transform compose + point transform.
+            QuantityKind::Pose => n * 62,
+            // Spatial velocity propagation per link.
+            QuantityKind::Velocity => n * 44,
+            // Spatial acceleration propagation (adds the cross-product bias).
+            QuantityKind::Acceleration => n * 56,
+            // Inertia application + force cross-product per link.
+            QuantityKind::Force => n * 74,
+            // One 6-vector column per joint (cross product + copy).
+            QuantityKind::Jacobian => d * 30,
+            // The dedicated transpose copy (moves only).
+            QuantityKind::JacobianTranspose => d * 6,
+            // Composite inertias, J M⁻¹ Jᵀ and the damped 6×6 inversion.
+            QuantityKind::TaskMassMatrix => n * 96 + d * d * 22 + 6 * 6 * 6 * 2,
+            // J M⁻¹ h, J̇ θ̇ and the 6×6 multiply.
+            QuantityKind::TaskBiasForce => d * d * 14 + 6 * d * 8 + 6 * 6 * 4,
+            // Mx·a + hx and τ = Jᵀ F.
+            QuantityKind::JointTorque => 6 * 6 * 2 + 6 * d * 2 + 6 * 8,
+        }
+    }
+
+    /// Per-link operation count of a dataflow quantity (pose, velocity,
+    /// acceleration, force); other quantities return their full count.
+    pub fn ops_per_link(&self, quantity: QuantityKind) -> usize {
+        match quantity {
+            QuantityKind::Pose
+            | QuantityKind::Velocity
+            | QuantityKind::Acceleration
+            | QuantityKind::Force => self.ops(quantity) / self.num_links.max(1),
+            other => self.ops(other),
+        }
+    }
+
+    /// Total operations of one control cycle when every quantity is computed
+    /// exactly once (the data-reuse design point).
+    pub fn total_with_reuse(&self) -> usize {
+        QuantityKind::ALL.iter().map(|q| self.ops(*q)).sum()
+    }
+
+    /// Total operations when every key block independently recomputes its
+    /// prerequisites (the unoptimised design point).
+    pub fn total_without_reuse(&self) -> usize {
+        BlockKind::ALL
+            .iter()
+            .flat_map(|b| b.required_quantities().iter())
+            .map(|q| self.ops(*q))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_scale_with_robot_size() {
+        let small = OpCounts::new(4, 3);
+        let big = OpCounts::new(9, 7);
+        for q in QuantityKind::ALL {
+            assert!(big.ops(q) >= small.ops(q), "{q:?} should grow with size");
+        }
+    }
+
+    #[test]
+    fn reuse_eliminates_a_big_fraction_of_work() {
+        let ops = OpCounts::default();
+        let with = ops.total_with_reuse();
+        let without = ops.total_without_reuse();
+        assert!(without > with);
+        let reduction = 1.0 - with as f64 / without as f64;
+        // The paper reports 54.0 % latency reduction from the data-reuse
+        // strategy; the op-count model should land in the same region.
+        assert!(
+            (0.40..0.65).contains(&reduction),
+            "reuse reduction {reduction:.3} outside the expected band"
+        );
+    }
+
+    #[test]
+    fn per_link_counts_divide_evenly() {
+        let ops = OpCounts::default();
+        assert_eq!(ops.ops_per_link(QuantityKind::Pose) * 9, ops.ops(QuantityKind::Pose));
+        assert_eq!(
+            ops.ops_per_link(QuantityKind::TaskMassMatrix),
+            ops.ops(QuantityKind::TaskMassMatrix)
+        );
+    }
+
+    #[test]
+    fn bias_force_is_the_most_demanding_dependency_chain() {
+        // Sanity check of Fig. 7: the bias-force block consumes the longest
+        // chain of prerequisites.
+        let longest = BlockKind::ALL
+            .iter()
+            .max_by_key(|b| b.required_quantities().len())
+            .unwrap();
+        assert_eq!(*longest, BlockKind::TaskBiasForce);
+    }
+}

@@ -1,0 +1,151 @@
+//! FPGA resource model of the Corki accelerator on the Xilinx ZC706
+//! (Zynq-7045) evaluation board (paper §6.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The resource capacity of an FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: &'static str,
+    /// Number of DSP48 slices.
+    pub dsp: u32,
+    /// Number of flip-flops.
+    pub ff: u32,
+    /// Number of look-up tables.
+    pub lut: u32,
+    /// Number of 36 Kb block RAMs.
+    pub bram36: u32,
+}
+
+impl FpgaDevice {
+    /// The Xilinx ZC706 evaluation board (XC7Z045) used by the paper.
+    pub fn zc706() -> Self {
+        FpgaDevice { name: "ZC706 (XC7Z045)", dsp: 900, ff: 437_200, lut: 218_600, bram36: 545 }
+    }
+}
+
+/// Absolute resource usage of one hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// DSP slices.
+    pub dsp: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Look-up tables.
+    pub lut: u32,
+    /// 36 Kb block RAMs.
+    pub bram36: u32,
+}
+
+impl ResourceUsage {
+    /// Sums two usages.
+    pub fn add(&self, other: &ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            dsp: self.dsp + other.dsp,
+            ff: self.ff + other.ff,
+            lut: self.lut + other.lut,
+            bram36: self.bram36 + other.bram36,
+        }
+    }
+}
+
+/// The per-unit resource breakdown and utilisation report of the accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResourceReport {
+    /// Target device.
+    pub device: FpgaDevice,
+    /// Per-unit usage, `(unit name, usage)`.
+    pub units: Vec<(String, ResourceUsage)>,
+}
+
+impl ResourceReport {
+    /// The resource estimate of the Corki accelerator: the four dataflow
+    /// units, the three customised circuits, the ACE units, the on-chip
+    /// buffers (three FIFOs, one line buffer, the Jacobian-transpose copy and
+    /// a small scratchpad) and the micro-controller.
+    ///
+    /// Unit budgets are sized so that the totals match the utilisation the
+    /// paper reports for the ZC706: 13.6 % DSP, 7.8 % FF, 16.9 % LUT and
+    /// 6.6 % BRAM.
+    pub fn corki_on_zc706() -> Self {
+        let units = vec![
+            ("pose unit".to_owned(), ResourceUsage { dsp: 18, ff: 4_600, lut: 5_200, bram36: 0 }),
+            ("velocity unit".to_owned(), ResourceUsage { dsp: 14, ff: 3_800, lut: 4_300, bram36: 0 }),
+            ("acceleration unit".to_owned(), ResourceUsage { dsp: 16, ff: 4_200, lut: 4_800, bram36: 0 }),
+            ("force unit".to_owned(), ResourceUsage { dsp: 20, ff: 4_900, lut: 5_500, bram36: 0 }),
+            ("task-space mass matrix unit".to_owned(), ResourceUsage { dsp: 26, ff: 6_300, lut: 7_400, bram36: 2 }),
+            ("task-space bias force unit".to_owned(), ResourceUsage { dsp: 16, ff: 3_900, lut: 4_500, bram36: 1 }),
+            ("joint torque unit".to_owned(), ResourceUsage { dsp: 8, ff: 2_100, lut: 2_400, bram36: 0 }),
+            ("ACE units".to_owned(), ResourceUsage { dsp: 4, ff: 1_300, lut: 1_500, bram36: 0 }),
+            ("FIFOs + line buffer".to_owned(), ResourceUsage { dsp: 0, ff: 1_200, lut: 800, bram36: 18 }),
+            ("Jacobian-transpose copy + scratchpad".to_owned(), ResourceUsage { dsp: 0, ff: 700, lut: 350, bram36: 13 }),
+            ("input/output buffers".to_owned(), ResourceUsage { dsp: 0, ff: 500, lut: 300, bram36: 2 }),
+            ("micro-controller".to_owned(), ResourceUsage { dsp: 0, ff: 700, lut: 600, bram36: 0 }),
+        ];
+        ResourceReport { device: FpgaDevice::zc706(), units }
+    }
+
+    /// Total usage across all units.
+    pub fn total(&self) -> ResourceUsage {
+        self.units
+            .iter()
+            .fold(ResourceUsage::default(), |acc, (_, u)| acc.add(u))
+    }
+
+    /// Utilisation percentages `(dsp, ff, lut, bram)` of the target device.
+    pub fn utilization_percent(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        (
+            100.0 * t.dsp as f64 / self.device.dsp as f64,
+            100.0 * t.ff as f64 / self.device.ff as f64,
+            100.0 * t.lut as f64 / self.device.lut as f64,
+            100.0 * t.bram36 as f64 / self.device.bram36 as f64,
+        )
+    }
+
+    /// Whether the design needs any off-chip DRAM bandwidth during a control
+    /// computation (it does not: all intermediate data fits in the FIFOs,
+    /// line buffer and scratchpad).
+    pub fn requires_dram(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_matches_the_paper_within_tolerance() {
+        let report = ResourceReport::corki_on_zc706();
+        let (dsp, ff, lut, bram) = report.utilization_percent();
+        // Paper §6.1: 13.6 % DSP, 7.8 % FF, 16.9 % LUT, 6.6 % BRAM.
+        assert!((dsp - 13.6).abs() < 1.0, "DSP {dsp:.1}%");
+        assert!((ff - 7.8).abs() < 1.0, "FF {ff:.1}%");
+        assert!((lut - 16.9).abs() < 1.5, "LUT {lut:.1}%");
+        assert!((bram - 6.6).abs() < 1.0, "BRAM {bram:.1}%");
+    }
+
+    #[test]
+    fn totals_are_the_sum_of_units() {
+        let report = ResourceReport::corki_on_zc706();
+        let manual = report
+            .units
+            .iter()
+            .fold(ResourceUsage::default(), |acc, (_, u)| acc.add(u));
+        assert_eq!(manual, report.total());
+        assert!(!report.requires_dram());
+    }
+
+    #[test]
+    fn design_fits_comfortably_on_the_device() {
+        let report = ResourceReport::corki_on_zc706();
+        let t = report.total();
+        let d = report.device;
+        assert!(t.dsp < d.dsp / 2);
+        assert!(t.ff < d.ff / 2);
+        assert!(t.lut < d.lut / 2);
+        assert!(t.bram36 < d.bram36 / 2);
+    }
+}

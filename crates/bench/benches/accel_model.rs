@@ -1,0 +1,39 @@
+//! Benchmarks of the accelerator analytical model: the §4.2 ablation design
+//! points and the ACE decision path (which the paper bounds at "< 100 FLOPs"
+//! per control cycle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corki_accel::ace::{representative_joint_trace, AceConfig, AceState};
+use corki_accel::{AcceleratorConfig, AcceleratorModel, OpCounts};
+use std::hint::black_box;
+
+fn bench_accel_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_model");
+    let ops = OpCounts::default();
+
+    for (name, config) in [
+        ("unoptimized", AcceleratorConfig::unoptimized()),
+        ("data_reuse", AcceleratorConfig::reuse_only()),
+        ("reuse_and_pipelining", AcceleratorConfig::default()),
+    ] {
+        let model = AcceleratorModel::new(config, ops);
+        group.bench_function(format!("latency/{name}"), |b| {
+            b.iter(|| black_box(model.control_latency_with_skips(black_box(0.51))))
+        });
+    }
+
+    group.bench_function("ace_decision_per_cycle", |b| {
+        let trace = representative_joint_trace(64);
+        b.iter(|| {
+            let mut ace = AceState::new(AceConfig::default());
+            for q in &trace {
+                black_box(ace.should_update(black_box(q)));
+            }
+            black_box(ace.statistics())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accel_model);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks of the end-to-end pipeline simulation (Fig. 13/14 generator)
+//! and of a full simulator job rollout (Tables 1/2 generator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corki::VariantSetup;
+use corki_sim::evaluation::{run_job, EvalConfig};
+use corki_system::{PipelineConfig, PipelineSimulator, Variant};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+
+    for variant in [Variant::RoboFlamingo, Variant::CorkiFixed(5), Variant::CorkiAdaptive] {
+        let name = variant.name();
+        let mut config = PipelineConfig::paper_defaults(variant);
+        config.num_frames = 300;
+        let sim = PipelineSimulator::new(config);
+        group.bench_function(format!("simulate_300_frames/{name}"), |b| {
+            b.iter(|| black_box(sim.simulate()))
+        });
+    }
+
+    group.bench_function("one_five_task_job/Corki-5", |b| {
+        let setup = VariantSetup::new(Variant::CorkiFixed(5));
+        let env = setup.build_environment(1);
+        let config = EvalConfig { num_jobs: 1, unseen: false, seed: 1 };
+        b.iter(|| {
+            let mut policy = setup.build_policy(1);
+            black_box(run_job(&env, policy.as_mut(), &config, 0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

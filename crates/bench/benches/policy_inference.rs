@@ -1,0 +1,60 @@
+//! Benchmarks of the policy layer: the learned LSTM heads (baseline action
+//! head and Corki trajectory head) and the oracle policies used by the large
+//! evaluation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corki_math::Vec3;
+use corki_policy::{
+    BaselineFramePolicy, CorkiTrajectoryPolicy, ManipulationPolicy, NoiseModel, Observation,
+    OracleTrajectoryPolicy, PlanRequest,
+};
+use corki_trajectory::{EePose, GripperState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn request() -> PlanRequest {
+    let mut observation = Observation::default();
+    observation.end_effector =
+        EePose::new(Vec3::new(0.35, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
+    observation.object_position = Vec3::new(0.45, -0.1, 0.02);
+    let expert_future = (1..=9)
+        .map(|k| {
+            EePose::new(
+                Vec3::new(0.35 + 0.01 * k as f64, -0.01 * k as f64, 0.3),
+                Vec3::ZERO,
+                GripperState::Open,
+            )
+        })
+        .collect();
+    PlanRequest {
+        observation,
+        expert_future,
+        close_loop_observations: Vec::new(),
+        steps_since_last_plan: 1,
+    }
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_inference");
+    let req = request();
+
+    group.bench_function("baseline_lstm_head", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = BaselineFramePolicy::new(&mut rng);
+        b.iter(|| black_box(policy.plan(black_box(&req))))
+    });
+    group.bench_function("corki_trajectory_head", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = CorkiTrajectoryPolicy::new(9, &mut rng);
+        b.iter(|| black_box(policy.plan(black_box(&req))))
+    });
+    group.bench_function("oracle_trajectory_policy", |b| {
+        let mut policy = OracleTrajectoryPolicy::new(9, NoiseModel::default(), 1);
+        b.iter(|| black_box(policy.plan(black_box(&req))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmarks of the Corki algorithm primitives: fitting the cubic
+//! trajectory to predicted waypoints, sampling it for the controller, and the
+//! Algorithm 1 adaptive-length decision (which the paper bounds at
+//! "< 500 FLOPs").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corki_math::Vec3;
+use corki_trajectory::waypoints::{adaptive_trajectory_length, AdaptiveLengthConfig};
+use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP};
+use std::hint::black_box;
+
+fn waypoints(n: usize) -> Vec<EePose> {
+    (0..n)
+        .map(|i| {
+            EePose::new(
+                Vec3::new(0.3 + 0.01 * i as f64, 0.002 * (i * i) as f64, 0.25),
+                Vec3::new(0.0, 0.0, 0.01 * i as f64),
+                if i > n / 2 { GripperState::Closed } else { GripperState::Open },
+            )
+        })
+        .collect()
+}
+
+fn bench_trajectory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trajectory");
+    let wps = waypoints(10);
+
+    group.bench_function("fit_9_step_trajectory", |b| {
+        b.iter(|| black_box(Trajectory::fit_waypoints(black_box(&wps), CONTROL_STEP).unwrap()))
+    });
+
+    let trajectory = Trajectory::fit_waypoints(&wps, CONTROL_STEP).unwrap();
+    group.bench_function("sample_full_reference", |b| {
+        b.iter(|| black_box(trajectory.sample_full(black_box(0.1))))
+    });
+
+    group.bench_function("algorithm1_adaptive_length", |b| {
+        let start = wps[0];
+        let future = &wps[1..];
+        let config = AdaptiveLengthConfig::default();
+        b.iter(|| black_box(adaptive_trajectory_length(&start, black_box(future), &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trajectory);
+criterion_main!(benches);

@@ -1,0 +1,282 @@
+//! Regenerates every table and figure of the DaDu-Corki evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--full | --smoke] [--json <path>] [only <name> ...]
+//! ```
+//!
+//! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
+//! `fig14`, `table3`, `table4`, `resources`, `fig9`, `ablation`, `approx`,
+//! `fig15`, `bottleneck`. With no names, everything runs.
+
+use corki::experiments::{self, ExperimentScale};
+use corki_system::FrameKind;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::default();
+    if args.iter().any(|a| a == "--full") {
+        scale = ExperimentScale::full();
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        scale = ExperimentScale::smoke();
+    }
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected: Vec<String> = args
+        .iter()
+        .skip_while(|a| *a != "only")
+        .skip(1)
+        .cloned()
+        .collect();
+    let wants = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+
+    let mut json = BTreeMap::new();
+    println!("DaDu-Corki paper reproduction — experiment harness");
+    println!(
+        "scale: {} jobs, {} frames, seed {}\n",
+        scale.jobs, scale.frames, scale.seed
+    );
+
+    if wants("fig2") {
+        println!("== Fig. 2: per-frame latency & energy breakdown of RoboFlamingo (V100 + i7-6770HQ + Wi-Fi) ==");
+        let rows = experiments::fig2_breakdown();
+        let total_ms: f64 = rows.iter().map(|r| r.1).sum();
+        let total_j: f64 = rows.iter().map(|r| r.2).sum();
+        for (stage, ms, joules) in &rows {
+            println!(
+                "  {:<20} {:>8.1} ms ({:>4.1} %)   {:>7.2} J ({:>4.1} %)",
+                stage,
+                ms,
+                100.0 * ms / total_ms,
+                joules,
+                100.0 * joules / total_j
+            );
+        }
+        println!("  {:<20} {:>8.1} ms            {:>7.2} J\n", "total", total_ms, total_j);
+        json.insert("fig2".to_owned(), serde_json::to_value(&rows).unwrap());
+    }
+
+    let mut seen_table = None;
+    if wants("table1") || wants("fig11") {
+        println!("== Table 1: accuracy on seen tasks (success rate per chain position, avg job length) ==");
+        let seen = experiments::accuracy_table(false, &scale);
+        println!(
+            "  {:<16} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>6}",
+            "variant", "1", "2", "3", "4", "5", "AvgLen"
+        );
+        for row in &seen {
+            println!("  {}", row.to_table_row());
+        }
+        println!();
+        json.insert("table1".to_owned(), serde_json::to_value(&seen).unwrap());
+        seen_table = Some(seen);
+    }
+
+    if wants("fig11") {
+        if let Some(seen) = &seen_table {
+            println!("== Fig. 11: trajectory comparison metrics (reference vs expert ground truth) ==");
+            println!(
+                "  {:<16} {:>12} {:>10} {:>10} {:>10}",
+                "variant", "RMSE [m]", "maxX [m]", "maxY [m]", "maxZ [m]"
+            );
+            for (variant, rmse, max_xyz) in experiments::trajectory_error_series(seen) {
+                println!(
+                    "  {:<16} {:>12.4} {:>10.4} {:>10.4} {:>10.4}",
+                    variant, rmse, max_xyz[0], max_xyz[1], max_xyz[2]
+                );
+            }
+            println!();
+        }
+    }
+
+    if wants("table2") {
+        println!("== Table 2: accuracy on unseen tasks ==");
+        let unseen = experiments::accuracy_table(true, &scale);
+        println!(
+            "  {:<16} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>6}",
+            "variant", "1", "2", "3", "4", "5", "AvgLen"
+        );
+        for row in &unseen {
+            println!("  {}", row.to_table_row());
+        }
+        println!();
+        json.insert("table2".to_owned(), serde_json::to_value(&unseen).unwrap());
+    }
+
+    if wants("fig12") {
+        println!("== Fig. 12: X/Y/Z trajectory of one randomly picked sequence (first and last 5 steps shown) ==");
+        let traces = experiments::fig12_traces(&scale);
+        for (variant, t) in &traces {
+            let n = t.reference.len();
+            let show: Vec<usize> = (0..n).filter(|i| *i < 5 || *i + 5 >= n).collect();
+            println!("  {variant}: {n} steps");
+            for i in show {
+                println!(
+                    "    step {:>3}  gt=({:+.3},{:+.3},{:+.3})  ref=({:+.3},{:+.3},{:+.3})",
+                    i,
+                    t.ground_truth.x[i],
+                    t.ground_truth.y[i],
+                    t.ground_truth.z[i],
+                    t.reference.x[i],
+                    t.reference.y[i],
+                    t.reference.z[i],
+                );
+            }
+        }
+        println!();
+        json.insert("fig12".to_owned(), serde_json::to_value(&traces).unwrap());
+    }
+
+    if wants("fig13") || wants("fig14") {
+        println!("== Fig. 13: runtime latency and energy per variant ==");
+        let rows = experiments::pipeline_comparison(&scale);
+        let baseline = rows[0].clone();
+        println!(
+            "  {:<14} {:>12} {:>10} {:>10} {:>12} {:>12}",
+            "variant", "latency[ms]", "rate[Hz]", "energy[J]", "speedup", "energy red."
+        );
+        for row in &rows {
+            println!(
+                "  {:<14} {:>12.1} {:>10.1} {:>10.2} {:>11.1}x {:>11.1}x",
+                row.variant,
+                row.mean_frame_latency_ms,
+                row.frame_rate_hz,
+                row.mean_frame_energy_j,
+                row.speedup_over(&baseline),
+                row.energy_reduction_over(&baseline),
+            );
+        }
+        println!();
+        if wants("fig14") {
+            println!("== Fig. 14: per-frame latency trace (first 30 frames) and long-tail statistics ==");
+            for row in &rows {
+                if !["RoboFlamingo", "Corki-5", "Corki-ADAP"].contains(&row.variant.as_str()) {
+                    continue;
+                }
+                let preview: Vec<String> = row
+                    .frame_traces
+                    .iter()
+                    .take(30)
+                    .map(|f| {
+                        let marker = if f.kind == FrameKind::Inference { "^" } else { "." };
+                        format!("{marker}{:.0}", f.latency_ms)
+                    })
+                    .collect();
+                println!("  {:<14} {}", row.variant, preview.join(" "));
+                println!(
+                    "  {:<14} mean {:>7.1} ms   p99 {:>7.1} ms   max {:>7.1} ms   rel. variation {:>5.2}",
+                    "",
+                    row.stats.mean_ms,
+                    row.stats.p99_ms,
+                    row.stats.max_ms,
+                    row.stats.relative_variation
+                );
+            }
+            println!();
+        }
+        json.insert("fig13".to_owned(), serde_json::to_value(&rows).unwrap());
+    }
+
+    if wants("table3") {
+        println!("== Table 3: performance under different GPU/CPU inference baselines (Corki-ADAP) ==");
+        println!("  {:<18} {:>22} {:>10}", "device", "norm. inference lat.", "speedup");
+        for (device, norm, speedup) in experiments::device_table(&scale) {
+            println!("  {:<18} {:>21.1}x {:>9.1}x", device, norm, speedup);
+        }
+        println!();
+    }
+
+    if wants("table4") {
+        println!("== Table 4: performance under different data representations (Corki-ADAP) ==");
+        println!("  {:<18} {:>22} {:>10}", "representation", "norm. inference lat.", "speedup");
+        for (repr, norm, speedup) in experiments::precision_table(&scale) {
+            println!("  {:<18} {:>21.1}x {:>9.1}x", repr, norm, speedup);
+        }
+        println!();
+    }
+
+    if wants("resources") {
+        println!("== §6.1: FPGA resource consumption on the ZC706 ==");
+        let report = experiments::resource_report();
+        let (dsp, ff, lut, bram) = report.utilization_percent();
+        let total = report.total();
+        println!("  DSP  {:>6} used  ({:>5.1} % of {})", total.dsp, dsp, report.device.dsp);
+        println!("  FF   {:>6} used  ({:>5.1} % of {})", total.ff, ff, report.device.ff);
+        println!("  LUT  {:>6} used  ({:>5.1} % of {})", total.lut, lut, report.device.lut);
+        println!("  BRAM {:>6} used  ({:>5.1} % of {})", total.bram36, bram, report.device.bram36);
+        println!(
+            "  off-chip DRAM traffic during control: {}\n",
+            if report.requires_dram() { "yes" } else { "none" }
+        );
+    }
+
+    if wants("fig9") {
+        println!("== Fig. 9: mass-matrix change when a single joint moves by 6°/17°/29° ==");
+        println!("  {:<8} {:>10} {:>16} {:>16}", "joint", "angle", "max |dM|", "max rel. [%]");
+        for row in experiments::fig9_sensitivity() {
+            println!(
+                "  joint {:<2} {:>9.0}° {:>16.3} {:>16.1}",
+                row.joint + 1,
+                row.delta_rad.to_degrees(),
+                row.max_absolute_change,
+                row.max_relative_change_percent
+            );
+        }
+        println!();
+    }
+
+    if wants("ablation") {
+        println!("== §4.2 ablation: accelerator latency per design point ==");
+        let rows = experiments::accelerator_ablation();
+        let base = rows[0].1;
+        for (name, latency) in &rows {
+            println!(
+                "  {:<28} {:>8.3} ms   (-{:>4.1} % vs unoptimised)",
+                name,
+                latency,
+                100.0 * (1.0 - latency / base)
+            );
+        }
+        println!();
+    }
+
+    if wants("approx") || wants("fig15") {
+        println!("== §4.3 / Fig. 15: approximate computing ==");
+        let (skip, sweep) = experiments::approximation_study();
+        println!("  matrix updates skipped at the 40 % threshold: {:.1} %", skip * 100.0);
+        println!(
+            "  {:<12} {:>12} {:>10} {:>18}",
+            "threshold", "skipped [%]", "speedup", "traj. error [cm]"
+        );
+        for point in &sweep {
+            println!(
+                "  {:<12.0} {:>12.1} {:>9.2}x {:>18.3}",
+                point.threshold * 100.0,
+                point.skip_fraction * 100.0,
+                point.speedup,
+                point.trajectory_error_cm
+            );
+        }
+        println!();
+    }
+
+    if wants("bottleneck") {
+        println!("== §2.2 bottleneck analysis ==");
+        let (cpu_hz, control_share, accel_hz) = experiments::bottleneck_analysis();
+        println!("  control loop on the robot CPU (zero inference latency): {cpu_hz:.1} Hz");
+        println!("  control share of that loop: {:.1} %", control_share * 100.0);
+        println!("  control rate on the Corki accelerator: {accel_hz:.0} Hz\n");
+    }
+
+    if let Some(path) = json_path {
+        let blob = serde_json::to_string_pretty(&json).expect("results are serialisable");
+        std::fs::write(&path, blob).expect("failed to write JSON output");
+        println!("(wrote JSON results to {path})");
+    }
+}

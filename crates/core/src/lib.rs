@@ -1,0 +1,44 @@
+//! # DaDu-Corki — algorithm/architecture co-design for embodied-AI
+//! # robotic manipulation (paper reproduction)
+//!
+//! This crate is the public facade of the workspace: it ties the policy
+//! layer, the CALVIN-like simulator, the TS-CTC accelerator model and the
+//! end-to-end pipeline simulation together, exposes the paper's eight policy
+//! variants as a single [`Variant`] enum, and provides one function per table
+//! and figure of the paper's evaluation in the [`experiments`] module.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use corki::{Variant, VariantSetup};
+//! use corki_sim::evaluation::{evaluate, EvalConfig};
+//!
+//! // Evaluate Corki-5 on ten seen-split jobs.
+//! let setup = VariantSetup::new(Variant::CorkiFixed(5));
+//! let mut policy = setup.build_policy(0);
+//! let env = setup.build_environment(0);
+//! let summary = evaluate(&env, policy.as_mut(), &EvalConfig { num_jobs: 10, unseen: false, seed: 1 });
+//! assert!(summary.average_length <= 5.0);
+//! ```
+//!
+//! The `corki-bench` crate's `experiments` binary prints every table/figure;
+//! see `EXPERIMENTS.md` at the workspace root for the recorded output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod variants;
+
+pub use corki_system::Variant;
+pub use variants::VariantSetup;
+
+// Re-export the sub-crates so downstream users need a single dependency.
+pub use corki_accel as accel;
+pub use corki_math as math;
+pub use corki_nn as nn;
+pub use corki_policy as policy;
+pub use corki_robot as robot;
+pub use corki_sim as sim;
+pub use corki_system as system;
+pub use corki_trajectory as trajectory;

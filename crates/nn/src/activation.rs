@@ -1,0 +1,106 @@
+//! Pointwise activation functions with explicit derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// The activation functions used by the policy heads (Fig. 3: tanh inside the
+/// LSTM and on hidden layers, sigmoid on gates and the gripper output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent.
+    #[default]
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (no nonlinearity) — used on regression output layers.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// The derivative of the activation expressed in terms of its *output*
+    /// `y = f(x)` (all four functions admit this form, which is what the
+    /// backward passes cache).
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to every element of a slice, returning a new
+    /// vector.
+    pub fn apply_slice(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+}
+
+/// The logistic sigmoid `1 / (1 + e^(-x))`, numerically stable for large |x|.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_limits_and_midpoint() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        // Stability: no NaN for extreme inputs.
+        assert!(sigmoid(-800.0).is_finite());
+        assert!(sigmoid(800.0).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+            for &x in &[-1.5, -0.3, 0.0, 0.4, 2.0] {
+                let y = act.apply(x);
+                let fd = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                assert!(
+                    (act.derivative_from_output(y) - fd).abs() < 1e-6,
+                    "{act:?} at {x}"
+                );
+            }
+        }
+        // ReLU away from the kink.
+        for &x in &[-1.0, 1.0] {
+            let y = Activation::Relu.apply(x);
+            let fd = (Activation::Relu.apply(x + eps) - Activation::Relu.apply(x - eps)) / (2.0 * eps);
+            assert!((Activation::Relu.derivative_from_output(y) - fd).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn apply_slice_maps_elementwise() {
+        let out = Activation::Relu.apply_slice(&[-1.0, 0.5, 2.0]);
+        assert_eq!(out, vec![0.0, 0.5, 2.0]);
+    }
+}

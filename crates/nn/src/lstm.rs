@@ -1,0 +1,312 @@
+//! A single-layer LSTM cell with explicit backpropagation-through-time
+//! support — the recurrent core of the RoboFlamingo/Corki policy head
+//! (paper Fig. 3: "LSTM ×12 loops").
+
+use crate::activation::sigmoid;
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The recurrent state `(h, c)` of an LSTM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: Vec<f64>,
+    /// Cell state.
+    pub c: Vec<f64>,
+}
+
+impl LstmState {
+    /// A zero state of the given hidden size.
+    pub fn zeros(hidden: usize) -> Self {
+        LstmState { h: vec![0.0; hidden], c: vec![0.0; hidden] }
+    }
+}
+
+/// Per-step cache required to backpropagate through one LSTM step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCache {
+    input: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    gate_i: Vec<f64>,
+    gate_f: Vec<f64>,
+    gate_o: Vec<f64>,
+    gate_g: Vec<f64>,
+    c_new: Vec<f64>,
+}
+
+/// A standard LSTM cell: gates `[i, f, g, o]` computed from `W_ih x + W_hh h + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmCell {
+    w_ih: Tensor,
+    w_hh: Tensor,
+    bias: Tensor,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl LstmCell {
+    /// Creates an LSTM cell with Xavier-initialised weights, zero biases and a
+    /// forget-gate bias of +1 (the standard trick for gradient flow).
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        let w_ih = Tensor::xavier(4 * hidden_dim, input_dim, rng);
+        let w_hh = Tensor::xavier(4 * hidden_dim, hidden_dim, rng);
+        let mut bias = Tensor::zeros(4 * hidden_dim, 1);
+        // Forget gate occupies rows [hidden_dim, 2*hidden_dim).
+        for i in hidden_dim..2 * hidden_dim {
+            bias.set(i, 0, 1.0);
+        }
+        LstmCell { w_ih, w_hh, bias, input_dim, hidden_dim }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.w_ih.len() + self.w_hh.len() + self.bias.len()
+    }
+
+    /// One forward step without caching (inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input or state dimensions do not match the cell.
+    pub fn forward(&self, x: &[f64], state: &LstmState) -> LstmState {
+        let (next, _) = self.forward_cached(x, state);
+        next
+    }
+
+    /// One forward step, returning the new state and the cache needed by
+    /// [`LstmCell::backward`].
+    pub fn forward_cached(&self, x: &[f64], state: &LstmState) -> (LstmState, LstmCache) {
+        assert_eq!(x.len(), self.input_dim, "LstmCell: wrong input length");
+        assert_eq!(state.h.len(), self.hidden_dim, "LstmCell: wrong hidden length");
+        let h = self.hidden_dim;
+        let mut pre = self.w_ih.matvec(x);
+        let rec = self.w_hh.matvec(&state.h);
+        for (p, (r, b)) in pre.iter_mut().zip(rec.iter().zip(self.bias.data())) {
+            *p += r + b;
+        }
+        let mut gate_i = vec![0.0; h];
+        let mut gate_f = vec![0.0; h];
+        let mut gate_g = vec![0.0; h];
+        let mut gate_o = vec![0.0; h];
+        for k in 0..h {
+            gate_i[k] = sigmoid(pre[k]);
+            gate_f[k] = sigmoid(pre[h + k]);
+            gate_g[k] = pre[2 * h + k].tanh();
+            gate_o[k] = sigmoid(pre[3 * h + k]);
+        }
+        let mut c_new = vec![0.0; h];
+        let mut h_new = vec![0.0; h];
+        for k in 0..h {
+            c_new[k] = gate_f[k] * state.c[k] + gate_i[k] * gate_g[k];
+            h_new[k] = gate_o[k] * c_new[k].tanh();
+        }
+        let cache = LstmCache {
+            input: x.to_vec(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            gate_i,
+            gate_f,
+            gate_o,
+            gate_g,
+            c_new: c_new.clone(),
+        };
+        (LstmState { h: h_new, c: c_new }, cache)
+    }
+
+    /// Backward step: given the gradients flowing into the new hidden and
+    /// cell states, accumulates parameter gradients and returns
+    /// `(grad_input, grad_h_prev, grad_c_prev)`.
+    pub fn backward(
+        &mut self,
+        cache: &LstmCache,
+        grad_h: &[f64],
+        grad_c: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let h = self.hidden_dim;
+        assert_eq!(grad_h.len(), h, "LstmCell::backward: wrong grad_h length");
+        assert_eq!(grad_c.len(), h, "LstmCell::backward: wrong grad_c length");
+
+        // Gradients flowing into the pre-activation gate vector [i, f, g, o].
+        let mut grad_pre = vec![0.0; 4 * h];
+        let mut grad_c_prev = vec![0.0; h];
+        for k in 0..h {
+            let tanh_c = cache.c_new[k].tanh();
+            // dL/dc_new from both the output path and the direct cell path.
+            let dc = grad_c[k] + grad_h[k] * cache.gate_o[k] * (1.0 - tanh_c * tanh_c);
+            let do_ = grad_h[k] * tanh_c;
+            let di = dc * cache.gate_g[k];
+            let dg = dc * cache.gate_i[k];
+            let df = dc * cache.c_prev[k];
+            grad_c_prev[k] = dc * cache.gate_f[k];
+            grad_pre[k] = di * cache.gate_i[k] * (1.0 - cache.gate_i[k]);
+            grad_pre[h + k] = df * cache.gate_f[k] * (1.0 - cache.gate_f[k]);
+            grad_pre[2 * h + k] = dg * (1.0 - cache.gate_g[k] * cache.gate_g[k]);
+            grad_pre[3 * h + k] = do_ * cache.gate_o[k] * (1.0 - cache.gate_o[k]);
+        }
+
+        self.w_ih.accumulate_outer(&grad_pre, &cache.input);
+        self.w_hh.accumulate_outer(&grad_pre, &cache.h_prev);
+        for (i, g) in grad_pre.iter().enumerate() {
+            self.bias.accumulate_grad(i, 0, *g);
+        }
+        let grad_input = self.w_ih.matvec_transposed(&grad_pre);
+        let grad_h_prev = self.w_hh.matvec_transposed(&grad_pre);
+        (grad_input, grad_h_prev, grad_c_prev)
+    }
+
+    /// Resets all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.w_ih.zero_grad();
+        self.w_hh.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Mutable references to the parameter tensors (for optimisers).
+    pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn total_loss(cell: &LstmCell, inputs: &[Vec<f64>], target: &[f64]) -> f64 {
+        let mut state = LstmState::zeros(cell.hidden_dim());
+        for x in inputs {
+            state = cell.forward(x, &state);
+        }
+        state
+            .h
+            .iter()
+            .zip(target)
+            .map(|(h, t)| 0.5 * (h - t).powi(2))
+            .sum()
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = LstmCell::new(4, 3, &mut rng);
+        let state = cell.forward(&[0.1, -0.2, 0.3, 0.5], &LstmState::zeros(3));
+        assert_eq!(state.h.len(), 3);
+        assert_eq!(state.c.len(), 3);
+        // Hidden state of an LSTM is bounded by (-1, 1).
+        assert!(state.h.iter().all(|h| h.abs() < 1.0));
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = LstmCell::new(6, 8, &mut rng);
+        // 4H(I + H + 1)
+        assert_eq!(cell.num_parameters(), 4 * 8 * (6 + 8 + 1));
+    }
+
+    #[test]
+    fn bptt_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cell = LstmCell::new(3, 2, &mut rng);
+        let inputs = vec![vec![0.3, -0.1, 0.4], vec![-0.2, 0.5, 0.1], vec![0.0, 0.2, -0.3]];
+        let target = vec![0.4, -0.3];
+
+        // Analytic gradient via BPTT.
+        cell.zero_grad();
+        let mut state = LstmState::zeros(2);
+        let mut caches = Vec::new();
+        for x in &inputs {
+            let (next, cache) = cell.forward_cached(x, &state);
+            caches.push(cache);
+            state = next;
+        }
+        let mut grad_h: Vec<f64> = state.h.iter().zip(&target).map(|(h, t)| h - t).collect();
+        let mut grad_c = vec![0.0; 2];
+        for cache in caches.iter().rev() {
+            let (_, gh, gc) = cell.backward(cache, &grad_h, &grad_c);
+            grad_h = gh;
+            grad_c = gc;
+        }
+
+        // Finite-difference check on one entry of each parameter tensor.
+        let eps = 1e-6;
+        let analytic_wih = cell.parameters_mut()[0].grad()[1];
+        let mut plus = cell.clone();
+        {
+            let t = &mut plus.parameters_mut()[0];
+            let v = t.data()[1];
+            t.data_mut()[1] = v + eps;
+        }
+        let mut minus = cell.clone();
+        {
+            let t = &mut minus.parameters_mut()[0];
+            let v = t.data()[1];
+            t.data_mut()[1] = v - eps;
+        }
+        let fd = (total_loss(&plus, &inputs, &target) - total_loss(&minus, &inputs, &target))
+            / (2.0 * eps);
+        assert!(
+            (analytic_wih - fd).abs() < 1e-5,
+            "analytic {analytic_wih} vs fd {fd}"
+        );
+    }
+
+    #[test]
+    fn can_learn_to_remember_first_input() {
+        // Train the LSTM to output (scaled) the first element of a short
+        // sequence — checks that gradients flow through time.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut cell = LstmCell::new(1, 4, &mut rng);
+        let mut head = crate::Linear::new(4, 1, &mut rng);
+        let mut adam = crate::Adam::new(0.02);
+        let dataset: Vec<(Vec<f64>, f64)> = (0..40)
+            .map(|i| {
+                let first = (i as f64 / 40.0) - 0.5;
+                (vec![first, 0.1, -0.1], first)
+            })
+            .collect();
+        let mut final_loss = f64::MAX;
+        for _ in 0..300 {
+            let mut epoch_loss = 0.0;
+            for (seq, target) in &dataset {
+                cell.zero_grad();
+                head.zero_grad();
+                let mut state = LstmState::zeros(4);
+                let mut caches = Vec::new();
+                for &x in seq {
+                    let (next, cache) = cell.forward_cached(&[x], &state);
+                    caches.push(cache);
+                    state = next;
+                }
+                let (y, head_cache) = head.forward_cached(&state.h);
+                let (loss, grad_y) = crate::losses::mse(&y, &[*target]);
+                epoch_loss += loss;
+                let mut grad_h = head.backward(&head_cache, &grad_y);
+                let mut grad_c = vec![0.0; 4];
+                for cache in caches.iter().rev() {
+                    let (_, gh, gc) = cell.backward(cache, &grad_h, &grad_c);
+                    grad_h = gh;
+                    grad_c = gc;
+                }
+                let mut params = cell.parameters_mut();
+                params.extend(head.parameters_mut());
+                adam.step(&mut params);
+            }
+            final_loss = epoch_loss / dataset.len() as f64;
+        }
+        assert!(final_loss < 5e-3, "LSTM failed to learn, loss = {final_loss}");
+    }
+}

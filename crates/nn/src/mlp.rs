@@ -1,0 +1,216 @@
+//! Multi-layer perceptrons: the output heads of the policy (paper Equation 2,
+//! `a_pose, a_gripper = MLP(h_t)`).
+
+use crate::activation::Activation;
+use crate::linear::{Linear, LinearCache};
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network of [`Linear`] layers with a configurable hidden
+/// activation; the output layer is always linear (regression heads) so that
+/// callers can apply their own output nonlinearity (e.g. sigmoid for the
+/// gripper logit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+/// Forward-pass cache of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpCache {
+    layer_caches: Vec<LinearCache>,
+    activations: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `[64, 128, 7]` builds
+    /// `64 → 128 → 7` with one hidden layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], activation: Activation, rng: &mut impl Rng) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("at least one layer").input_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("at least one layer").output_dim()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(Linear::num_parameters).sum()
+    }
+
+    /// Forward pass (inference).
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let (y, _) = self.forward_cached(x);
+        y
+    }
+
+    /// Forward pass returning the cache for [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &[f64]) -> (Vec<f64>, MlpCache) {
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        let mut activations = Vec::with_capacity(self.layers.len());
+        let mut current = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (mut y, cache) = layer.forward_cached(&current);
+            layer_caches.push(cache);
+            let is_last = i + 1 == self.layers.len();
+            if !is_last {
+                for v in y.iter_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            activations.push(y.clone());
+            current = y;
+        }
+        (current, MlpCache { layer_caches, activations })
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the gradient
+    /// with respect to the input.
+    pub fn backward(&mut self, cache: &MlpCache, grad_output: &[f64]) -> Vec<f64> {
+        let mut grad = grad_output.to_vec();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let is_last = i + 1 == cache.layer_caches.len();
+            if !is_last {
+                // Undo the hidden activation.
+                let out = &cache.activations[i];
+                for (g, y) in grad.iter_mut().zip(out) {
+                    *g *= self.activation.derivative_from_output(*y);
+                }
+            }
+            grad = layer.backward(&cache.layer_caches[i], &grad);
+        }
+        grad
+    }
+
+    /// Resets all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Mutable references to every parameter tensor (for optimisers).
+    pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers
+            .iter_mut()
+            .flat_map(Linear::parameters_mut)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::losses;
+    use crate::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dimensions_and_parameter_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[8, 16, 3], Activation::Tanh, &mut rng);
+        assert_eq!(mlp.input_dim(), 8);
+        assert_eq!(mlp.output_dim(), 3);
+        assert_eq!(mlp.num_parameters(), (8 * 16 + 16) + (16 * 3 + 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_sizes_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Mlp::new(&[4], Activation::Tanh, &mut rng);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[3, 5, 2], Activation::Tanh, &mut rng);
+        let x = [0.2, -0.6, 0.9];
+        let target = [0.1, -0.3];
+        mlp.zero_grad();
+        let (y, cache) = mlp.forward_cached(&x);
+        let (_, grad_y) = losses::mse(&y, &target);
+        let grad_x = mlp.backward(&cache, &grad_y);
+
+        let eps = 1e-6;
+        let loss = |m: &Mlp, xv: &[f64]| {
+            let y = m.forward(xv);
+            losses::mse(&y, &target).0
+        };
+        // Input gradient check.
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let fd = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * eps);
+            assert!((grad_x[i] - fd).abs() < 1e-6, "input grad {i}");
+        }
+        // Parameter gradient check on the first weight of the first layer.
+        let analytic = mlp.layers[0].weight().grad()[0];
+        let mut plus = mlp.clone();
+        {
+            let t = &mut plus.parameters_mut()[0];
+            let v = t.data()[0];
+            t.data_mut()[0] = v + eps;
+        }
+        let mut minus = mlp.clone();
+        {
+            let t = &mut minus.parameters_mut()[0];
+            let v = t.data()[0];
+            t.data_mut()[0] = v - eps;
+        }
+        let fd = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * eps);
+        assert!((analytic - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn can_fit_a_nonlinear_function() {
+        // y = sin(2x) on [-1, 1].
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[1, 24, 24, 1], Activation::Tanh, &mut rng);
+        let mut adam = Adam::new(0.01);
+        let data: Vec<(f64, f64)> = (0..64)
+            .map(|i| {
+                let x = -1.0 + 2.0 * i as f64 / 63.0;
+                (x, (2.0 * x).sin())
+            })
+            .collect();
+        let mut last = f64::MAX;
+        for _ in 0..400 {
+            let mut epoch = 0.0;
+            // Mini-batches keep the per-sample Adam updates stable.
+            for chunk in data.chunks(8) {
+                mlp.zero_grad();
+                for &(x, t) in chunk {
+                    let (y, cache) = mlp.forward_cached(&[x]);
+                    let (l, g) = losses::mse(&y, &[t]);
+                    epoch += l;
+                    let scaled: Vec<f64> = g.iter().map(|v| v / chunk.len() as f64).collect();
+                    mlp.backward(&cache, &scaled);
+                }
+                adam.step(&mut mlp.parameters_mut());
+            }
+            last = epoch / data.len() as f64;
+        }
+        assert!(last < 1e-2, "MLP failed to fit sin(2x): {last}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Parameter tensors: a flat matrix of weights plus its gradient buffer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major parameter matrix with an accompanying gradient buffer.
+///
+/// `Tensor` is deliberately minimal: it exists so that layers can expose their
+/// parameters uniformly to the optimisers and to serde for checkpointing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+    #[serde(skip)]
+    grad: Vec<f64>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+            grad: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialisation, the standard choice for the
+    /// tanh/sigmoid nonlinearities used by the LSTM policy head.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        Tensor { rows, cols, data, grad: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a tensor from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Tensor::from_vec: wrong length");
+        let grad = vec![0.0; data.len()];
+        Tensor { rows, cols, data, grad }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for an empty tensor.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Parameter value at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the parameter value at `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The flat parameter slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the flat parameter slice.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The flat gradient slice.
+    pub fn grad(&self) -> &[f64] {
+        &self.grad
+    }
+
+    /// Adds `value` to the gradient entry at `(row, col)`.
+    pub fn accumulate_grad(&mut self, row: usize, col: usize, value: f64) {
+        self.grad[row * self.cols + col] += value;
+    }
+
+    /// Resets the gradient buffer to zero (and re-sizes it after
+    /// deserialisation, where serde skips it).
+    pub fn zero_grad(&mut self) {
+        if self.grad.len() != self.data.len() {
+            self.grad = vec![0.0; self.data.len()];
+        } else {
+            self.grad.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+
+    /// Applies `param -= lr * grad` directly (plain SGD update).
+    pub fn apply_sgd(&mut self, lr: f64) {
+        if self.grad.len() != self.data.len() {
+            self.grad = vec![0.0; self.data.len()];
+        }
+        for (p, g) in self.data.iter_mut().zip(&self.grad) {
+            *p -= lr * g;
+        }
+    }
+
+    /// L2 norm of the gradient, used for gradient clipping.
+    pub fn grad_norm_squared(&self) -> f64 {
+        self.grad.iter().map(|g| g * g).sum()
+    }
+
+    /// Scales the gradient in place (gradient clipping).
+    pub fn scale_grad(&mut self, factor: f64) {
+        self.grad.iter_mut().for_each(|g| *g *= factor);
+    }
+
+    /// Matrix-vector product `W · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix-vector product `Wᵀ · y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.rows()`.
+    pub fn matvec_transposed(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "matvec_transposed: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, yi) in y.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, w) in row.iter().enumerate() {
+                out[c] += w * yi;
+            }
+        }
+        out
+    }
+
+    /// Accumulates the outer-product gradient `grad += y ⊗ x` (the gradient of
+    /// `y = W x` with respect to `W`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn accumulate_outer(&mut self, y_grad: &[f64], x: &[f64]) {
+        assert_eq!(y_grad.len(), self.rows, "accumulate_outer: rows mismatch");
+        assert_eq!(x.len(), self.cols, "accumulate_outer: cols mismatch");
+        if self.grad.len() != self.data.len() {
+            self.grad = vec![0.0; self.data.len()];
+        }
+        for (r, yg) in y_grad.iter().enumerate() {
+            let row = &mut self.grad[r * self.cols..(r + 1) * self.cols];
+            for (c, xi) in x.iter().enumerate() {
+                row[c] += yg * xi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_initialisation_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::xavier(10, 20, &mut rng);
+        let limit = (6.0 / 30.0f64).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+        assert_eq!(t.len(), 200);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = t.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+        let back = t.matvec_transposed(&[1.0, 1.0]);
+        assert_eq!(back, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulation() {
+        let mut t = Tensor::zeros(2, 2);
+        t.accumulate_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(t.grad(), &[3.0, 4.0, 6.0, 8.0]);
+        t.accumulate_outer(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(t.grad(), &[4.0, 5.0, 6.0, 8.0]);
+        t.zero_grad();
+        assert!(t.grad().iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn sgd_update_moves_against_gradient() {
+        let mut t = Tensor::from_vec(1, 1, vec![1.0]);
+        t.accumulate_grad(0, 0, 2.0);
+        t.apply_sgd(0.1);
+        assert!((t.get(0, 0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_clipping_helpers() {
+        let mut t = Tensor::zeros(1, 2);
+        t.accumulate_grad(0, 0, 3.0);
+        t.accumulate_grad(0, 1, 4.0);
+        assert!((t.grad_norm_squared() - 25.0).abs() < 1e-12);
+        t.scale_grad(0.5);
+        assert_eq!(t.grad(), &[1.5, 2.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip_restores_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::xavier(3, 4, &mut rng);
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: Tensor = serde_json::from_str(&json).unwrap();
+        back.zero_grad();
+        // JSON text formatting may lose the last ULP of a float; anything
+        // tighter than 1e-12 relative is a faithful checkpoint restore.
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(back.grad().len(), t.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,290 @@
+//! The Corki trajectory-prediction policy (paper §3.2-§3.4): the same LSTM
+//! backbone as the baseline, but the heads output a near-future trajectory
+//! (waypoints for up to N steps plus a gripper schedule), with mask
+//! embeddings standing in for the frames that are never captured while the
+//! robot executes a trajectory open-loop, and an optional close-loop feature
+//! concatenated before the heads.
+
+use crate::encoder::{CloseLoopEncoder, TokenEncoder, TOKEN_DIM};
+use crate::{ManipulationPolicy, PlanRequest, PolicyKind, PolicyPlan, TOKEN_WINDOW};
+use corki_nn::{Activation, LstmCell, LstmState, Mlp, Tensor};
+use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP, MAX_PREDICTION_STEPS};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::baseline::HIDDEN_DIM;
+
+/// Dimensionality of the close-loop feature vector.
+const CLOSE_LOOP_DIM: usize = 8;
+
+/// The Corki policy: predicts waypoint offsets for the next `horizon` control
+/// steps and a matching gripper schedule, which are fitted with per-dimension
+/// cubics to form the [`Trajectory`] handed to the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorkiTrajectoryPolicy {
+    pub(crate) encoder: TokenEncoder,
+    pub(crate) close_loop: CloseLoopEncoder,
+    pub(crate) lstm: LstmCell,
+    pub(crate) waypoint_head: Mlp,
+    pub(crate) gripper_head: Mlp,
+    pub(crate) horizon: usize,
+    /// Scale applied to raw waypoint-head outputs (metres / radians per step).
+    pub(crate) action_scale: f64,
+    #[serde(skip)]
+    token_window: VecDeque<Vec<f64>>,
+}
+
+impl CorkiTrajectoryPolicy {
+    /// Creates a randomly-initialised Corki policy predicting `horizon` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero or exceeds [`MAX_PREDICTION_STEPS`].
+    pub fn new(horizon: usize, rng: &mut impl Rng) -> Self {
+        assert!(
+            horizon >= 1 && horizon <= MAX_PREDICTION_STEPS,
+            "horizon must be in 1..={MAX_PREDICTION_STEPS}"
+        );
+        CorkiTrajectoryPolicy {
+            encoder: TokenEncoder::new(rng),
+            close_loop: CloseLoopEncoder::new(CLOSE_LOOP_DIM, rng),
+            lstm: LstmCell::new(TOKEN_DIM, HIDDEN_DIM, rng),
+            waypoint_head: Mlp::new(
+                &[HIDDEN_DIM + CLOSE_LOOP_DIM, 96, 6 * horizon],
+                Activation::Tanh,
+                rng,
+            ),
+            gripper_head: Mlp::new(
+                &[HIDDEN_DIM + CLOSE_LOOP_DIM, 32, horizon],
+                Activation::Tanh,
+                rng,
+            ),
+            horizon,
+            action_scale: 0.02,
+            token_window: VecDeque::new(),
+        }
+    }
+
+    /// The prediction horizon in control steps.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Total number of trainable parameters (head + close-loop encoder; the
+    /// token encoder is frozen like the VLM it stands in for).
+    pub fn num_trainable_parameters(&self) -> usize {
+        self.lstm.num_parameters()
+            + self.waypoint_head.num_parameters()
+            + self.gripper_head.num_parameters()
+    }
+
+    pub(crate) fn push_token(&mut self, token: Vec<f64>) {
+        if self.token_window.len() == TOKEN_WINDOW {
+            self.token_window.pop_front();
+        }
+        self.token_window.push_back(token);
+    }
+
+    /// Inserts mask embeddings for the `skipped` frames that were never
+    /// captured while the robot executed the previous trajectory (Fig. 4).
+    pub(crate) fn push_masked_frames(&mut self, skipped: usize) {
+        for _ in 0..skipped {
+            let mask = self.encoder.mask_token().to_vec();
+            self.push_token(mask);
+        }
+    }
+
+    pub(crate) fn run_window(&self) -> Vec<f64> {
+        let mut state = LstmState::zeros(HIDDEN_DIM);
+        for token in &self.token_window {
+            state = self.lstm.forward(token, &state);
+        }
+        state.h
+    }
+
+    /// Decodes hidden state + close-loop feature into per-step waypoint
+    /// offsets (cumulative, in the 6-D pose space) and gripper logits.
+    pub(crate) fn decode(&self, hidden: &[f64], close_loop_feature: &[f64]) -> (Vec<[f64; 6]>, Vec<f64>) {
+        let mut input = Vec::with_capacity(hidden.len() + close_loop_feature.len());
+        input.extend_from_slice(hidden);
+        input.extend_from_slice(close_loop_feature);
+        let raw = self.waypoint_head.forward(&input);
+        let gripper_logits = self.gripper_head.forward(&input);
+        let mut offsets = Vec::with_capacity(self.horizon);
+        let mut cumulative = [0.0; 6];
+        for step in 0..self.horizon {
+            for d in 0..6 {
+                cumulative[d] += raw[step * 6 + d] * self.action_scale;
+            }
+            offsets.push(cumulative);
+        }
+        (offsets, gripper_logits)
+    }
+
+    /// Builds the output [`Trajectory`] from the current pose and the decoded
+    /// waypoint offsets.
+    pub(crate) fn assemble_trajectory(
+        &self,
+        current: &EePose,
+        offsets: &[[f64; 6]],
+        gripper_logits: &[f64],
+    ) -> Trajectory {
+        let base = current.to_array6();
+        let mut waypoints = Vec::with_capacity(offsets.len() + 1);
+        waypoints.push(*current);
+        for (offset, logit) in offsets.iter().zip(gripper_logits) {
+            let mut values = [0.0; 6];
+            for d in 0..6 {
+                values[d] = base[d] + offset[d];
+            }
+            let gripper = if Activation::Sigmoid.apply(*logit) >= 0.5 {
+                GripperState::Closed
+            } else {
+                GripperState::Open
+            };
+            waypoints.push(EePose::from_array6(values, gripper));
+        }
+        Trajectory::fit_waypoints(&waypoints, CONTROL_STEP)
+            .expect("at least two waypoints by construction")
+    }
+
+    /// Mutable parameter tensors of the trainable parts.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut p = self.lstm.parameters_mut();
+        p.extend(self.waypoint_head.parameters_mut());
+        p.extend(self.gripper_head.parameters_mut());
+        p.extend(self.close_loop.parameters_mut());
+        p
+    }
+
+    /// Clears accumulated gradients on all trainable tensors.
+    pub fn zero_grad(&mut self) {
+        self.lstm.zero_grad();
+        self.waypoint_head.zero_grad();
+        self.gripper_head.zero_grad();
+    }
+
+    /// Current number of tokens in the window (for tests).
+    pub fn window_len(&self) -> usize {
+        self.token_window.len()
+    }
+}
+
+impl ManipulationPolicy for CorkiTrajectoryPolicy {
+    fn plan(&mut self, request: &PlanRequest) -> PolicyPlan {
+        // Frames skipped while the previous trajectory executed are replaced
+        // by mask embeddings; the freshly captured frame is a real token.
+        let skipped = request.steps_since_last_plan.saturating_sub(1);
+        self.push_masked_frames(skipped);
+        let token = self.encoder.encode(&request.observation);
+        self.push_token(token);
+
+        let hidden = self.run_window();
+        let close_loop_feature = self.close_loop.encode_all(&request.close_loop_observations);
+        let (offsets, gripper_logits) = self.decode(&hidden, &close_loop_feature);
+        let trajectory =
+            self.assemble_trajectory(&request.observation.end_effector, &offsets, &gripper_logits);
+        PolicyPlan::Trajectory(trajectory)
+    }
+
+    fn reset(&mut self) {
+        self.token_window.clear();
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TrajectoryPrediction
+    }
+
+    fn name(&self) -> String {
+        format!("Corki-{}", self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Observation;
+    use corki_math::Vec3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn observation_at(x: f64) -> Observation {
+        let mut obs = Observation::default();
+        obs.end_effector = EePose::new(Vec3::new(x, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
+        obs
+    }
+
+    #[test]
+    fn plan_produces_trajectory_of_requested_horizon() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = CorkiTrajectoryPolicy::new(5, &mut rng);
+        let plan = policy.plan(&PlanRequest::from_observation(observation_at(0.35)));
+        match plan {
+            PolicyPlan::Trajectory(t) => {
+                assert_eq!(t.num_steps(), 5);
+                // The trajectory starts near the current end-effector pose
+                // (the least-squares cubic fit does not interpolate exactly,
+                // and the untrained head adds small offsets).
+                let start = t.sample(0.0);
+                assert!((start.position.x - 0.35).abs() < 0.03);
+            }
+            PolicyPlan::SingleStep(_) => panic!("Corki must predict trajectories"),
+        }
+        assert_eq!(policy.kind(), PolicyKind::TrajectoryPrediction);
+        assert_eq!(policy.name(), "Corki-5");
+    }
+
+    #[test]
+    fn masked_frames_fill_the_window() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = CorkiTrajectoryPolicy::new(5, &mut rng);
+        let mut request = PlanRequest::from_observation(observation_at(0.3));
+        request.steps_since_last_plan = 5;
+        let _ = policy.plan(&request);
+        // 4 mask tokens + 1 real token.
+        assert_eq!(policy.window_len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_horizon_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = CorkiTrajectoryPolicy::new(0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_horizon_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = CorkiTrajectoryPolicy::new(MAX_PREDICTION_STEPS + 1, &mut rng);
+    }
+
+    #[test]
+    fn close_loop_observations_change_the_prediction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut policy = CorkiTrajectoryPolicy::new(5, &mut rng);
+        let obs = observation_at(0.3);
+        let plain = policy.plan(&PlanRequest::from_observation(obs));
+        policy.reset();
+        let mut with_feedback = PlanRequest::from_observation(obs);
+        let mut feedback_obs = observation_at(0.5);
+        feedback_obs.object_position = Vec3::new(0.7, 0.3, 0.1);
+        with_feedback.close_loop_observations.push(feedback_obs);
+        let adjusted = policy.plan(&with_feedback);
+        let (PolicyPlan::Trajectory(a), PolicyPlan::Trajectory(b)) = (plain, adjusted) else {
+            panic!("expected trajectories");
+        };
+        let end_a = a.sample(a.duration());
+        let end_b = b.sample(b.duration());
+        assert!(end_a.position_distance(&end_b) > 1e-9, "close-loop feature had no effect");
+    }
+
+    #[test]
+    fn trainable_parameter_count_scales_with_horizon() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let small = CorkiTrajectoryPolicy::new(1, &mut rng);
+        let large = CorkiTrajectoryPolicy::new(9, &mut rng);
+        assert!(large.num_trainable_parameters() > small.num_trainable_parameters());
+    }
+}

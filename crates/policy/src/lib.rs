@@ -1,0 +1,149 @@
+//! The embodied-AI policy layer of the DaDu-Corki reproduction.
+//!
+//! The paper builds on RoboFlamingo: a frozen vision-language model (VLM)
+//! produces vision-language tokens which an LSTM *policy head* turns into
+//! robot actions.  Corki changes only the head: instead of one 7-DoF action
+//! per frame it predicts a near-future *trajectory* (paper §3).
+//!
+//! Because a 3-billion-parameter VLM is outside the scope of a pure-Rust
+//! reproduction, this crate provides two interchangeable front-ends behind
+//! the same [`ManipulationPolicy`] trait (see DESIGN.md, substitution table):
+//!
+//! * **Learned policies** ([`BaselineFramePolicy`], [`CorkiTrajectoryPolicy`])
+//!   — a surrogate token encoder over the simulator's scene state feeding a
+//!   real LSTM + MLP policy head (via `corki-nn`), trained on expert
+//!   demonstrations with exactly the losses of Equations 3 and 5 (MSE on
+//!   pose/trajectory, BCE on the gripper, mask embeddings for dropped
+//!   frames).
+//! * **Oracle policies** ([`OracleFramePolicy`], [`OracleTrajectoryPolicy`])
+//!   — a mechanistic error model around the expert trajectory whose noise
+//!   grows with the prediction horizon, used for the large evaluation sweeps
+//!   (Tables 1/2, Figures 11-14) where the trends of interest come from the
+//!   *execution model* (how often the robot re-observes, how long it runs
+//!   open loop), not from the particular network weights.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod corki;
+mod encoder;
+mod observation;
+mod oracle;
+pub mod training;
+
+pub use baseline::BaselineFramePolicy;
+pub use corki::CorkiTrajectoryPolicy;
+pub use encoder::{CloseLoopEncoder, TokenEncoder, TOKEN_DIM};
+pub use observation::{Observation, TaskDescriptor, OBSERVATION_DIM};
+pub use oracle::{NoiseModel, OracleFramePolicy, OracleTrajectoryPolicy};
+
+use corki_trajectory::{DeltaAction, EePose, Trajectory};
+use serde::{Deserialize, Serialize};
+
+/// The length of the token window kept by the policy head (RoboFlamingo keeps
+/// the last 12 vision-language tokens).
+pub const TOKEN_WINDOW: usize = 12;
+
+/// What a policy produces when asked to plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyPlan {
+    /// One discrete action for the next frame (baseline execution model).
+    SingleStep(DeltaAction),
+    /// A continuous trajectory for up to N future steps (Corki).
+    Trajectory(Trajectory),
+}
+
+impl PolicyPlan {
+    /// The number of control steps this plan covers.
+    pub fn horizon(&self) -> usize {
+        match self {
+            PolicyPlan::SingleStep(_) => 1,
+            PolicyPlan::Trajectory(t) => t.num_steps(),
+        }
+    }
+}
+
+/// Everything a policy may look at when planning: the current observation and
+/// (for oracle policies and teacher-forced training) the expert's future
+/// waypoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Current scene observation.
+    pub observation: Observation,
+    /// The expert's future waypoints starting one control step ahead.
+    /// Learned policies ignore this; oracle policies corrupt it with their
+    /// noise model. Empty when no expert data is available.
+    pub expert_future: Vec<EePose>,
+    /// Mid-trajectory close-loop feature observations (paper §3.4), if any.
+    pub close_loop_observations: Vec<Observation>,
+    /// How many control steps were executed since the previous plan. The
+    /// Corki policy inserts this many mask embeddings (minus the freshly
+    /// captured frame) into its token window, mirroring the masked policy
+    /// head of Fig. 4.
+    pub steps_since_last_plan: usize,
+}
+
+impl PlanRequest {
+    /// A request carrying only an observation (one step since the last plan).
+    pub fn from_observation(observation: Observation) -> Self {
+        PlanRequest {
+            observation,
+            expert_future: Vec::new(),
+            close_loop_observations: Vec::new(),
+            steps_since_last_plan: 1,
+        }
+    }
+}
+
+/// Which execution model a policy drives (used by the system-pipeline crate to
+/// pick the latency model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Frame-by-frame action prediction (RoboFlamingo baseline).
+    FramePrediction,
+    /// Near-future trajectory prediction (Corki).
+    TrajectoryPrediction,
+}
+
+/// A manipulation policy: given observations, produce either the next action
+/// or a near-future trajectory.
+pub trait ManipulationPolicy {
+    /// Produces a plan for the current situation.
+    fn plan(&mut self, request: &PlanRequest) -> PolicyPlan;
+
+    /// Clears any internal state (token window, LSTM hidden state) at the
+    /// start of a new episode.
+    fn reset(&mut self);
+
+    /// The execution model this policy belongs to.
+    fn kind(&self) -> PolicyKind;
+
+    /// Human-readable policy name (used in result tables).
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corki_math::Vec3;
+    use corki_trajectory::GripperState;
+
+    #[test]
+    fn plan_horizon_matches_contents() {
+        let single = PolicyPlan::SingleStep(DeltaAction::zero());
+        assert_eq!(single.horizon(), 1);
+        let start = EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
+        let end = EePose::new(Vec3::new(0.4, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
+        let traj = Trajectory::point_to_point(&start, &end, 5, corki_trajectory::CONTROL_STEP).unwrap();
+        assert_eq!(PolicyPlan::Trajectory(traj).horizon(), 5);
+    }
+
+    #[test]
+    fn plan_request_from_observation_is_minimal() {
+        let obs = Observation::default();
+        let req = PlanRequest::from_observation(obs);
+        assert!(req.expert_future.is_empty());
+        assert!(req.close_loop_observations.is_empty());
+    }
+}

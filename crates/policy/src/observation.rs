@@ -1,0 +1,137 @@
+//! The scene observation fed to the policy in place of camera frames.
+//!
+//! The real RoboFlamingo consumes RGB images; our surrogate front-end consumes
+//! a compact state-based observation of the same information content (robot
+//! end-effector pose, the manipulated object, the goal, and the language
+//! instruction identity). See DESIGN.md for the substitution rationale.
+
+use corki_math::Vec3;
+use corki_trajectory::{EePose, GripperState};
+use serde::{Deserialize, Serialize};
+
+/// Dimensionality of the flattened observation feature vector.
+pub const OBSERVATION_DIM: usize = 25;
+
+/// A compact description of the task the language instruction names, used in
+/// place of the instruction text.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskDescriptor {
+    /// Index of the task template (0..33 for the 34 CALVIN-style tasks).
+    pub task_id: usize,
+    /// Index of the task category (0..4: move, switch, drawer, rotate, lift).
+    pub category_id: usize,
+    /// Whether the episode comes from the unseen split (different scene
+    /// arrangement from training).
+    pub unseen: bool,
+}
+
+/// One observation of the scene — the surrogate for a camera frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Observation {
+    /// Current end-effector pose and gripper state.
+    pub end_effector: EePose,
+    /// Position of the object the instruction refers to.
+    pub object_position: Vec3,
+    /// Orientation (yaw) of the object, radians.
+    pub object_yaw: f64,
+    /// The goal position the object (or end-effector) should reach.
+    pub goal_position: Vec3,
+    /// A scalar describing articulated-scene state (drawer extension, switch
+    /// angle, slider position), normalised to `[0, 1]`.
+    pub articulation_state: f64,
+    /// Whether the object is currently grasped.
+    pub object_grasped: bool,
+    /// Task identity (stands in for the language instruction).
+    pub task: TaskDescriptor,
+}
+
+impl Observation {
+    /// Flattens the observation into the fixed-size feature vector consumed by
+    /// the token encoder.
+    pub fn to_features(&self) -> [f64; OBSERVATION_DIM] {
+        let ee = self.end_effector.to_array6();
+        let mut f = [0.0; OBSERVATION_DIM];
+        f[..6].copy_from_slice(&ee);
+        f[6] = match self.end_effector.gripper {
+            GripperState::Open => 0.0,
+            GripperState::Closed => 1.0,
+        };
+        f[7] = self.object_position.x;
+        f[8] = self.object_position.y;
+        f[9] = self.object_position.z;
+        f[10] = self.object_yaw.sin();
+        f[11] = self.object_yaw.cos();
+        f[12] = self.goal_position.x;
+        f[13] = self.goal_position.y;
+        f[14] = self.goal_position.z;
+        f[15] = self.articulation_state;
+        f[16] = if self.object_grasped { 1.0 } else { 0.0 };
+        // Relative vectors help small networks generalise.
+        f[17] = self.object_position.x - self.end_effector.position.x;
+        f[18] = self.object_position.y - self.end_effector.position.y;
+        f[19] = self.object_position.z - self.end_effector.position.z;
+        // Task-category one-hot (5 categories, indices 20..=24).
+        let cat = self.task.category_id.min(4);
+        f[20 + cat] = 1.0;
+        f
+    }
+
+    /// The instruction-embedding scalar used by the token encoder (a stable
+    /// hash of the task id mapped to `[-1, 1]`).
+    pub fn instruction_embedding(&self) -> f64 {
+        let h = (self.task.task_id as u64).wrapping_mul(2654435761) % 1000;
+        (h as f64 / 500.0) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_has_fixed_length_and_layout() {
+        let mut obs = Observation::default();
+        obs.end_effector = EePose::new(
+            Vec3::new(0.4, -0.1, 0.3),
+            Vec3::new(0.0, 0.1, 0.2),
+            GripperState::Closed,
+        );
+        obs.object_position = Vec3::new(0.5, 0.2, 0.05);
+        obs.goal_position = Vec3::new(0.1, 0.3, 0.05);
+        obs.object_grasped = true;
+        obs.task.category_id = 2;
+        let f = obs.to_features();
+        assert_eq!(f.len(), OBSERVATION_DIM);
+        assert_eq!(f[0], 0.4);
+        assert_eq!(f[6], 1.0); // gripper closed
+        assert_eq!(f[16], 1.0); // grasped
+        assert!((f[17] - 0.1).abs() < 1e-12); // relative x
+        assert_eq!(f[22], 1.0); // category one-hot
+    }
+
+    #[test]
+    fn category_one_hot_stays_in_bounds() {
+        for cat in 0..=6 {
+            let mut obs = Observation::default();
+            obs.task.category_id = cat;
+            let f = obs.to_features();
+            let hot: usize = (20..OBSERVATION_DIM).filter(|&i| f[i] == 1.0).count();
+            assert_eq!(hot, 1, "category {cat}");
+        }
+    }
+
+    #[test]
+    fn instruction_embedding_is_deterministic_and_bounded() {
+        let mut a = Observation::default();
+        a.task.task_id = 7;
+        let mut b = Observation::default();
+        b.task.task_id = 7;
+        assert_eq!(a.instruction_embedding(), b.instruction_embedding());
+        for id in 0..34 {
+            let mut o = Observation::default();
+            o.task.task_id = id;
+            let e = o.instruction_embedding();
+            assert!((-1.0..=1.0).contains(&e));
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Oracle policies with a mechanistic prediction-error model.
+//!
+//! The headline evaluation of the paper (Tables 1/2, Figures 11-14) sweeps
+//! eight policy variants over a thousand long-horizon jobs.  Training a
+//! separate neural policy per variant at that scale is outside the scope of a
+//! CPU-only reproduction, so the sweeps use *oracle* policies: they see the
+//! expert's future waypoints and corrupt them with a noise model whose
+//! structure captures the two competing effects the paper identifies:
+//!
+//! * prediction error **grows with the prediction horizon** (further future →
+//!   less certain), and
+//! * trajectory-level supervision is smoother than frame-level supervision,
+//!   so per-step noise is *lower* for the Corki-style policies — but running
+//!   open loop for longer means errors go **uncorrected** for more steps.
+//!
+//! The net effect — accuracy peaking at an intermediate executed length —
+//! then emerges from closed-loop rollouts in `corki-sim` rather than being
+//! hard-coded.
+
+use crate::{ManipulationPolicy, PlanRequest, PolicyKind, PolicyPlan};
+use corki_math::Vec3;
+use corki_trajectory::{DeltaAction, EePose, GripperState, Trajectory, CONTROL_STEP, MAX_PREDICTION_STEPS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The prediction-error model shared by the oracle policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Base positional noise (standard deviation, metres) of a one-step-ahead
+    /// prediction under frame-level supervision.
+    pub position_sigma: f64,
+    /// Base orientation noise (standard deviation, radians).
+    pub orientation_sigma: f64,
+    /// Fractional growth of the noise per additional step of look-ahead.
+    pub horizon_growth: f64,
+    /// Multiplier (< 1) applied to the noise of trajectory-supervised
+    /// predictions, reflecting the smoother supervision signal (paper §6.2).
+    pub trajectory_smoothing: f64,
+    /// Probability that the gripper command of a waypoint is predicted wrong.
+    pub gripper_error_probability: f64,
+    /// Noise multiplier applied on the unseen split.
+    pub unseen_multiplier: f64,
+    /// Multiplier (< 1) applied when close-loop features are available for a
+    /// prediction (paper §3.4).
+    pub close_loop_reduction: f64,
+    /// Standard deviation (metres per step) of the random-walk *drift* of a
+    /// prediction: the systematic divergence between the imagined and the
+    /// actual scene that accumulates the further ahead the policy predicts.
+    /// Unlike the per-waypoint noise it is not averaged out by the cubic fit,
+    /// so it is what makes long open-loop execution (large Corki-T) risky.
+    pub drift_sigma: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            position_sigma: 0.007,
+            orientation_sigma: 0.01,
+            horizon_growth: 0.25,
+            trajectory_smoothing: 0.5,
+            gripper_error_probability: 0.004,
+            unseen_multiplier: 1.3,
+            close_loop_reduction: 0.85,
+            drift_sigma: 0.0035,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// The positional noise of a prediction `steps_ahead` control steps into
+    /// the future under the given supervision style.
+    pub fn position_sigma_at(&self, steps_ahead: usize, trajectory_supervised: bool, unseen: bool) -> f64 {
+        let mut sigma = self.position_sigma * (1.0 + self.horizon_growth * steps_ahead.saturating_sub(1) as f64);
+        if trajectory_supervised {
+            sigma *= self.trajectory_smoothing;
+        }
+        if unseen {
+            sigma *= self.unseen_multiplier;
+        }
+        sigma
+    }
+}
+
+/// Draws a zero-mean Gaussian sample via the Box-Muller transform (keeps the
+/// crate independent of `rand_distr`).
+fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn noisy_pose(
+    rng: &mut StdRng,
+    pose: &EePose,
+    pos_sigma: f64,
+    rot_sigma: f64,
+    gripper_flip_prob: f64,
+) -> EePose {
+    let position = pose.position
+        + Vec3::new(
+            gaussian(rng, pos_sigma),
+            gaussian(rng, pos_sigma),
+            gaussian(rng, pos_sigma),
+        );
+    let euler = pose.euler
+        + Vec3::new(
+            gaussian(rng, rot_sigma),
+            gaussian(rng, rot_sigma),
+            gaussian(rng, rot_sigma),
+        );
+    let gripper = if rng.gen_bool(gripper_flip_prob.clamp(0.0, 1.0)) {
+        match pose.gripper {
+            GripperState::Open => GripperState::Closed,
+            GripperState::Closed => GripperState::Open,
+        }
+    } else {
+        pose.gripper
+    };
+    EePose { position, euler, gripper }
+}
+
+/// An oracle baseline: predicts the expert's next waypoint with one-step
+/// frame-supervised noise (the RoboFlamingo execution and supervision model).
+#[derive(Debug, Clone)]
+pub struct OracleFramePolicy {
+    noise: NoiseModel,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl OracleFramePolicy {
+    /// Creates an oracle baseline with the given noise model and RNG seed.
+    pub fn new(noise: NoiseModel, seed: u64) -> Self {
+        OracleFramePolicy { noise, rng: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The noise model in use.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+}
+
+impl ManipulationPolicy for OracleFramePolicy {
+    fn plan(&mut self, request: &PlanRequest) -> PolicyPlan {
+        let current = request.observation.end_effector;
+        let unseen = request.observation.task.unseen;
+        let mut target = request.expert_future.first().copied().unwrap_or(current);
+        let mut drift_step = self.noise.drift_sigma;
+        if unseen {
+            drift_step *= self.noise.unseen_multiplier;
+        }
+        target.position = target.position
+            + Vec3::new(
+                gaussian(&mut self.rng, drift_step),
+                gaussian(&mut self.rng, drift_step),
+                gaussian(&mut self.rng, drift_step),
+            );
+        let sigma = self.noise.position_sigma_at(1, false, unseen);
+        let rot_sigma = self.noise.orientation_sigma * if unseen { self.noise.unseen_multiplier } else { 1.0 };
+        let noisy = noisy_pose(
+            &mut self.rng,
+            &target,
+            sigma,
+            rot_sigma,
+            self.noise.gripper_error_probability,
+        );
+        PolicyPlan::SingleStep(DeltaAction::new(
+            noisy.position - current.position,
+            noisy.euler - current.euler,
+            noisy.gripper,
+        ))
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::FramePrediction
+    }
+
+    fn name(&self) -> String {
+        "RoboFlamingo".to_owned()
+    }
+}
+
+/// An oracle Corki policy: predicts the expert's next `horizon` waypoints with
+/// trajectory-supervised noise that grows with look-ahead, and fits the cubic
+/// trajectory the controller will track.
+#[derive(Debug, Clone)]
+pub struct OracleTrajectoryPolicy {
+    horizon: usize,
+    noise: NoiseModel,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl OracleTrajectoryPolicy {
+    /// Creates an oracle Corki policy predicting `horizon` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero or exceeds [`MAX_PREDICTION_STEPS`].
+    pub fn new(horizon: usize, noise: NoiseModel, seed: u64) -> Self {
+        assert!(
+            horizon >= 1 && horizon <= MAX_PREDICTION_STEPS,
+            "horizon must be in 1..={MAX_PREDICTION_STEPS}"
+        );
+        OracleTrajectoryPolicy {
+            horizon,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The prediction horizon in control steps.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The noise model in use.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+}
+
+impl ManipulationPolicy for OracleTrajectoryPolicy {
+    fn plan(&mut self, request: &PlanRequest) -> PolicyPlan {
+        let current = request.observation.end_effector;
+        let unseen = request.observation.task.unseen;
+        let close_loop = !request.close_loop_observations.is_empty();
+
+        let mut waypoints = Vec::with_capacity(self.horizon + 1);
+        waypoints.push(current);
+        let mut last_expert = current;
+        // Random-walk drift of the imagined future relative to the real
+        // scene; it grows with the prediction horizon and is what early
+        // termination / adaptive length protects against.
+        let mut drift_step = self.noise.drift_sigma;
+        if unseen {
+            drift_step *= self.noise.unseen_multiplier;
+        }
+        if close_loop {
+            drift_step *= self.noise.close_loop_reduction;
+        }
+        let mut drift = Vec3::ZERO;
+        for k in 1..=self.horizon {
+            let expert = request
+                .expert_future
+                .get(k - 1)
+                .copied()
+                .unwrap_or(last_expert);
+            last_expert = expert;
+            drift = drift
+                + Vec3::new(
+                    gaussian(&mut self.rng, drift_step),
+                    gaussian(&mut self.rng, drift_step),
+                    gaussian(&mut self.rng, drift_step),
+                );
+            let mut sigma = self.noise.position_sigma_at(k, true, unseen);
+            let mut rot_sigma = self.noise.orientation_sigma
+                * self.noise.trajectory_smoothing
+                * (1.0 + self.noise.horizon_growth * (k - 1) as f64);
+            if unseen {
+                rot_sigma *= self.noise.unseen_multiplier;
+            }
+            if close_loop {
+                sigma *= self.noise.close_loop_reduction;
+                rot_sigma *= self.noise.close_loop_reduction;
+            }
+            let flip = self.noise.gripper_error_probability * (1.0 + 0.1 * (k - 1) as f64);
+            let mut drifted = expert;
+            drifted.position = drifted.position + drift;
+            waypoints.push(noisy_pose(&mut self.rng, &drifted, sigma, rot_sigma, flip));
+        }
+        let trajectory = Trajectory::fit_waypoints(&waypoints, CONTROL_STEP)
+            .expect("horizon >= 1 guarantees at least two waypoints");
+        PolicyPlan::Trajectory(trajectory)
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TrajectoryPrediction
+    }
+
+    fn name(&self) -> String {
+        format!("Corki-{}", self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Observation;
+
+    fn request_with_expert(steps: usize) -> PlanRequest {
+        let mut obs = Observation::default();
+        obs.end_effector = EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
+        let expert: Vec<EePose> = (1..=steps)
+            .map(|k| {
+                EePose::new(
+                    Vec3::new(0.3 + 0.01 * k as f64, 0.0, 0.3),
+                    Vec3::ZERO,
+                    GripperState::Open,
+                )
+            })
+            .collect();
+        PlanRequest {
+            observation: obs,
+            expert_future: expert,
+            close_loop_observations: Vec::new(),
+            steps_since_last_plan: 1,
+        }
+    }
+
+    #[test]
+    fn noise_grows_with_horizon_and_shrinks_with_trajectory_supervision() {
+        let model = NoiseModel::default();
+        let near = model.position_sigma_at(1, false, false);
+        let far = model.position_sigma_at(9, false, false);
+        assert!(far > near);
+        let frame = model.position_sigma_at(3, false, false);
+        let traj = model.position_sigma_at(3, true, false);
+        assert!(traj < frame);
+        let seen = model.position_sigma_at(3, true, false);
+        let unseen = model.position_sigma_at(3, true, true);
+        assert!(unseen > seen);
+    }
+
+    #[test]
+    fn frame_oracle_tracks_the_expert_closely() {
+        let mut policy = OracleFramePolicy::new(NoiseModel::default(), 7);
+        let request = request_with_expert(5);
+        let PolicyPlan::SingleStep(action) = policy.plan(&request) else {
+            panic!("expected a single-step plan");
+        };
+        // The expert moves 1 cm; the prediction should be within a few sigma.
+        assert!((action.delta_position.x - 0.01).abs() < 0.05);
+        assert_eq!(policy.kind(), PolicyKind::FramePrediction);
+    }
+
+    #[test]
+    fn trajectory_oracle_produces_full_horizon() {
+        let mut policy = OracleTrajectoryPolicy::new(5, NoiseModel::default(), 11);
+        let request = request_with_expert(9);
+        let PolicyPlan::Trajectory(t) = policy.plan(&request) else {
+            panic!("expected a trajectory plan");
+        };
+        assert_eq!(t.num_steps(), 5);
+        assert_eq!(policy.name(), "Corki-5");
+        // Endpoint should be near the expert's 5th future waypoint (0.35).
+        let end = t.sample(t.duration());
+        assert!((end.position.x - 0.35).abs() < 0.05);
+    }
+
+    #[test]
+    fn reset_restores_determinism() {
+        let mut policy = OracleTrajectoryPolicy::new(5, NoiseModel::default(), 3);
+        let request = request_with_expert(9);
+        let PolicyPlan::Trajectory(a) = policy.plan(&request) else { panic!() };
+        policy.reset();
+        let PolicyPlan::Trajectory(b) = policy.plan(&request) else { panic!() };
+        assert!(a.sample(a.duration()).position_distance(&b.sample(b.duration())) < 1e-12);
+    }
+
+    #[test]
+    fn close_loop_observations_reduce_noise_on_average() {
+        let noise = NoiseModel { close_loop_reduction: 0.3, ..Default::default() };
+        let expert = request_with_expert(9);
+        let mut with_feedback = expert.clone();
+        with_feedback.close_loop_observations.push(Observation::default());
+
+        let error_of = |req: &PlanRequest, seed: u64| -> f64 {
+            let mut policy = OracleTrajectoryPolicy::new(9, noise, seed);
+            let PolicyPlan::Trajectory(t) = policy.plan(req) else { panic!() };
+            (0..9)
+                .map(|k| {
+                    let expert_wp = req.expert_future[k];
+                    t.sample((k + 1) as f64 * CONTROL_STEP).position_distance(&expert_wp)
+                })
+                .sum::<f64>()
+        };
+        let mut plain_total = 0.0;
+        let mut feedback_total = 0.0;
+        for seed in 0..40 {
+            plain_total += error_of(&expert, seed);
+            feedback_total += error_of(&with_feedback, seed);
+        }
+        assert!(
+            feedback_total < plain_total,
+            "close-loop features should reduce average error: {feedback_total} vs {plain_total}"
+        );
+    }
+
+    #[test]
+    fn missing_expert_data_degrades_to_holding_position() {
+        let mut policy = OracleFramePolicy::new(
+            NoiseModel {
+                position_sigma: 0.0,
+                orientation_sigma: 0.0,
+                gripper_error_probability: 0.0,
+                drift_sigma: 0.0,
+                ..Default::default()
+            },
+            0,
+        );
+        let mut request = request_with_expert(0);
+        request.expert_future.clear();
+        let PolicyPlan::SingleStep(action) = policy.plan(&request) else { panic!() };
+        assert!(action.position_norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_horizon_panics() {
+        let _ = OracleTrajectoryPolicy::new(MAX_PREDICTION_STEPS + 1, NoiseModel::default(), 0);
+    }
+}

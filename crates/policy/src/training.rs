@@ -1,0 +1,372 @@
+//! Training loops for the learned policy heads (paper §3.1/§3.2).
+//!
+//! Both heads are trained by imitation on expert demonstrations produced by
+//! `corki-sim`:
+//!
+//! * the **baseline** head is supervised per frame with the next-step delta
+//!   action (MSE) and gripper command (BCE) — Equation 3;
+//! * the **Corki** head is supervised with the next `horizon` trajectory
+//!   waypoints (MSE directly on the trajectory, not on the cubic
+//!   coefficients) and the gripper schedule — Equation 5.  Frames that would
+//!   not be captured at deployment time are replaced with the mask embedding
+//!   during training, mirroring Fig. 4.
+
+use crate::baseline::{BaselineFramePolicy, HIDDEN_DIM};
+use crate::corki::CorkiTrajectoryPolicy;
+use crate::observation::Observation;
+use crate::TOKEN_WINDOW;
+use corki_nn::{losses, Adam, LstmState};
+use corki_trajectory::EePose;
+use serde::{Deserialize, Serialize};
+
+/// One expert demonstration: aligned sequences of observations and the
+/// corresponding end-effector waypoints (both sampled at the camera rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demonstration {
+    /// Scene observation at every time step.
+    pub observations: Vec<Observation>,
+    /// Ground-truth end-effector pose at every time step.
+    pub waypoints: Vec<EePose>,
+}
+
+impl Demonstration {
+    /// Creates a demonstration, validating that the two sequences align.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences have different lengths or fewer than two
+    /// samples.
+    pub fn new(observations: Vec<Observation>, waypoints: Vec<EePose>) -> Self {
+        assert_eq!(
+            observations.len(),
+            waypoints.len(),
+            "demonstration sequences must align"
+        );
+        assert!(observations.len() >= 2, "a demonstration needs at least two steps");
+        Demonstration { observations, waypoints }
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Returns `true` for an empty demonstration (never constructed by
+    /// [`Demonstration::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+}
+
+/// Hyper-parameters shared by both training loops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Number of passes over the demonstration set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Weight λ of the gripper BCE term (Equation 3).
+    pub lambda_gripper: f64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig { epochs: 10, learning_rate: 1e-3, lambda_gripper: 0.2 }
+    }
+}
+
+/// Trains the baseline per-frame policy, returning the mean loss per epoch.
+pub fn train_baseline(
+    policy: &mut BaselineFramePolicy,
+    demonstrations: &[Demonstration],
+    config: &TrainingConfig,
+) -> Vec<f64> {
+    let mut adam = Adam::new(config.learning_rate);
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    // Pre-encode tokens once: the encoder stands in for the frozen VLM.
+    let token_sets: Vec<Vec<Vec<f64>>> = demonstrations
+        .iter()
+        .map(|demo| demo.observations.iter().map(|o| policy.encoder.encode(o)).collect())
+        .collect();
+
+    for _ in 0..config.epochs {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (demo, tokens) in demonstrations.iter().zip(&token_sets) {
+            for t in 0..demo.len() - 1 {
+                policy.zero_grad();
+                let start = t.saturating_sub(TOKEN_WINDOW - 1);
+                let window = &tokens[start..=t];
+
+                // Forward through the LSTM with caches for BPTT.
+                let mut state = LstmState::zeros(HIDDEN_DIM);
+                let mut caches = Vec::with_capacity(window.len());
+                for token in window {
+                    let (next, cache) = policy.lstm.forward_cached(token, &state);
+                    caches.push(cache);
+                    state = next;
+                }
+                let (pose_raw, pose_cache) = policy.pose_head.forward_cached(&state.h);
+                let (grip_out, grip_cache) = policy.gripper_head.forward_cached(&state.h);
+
+                // Targets (Equation 3).
+                let current = demo.waypoints[t].to_array6();
+                let next = demo.waypoints[t + 1].to_array6();
+                let target_delta: Vec<f64> = next.iter().zip(current).map(|(n, c)| n - c).collect();
+                let predicted_delta: Vec<f64> =
+                    pose_raw.iter().map(|r| r * policy.action_scale).collect();
+                let (pose_loss, pose_grad_scaled) = losses::mse(&predicted_delta, &target_delta);
+                let (grip_loss, grip_grad) = losses::bce_with_logits(
+                    grip_out[0],
+                    demo.waypoints[t + 1].gripper.to_target(),
+                );
+                total += pose_loss + config.lambda_gripper * grip_loss;
+                count += 1;
+
+                // Backward: heads, then BPTT through the window.
+                let pose_grad_raw: Vec<f64> =
+                    pose_grad_scaled.iter().map(|g| g * policy.action_scale).collect();
+                let grad_hidden_pose = policy.pose_head.backward(&pose_cache, &pose_grad_raw);
+                let grad_hidden_grip = policy
+                    .gripper_head
+                    .backward(&grip_cache, &[config.lambda_gripper * grip_grad]);
+                let mut grad_h: Vec<f64> = grad_hidden_pose
+                    .iter()
+                    .zip(&grad_hidden_grip)
+                    .map(|(a, b)| a + b)
+                    .collect();
+                let mut grad_c = vec![0.0; HIDDEN_DIM];
+                for cache in caches.iter().rev() {
+                    let (_, gh, gc) = policy.lstm.backward(cache, &grad_h, &grad_c);
+                    grad_h = gh;
+                    grad_c = gc;
+                }
+                adam.step(&mut policy.parameters_mut());
+            }
+        }
+        epoch_losses.push(if count == 0 { 0.0 } else { total / count as f64 });
+    }
+    epoch_losses
+}
+
+/// Trains the Corki trajectory policy, returning the mean loss per epoch.
+///
+/// Frames that would not be captured at deployment (because the robot runs a
+/// trajectory of `horizon` steps open loop) are replaced by the mask
+/// embedding inside the training window, exactly as in Fig. 4.
+pub fn train_corki(
+    policy: &mut CorkiTrajectoryPolicy,
+    demonstrations: &[Demonstration],
+    config: &TrainingConfig,
+) -> Vec<f64> {
+    let horizon = policy.horizon();
+    let mut adam = Adam::new(config.learning_rate);
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let token_sets: Vec<Vec<Vec<f64>>> = demonstrations
+        .iter()
+        .map(|demo| demo.observations.iter().map(|o| policy.encoder.encode(o)).collect())
+        .collect();
+    let mask = policy.encoder.mask_token().to_vec();
+    let close_loop_feature = policy.close_loop.empty_feature();
+
+    for _ in 0..config.epochs {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (demo, tokens) in demonstrations.iter().zip(&token_sets) {
+            if demo.len() <= horizon {
+                continue;
+            }
+            for t in 0..demo.len() - horizon {
+                policy.zero_grad();
+                let start = t.saturating_sub(TOKEN_WINDOW - 1);
+                // Only frames captured at inference boundaries are real; the
+                // rest are masked (Fig. 4).
+                let window: Vec<&[f64]> = (start..=t)
+                    .map(|frame| {
+                        if (t - frame) % horizon == 0 {
+                            tokens[frame].as_slice()
+                        } else {
+                            mask.as_slice()
+                        }
+                    })
+                    .collect();
+
+                let mut state = LstmState::zeros(HIDDEN_DIM);
+                let mut caches = Vec::with_capacity(window.len());
+                for token in &window {
+                    let (next, cache) = policy.lstm.forward_cached(token, &state);
+                    caches.push(cache);
+                    state = next;
+                }
+                let mut head_input = Vec::with_capacity(HIDDEN_DIM + close_loop_feature.len());
+                head_input.extend_from_slice(&state.h);
+                head_input.extend_from_slice(&close_loop_feature);
+                let (way_raw, way_cache) = policy.waypoint_head.forward_cached(&head_input);
+                let (grip_raw, grip_cache) = policy.gripper_head.forward_cached(&head_input);
+
+                // Targets: cumulative offsets to the next `horizon` waypoints
+                // (Equation 5 supervises the trajectory itself).
+                let base = demo.waypoints[t].to_array6();
+                let mut target = vec![0.0; 6 * horizon];
+                let mut gripper_targets = vec![0.0; horizon];
+                for k in 1..=horizon {
+                    let wp = demo.waypoints[t + k].to_array6();
+                    for d in 0..6 {
+                        target[(k - 1) * 6 + d] = wp[d] - base[d];
+                    }
+                    gripper_targets[k - 1] = demo.waypoints[t + k].gripper.to_target();
+                }
+                // Predicted cumulative offsets.
+                let mut predicted = vec![0.0; 6 * horizon];
+                for k in 0..horizon {
+                    for d in 0..6 {
+                        let prev = if k == 0 { 0.0 } else { predicted[(k - 1) * 6 + d] };
+                        predicted[k * 6 + d] = prev + way_raw[k * 6 + d] * policy.action_scale;
+                    }
+                }
+                let (pose_loss, grad_cumulative) = losses::mse(&predicted, &target);
+                let mut grip_loss_total = 0.0;
+                let mut grip_grads = vec![0.0; horizon];
+                for k in 0..horizon {
+                    let (l, g) = losses::bce_with_logits(grip_raw[k], gripper_targets[k]);
+                    grip_loss_total += l;
+                    grip_grads[k] = config.lambda_gripper * g / horizon as f64;
+                }
+                total += pose_loss + config.lambda_gripper * grip_loss_total / horizon as f64;
+                count += 1;
+
+                // Backprop through the cumulative sum: raw[k] contributes to
+                // every cumulative offset j >= k.
+                let mut grad_raw = vec![0.0; 6 * horizon];
+                for d in 0..6 {
+                    let mut suffix = 0.0;
+                    for k in (0..horizon).rev() {
+                        suffix += grad_cumulative[k * 6 + d];
+                        grad_raw[k * 6 + d] = suffix * policy.action_scale;
+                    }
+                }
+                let grad_input_way = policy.waypoint_head.backward(&way_cache, &grad_raw);
+                let grad_input_grip = policy.gripper_head.backward(&grip_cache, &grip_grads);
+                let mut grad_h: Vec<f64> = grad_input_way[..HIDDEN_DIM]
+                    .iter()
+                    .zip(&grad_input_grip[..HIDDEN_DIM])
+                    .map(|(a, b)| a + b)
+                    .collect();
+                let mut grad_c = vec![0.0; HIDDEN_DIM];
+                for cache in caches.iter().rev() {
+                    let (_, gh, gc) = policy.lstm.backward(cache, &grad_h, &grad_c);
+                    grad_h = gh;
+                    grad_c = gc;
+                }
+                adam.step(&mut policy.parameters_mut());
+            }
+        }
+        epoch_losses.push(if count == 0 { 0.0 } else { total / count as f64 });
+    }
+    epoch_losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ManipulationPolicy, PlanRequest, PolicyPlan};
+    use corki_math::Vec3;
+    use corki_trajectory::GripperState;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A simple synthetic "reach" dataset: the end-effector moves in a
+    /// straight line towards the object and closes the gripper at the end.
+    fn reach_demonstrations(count: usize) -> Vec<Demonstration> {
+        (0..count)
+            .map(|i| {
+                let object = Vec3::new(0.45 + 0.02 * i as f64, -0.1 + 0.03 * i as f64, 0.05);
+                let start = Vec3::new(0.3, 0.0, 0.3);
+                let steps = 16;
+                let mut observations = Vec::new();
+                let mut waypoints = Vec::new();
+                for s in 0..=steps {
+                    let alpha = s as f64 / steps as f64;
+                    let pos = start.lerp(object, alpha);
+                    let gripper = if alpha > 0.9 { GripperState::Closed } else { GripperState::Open };
+                    let pose = EePose::new(pos, Vec3::ZERO, gripper);
+                    let mut obs = Observation::default();
+                    obs.end_effector = pose;
+                    obs.object_position = object;
+                    obs.goal_position = object;
+                    observations.push(obs);
+                    waypoints.push(pose);
+                }
+                Demonstration::new(observations, waypoints)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn demonstration_validation() {
+        let demos = reach_demonstrations(1);
+        assert_eq!(demos[0].len(), 17);
+        assert!(!demos[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_demonstration_panics() {
+        let demos = reach_demonstrations(1);
+        let _ = Demonstration::new(demos[0].observations.clone(), vec![EePose::default()]);
+    }
+
+    #[test]
+    fn baseline_training_reduces_loss_and_points_at_target() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = BaselineFramePolicy::new(&mut rng);
+        let demos = reach_demonstrations(3);
+        let config = TrainingConfig { epochs: 8, learning_rate: 2e-3, lambda_gripper: 0.2 };
+        let losses = train_baseline(&mut policy, &demos, &config);
+        assert!(losses.len() == 8);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "training did not reduce loss: {losses:?}"
+        );
+
+        // After training, the predicted action should move towards the object.
+        policy.reset();
+        let demo = &demos[0];
+        let request = PlanRequest::from_observation(demo.observations[2]);
+        let PolicyPlan::SingleStep(action) = policy.plan(&request) else { panic!() };
+        let to_target = demo.observations[2].object_position - demo.observations[2].end_effector.position;
+        let cosine = action.delta_position.dot(to_target)
+            / (action.delta_position.norm() * to_target.norm() + 1e-12);
+        assert!(cosine > 0.3, "trained action should point towards the object, cos = {cosine}");
+    }
+
+    #[test]
+    fn corki_training_reduces_loss_and_tracks_the_expert() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = CorkiTrajectoryPolicy::new(5, &mut rng);
+        let demos = reach_demonstrations(3);
+        let config = TrainingConfig { epochs: 8, learning_rate: 2e-3, lambda_gripper: 0.2 };
+        let losses = train_corki(&mut policy, &demos, &config);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "training did not reduce loss: {losses:?}"
+        );
+
+        policy.reset();
+        let demo = &demos[0];
+        let t = 2usize;
+        let request = PlanRequest::from_observation(demo.observations[t]);
+        let PolicyPlan::Trajectory(traj) = policy.plan(&request) else { panic!() };
+        // The predicted endpoint should be closer to the expert's endpoint
+        // 5 steps ahead than simply staying put would be.
+        let expert_end = demo.waypoints[t + 5];
+        let stay_error = demo.waypoints[t].position_distance(&expert_end);
+        let predicted_end = traj.sample(traj.duration());
+        let predict_error = predicted_end.position_distance(&expert_end);
+        assert!(
+            predict_error < stay_error,
+            "trained Corki head should move towards the expert endpoint \
+             (predicted {predict_error:.4} vs stationary {stay_error:.4})"
+        );
+    }
+}

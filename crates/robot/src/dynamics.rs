@@ -1,0 +1,462 @@
+//! Joint-space and task-space dynamics: RNEA, CRBA and the quantities used by
+//! task-space computed torque control.
+//!
+//! The five "key computing blocks" of the paper (Fig. 6/7) map onto this
+//! module as follows:
+//!
+//! | Paper block              | Function                                   |
+//! |--------------------------|--------------------------------------------|
+//! | Forward kinematics       | [`crate::RobotModel::forward_kinematics`]  |
+//! | Jacobian (and transpose) | [`crate::RobotModel::jacobian`]            |
+//! | Task-space mass matrix   | [`TaskSpaceDynamics::compute`] (`Mx`)      |
+//! | Task-space bias force    | [`TaskSpaceDynamics::compute`] (`hx`)      |
+//! | Joint torque             | [`crate::TaskSpaceController`]             |
+
+use crate::kinematics::Jacobian;
+use crate::model::{JointKind, RobotModel};
+use crate::state::EndEffectorState;
+use corki_math::{DMat, DVec, SpatialForce, SpatialInertia, SpatialMotion, SpatialTransform, Vec3};
+use serde::{Deserialize, Serialize};
+
+impl RobotModel {
+    /// Inverse dynamics via the recursive Newton-Euler algorithm (RNEA):
+    /// the joint torques required to realise accelerations `qdd` at state
+    /// `(q, qd)` under gravity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input length differs from the robot's DoF.
+    pub fn inverse_dynamics(&self, q: &[f64], qd: &[f64], qdd: &[f64]) -> Vec<f64> {
+        let dof = self.dof();
+        assert_eq!(q.len(), dof, "inverse_dynamics: wrong q length");
+        assert_eq!(qd.len(), dof, "inverse_dynamics: wrong qd length");
+        assert_eq!(qdd.len(), dof, "inverse_dynamics: wrong qdd length");
+
+        let n = self.num_bodies();
+        let mut xforms = Vec::with_capacity(n);
+        let mut subspaces = Vec::with_capacity(n);
+        let mut velocities = vec![SpatialMotion::ZERO; n];
+        let mut accelerations = vec![SpatialMotion::ZERO; n];
+        let mut forces = vec![SpatialForce::ZERO; n];
+
+        // Gravity trick: give the base an upward acceleration of -g so that
+        // gravitational forces appear automatically in the recursion.
+        let base_acceleration = SpatialMotion::new(Vec3::ZERO, -self.gravity());
+
+        let mut dof_idx = 0usize;
+        for (i, joint) in self.joints().iter().enumerate() {
+            let (qi, qdi, qddi) = if joint.kind.is_actuated() {
+                let v = (q[dof_idx], qd[dof_idx], qdd[dof_idx]);
+                dof_idx += 1;
+                v
+            } else {
+                (0.0, 0.0, 0.0)
+            };
+            let pose = joint.transform(qi);
+            let x = SpatialTransform::from_pose(&pose);
+            let s = match joint.kind {
+                JointKind::RevoluteZ => SpatialMotion::revolute_z(),
+                JointKind::PrismaticZ => SpatialMotion::prismatic_z(),
+                JointKind::Fixed => SpatialMotion::ZERO,
+            };
+            let v_joint = s * qdi;
+            let (v_parent, a_parent) = if i == 0 {
+                (SpatialMotion::ZERO, base_acceleration)
+            } else {
+                (velocities[i - 1], accelerations[i - 1])
+            };
+            let v = x.apply_motion(&v_parent) + v_joint;
+            let a = x.apply_motion(&a_parent) + s * qddi + v.cross_motion(&v_joint);
+            let inertia = &self.links()[i].inertia;
+            let momentum = inertia.apply(&v);
+            forces[i] = inertia.apply(&a) + v.cross_force(&momentum);
+            velocities[i] = v;
+            accelerations[i] = a;
+            xforms.push(x);
+            subspaces.push(s);
+        }
+
+        // Backward pass: project forces onto joint axes and propagate to
+        // parents.
+        let mut tau = vec![0.0; dof];
+        let mut dof_idx = dof;
+        for i in (0..n).rev() {
+            let joint = &self.joints()[i];
+            if joint.kind.is_actuated() {
+                dof_idx -= 1;
+                tau[dof_idx] = subspaces[i].dot_force(&forces[i]);
+            }
+            if i > 0 {
+                let to_parent = xforms[i].inv_apply_force(&forces[i]);
+                forces[i - 1] += to_parent;
+            }
+        }
+        tau
+    }
+
+    /// Bias forces `h(θ, θ̇)` (Coriolis, centrifugal and gravity): the torque
+    /// required to produce zero joint acceleration.
+    pub fn bias_forces(&self, q: &[f64], qd: &[f64]) -> Vec<f64> {
+        let zeros = vec![0.0; self.dof()];
+        self.inverse_dynamics(q, qd, &zeros)
+    }
+
+    /// Gravity torques `g(θ)`.
+    pub fn gravity_torques(&self, q: &[f64]) -> Vec<f64> {
+        let zeros = vec![0.0; self.dof()];
+        self.inverse_dynamics(q, &zeros, &zeros)
+    }
+
+    /// Joint-space mass matrix `M(θ)` via the composite rigid-body algorithm
+    /// (CRBA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len()` differs from the robot's DoF.
+    pub fn mass_matrix(&self, q: &[f64]) -> DMat {
+        let dof = self.dof();
+        assert_eq!(q.len(), dof, "mass_matrix: wrong q length");
+        let n = self.num_bodies();
+
+        // Per-body joint transforms, poses in parent, motion subspaces and the
+        // actuated column index of each body (if any).
+        let mut poses_in_parent = Vec::with_capacity(n);
+        let mut xforms = Vec::with_capacity(n);
+        let mut subspaces = Vec::with_capacity(n);
+        let mut column_of_body = vec![None; n];
+        let mut dof_idx = 0usize;
+        for (i, joint) in self.joints().iter().enumerate() {
+            let qi = if joint.kind.is_actuated() {
+                let v = q[dof_idx];
+                column_of_body[i] = Some(dof_idx);
+                dof_idx += 1;
+                v
+            } else {
+                0.0
+            };
+            let pose = joint.transform(qi);
+            xforms.push(SpatialTransform::from_pose(&pose));
+            poses_in_parent.push(pose);
+            subspaces.push(match joint.kind {
+                JointKind::RevoluteZ => SpatialMotion::revolute_z(),
+                JointKind::PrismaticZ => SpatialMotion::prismatic_z(),
+                JointKind::Fixed => SpatialMotion::ZERO,
+            });
+        }
+
+        // Composite inertias, accumulated tip-to-base.
+        let mut composite: Vec<SpatialInertia> =
+            self.links().iter().map(|l| l.inertia).collect();
+        for i in (1..n).rev() {
+            let in_parent = composite[i].expressed_in_parent(&poses_in_parent[i]);
+            composite[i - 1] = composite[i - 1].combine(&in_parent);
+        }
+
+        let mut m = DMat::zeros(dof, dof);
+        for i in 0..n {
+            let Some(col_i) = column_of_body[i] else { continue };
+            // Force produced by unit acceleration of joint i on the composite
+            // body rooted at i, expressed in frame i.
+            let mut f = composite[i].apply(&subspaces[i]);
+            m[(col_i, col_i)] = subspaces[i].dot_force(&f);
+            // Walk towards the base, projecting onto each ancestor joint.
+            let mut j = i;
+            while j > 0 {
+                f = xforms[j].inv_apply_force(&f);
+                j -= 1;
+                if let Some(col_j) = column_of_body[j] {
+                    let value = subspaces[j].dot_force(&f);
+                    m[(col_i, col_j)] = value;
+                    m[(col_j, col_i)] = value;
+                }
+            }
+        }
+        m
+    }
+
+    /// Forward dynamics: the joint accelerations produced by torques `tau` at
+    /// state `(q, qd)`, i.e. `qdd = M(θ)⁻¹ (τ − h(θ, θ̇))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input length differs from the robot's DoF.
+    pub fn forward_dynamics(&self, q: &[f64], qd: &[f64], tau: &[f64]) -> Vec<f64> {
+        assert_eq!(tau.len(), self.dof(), "forward_dynamics: wrong tau length");
+        let m = self.mass_matrix(q);
+        let h = self.bias_forces(q, qd);
+        let rhs: Vec<f64> = tau.iter().zip(h.iter()).map(|(t, b)| t - b).collect();
+        m.solve_cholesky(&DVec::from_vec(rhs))
+            .expect("mass matrix must be positive definite")
+            .into_vec()
+    }
+}
+
+/// All task-space quantities needed by one TS-CTC control cycle (paper Equ. 6
+/// and Fig. 6): the Jacobian, the task-space mass matrix `Mx`, the task-space
+/// bias force `hx`, and the current end-effector state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskSpaceModel {
+    /// Geometric Jacobian `J(θ)` (6×n, linear rows first).
+    pub jacobian: Jacobian,
+    /// Joint-space mass matrix `M(θ)` (n×n).
+    pub joint_mass_matrix: DMat,
+    /// Joint-space bias forces `h(θ, θ̇)` (length n).
+    pub joint_bias: Vec<f64>,
+    /// Task-space mass matrix `Mx(θ)` (6×6).
+    pub task_mass_matrix: DMat,
+    /// Task-space bias force `hx(θ, θ̇)` (length 6, linear rows first).
+    pub task_bias: [f64; 6],
+    /// The acceleration bias `J̇ θ̇` (length 6).
+    pub jdot_qdot: [f64; 6],
+    /// Current end-effector pose and velocity.
+    pub end_effector: EndEffectorState,
+}
+
+/// Computes [`TaskSpaceModel`]s, with a configurable damping term that keeps
+/// the task-space mass matrix invertible near kinematic singularities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpaceDynamics {
+    /// Damping added to the diagonal of `J M⁻¹ Jᵀ` before inversion
+    /// (damped least squares). Default `1e-6`.
+    pub damping: f64,
+}
+
+impl Default for TaskSpaceDynamics {
+    fn default() -> Self {
+        TaskSpaceDynamics { damping: 1e-6 }
+    }
+}
+
+impl TaskSpaceDynamics {
+    /// Creates a computer with the given singularity damping.
+    pub fn new(damping: f64) -> Self {
+        TaskSpaceDynamics { damping }
+    }
+
+    /// Computes every task-space quantity required by one control cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `qd` have the wrong length.
+    pub fn compute(&self, robot: &RobotModel, q: &[f64], qd: &[f64]) -> TaskSpaceModel {
+        let fk = robot.forward_kinematics(q);
+        let jacobian = robot.jacobian_from_fk(&fk);
+        let joint_mass_matrix = robot.mass_matrix(q);
+        let joint_bias = robot.bias_forces(q, qd);
+        let jdot_qdot = robot.jacobian_dot_qdot(q, qd);
+
+        // M⁻¹ Jᵀ, column by column via Cholesky solves.
+        let jt = jacobian.transpose(); // n×6
+        let n = robot.dof();
+        let mut minv_jt = DMat::zeros(n, 6);
+        for col in 0..6 {
+            let rhs: DVec = (0..n).map(|row| jt[(row, col)]).collect();
+            let x = joint_mass_matrix
+                .solve_cholesky(&rhs)
+                .expect("mass matrix must be positive definite");
+            for row in 0..n {
+                minv_jt[(row, col)] = x[row];
+            }
+        }
+        // Λ⁻¹ = J M⁻¹ Jᵀ  (6×6), then damped inversion.
+        let mut lambda_inv = jacobian.matrix().mul_mat(&minv_jt);
+        for i in 0..6 {
+            lambda_inv[(i, i)] += self.damping;
+        }
+        let task_mass_matrix = lambda_inv
+            .inverse()
+            .expect("damped task-space inertia is invertible");
+
+        // hx = Λ (J M⁻¹ h − J̇ q̇)
+        let minv_h = joint_mass_matrix
+            .solve_cholesky(&DVec::from_slice(&joint_bias))
+            .expect("mass matrix must be positive definite");
+        let j_minv_h = jacobian.matrix().mul_vec(&minv_h);
+        let mut residual = DVec::zeros(6);
+        for i in 0..6 {
+            residual[i] = j_minv_h[i] - jdot_qdot[i];
+        }
+        let hx_vec = task_mass_matrix.mul_vec(&residual);
+        let mut task_bias = [0.0; 6];
+        for (i, t) in task_bias.iter_mut().enumerate() {
+            *t = hx_vec[i];
+        }
+
+        let (linear_velocity, angular_velocity) = jacobian.mul_qdot(qd);
+        TaskSpaceModel {
+            jacobian,
+            joint_mass_matrix,
+            joint_bias,
+            task_mass_matrix,
+            task_bias,
+            jdot_qdot,
+            end_effector: EndEffectorState {
+                pose: fk.end_effector,
+                linear_velocity,
+                angular_velocity,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::panda::{panda_model, PANDA_HOME};
+    use proptest::prelude::*;
+
+    fn random_like_config(seed: usize) -> Vec<f64> {
+        // Deterministic, limit-respecting configurations for tests.
+        let base = [0.3, -0.5, 0.4, -1.7, 0.2, 1.4, 0.6];
+        base.iter()
+            .enumerate()
+            .map(|(i, b)| b + 0.1 * ((seed + i) as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn mass_matrix_is_symmetric_positive_definite() {
+        let robot = panda_model();
+        for seed in 0..5 {
+            let q = random_like_config(seed);
+            let m = robot.mass_matrix(&q);
+            assert!(m.is_symmetric(1e-9), "mass matrix not symmetric");
+            assert!(
+                m.cholesky_factor().is_ok(),
+                "mass matrix not positive definite"
+            );
+        }
+    }
+
+    #[test]
+    fn rnea_and_crba_are_consistent() {
+        // τ = M(q)·qdd + h(q, qd) must match RNEA exactly.
+        let robot = panda_model();
+        let q = random_like_config(1);
+        let qd: Vec<f64> = (0..7).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        let qdd: Vec<f64> = (0..7).map(|i| 0.2 * (i as f64 - 3.0)).collect();
+        let tau_rnea = robot.inverse_dynamics(&q, &qd, &qdd);
+        let m = robot.mass_matrix(&q);
+        let h = robot.bias_forces(&q, &qd);
+        let m_qdd = m.mul_vec(&DVec::from_slice(&qdd));
+        for i in 0..7 {
+            let tau_crba = m_qdd[i] + h[i];
+            assert!(
+                (tau_rnea[i] - tau_crba).abs() < 1e-8,
+                "joint {i}: RNEA {} vs CRBA {}",
+                tau_rnea[i],
+                tau_crba
+            );
+        }
+    }
+
+    #[test]
+    fn gravity_torques_vanish_without_gravity() {
+        let mut robot = panda_model();
+        robot.set_gravity(corki_math::Vec3::ZERO);
+        let g = robot.gravity_torques(&PANDA_HOME);
+        assert!(g.iter().all(|t| t.abs() < 1e-10));
+    }
+
+    #[test]
+    fn gravity_torques_are_nonzero_under_gravity() {
+        let robot = panda_model();
+        let g = robot.gravity_torques(&PANDA_HOME);
+        assert!(g.iter().any(|t| t.abs() > 1.0), "gravity torques suspiciously small");
+    }
+
+    #[test]
+    fn forward_and_inverse_dynamics_roundtrip() {
+        let robot = panda_model();
+        let q = random_like_config(2);
+        let qd: Vec<f64> = (0..7).map(|i| -0.05 * (i as f64 + 1.0)).collect();
+        let qdd_target: Vec<f64> = (0..7).map(|i| 0.3 * ((i as f64) - 2.0)).collect();
+        let tau = robot.inverse_dynamics(&q, &qd, &qdd_target);
+        let qdd = robot.forward_dynamics(&q, &qd, &tau);
+        for i in 0..7 {
+            assert!((qdd[i] - qdd_target[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bias_reduces_to_gravity_at_rest() {
+        let robot = panda_model();
+        let q = PANDA_HOME.to_vec();
+        let h = robot.bias_forces(&q, &vec![0.0; 7]);
+        let g = robot.gravity_torques(&q);
+        for i in 0..7 {
+            assert!((h[i] - g[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn task_space_mass_matrix_is_symmetric_positive_definite() {
+        let robot = panda_model();
+        let tsd = TaskSpaceDynamics::default();
+        let q = random_like_config(3);
+        let qd = vec![0.05; 7];
+        let model = tsd.compute(&robot, &q, &qd);
+        assert!(model.task_mass_matrix.is_symmetric(1e-6));
+        assert!(model.task_mass_matrix.cholesky_factor().is_ok());
+    }
+
+    #[test]
+    fn task_bias_matches_gravity_projection_at_rest() {
+        // At rest, hx = Λ J M⁻¹ g; verify against a direct computation.
+        let robot = panda_model();
+        let tsd = TaskSpaceDynamics::default();
+        let q = random_like_config(4);
+        let qd = vec![0.0; 7];
+        let model = tsd.compute(&robot, &q, &qd);
+        let g = robot.gravity_torques(&q);
+        let minv_g = model
+            .joint_mass_matrix
+            .solve_cholesky(&DVec::from_slice(&g))
+            .unwrap();
+        let j_minv_g = model.jacobian.matrix().mul_vec(&minv_g);
+        let expected = model.task_mass_matrix.mul_vec(&j_minv_g);
+        for i in 0..6 {
+            assert!((model.task_bias[i] - expected[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kinetic_energy_is_nonnegative() {
+        let robot = panda_model();
+        let q = random_like_config(5);
+        let qd: Vec<f64> = (0..7).map(|i| 0.4 * ((i * 7 % 3) as f64 - 1.0)).collect();
+        let m = robot.mass_matrix(&q);
+        let m_qd = m.mul_vec(&DVec::from_slice(&qd));
+        let ke: f64 = 0.5 * qd.iter().zip(m_qd.as_slice()).map(|(a, b)| a * b).sum::<f64>();
+        assert!(ke >= 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn mass_matrix_spd_across_workspace(
+            q in proptest::collection::vec(-1.5..1.5f64, 7)) {
+            let robot = panda_model();
+            let m = robot.mass_matrix(&q);
+            prop_assert!(m.is_symmetric(1e-9));
+            prop_assert!(m.cholesky_factor().is_ok());
+        }
+
+        #[test]
+        fn rnea_linear_in_acceleration(
+            q in proptest::collection::vec(-1.2..1.2f64, 7),
+            qdd in proptest::collection::vec(-1.0..1.0f64, 7)) {
+            // τ(q, 0, a+b) - τ(q, 0, b) == M(q)·a, exercised with b = 0.
+            let robot = panda_model();
+            let qd = vec![0.0; 7];
+            let tau_a = robot.inverse_dynamics(&q, &qd, &qdd);
+            let tau_0 = robot.inverse_dynamics(&q, &qd, &vec![0.0; 7]);
+            let m = robot.mass_matrix(&q);
+            let m_qdd = m.mul_vec(&DVec::from_slice(&qdd));
+            for i in 0..7 {
+                prop_assert!((tau_a[i] - tau_0[i] - m_qdd[i]).abs() < 1e-7);
+            }
+        }
+    }
+}

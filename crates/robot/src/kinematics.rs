@@ -1,0 +1,340 @@
+//! Forward kinematics and the geometric Jacobian.
+//!
+//! These correspond to the *Forward Kinematics* and *Jacobian* blocks of the
+//! TS-CTC data flow (paper Fig. 6/7): the pose block consumes joint angles,
+//! the Jacobian block reuses the link poses computed by the pose block — the
+//! data-reuse opportunity that the Corki accelerator exploits.
+
+use crate::model::{JointKind, RobotModel};
+use corki_math::{DMat, DVec, Vec3, SE3};
+use serde::{Deserialize, Serialize};
+
+/// The result of a forward-kinematics pass: the pose of every body frame and
+/// of the end-effector, all expressed in the robot base frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForwardKinematics {
+    /// Pose of each body frame (actuated and fixed) in the base frame, in
+    /// chain order.
+    pub link_poses: Vec<SE3>,
+    /// Pose of the final frame in the chain (the end-effector / TCP).
+    pub end_effector: SE3,
+}
+
+/// The 6×n geometric Jacobian of the end-effector, with the **linear** rows
+/// on top and the **angular** rows below, expressed in the base frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Jacobian {
+    matrix: DMat,
+}
+
+impl Jacobian {
+    /// Wraps a 6×n matrix as a Jacobian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix does not have exactly six rows.
+    pub fn from_matrix(matrix: DMat) -> Self {
+        assert_eq!(matrix.rows(), 6, "a geometric Jacobian must have 6 rows");
+        Jacobian { matrix }
+    }
+
+    /// The underlying 6×n matrix.
+    pub fn matrix(&self) -> &DMat {
+        &self.matrix
+    }
+
+    /// Number of joint columns.
+    pub fn dof(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Maps joint velocities to the end-effector spatial velocity
+    /// `(linear, angular)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qd.len()` differs from the number of columns.
+    pub fn mul_qdot(&self, qd: &[f64]) -> (Vec3, Vec3) {
+        let v = self.matrix.mul_vec(&DVec::from_slice(qd));
+        (
+            Vec3::new(v[0], v[1], v[2]),
+            Vec3::new(v[3], v[4], v[5]),
+        )
+    }
+
+    /// Maps a task-space wrench `[f; n]` (linear force on top, moment below,
+    /// matching the row layout) to joint torques: `τ = Jᵀ F`.
+    pub fn transpose_mul_wrench(&self, wrench: &[f64; 6]) -> Vec<f64> {
+        let mut tau = vec![0.0; self.matrix.cols()];
+        for (j, tau_j) in tau.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (i, w) in wrench.iter().enumerate() {
+                acc += self.matrix[(i, j)] * w;
+            }
+            *tau_j = acc;
+        }
+        tau
+    }
+
+    /// The transpose as a plain matrix (n×6).
+    pub fn transpose(&self) -> DMat {
+        self.matrix.transpose()
+    }
+}
+
+impl RobotModel {
+    /// Computes the pose of every body frame and the end-effector for joint
+    /// positions `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len()` does not equal [`RobotModel::dof`].
+    pub fn forward_kinematics(&self, q: &[f64]) -> ForwardKinematics {
+        assert_eq!(q.len(), self.dof(), "forward_kinematics: wrong DoF");
+        let mut link_poses = Vec::with_capacity(self.num_bodies());
+        let mut current = SE3::identity();
+        let mut qi = q.iter();
+        for joint in self.joints() {
+            let value = if joint.kind.is_actuated() {
+                *qi.next().expect("length checked above")
+            } else {
+                0.0
+            };
+            current = current * joint.transform(value);
+            link_poses.push(current);
+        }
+        ForwardKinematics {
+            end_effector: *link_poses.last().expect("model has at least one body"),
+            link_poses,
+        }
+    }
+
+    /// Computes the geometric Jacobian of the end-effector at configuration
+    /// `q` (linear rows on top, angular rows below, base frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len()` does not equal [`RobotModel::dof`].
+    pub fn jacobian(&self, q: &[f64]) -> Jacobian {
+        let fk = self.forward_kinematics(q);
+        self.jacobian_from_fk(&fk)
+    }
+
+    /// Computes the geometric Jacobian reusing an existing forward-kinematics
+    /// result — the data-reuse path highlighted in the paper (Fig. 7).
+    pub fn jacobian_from_fk(&self, fk: &ForwardKinematics) -> Jacobian {
+        let p_ee = fk.end_effector.translation;
+        let mut matrix = DMat::zeros(6, self.dof());
+        let mut col = 0usize;
+        for (body, joint) in self.joints().iter().enumerate() {
+            if !joint.kind.is_actuated() {
+                continue;
+            }
+            let pose = &fk.link_poses[body];
+            let axis = pose.rotation.col(2); // local Z in base frame
+            match joint.kind {
+                JointKind::RevoluteZ => {
+                    let lever = p_ee - pose.translation;
+                    let linear = axis.cross(lever);
+                    for i in 0..3 {
+                        matrix[(i, col)] = linear[i];
+                        matrix[(i + 3, col)] = axis[i];
+                    }
+                }
+                JointKind::PrismaticZ => {
+                    for i in 0..3 {
+                        matrix[(i, col)] = axis[i];
+                        matrix[(i + 3, col)] = 0.0;
+                    }
+                }
+                JointKind::Fixed => unreachable!("filtered above"),
+            }
+            col += 1;
+        }
+        Jacobian::from_matrix(matrix)
+    }
+
+    /// End-effector linear and angular velocity for the given joint state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `qd` have the wrong length.
+    pub fn end_effector_velocity(&self, q: &[f64], qd: &[f64]) -> (Vec3, Vec3) {
+        assert_eq!(qd.len(), self.dof(), "end_effector_velocity: wrong DoF");
+        self.jacobian(q).mul_qdot(qd)
+    }
+
+    /// The product `J̇(θ, θ̇)·θ̇` — the acceleration bias of the end-effector —
+    /// evaluated by central finite differences along the joint motion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `qd` have the wrong length.
+    pub fn jacobian_dot_qdot(&self, q: &[f64], qd: &[f64]) -> [f64; 6] {
+        assert_eq!(q.len(), self.dof(), "jacobian_dot_qdot: wrong DoF");
+        assert_eq!(qd.len(), self.dof(), "jacobian_dot_qdot: wrong DoF");
+        let eps = 1e-6;
+        let q_plus: Vec<f64> = q.iter().zip(qd).map(|(qi, di)| qi + eps * di).collect();
+        let q_minus: Vec<f64> = q.iter().zip(qd).map(|(qi, di)| qi - eps * di).collect();
+        let j_plus = self.jacobian(&q_plus);
+        let j_minus = self.jacobian(&q_minus);
+        let qd_vec = DVec::from_slice(qd);
+        let v_plus = j_plus.matrix().mul_vec(&qd_vec);
+        let v_minus = j_minus.matrix().mul_vec(&qd_vec);
+        let mut out = [0.0; 6];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (v_plus[i] - v_minus[i]) / (2.0 * eps);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JointModel, Link};
+    use crate::panda;
+    use corki_math::{Mat3, SpatialInertia};
+    use proptest::prelude::*;
+
+    /// A planar two-link arm with unit-length links in the XY plane, whose
+    /// kinematics have a simple closed form for cross-checking.
+    fn planar_two_link() -> RobotModel {
+        let joints = vec![
+            JointModel::revolute("j1", 0.0, 0.0, 0.0, -3.1, 3.1, 10.0, 100.0),
+            JointModel::revolute("j2", 1.0, 0.0, 0.0, -3.1, 3.1, 10.0, 100.0),
+            JointModel::fixed("tip", 1.0, 0.0, 0.0, 0.0),
+        ];
+        let links = vec![
+            Link::new("l1", SpatialInertia::new(1.0, corki_math::Vec3::new(0.5, 0.0, 0.0), Mat3::identity() * 0.01)),
+            Link::new("l2", SpatialInertia::new(1.0, corki_math::Vec3::new(0.5, 0.0, 0.0), Mat3::identity() * 0.01)),
+            Link::new("tip", SpatialInertia::zero()),
+        ];
+        RobotModel::new("planar2", joints, links).unwrap()
+    }
+
+    #[test]
+    fn planar_fk_matches_closed_form() {
+        let robot = planar_two_link();
+        for &(q1, q2) in &[(0.0, 0.0), (0.3, -0.5), (1.2, 0.7), (-2.0, 1.5)] {
+            let fk = robot.forward_kinematics(&[q1, q2]);
+            let expected_x = q1.cos() + (q1 + q2).cos();
+            let expected_y = q1.sin() + (q1 + q2).sin();
+            let p = fk.end_effector.translation;
+            assert!((p.x - expected_x).abs() < 1e-12, "x mismatch at ({q1},{q2})");
+            assert!((p.y - expected_y).abs() < 1e-12, "y mismatch at ({q1},{q2})");
+            assert!(p.z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn planar_jacobian_matches_closed_form() {
+        let robot = planar_two_link();
+        let (q1, q2) = (0.4, -0.9);
+        let j = robot.jacobian(&[q1, q2]);
+        let m = j.matrix();
+        // dx/dq1 = -sin(q1) - sin(q1+q2), dx/dq2 = -sin(q1+q2)
+        assert!((m[(0, 0)] - (-q1.sin() - (q1 + q2).sin())).abs() < 1e-12);
+        assert!((m[(0, 1)] - (-(q1 + q2).sin())).abs() < 1e-12);
+        // dy/dq1 = cos(q1) + cos(q1+q2), dy/dq2 = cos(q1+q2)
+        assert!((m[(1, 0)] - (q1.cos() + (q1 + q2).cos())).abs() < 1e-12);
+        assert!((m[(1, 1)] - (q1 + q2).cos()).abs() < 1e-12);
+        // Angular rows: both joints rotate about base Z.
+        assert!((m[(5, 0)] - 1.0).abs() < 1e-12);
+        assert!((m[(5, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobian_matches_numeric_differentiation_on_panda() {
+        let robot = panda::panda_model();
+        let q = [0.3, -0.6, 0.2, -1.8, 0.1, 1.9, 0.5];
+        let j = robot.jacobian(&q);
+        let eps = 1e-7;
+        for col in 0..robot.dof() {
+            let mut qp = q;
+            qp[col] += eps;
+            let mut qm = q;
+            qm[col] -= eps;
+            let fp = robot.forward_kinematics(&qp).end_effector.translation;
+            let fm = robot.forward_kinematics(&qm).end_effector.translation;
+            let numeric = (fp - fm) / (2.0 * eps);
+            for row in 0..3 {
+                assert!(
+                    (j.matrix()[(row, col)] - numeric[row]).abs() < 1e-5,
+                    "jacobian mismatch at ({row},{col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_from_jacobian_matches_finite_difference() {
+        let robot = panda::panda_model();
+        let q = [0.1, -0.4, 0.3, -2.0, 0.0, 1.6, 0.2];
+        let qd = [0.2, -0.1, 0.3, 0.1, -0.2, 0.15, 0.05];
+        let (lin, _ang) = robot.end_effector_velocity(&q, &qd);
+        let dt = 1e-7;
+        let q_next: Vec<f64> = q.iter().zip(&qd).map(|(a, b)| a + b * dt).collect();
+        let p0 = robot.forward_kinematics(&q).end_effector.translation;
+        let p1 = robot.forward_kinematics(&q_next).end_effector.translation;
+        let lin_fd = (p1 - p0) / dt;
+        assert!((lin - lin_fd).norm() < 1e-5);
+    }
+
+    #[test]
+    fn transpose_mul_wrench_matches_manual() {
+        let robot = planar_two_link();
+        let j = robot.jacobian(&[0.2, 0.3]);
+        let wrench = [1.0, -2.0, 0.5, 0.1, 0.0, -0.3];
+        let tau = j.transpose_mul_wrench(&wrench);
+        for (col, tau_c) in tau.iter().enumerate() {
+            let mut expected = 0.0;
+            for (row, w) in wrench.iter().enumerate() {
+                expected += j.matrix()[(row, col)] * w;
+            }
+            assert!((tau_c - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobian_dot_qdot_zero_when_stationary() {
+        let robot = panda::panda_model();
+        let q = [0.0, -0.3, 0.0, -1.5, 0.0, 1.2, 0.0];
+        let qd = [0.0; 7];
+        let jdqd = robot.jacobian_dot_qdot(&q, &qd);
+        assert!(jdqd.iter().all(|x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dof_panics() {
+        let robot = panda::panda_model();
+        let _ = robot.forward_kinematics(&[0.0; 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn panda_end_effector_stays_within_reach(
+            q in proptest::collection::vec(-1.5..1.5f64, 7)) {
+            let robot = panda::panda_model();
+            let fk = robot.forward_kinematics(&q);
+            // The Panda's reach is roughly 0.855 m plus flange/gripper length.
+            prop_assert!(fk.end_effector.translation.norm() < 1.4);
+            prop_assert!(fk.end_effector.rotation.is_rotation(1e-9));
+        }
+
+        #[test]
+        fn jacobian_linear_velocity_consistency(
+            q in proptest::collection::vec(-1.2..1.2f64, 7),
+            qd in proptest::collection::vec(-0.5..0.5f64, 7)) {
+            let robot = panda::panda_model();
+            let (lin, _) = robot.end_effector_velocity(&q, &qd);
+            let dt = 1e-7;
+            let q_next: Vec<f64> = q.iter().zip(&qd).map(|(a, b)| a + b * dt).collect();
+            let p0 = robot.forward_kinematics(&q).end_effector.translation;
+            let p1 = robot.forward_kinematics(&q_next).end_effector.translation;
+            let fd = (p1 - p0) / dt;
+            prop_assert!((lin - fd).norm() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Long-horizon jobs, success-rate metrics and trajectory-error metrics —
+//! the quantities reported in Tables 1/2 and Figures 11/12 of the paper.
+//!
+//! A *job* chains five consecutive tasks in the same scene; the robot only
+//! attempts task *k+1* if it completed task *k*.  The paper reports, for each
+//! chain position, the fraction of jobs whose first *k* tasks all succeeded,
+//! plus the average number of completed tasks per job ("Avg Len").
+
+use crate::env::{Environment, EpisodeOutcome};
+use crate::scene::Scene;
+use crate::tasks::{task_catalog, TaskInstance};
+use corki_policy::ManipulationPolicy;
+use corki_trajectory::metrics::{compare_pose_sequences, AxisTraces, TrajectoryErrorStats};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Number of chained tasks per job (the paper uses five).
+pub const JOB_LENGTH: usize = 5;
+
+/// Configuration of an evaluation sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Number of jobs (the paper evaluates 1 000 test sequences).
+    pub num_jobs: usize,
+    /// Whether to use the unseen split (different scene distribution).
+    pub unseen: bool,
+    /// Base RNG seed; job `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { num_jobs: 100, unseen: false, seed: 0 }
+    }
+}
+
+/// The result of one job (up to five chained tasks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Number of tasks completed before the first failure (0..=5).
+    pub tasks_completed: usize,
+    /// Names of the tasks attempted, in order.
+    pub task_names: Vec<String>,
+    /// Per-episode outcomes (one per attempted task).
+    pub episodes: Vec<EpisodeOutcome>,
+}
+
+/// Aggregated evaluation results for one policy variant — one row of
+/// Table 1/2 plus the Fig. 11 error statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationSummary {
+    /// Variant name (e.g. `RoboFlamingo`, `Corki-5`).
+    pub variant: String,
+    /// Fraction of jobs whose first k tasks succeeded, for k = 1..=5.
+    pub success_rates: [f64; JOB_LENGTH],
+    /// Average number of tasks completed per job.
+    pub average_length: f64,
+    /// Number of jobs evaluated.
+    pub jobs: usize,
+    /// Mean number of policy inferences per control step (the inverse of the
+    /// steps-per-inference ratio that drives the latency savings).
+    pub inferences_per_step: f64,
+    /// Trajectory error of the commanded reference against the expert.
+    pub trajectory_error: TrajectoryErrorStats,
+}
+
+impl EvaluationSummary {
+    /// Formats the summary as a Table 1/2 style row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<16} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:.3}",
+            self.variant,
+            self.success_rates[0] * 100.0,
+            self.success_rates[1] * 100.0,
+            self.success_rates[2] * 100.0,
+            self.success_rates[3] * 100.0,
+            self.success_rates[4] * 100.0,
+            self.average_length
+        )
+    }
+}
+
+/// Samples the five tasks of job `index` (deterministic in the seed).
+pub fn job_tasks(seed: u64, index: usize) -> Vec<TaskInstance> {
+    let catalog = task_catalog();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index as u64).wrapping_mul(0x5851_f42d));
+    let mut tasks = catalog;
+    tasks.shuffle(&mut rng);
+    tasks.truncate(JOB_LENGTH);
+    tasks
+}
+
+/// Runs one job: five chained tasks in a persistent scene. The chain stops at
+/// the first failed task.
+pub fn run_job(
+    env: &Environment,
+    policy: &mut dyn ManipulationPolicy,
+    config: &EvalConfig,
+    index: usize,
+) -> JobResult {
+    let tasks = job_tasks(config.seed, index);
+    let mut scene = Scene::randomized(config.seed.wrapping_add(index as u64), config.unseen);
+    let mut result = JobResult {
+        tasks_completed: 0,
+        task_names: tasks.iter().map(TaskInstance::name).collect(),
+        episodes: Vec::new(),
+    };
+    for task in &tasks {
+        task.prepare(&mut scene);
+        let outcome = env.run_episode(&mut scene, task, policy, config.unseen);
+        let success = outcome.success;
+        result.episodes.push(outcome);
+        if !success {
+            break;
+        }
+        result.tasks_completed += 1;
+    }
+    result
+}
+
+/// Runs a full evaluation sweep of `config.num_jobs` jobs and aggregates the
+/// Table 1/2 metrics.
+pub fn evaluate(
+    env: &Environment,
+    policy: &mut dyn ManipulationPolicy,
+    config: &EvalConfig,
+) -> EvaluationSummary {
+    let mut completed_counts = [0usize; JOB_LENGTH];
+    let mut total_completed = 0usize;
+    let mut total_steps = 0usize;
+    let mut total_inferences = 0usize;
+    let mut error_stats = TrajectoryErrorStats::default();
+
+    for job_index in 0..config.num_jobs {
+        let result = run_job(env, policy, config, job_index);
+        for (k, count) in completed_counts.iter_mut().enumerate() {
+            if result.tasks_completed > k {
+                *count += 1;
+            }
+        }
+        total_completed += result.tasks_completed;
+        for episode in &result.episodes {
+            total_steps += episode.steps;
+            total_inferences += episode.inferences;
+            if !episode.reference_poses.is_empty() {
+                let stats =
+                    compare_pose_sequences(&episode.reference_poses, &episode.expert_poses);
+                error_stats = error_stats.merge(&stats);
+            }
+        }
+    }
+
+    let jobs = config.num_jobs.max(1);
+    let mut success_rates = [0.0; JOB_LENGTH];
+    for (rate, count) in success_rates.iter_mut().zip(completed_counts) {
+        *rate = count as f64 / jobs as f64;
+    }
+    EvaluationSummary {
+        variant: policy.name(),
+        success_rates,
+        average_length: total_completed as f64 / jobs as f64,
+        jobs,
+        inferences_per_step: if total_steps == 0 {
+            0.0
+        } else {
+            total_inferences as f64 / total_steps as f64
+        },
+        trajectory_error: error_stats,
+    }
+}
+
+/// Extracts the X/Y/Z traces of one episode for the Fig. 12 style plots:
+/// ground truth (expert), commanded reference and achieved pose.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpisodeTraces {
+    /// Ground-truth (expert) trajectory per axis.
+    pub ground_truth: AxisTraces,
+    /// Commanded reference trajectory per axis.
+    pub reference: AxisTraces,
+    /// Achieved trajectory per axis.
+    pub achieved: AxisTraces,
+}
+
+impl EpisodeTraces {
+    /// Builds traces from an episode outcome.
+    pub fn from_outcome(outcome: &EpisodeOutcome) -> Self {
+        EpisodeTraces {
+            ground_truth: AxisTraces::from_poses(&outcome.expert_poses),
+            reference: AxisTraces::from_poses(&outcome.reference_poses),
+            achieved: AxisTraces::from_poses(&outcome.achieved_poses),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{EnvironmentConfig, StepsPolicy};
+    use corki_policy::{NoiseModel, OracleFramePolicy, OracleTrajectoryPolicy};
+
+    fn small_noise() -> NoiseModel {
+        NoiseModel {
+            position_sigma: 0.002,
+            gripper_error_probability: 0.002,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn job_tasks_are_deterministic_and_distinct() {
+        let a = job_tasks(3, 10);
+        let b = job_tasks(3, 10);
+        assert_eq!(
+            a.iter().map(|t| t.id).collect::<Vec<_>>(),
+            b.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+        assert_eq!(a.len(), JOB_LENGTH);
+        let mut ids: Vec<usize> = a.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), JOB_LENGTH, "job tasks must be distinct");
+        let c = job_tasks(3, 11);
+        assert_ne!(
+            a.iter().map(|t| t.id).collect::<Vec<_>>(),
+            c.iter().map(|t| t.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn evaluation_produces_monotonically_decreasing_success_rates() {
+        let env = Environment::new(EnvironmentConfig {
+            steps_policy: StepsPolicy::Fixed(5),
+            ..Default::default()
+        });
+        let mut policy = OracleTrajectoryPolicy::new(9, small_noise(), 1);
+        let config = EvalConfig { num_jobs: 12, unseen: false, seed: 5 };
+        let summary = evaluate(&env, &mut policy, &config);
+        for k in 1..JOB_LENGTH {
+            assert!(
+                summary.success_rates[k] <= summary.success_rates[k - 1] + 1e-12,
+                "success rates must not increase along the chain: {:?}",
+                summary.success_rates
+            );
+        }
+        assert!(summary.average_length <= JOB_LENGTH as f64);
+        assert_eq!(summary.jobs, 12);
+        assert!(summary.trajectory_error.samples > 0);
+        // With 5 steps per inference the inference rate must be well below 1.
+        assert!(summary.inferences_per_step < 0.5);
+    }
+
+    #[test]
+    fn baseline_runs_one_inference_per_step() {
+        let env = Environment::new(EnvironmentConfig::default());
+        let mut policy = OracleFramePolicy::new(small_noise(), 2);
+        let config = EvalConfig { num_jobs: 4, unseen: false, seed: 9 };
+        let summary = evaluate(&env, &mut policy, &config);
+        assert!((summary.inferences_per_step - 1.0).abs() < 1e-9);
+        assert_eq!(summary.variant, "RoboFlamingo");
+    }
+
+    #[test]
+    fn table_row_formatting_contains_all_positions() {
+        let summary = EvaluationSummary {
+            variant: "Corki-5".into(),
+            success_rates: [0.9, 0.8, 0.7, 0.6, 0.5],
+            average_length: 3.5,
+            jobs: 100,
+            inferences_per_step: 0.2,
+            trajectory_error: TrajectoryErrorStats::default(),
+        };
+        let row = summary.to_table_row();
+        assert!(row.contains("Corki-5"));
+        assert!(row.contains("90.0%"));
+        assert!(row.contains("50.0%"));
+        assert!(row.contains("3.500"));
+    }
+
+    #[test]
+    fn episode_traces_have_consistent_lengths() {
+        let env = Environment::new(EnvironmentConfig::default());
+        let mut policy = OracleTrajectoryPolicy::new(5, small_noise(), 7);
+        let config = EvalConfig { num_jobs: 1, unseen: false, seed: 1 };
+        let result = run_job(&env, &mut policy, &config, 0);
+        let traces = EpisodeTraces::from_outcome(&result.episodes[0]);
+        assert_eq!(traces.ground_truth.len(), traces.reference.len());
+        assert_eq!(traces.reference.len(), traces.achieved.len());
+    }
+}

@@ -1,0 +1,293 @@
+//! The scripted expert planner.
+//!
+//! CALVIN's training set consists of tele-operated play data; this crate uses
+//! a scripted expert instead.  For every task the expert produces a sequence
+//! of end-effector waypoints at the camera rate (30 Hz) built out of simple
+//! motion primitives (approach, grasp, carry, actuate).  The expert serves
+//! two roles: it generates training demonstrations for the learned policies
+//! and it is the ground truth that the oracle policies corrupt.
+
+use crate::scene::Scene;
+use crate::tasks::{Direction, TaskInstance, TaskTemplate};
+use corki_math::Vec3;
+use corki_trajectory::{EePose, GripperState};
+use serde::{Deserialize, Serialize};
+
+/// Builds expert waypoint sequences for the benchmark tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpertPlanner {
+    /// Maximum Cartesian distance covered per control step (metres); 0.02 m
+    /// per 33 ms step corresponds to a calm 0.6 m/s tool speed.
+    pub max_step: f64,
+    /// Maximum yaw change per control step (radians).
+    pub max_yaw_step: f64,
+    /// Safe height above the table used for transfers.
+    pub transfer_height: f64,
+}
+
+impl Default for ExpertPlanner {
+    fn default() -> Self {
+        ExpertPlanner { max_step: 0.02, max_yaw_step: 0.12, transfer_height: 0.18 }
+    }
+}
+
+/// A small helper accumulating waypoints with bounded per-step motion.
+struct MotionBuilder {
+    waypoints: Vec<EePose>,
+    current: EePose,
+    max_step: f64,
+    max_yaw_step: f64,
+}
+
+impl MotionBuilder {
+    fn new(start: EePose, max_step: f64, max_yaw_step: f64) -> Self {
+        MotionBuilder { waypoints: Vec::new(), current: start, max_step, max_yaw_step }
+    }
+
+    /// Moves in a straight line to `position` with yaw `yaw`, holding the
+    /// given gripper state, emitting one waypoint per control step.
+    fn move_to(&mut self, position: Vec3, yaw: f64, gripper: GripperState) {
+        let distance = (position - self.current.position).norm();
+        let yaw_delta = (yaw - self.current.euler.z).abs();
+        let steps = ((distance / self.max_step).ceil() as usize)
+            .max((yaw_delta / self.max_yaw_step).ceil() as usize)
+            .max(1);
+        let start_pos = self.current.position;
+        let start_yaw = self.current.euler.z;
+        for i in 1..=steps {
+            let alpha = i as f64 / steps as f64;
+            let pose = EePose::new(
+                start_pos.lerp(position, alpha),
+                Vec3::new(0.0, 0.0, start_yaw + (yaw - start_yaw) * alpha),
+                gripper,
+            );
+            self.waypoints.push(pose);
+            self.current = pose;
+        }
+    }
+
+    /// Changes only the gripper state (one extra waypoint at the same pose).
+    fn set_gripper(&mut self, gripper: GripperState) {
+        let pose = EePose { gripper, ..self.current };
+        self.waypoints.push(pose);
+        self.current = pose;
+    }
+
+    /// Holds the current pose for `steps` control steps.
+    fn hold(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.waypoints.push(self.current);
+        }
+    }
+
+    fn finish(self) -> Vec<EePose> {
+        self.waypoints
+    }
+}
+
+impl ExpertPlanner {
+    /// Plans the remaining expert waypoints for `task` from the current
+    /// end-effector pose, given the current scene state.
+    ///
+    /// The returned sequence starts one control step in the future (the
+    /// current pose is *not* included) and ends with the robot holding still
+    /// at the final pose for a couple of steps.
+    pub fn plan(&self, scene: &Scene, task: &TaskInstance, current: &EePose) -> Vec<EePose> {
+        let mut b = MotionBuilder::new(*current, self.max_step, self.max_yaw_step);
+        let yaw = current.euler.z;
+        let above = |p: Vec3, h: f64| Vec3::new(p.x, p.y, p.z + h);
+
+        match task.template {
+            TaskTemplate::PushBlock { color, direction } => {
+                let block = scene.block(color).position;
+                let target = block + Vec3::new(0.0, 0.09 * direction.sign(), 0.0);
+                self.pick_and_place(&mut b, block, target, yaw);
+            }
+            TaskTemplate::MoveSlider { direction } => {
+                let handle = scene.slider_handle();
+                let mut target = scene.config.slider_handle_left;
+                if direction == Direction::Right {
+                    target.y += scene.config.slider_travel;
+                }
+                b.move_to(above(handle, 0.05), yaw, GripperState::Open);
+                b.move_to(handle, yaw, GripperState::Open);
+                b.set_gripper(GripperState::Closed);
+                b.move_to(target, yaw, GripperState::Closed);
+                b.set_gripper(GripperState::Open);
+                b.move_to(above(target, 0.08), yaw, GripperState::Open);
+            }
+            TaskTemplate::TurnOnLightbulb | TaskTemplate::TurnOffLightbulb => {
+                let lever = scene.config.switch_position;
+                let up = task.template == TaskTemplate::TurnOnLightbulb;
+                let start = if up { lever - Vec3::new(0.0, 0.0, 0.03) } else { lever + Vec3::new(0.0, 0.0, 0.03) };
+                let end = if up { lever + Vec3::new(0.0, 0.0, 0.03) } else { lever - Vec3::new(0.0, 0.0, 0.03) };
+                b.move_to(start + Vec3::new(-0.06, 0.0, 0.0), yaw, GripperState::Open);
+                b.move_to(start, yaw, GripperState::Open);
+                b.move_to(end, yaw, GripperState::Open);
+                b.move_to(end + Vec3::new(-0.06, 0.0, 0.0), yaw, GripperState::Open);
+            }
+            TaskTemplate::TurnOnLed | TaskTemplate::TurnOffLed => {
+                let button = scene.config.button_position;
+                b.move_to(above(button, 0.05), yaw, GripperState::Open);
+                b.move_to(button - Vec3::new(0.0, 0.0, 0.008), yaw, GripperState::Open);
+                b.move_to(above(button, 0.05), yaw, GripperState::Open);
+            }
+            TaskTemplate::OpenDrawer | TaskTemplate::CloseDrawer => {
+                let handle = scene.drawer_handle();
+                let opening = task.template == TaskTemplate::OpenDrawer;
+                let travel = scene.config.drawer_travel;
+                let target = if opening {
+                    Vec3::new(handle.x, scene.config.drawer_handle_closed.y + travel, handle.z)
+                } else {
+                    scene.config.drawer_handle_closed
+                };
+                b.move_to(above(handle, 0.05), yaw, GripperState::Open);
+                b.move_to(handle, yaw, GripperState::Open);
+                b.set_gripper(GripperState::Closed);
+                b.move_to(target, yaw, GripperState::Closed);
+                b.set_gripper(GripperState::Open);
+                b.move_to(above(target, 0.08), yaw, GripperState::Open);
+            }
+            TaskTemplate::PushBlockIntoDrawer { color } => {
+                let block = scene.block(color).position;
+                let interior = scene.drawer_handle() + Vec3::new(0.05, -0.04, 0.02);
+                self.pick_and_place(&mut b, block, interior, yaw);
+            }
+            TaskTemplate::RotateBlock { color, clockwise } => {
+                let block = scene.block(color).position;
+                let delta = if clockwise { -0.6 } else { 0.6 };
+                b.move_to(above(block, self.transfer_height), yaw, GripperState::Open);
+                b.move_to(block, yaw, GripperState::Open);
+                b.set_gripper(GripperState::Closed);
+                b.move_to(block, yaw + delta, GripperState::Closed);
+                b.set_gripper(GripperState::Open);
+                b.move_to(above(block, 0.1), yaw + delta, GripperState::Open);
+            }
+            TaskTemplate::LiftBlockFromTable { color }
+            | TaskTemplate::LiftBlockFromSlider { color } => {
+                let block = scene.block(color).position;
+                b.move_to(above(block, self.transfer_height), yaw, GripperState::Open);
+                b.move_to(block, yaw, GripperState::Open);
+                b.set_gripper(GripperState::Closed);
+                b.move_to(above(block, 0.12), yaw, GripperState::Closed);
+                b.hold(3);
+            }
+            TaskTemplate::PlaceBlockInSlider { color } => {
+                let block = scene.block(color).position;
+                let shelf = scene.slider_handle() + Vec3::new(-0.05, 0.0, 0.08);
+                self.pick_and_place(&mut b, block, shelf, yaw);
+            }
+            TaskTemplate::StackBlocks => {
+                let red = scene.block(crate::scene::BlockColor::Red).position;
+                let blue = scene.block(crate::scene::BlockColor::Blue).position;
+                let top = blue + Vec3::new(0.0, 0.0, scene.config.block_size);
+                self.pick_and_place(&mut b, red, top, yaw);
+            }
+            TaskTemplate::UnstackBlocks => {
+                let red = scene.block(crate::scene::BlockColor::Red).position;
+                let blue = scene.block(crate::scene::BlockColor::Blue).position;
+                let table_z = scene.config.table_height + scene.config.block_size / 2.0;
+                let target = Vec3::new(blue.x, blue.y - 0.12, table_z);
+                self.pick_and_place(&mut b, red, target, yaw);
+            }
+        }
+        b.hold(2);
+        b.finish()
+    }
+
+    /// The standard grasp-transfer-release primitive.
+    fn pick_and_place(&self, b: &mut MotionBuilder, from: Vec3, to: Vec3, yaw: f64) {
+        let above_from = Vec3::new(from.x, from.y, from.z + self.transfer_height);
+        let above_to = Vec3::new(to.x, to.y, to.z + self.transfer_height);
+        b.move_to(above_from, yaw, GripperState::Open);
+        b.move_to(from, yaw, GripperState::Open);
+        b.set_gripper(GripperState::Closed);
+        b.move_to(above_from, yaw, GripperState::Closed);
+        b.move_to(above_to, yaw, GripperState::Closed);
+        b.move_to(to, yaw, GripperState::Closed);
+        b.set_gripper(GripperState::Open);
+        b.move_to(above_to, yaw, GripperState::Open);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::task_catalog;
+
+    fn home_pose() -> EePose {
+        EePose::new(Vec3::new(0.35, 0.0, 0.3), Vec3::ZERO, GripperState::Open)
+    }
+
+    #[test]
+    fn expert_plans_respect_the_step_limit() {
+        let planner = ExpertPlanner::default();
+        for task in task_catalog() {
+            let mut scene = Scene::randomized(5, false);
+            task.prepare(&mut scene);
+            let plan = planner.plan(&scene, &task, &home_pose());
+            assert!(!plan.is_empty(), "{} has an empty plan", task.name());
+            let mut prev = home_pose();
+            for (i, wp) in plan.iter().enumerate() {
+                let step = wp.position_distance(&prev);
+                assert!(
+                    step <= planner.max_step + 1e-9,
+                    "{} step {i} moves {step} m",
+                    task.name()
+                );
+                prev = *wp;
+            }
+        }
+    }
+
+    #[test]
+    fn executing_the_expert_plan_succeeds_for_every_task() {
+        // The scripted expert must actually solve every task when its plan is
+        // executed verbatim through the scene's kinematic interaction model.
+        let planner = ExpertPlanner::default();
+        for task in task_catalog() {
+            let mut scene = Scene::randomized(17, false);
+            task.prepare(&mut scene);
+            let initial = scene.clone();
+            let plan = planner.plan(&scene, &task, &home_pose());
+            let mut prev = home_pose();
+            let mut solved = false;
+            for wp in &plan {
+                scene.step(wp, &prev);
+                prev = *wp;
+                if task.is_success(&scene, &initial) {
+                    solved = true;
+                    break;
+                }
+            }
+            assert!(solved, "expert failed task {}", task.name());
+        }
+    }
+
+    #[test]
+    fn expert_plans_are_deterministic() {
+        let planner = ExpertPlanner::default();
+        let task = task_catalog()[0];
+        let mut scene = Scene::randomized(9, false);
+        task.prepare(&mut scene);
+        let a = planner.plan(&scene, &task, &home_pose());
+        let b = planner.plan(&scene, &task, &home_pose());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plans_have_reasonable_length() {
+        let planner = ExpertPlanner::default();
+        for task in task_catalog() {
+            let mut scene = Scene::randomized(23, false);
+            task.prepare(&mut scene);
+            let plan = planner.plan(&scene, &task, &home_pose());
+            assert!(
+                plan.len() >= 5 && plan.len() <= 200,
+                "{}: unexpected plan length {}",
+                task.name(),
+                plan.len()
+            );
+        }
+    }
+}

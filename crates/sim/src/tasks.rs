@@ -1,0 +1,518 @@
+//! The 34 language-conditioned task instances of the benchmark, grouped into
+//! the five categories the paper names (paper §5.1: "moving an object,
+//! turning a switch on and off, pushing and pulling a drawer, rotating an
+//! object, and lifting an object").
+
+use crate::scene::{BlockColor, Scene, SceneObject};
+use corki_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// The five task categories of the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskCategory {
+    /// Pushing blocks across the table and moving the slider.
+    Move,
+    /// Toggling the lever switch (light bulb) and the push-button LED.
+    Switch,
+    /// Opening/closing the drawer and pushing blocks into it.
+    Drawer,
+    /// Rotating blocks in place.
+    Rotate,
+    /// Lifting, placing and stacking blocks.
+    Lift,
+}
+
+impl TaskCategory {
+    /// All five categories.
+    pub const ALL: [TaskCategory; 5] = [
+        TaskCategory::Move,
+        TaskCategory::Switch,
+        TaskCategory::Drawer,
+        TaskCategory::Rotate,
+        TaskCategory::Lift,
+    ];
+
+    /// Stable index in `[0, 5)`.
+    pub fn index(self) -> usize {
+        match self {
+            TaskCategory::Move => 0,
+            TaskCategory::Switch => 1,
+            TaskCategory::Drawer => 2,
+            TaskCategory::Rotate => 3,
+            TaskCategory::Lift => 4,
+        }
+    }
+}
+
+/// Horizontal push/slide direction on the table (along the robot's y-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards negative y.
+    Left,
+    /// Towards positive y.
+    Right,
+}
+
+impl Direction {
+    /// Signed unit step along y.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Left => -1.0,
+            Direction::Right => 1.0,
+        }
+    }
+}
+
+/// The parametrised task templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskTemplate {
+    /// Push a block a few centimetres to the left or right.
+    PushBlock {
+        /// Which block to push.
+        color: BlockColor,
+        /// Which way to push it.
+        direction: Direction,
+    },
+    /// Move the sliding door all the way to one side.
+    MoveSlider {
+        /// Target side.
+        direction: Direction,
+    },
+    /// Flip the lever switch up (light bulb on).
+    TurnOnLightbulb,
+    /// Flip the lever switch down (light bulb off).
+    TurnOffLightbulb,
+    /// Press the button until the LED is on.
+    TurnOnLed,
+    /// Press the button until the LED is off.
+    TurnOffLed,
+    /// Pull the drawer open.
+    OpenDrawer,
+    /// Push the drawer shut.
+    CloseDrawer,
+    /// Carry a block into the open drawer.
+    PushBlockIntoDrawer {
+        /// Which block to move.
+        color: BlockColor,
+    },
+    /// Rotate a block about the vertical axis by at least ~25°.
+    RotateBlock {
+        /// Which block to rotate.
+        color: BlockColor,
+        /// `true` rotates clockwise (negative yaw), `false` counter-clockwise.
+        clockwise: bool,
+    },
+    /// Lift a block clear off the table.
+    LiftBlockFromTable {
+        /// Which block to lift.
+        color: BlockColor,
+    },
+    /// Lift a block that starts in the slider area.
+    LiftBlockFromSlider {
+        /// Which block to lift.
+        color: BlockColor,
+    },
+    /// Place a block onto the slider shelf.
+    PlaceBlockInSlider {
+        /// Which block to place.
+        color: BlockColor,
+    },
+    /// Stack the red block on top of the blue block.
+    StackBlocks,
+    /// Take the red block off the blue block and put it on the table.
+    UnstackBlocks,
+}
+
+/// A concrete task instance: template plus its position in the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskInstance {
+    /// Index in the 34-task catalogue.
+    pub id: usize,
+    /// The parametrised template.
+    pub template: TaskTemplate,
+    /// The category the paper groups this task under.
+    pub category: TaskCategory,
+}
+
+impl TaskInstance {
+    /// A short human-readable name, e.g. `push_red_block_left`.
+    pub fn name(&self) -> String {
+        fn color_name(c: BlockColor) -> &'static str {
+            match c {
+                BlockColor::Red => "red",
+                BlockColor::Blue => "blue",
+                BlockColor::Pink => "pink",
+            }
+        }
+        match self.template {
+            TaskTemplate::PushBlock { color, direction } => format!(
+                "push_{}_block_{}",
+                color_name(color),
+                if direction == Direction::Left { "left" } else { "right" }
+            ),
+            TaskTemplate::MoveSlider { direction } => format!(
+                "move_slider_{}",
+                if direction == Direction::Left { "left" } else { "right" }
+            ),
+            TaskTemplate::TurnOnLightbulb => "turn_on_lightbulb".into(),
+            TaskTemplate::TurnOffLightbulb => "turn_off_lightbulb".into(),
+            TaskTemplate::TurnOnLed => "turn_on_led".into(),
+            TaskTemplate::TurnOffLed => "turn_off_led".into(),
+            TaskTemplate::OpenDrawer => "open_drawer".into(),
+            TaskTemplate::CloseDrawer => "close_drawer".into(),
+            TaskTemplate::PushBlockIntoDrawer { color } => {
+                format!("push_{}_block_into_drawer", color_name(color))
+            }
+            TaskTemplate::RotateBlock { color, clockwise } => format!(
+                "rotate_{}_block_{}",
+                color_name(color),
+                if clockwise { "right" } else { "left" }
+            ),
+            TaskTemplate::LiftBlockFromTable { color } => {
+                format!("lift_{}_block_table", color_name(color))
+            }
+            TaskTemplate::LiftBlockFromSlider { color } => {
+                format!("lift_{}_block_slider", color_name(color))
+            }
+            TaskTemplate::PlaceBlockInSlider { color } => {
+                format!("place_{}_block_in_slider", color_name(color))
+            }
+            TaskTemplate::StackBlocks => "stack_blocks".into(),
+            TaskTemplate::UnstackBlocks => "unstack_blocks".into(),
+        }
+    }
+
+    /// The object this task manipulates (used to build observations).
+    pub fn target_object(&self) -> SceneObject {
+        match self.template {
+            TaskTemplate::PushBlock { color, .. }
+            | TaskTemplate::PushBlockIntoDrawer { color }
+            | TaskTemplate::RotateBlock { color, .. }
+            | TaskTemplate::LiftBlockFromTable { color }
+            | TaskTemplate::LiftBlockFromSlider { color }
+            | TaskTemplate::PlaceBlockInSlider { color } => SceneObject::Block(color),
+            TaskTemplate::MoveSlider { .. } => SceneObject::Slider,
+            TaskTemplate::TurnOnLightbulb | TaskTemplate::TurnOffLightbulb => SceneObject::Switch,
+            TaskTemplate::TurnOnLed | TaskTemplate::TurnOffLed => SceneObject::Button,
+            TaskTemplate::OpenDrawer | TaskTemplate::CloseDrawer => SceneObject::Drawer,
+            TaskTemplate::StackBlocks | TaskTemplate::UnstackBlocks => {
+                SceneObject::Block(BlockColor::Red)
+            }
+        }
+    }
+
+    /// Adjusts the scene so the task is actually feasible (e.g. the light must
+    /// be off before it can be turned on; a block must sit in the slider area
+    /// before it can be lifted from there). Mirrors CALVIN's episode reset.
+    pub fn prepare(&self, scene: &mut Scene) {
+        match self.template {
+            TaskTemplate::TurnOnLightbulb => scene.switch_on = false,
+            TaskTemplate::TurnOffLightbulb => scene.switch_on = true,
+            TaskTemplate::TurnOnLed => scene.led_on = false,
+            TaskTemplate::TurnOffLed => scene.led_on = true,
+            TaskTemplate::OpenDrawer => scene.drawer_extension = 0.0,
+            TaskTemplate::CloseDrawer => scene.drawer_extension = 1.0,
+            TaskTemplate::PushBlockIntoDrawer { .. } => scene.drawer_extension = 1.0,
+            TaskTemplate::MoveSlider { direction } => {
+                scene.slider_position = match direction {
+                    Direction::Left => 0.9,
+                    Direction::Right => 0.1,
+                };
+            }
+            TaskTemplate::LiftBlockFromSlider { color } => {
+                let shelf = scene.slider_handle() + Vec3::new(-0.05, 0.0, 0.0);
+                let z = scene.config.table_height + 0.08 + scene.config.block_size / 2.0;
+                self.move_block(scene, color, Vec3::new(shelf.x, shelf.y, z));
+            }
+            TaskTemplate::StackBlocks => {
+                // Ensure red and blue are apart so stacking is non-trivial.
+                let blue = scene.block(BlockColor::Blue).position;
+                let mut red = scene.block(BlockColor::Red).position;
+                if (red - blue).norm() < 0.08 {
+                    red.y -= 0.1;
+                    self.move_block(scene, BlockColor::Red, red);
+                }
+            }
+            TaskTemplate::UnstackBlocks => {
+                // Start with red stacked on blue.
+                let blue = scene.block(BlockColor::Blue).position;
+                let top = blue + Vec3::new(0.0, 0.0, scene.config.block_size);
+                self.move_block(scene, BlockColor::Red, top);
+            }
+            TaskTemplate::PlaceBlockInSlider { color } => {
+                // Make sure the block does not already sit on the shelf.
+                let shelf = scene.slider_handle() + Vec3::new(-0.05, 0.0, 0.0);
+                let p = scene.block(color).position;
+                let horizontal =
+                    (Vec3::new(p.x, p.y, 0.0) - Vec3::new(shelf.x, shelf.y, 0.0)).norm();
+                if horizontal < 0.12 {
+                    let z = scene.config.table_height + scene.config.block_size / 2.0;
+                    self.move_block(scene, color, Vec3::new(0.42, -0.15, z));
+                }
+            }
+            TaskTemplate::PushBlock { .. }
+            | TaskTemplate::RotateBlock { .. }
+            | TaskTemplate::LiftBlockFromTable { .. } => {}
+        }
+    }
+
+    fn move_block(&self, scene: &mut Scene, color: BlockColor, position: Vec3) {
+        if position.z > scene.config.table_height + scene.config.block_size {
+            // Elevated targets (e.g. the slider shelf) support the block.
+            scene.force_release_at(color, position);
+        } else {
+            scene.place_block(color, position);
+        }
+    }
+
+    /// Where the manipulated object should end up (used as the goal in the
+    /// policy observation and by the expert planner).
+    pub fn goal_position(&self, scene: &Scene) -> Vec3 {
+        match self.template {
+            TaskTemplate::PushBlock { color, direction } => {
+                scene.block(color).position + Vec3::new(0.0, 0.08 * direction.sign(), 0.0)
+            }
+            TaskTemplate::MoveSlider { direction } => {
+                let mut handle = scene.config.slider_handle_left;
+                handle.y += match direction {
+                    Direction::Left => 0.0,
+                    Direction::Right => scene.config.slider_travel,
+                };
+                handle
+            }
+            TaskTemplate::TurnOnLightbulb => scene.config.switch_position + Vec3::new(0.0, 0.0, 0.03),
+            TaskTemplate::TurnOffLightbulb => scene.config.switch_position - Vec3::new(0.0, 0.0, 0.03),
+            TaskTemplate::TurnOnLed | TaskTemplate::TurnOffLed => {
+                scene.config.button_position - Vec3::new(0.0, 0.0, 0.01)
+            }
+            TaskTemplate::OpenDrawer => {
+                scene.config.drawer_handle_closed + Vec3::new(0.0, scene.config.drawer_travel, 0.0)
+            }
+            TaskTemplate::CloseDrawer => scene.config.drawer_handle_closed,
+            TaskTemplate::PushBlockIntoDrawer { .. } => Self::drawer_interior(scene),
+            TaskTemplate::RotateBlock { color, .. } => scene.block(color).position,
+            TaskTemplate::LiftBlockFromTable { color }
+            | TaskTemplate::LiftBlockFromSlider { color } => {
+                scene.block(color).position + Vec3::new(0.0, 0.0, 0.12)
+            }
+            TaskTemplate::PlaceBlockInSlider { .. } => {
+                scene.slider_handle() + Vec3::new(-0.05, 0.0, 0.08)
+            }
+            TaskTemplate::StackBlocks => {
+                scene.block(BlockColor::Blue).position
+                    + Vec3::new(0.0, 0.0, scene.config.block_size)
+            }
+            TaskTemplate::UnstackBlocks => {
+                scene.block(BlockColor::Blue).position + Vec3::new(0.0, -0.12, 0.0)
+            }
+        }
+    }
+
+    fn drawer_interior(scene: &Scene) -> Vec3 {
+        scene.drawer_handle() + Vec3::new(0.05, -0.04, 0.02)
+    }
+
+    /// Whether the task is complete, judged against the scene at episode start.
+    pub fn is_success(&self, scene: &Scene, initial: &Scene) -> bool {
+        let cfg = &scene.config;
+        match self.template {
+            TaskTemplate::PushBlock { color, direction } => {
+                let moved = scene.block(color).position.y - initial.block(color).position.y;
+                !scene.block(color).grasped && moved * direction.sign() > 0.05
+            }
+            TaskTemplate::MoveSlider { direction } => match direction {
+                Direction::Left => scene.slider_position < 0.2,
+                Direction::Right => scene.slider_position > 0.8,
+            },
+            TaskTemplate::TurnOnLightbulb => scene.switch_on,
+            TaskTemplate::TurnOffLightbulb => !scene.switch_on,
+            TaskTemplate::TurnOnLed => scene.led_on,
+            TaskTemplate::TurnOffLed => !scene.led_on,
+            TaskTemplate::OpenDrawer => scene.drawer_extension > 0.6,
+            TaskTemplate::CloseDrawer => scene.drawer_extension < 0.15,
+            TaskTemplate::PushBlockIntoDrawer { color } => {
+                let interior = Self::drawer_interior(scene);
+                let p = scene.block(color).position;
+                !scene.block(color).grasped
+                    && (Vec3::new(p.x, p.y, 0.0) - Vec3::new(interior.x, interior.y, 0.0)).norm()
+                        < 0.07
+            }
+            TaskTemplate::RotateBlock { color, clockwise } => {
+                let delta = corki_math::wrap_angle(
+                    scene.block(color).yaw - initial.block(color).yaw,
+                );
+                if clockwise {
+                    delta < -0.4
+                } else {
+                    delta > 0.4
+                }
+            }
+            TaskTemplate::LiftBlockFromTable { color }
+            | TaskTemplate::LiftBlockFromSlider { color } => {
+                scene.block(color).position.z
+                    > initial.block(color).position.z + 0.06
+            }
+            TaskTemplate::PlaceBlockInSlider { color } => {
+                let shelf = scene.slider_handle() + Vec3::new(-0.05, 0.0, 0.0);
+                let p = scene.block(color).position;
+                !scene.block(color).grasped
+                    && (Vec3::new(p.x, p.y, 0.0) - Vec3::new(shelf.x, shelf.y, 0.0)).norm() < 0.07
+            }
+            TaskTemplate::StackBlocks => {
+                let red = scene.block(BlockColor::Red).position;
+                let blue = scene.block(BlockColor::Blue).position;
+                let horizontal = Vec3::new(red.x - blue.x, red.y - blue.y, 0.0).norm();
+                !scene.block(BlockColor::Red).grasped
+                    && horizontal < 0.05
+                    && red.z > blue.z + cfg.block_size * 0.5
+            }
+            TaskTemplate::UnstackBlocks => {
+                let red = scene.block(BlockColor::Red).position;
+                let blue = scene.block(BlockColor::Blue).position;
+                let horizontal = Vec3::new(red.x - blue.x, red.y - blue.y, 0.0).norm();
+                !scene.block(BlockColor::Red).grasped && horizontal > 0.08
+            }
+        }
+    }
+}
+
+/// The full 34-task catalogue, matching the task count of CALVIN and the five
+/// categories named in the paper.
+pub fn task_catalog() -> Vec<TaskInstance> {
+    use BlockColor::*;
+    use Direction::*;
+    let templates: Vec<(TaskTemplate, TaskCategory)> = vec![
+        // Move (8)
+        (TaskTemplate::PushBlock { color: Red, direction: Left }, TaskCategory::Move),
+        (TaskTemplate::PushBlock { color: Red, direction: Right }, TaskCategory::Move),
+        (TaskTemplate::PushBlock { color: Blue, direction: Left }, TaskCategory::Move),
+        (TaskTemplate::PushBlock { color: Blue, direction: Right }, TaskCategory::Move),
+        (TaskTemplate::PushBlock { color: Pink, direction: Left }, TaskCategory::Move),
+        (TaskTemplate::PushBlock { color: Pink, direction: Right }, TaskCategory::Move),
+        (TaskTemplate::MoveSlider { direction: Left }, TaskCategory::Move),
+        (TaskTemplate::MoveSlider { direction: Right }, TaskCategory::Move),
+        // Switch (4)
+        (TaskTemplate::TurnOnLightbulb, TaskCategory::Switch),
+        (TaskTemplate::TurnOffLightbulb, TaskCategory::Switch),
+        (TaskTemplate::TurnOnLed, TaskCategory::Switch),
+        (TaskTemplate::TurnOffLed, TaskCategory::Switch),
+        // Drawer (5)
+        (TaskTemplate::OpenDrawer, TaskCategory::Drawer),
+        (TaskTemplate::CloseDrawer, TaskCategory::Drawer),
+        (TaskTemplate::PushBlockIntoDrawer { color: Red }, TaskCategory::Drawer),
+        (TaskTemplate::PushBlockIntoDrawer { color: Blue }, TaskCategory::Drawer),
+        (TaskTemplate::PushBlockIntoDrawer { color: Pink }, TaskCategory::Drawer),
+        // Rotate (6)
+        (TaskTemplate::RotateBlock { color: Red, clockwise: true }, TaskCategory::Rotate),
+        (TaskTemplate::RotateBlock { color: Red, clockwise: false }, TaskCategory::Rotate),
+        (TaskTemplate::RotateBlock { color: Blue, clockwise: true }, TaskCategory::Rotate),
+        (TaskTemplate::RotateBlock { color: Blue, clockwise: false }, TaskCategory::Rotate),
+        (TaskTemplate::RotateBlock { color: Pink, clockwise: true }, TaskCategory::Rotate),
+        (TaskTemplate::RotateBlock { color: Pink, clockwise: false }, TaskCategory::Rotate),
+        // Lift (11)
+        (TaskTemplate::LiftBlockFromTable { color: Red }, TaskCategory::Lift),
+        (TaskTemplate::LiftBlockFromTable { color: Blue }, TaskCategory::Lift),
+        (TaskTemplate::LiftBlockFromTable { color: Pink }, TaskCategory::Lift),
+        (TaskTemplate::LiftBlockFromSlider { color: Red }, TaskCategory::Lift),
+        (TaskTemplate::LiftBlockFromSlider { color: Blue }, TaskCategory::Lift),
+        (TaskTemplate::LiftBlockFromSlider { color: Pink }, TaskCategory::Lift),
+        (TaskTemplate::PlaceBlockInSlider { color: Red }, TaskCategory::Lift),
+        (TaskTemplate::PlaceBlockInSlider { color: Blue }, TaskCategory::Lift),
+        (TaskTemplate::PlaceBlockInSlider { color: Pink }, TaskCategory::Lift),
+        (TaskTemplate::StackBlocks, TaskCategory::Lift),
+        (TaskTemplate::UnstackBlocks, TaskCategory::Lift),
+    ];
+    templates
+        .into_iter()
+        .enumerate()
+        .map(|(id, (template, category))| TaskInstance { id, template, category })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_34_tasks_over_5_categories() {
+        let catalog = task_catalog();
+        assert_eq!(catalog.len(), 34);
+        for category in TaskCategory::ALL {
+            assert!(
+                catalog.iter().any(|t| t.category == category),
+                "category {category:?} missing"
+            );
+        }
+        // Ids are dense and unique.
+        for (i, t) in catalog.iter().enumerate() {
+            assert_eq!(t.id, i);
+        }
+        // Names are unique.
+        let mut names: Vec<String> = catalog.iter().map(TaskInstance::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 34);
+    }
+
+    #[test]
+    fn prepare_makes_tasks_feasible() {
+        for task in task_catalog() {
+            let mut scene = Scene::randomized(11, false);
+            task.prepare(&mut scene);
+            let initial = scene.clone();
+            assert!(
+                !task.is_success(&scene, &initial),
+                "task {} is already satisfied after prepare",
+                task.name()
+            );
+        }
+    }
+
+    #[test]
+    fn switch_tasks_success_predicates() {
+        let catalog = task_catalog();
+        let turn_on = catalog.iter().find(|t| t.template == TaskTemplate::TurnOnLightbulb).unwrap();
+        let mut scene = Scene::default();
+        turn_on.prepare(&mut scene);
+        let initial = scene.clone();
+        assert!(!turn_on.is_success(&scene, &initial));
+        scene.switch_on = true;
+        assert!(turn_on.is_success(&scene, &initial));
+    }
+
+    #[test]
+    fn lift_success_requires_height_gain() {
+        let catalog = task_catalog();
+        let lift = catalog
+            .iter()
+            .find(|t| matches!(t.template, TaskTemplate::LiftBlockFromTable { color: BlockColor::Red }))
+            .unwrap();
+        let mut scene = Scene::default();
+        lift.prepare(&mut scene);
+        let initial = scene.clone();
+        assert!(!lift.is_success(&scene, &initial));
+        // Grasp and raise the red block through the public API.
+        use corki_trajectory::{EePose, GripperState};
+        let at = scene.block(BlockColor::Red).position;
+        let open = EePose::new(at, corki_math::Vec3::ZERO, GripperState::Open);
+        let closed = EePose::new(at, corki_math::Vec3::ZERO, GripperState::Closed);
+        scene.step(&closed, &open);
+        let lifted = EePose::new(at + Vec3::new(0.0, 0.0, 0.1), corki_math::Vec3::ZERO, GripperState::Closed);
+        scene.step(&lifted, &closed);
+        assert!(lift.is_success(&scene, &initial));
+    }
+
+    #[test]
+    fn target_objects_and_goals_are_reachable_positions() {
+        let catalog = task_catalog();
+        for task in &catalog {
+            let mut scene = Scene::randomized(3, false);
+            task.prepare(&mut scene);
+            let goal = task.goal_position(&scene);
+            assert!(goal.x > 0.1 && goal.x < 0.9, "{}: goal x {}", task.name(), goal.x);
+            assert!(goal.y.abs() < 0.6, "{}: goal y {}", task.name(), goal.y);
+            assert!(goal.z > -0.2 && goal.z < 0.6, "{}: goal z {}", task.name(), goal.z);
+            let _ = scene.object_position(task.target_object());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Device latency and energy models: LLM inference hardware, data
+//! representations and the robot↔server communication link.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-frame latency of the baseline RoboFlamingo pipeline measured by
+/// the paper (Fig. 2a), in milliseconds.
+pub const BASELINE_FRAME_MS: f64 = 249.4;
+
+/// Share of the baseline frame spent in LLM inference (Fig. 2a).
+const INFERENCE_SHARE: f64 = 0.727;
+/// Share of the baseline frame spent in robot control (Fig. 2a).
+const CONTROL_SHARE: f64 = 0.099;
+/// Share of the baseline frame spent in data communication (Fig. 2a).
+const COMMUNICATION_SHARE: f64 = 0.174;
+
+/// The GPUs/CPUs the paper evaluates LLM inference on (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InferenceDevice {
+    /// NVIDIA V100 — the device used for the main results.
+    V100,
+    /// NVIDIA H100.
+    H100,
+    /// NVIDIA Jetson Orin 32 GB (embedded).
+    JetsonOrin32Gb,
+    /// Intel Xeon Platinum 8260 (CPU inference).
+    Xeon8260,
+}
+
+impl InferenceDevice {
+    /// All devices of Table 3, in the paper's column order.
+    pub const ALL: [InferenceDevice; 4] = [
+        InferenceDevice::V100,
+        InferenceDevice::H100,
+        InferenceDevice::JetsonOrin32Gb,
+        InferenceDevice::Xeon8260,
+    ];
+
+    /// Inference latency normalised to the V100 (Table 3, first row).
+    pub fn normalized_latency(self) -> f64 {
+        match self {
+            InferenceDevice::V100 => 1.0,
+            InferenceDevice::H100 => 0.4,
+            InferenceDevice::JetsonOrin32Gb => 10.0,
+            InferenceDevice::Xeon8260 => 8.9,
+        }
+    }
+
+    /// Average board/package power draw during inference (watts), used for
+    /// the energy model.
+    pub fn inference_power_w(self) -> f64 {
+        match self {
+            InferenceDevice::V100 => 130.0,
+            InferenceDevice::H100 => 310.0,
+            InferenceDevice::JetsonOrin32Gb => 40.0,
+            InferenceDevice::Xeon8260 => 165.0,
+        }
+    }
+
+    /// Human-readable name matching the paper's table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            InferenceDevice::V100 => "V100",
+            InferenceDevice::H100 => "H100",
+            InferenceDevice::JetsonOrin32Gb => "Jetson Orin 32GB",
+            InferenceDevice::Xeon8260 => "Xeon 8260",
+        }
+    }
+}
+
+/// The numeric precision of the deployed model (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataRepresentation {
+    /// 32-bit floating point (the paper's default).
+    Float32,
+    /// 16-bit floating point.
+    Float16,
+    /// 8-bit integer quantisation.
+    Int8,
+}
+
+impl DataRepresentation {
+    /// All representations of Table 4.
+    pub const ALL: [DataRepresentation; 3] = [
+        DataRepresentation::Float32,
+        DataRepresentation::Float16,
+        DataRepresentation::Int8,
+    ];
+
+    /// Inference latency normalised to 32-bit floats (Table 4).
+    pub fn latency_scale(self) -> f64 {
+        match self {
+            DataRepresentation::Float32 => 1.0,
+            DataRepresentation::Float16 => 0.8,
+            DataRepresentation::Int8 => 0.4,
+        }
+    }
+
+    /// Name used in the result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataRepresentation::Float32 => "32-bit Float",
+            DataRepresentation::Float16 => "16-bit Float",
+            DataRepresentation::Int8 => "8-bit Int",
+        }
+    }
+}
+
+/// The LLM inference latency/energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceModel {
+    /// Device the model runs on.
+    pub device: InferenceDevice,
+    /// Numeric precision.
+    pub representation: DataRepresentation,
+    /// Relative latency overhead of predicting a full trajectory (extra
+    /// output tokens) compared with a single action. The paper's Corki-1
+    /// showing slightly *higher* energy than the baseline pins this at a few
+    /// percent.
+    pub trajectory_head_overhead: f64,
+}
+
+impl Default for InferenceModel {
+    fn default() -> Self {
+        InferenceModel {
+            device: InferenceDevice::V100,
+            representation: DataRepresentation::Float32,
+            trajectory_head_overhead: 0.05,
+        }
+    }
+}
+
+impl InferenceModel {
+    /// Creates an inference model for a device at fp32.
+    pub fn new(device: InferenceDevice, representation: DataRepresentation) -> Self {
+        InferenceModel { device, representation, ..Default::default() }
+    }
+
+    /// Latency of one baseline (single-action) inference, milliseconds.
+    pub fn action_latency_ms(&self) -> f64 {
+        BASELINE_FRAME_MS
+            * INFERENCE_SHARE
+            * self.device.normalized_latency()
+            * self.representation.latency_scale()
+    }
+
+    /// Latency of one Corki (trajectory) inference, milliseconds.
+    pub fn trajectory_latency_ms(&self) -> f64 {
+        self.action_latency_ms() * (1.0 + self.trajectory_head_overhead)
+    }
+
+    /// Energy of one baseline inference, joules.
+    pub fn action_energy_j(&self) -> f64 {
+        self.action_latency_ms() / 1000.0 * self.device.inference_power_w()
+    }
+
+    /// Energy of one Corki inference, joules.
+    pub fn trajectory_energy_j(&self) -> f64 {
+        self.trajectory_latency_ms() / 1000.0 * self.device.inference_power_w()
+    }
+}
+
+/// The robot↔server communication model (Wi-Fi link sending camera frames up
+/// and actions/trajectories down).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommunicationModel {
+    /// Mean time to ship one camera frame and receive the reply (ms).
+    pub per_frame_ms: f64,
+    /// Average radio/network power draw while transmitting (W).
+    pub power_w: f64,
+}
+
+impl Default for CommunicationModel {
+    fn default() -> Self {
+        CommunicationModel {
+            per_frame_ms: BASELINE_FRAME_MS * COMMUNICATION_SHARE,
+            power_w: 5.0,
+        }
+    }
+}
+
+impl CommunicationModel {
+    /// Energy of transmitting one frame, joules.
+    pub fn energy_per_frame_j(&self) -> f64 {
+        self.per_frame_ms / 1000.0 * self.power_w
+    }
+}
+
+/// The control latency of the baseline pipeline (control matched to the
+/// 30 Hz camera rate on the robot's CPU), milliseconds.
+pub fn baseline_control_ms() -> f64 {
+    BASELINE_FRAME_MS * CONTROL_SHARE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_breakdown_matches_fig2() {
+        let inference = InferenceModel::default();
+        let comm = CommunicationModel::default();
+        let total = inference.action_latency_ms() + baseline_control_ms() + comm.per_frame_ms;
+        assert!((total - BASELINE_FRAME_MS).abs() < 1e-9);
+        // Inference dominates at 72.7 %.
+        assert!((inference.action_latency_ms() / total - 0.727).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_breakdown_is_dominated_by_inference() {
+        // Fig. 2b: LLM inference is 95.8 % of the per-frame energy.
+        let inference = InferenceModel::default();
+        let comm = CommunicationModel::default();
+        let control_energy = baseline_control_ms() / 1000.0 * 35.0;
+        let total = inference.action_energy_j() + comm.energy_per_frame_j() + control_energy;
+        let share = inference.action_energy_j() / total;
+        assert!((0.93..0.98).contains(&share), "inference energy share {share:.3}");
+        assert!(total > 15.0 && total < 35.0, "total per-frame energy {total:.1} J");
+    }
+
+    #[test]
+    fn table3_device_ordering() {
+        // H100 is the fastest, Jetson Orin the slowest (>0.9 s per frame).
+        assert!(InferenceDevice::H100.normalized_latency() < 1.0);
+        let orin = InferenceModel::new(InferenceDevice::JetsonOrin32Gb, DataRepresentation::Float32);
+        assert!(orin.action_latency_ms() > 900.0);
+    }
+
+    #[test]
+    fn table4_quantisation_scales_latency() {
+        let fp32 = InferenceModel::new(InferenceDevice::V100, DataRepresentation::Float32);
+        let int8 = InferenceModel::new(InferenceDevice::V100, DataRepresentation::Int8);
+        assert!((int8.action_latency_ms() / fp32.action_latency_ms() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_inference_costs_slightly_more() {
+        let m = InferenceModel::default();
+        assert!(m.trajectory_latency_ms() > m.action_latency_ms());
+        assert!(m.trajectory_energy_j() > m.action_energy_j());
+        assert!(m.trajectory_latency_ms() < m.action_latency_ms() * 1.2);
+    }
+}

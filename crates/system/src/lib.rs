@@ -1,0 +1,32 @@
+//! End-to-end pipeline simulation of the embodied-AI system (paper §2.2,
+//! §4.4 and §6.3): LLM inference on a server, communication over Wi-Fi, and
+//! robot control either on the on-board CPU or on the Corki accelerator.
+//!
+//! Two execution pipelines are modelled:
+//!
+//! * the **baseline discrete pipeline** (Fig. 1a): every camera frame goes
+//!   through inference → communication → control sequentially, and all three
+//!   stages repeat every frame;
+//! * the **Corki continuous pipeline** (Fig. 1b): one inference predicts a
+//!   trajectory of up to nine control steps, control runs on the accelerator,
+//!   and the transmission of newly captured frames is overlapped with robot
+//!   execution, so only the final frame's upload sits on the critical path.
+//!
+//! The device latency/energy constants are calibrated to the paper's
+//! measurements (Fig. 2: 249.4 ms per baseline frame, 72.7 % inference /
+//! 9.9 % control / 17.4 % communication; Tables 3 and 4 for other GPUs and
+//! data representations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod devices;
+mod pipeline;
+
+pub use devices::{
+    CommunicationModel, DataRepresentation, InferenceDevice, InferenceModel, BASELINE_FRAME_MS,
+};
+pub use pipeline::{
+    ExecutionStats, FrameKind, FrameTrace, PipelineConfig, PipelineSimulator, PipelineSummary,
+    StepsTakenModel, Variant,
+};

@@ -1,0 +1,580 @@
+//! The baseline discrete pipeline and the Corki continuous pipeline
+//! (Fig. 1, §4.4), with per-frame latency/energy traces and summary
+//! statistics for the Fig. 13/14 and Table 3/4 experiments.
+
+use crate::devices::{baseline_control_ms, CommunicationModel, InferenceModel};
+use corki_accel::{AcceleratorModel, CpuControlModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The policy/execution variants evaluated in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The RoboFlamingo baseline: one inference, one control step and one
+    /// frame upload per camera frame.
+    RoboFlamingo,
+    /// Corki with a fixed number of executed steps per predicted trajectory
+    /// (`Corki-1` … `Corki-9`), control on the accelerator.
+    CorkiFixed(usize),
+    /// Corki with the adaptive trajectory length of Algorithm 1
+    /// (`Corki-ADAP`), control on the accelerator.
+    CorkiAdaptive,
+    /// Corki-SW: the Corki-5 execution model but with control kept on the
+    /// robot's CPU.
+    CorkiSoftware,
+}
+
+impl Variant {
+    /// The variants evaluated in Fig. 13 of the paper, in order.
+    pub fn paper_lineup() -> Vec<Variant> {
+        vec![
+            Variant::RoboFlamingo,
+            Variant::CorkiFixed(1),
+            Variant::CorkiFixed(3),
+            Variant::CorkiFixed(5),
+            Variant::CorkiFixed(7),
+            Variant::CorkiFixed(9),
+            Variant::CorkiAdaptive,
+            Variant::CorkiSoftware,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Variant::RoboFlamingo => "RoboFlamingo".to_owned(),
+            Variant::CorkiFixed(n) => format!("Corki-{n}"),
+            Variant::CorkiAdaptive => "Corki-ADAP".to_owned(),
+            Variant::CorkiSoftware => "Corki-SW".to_owned(),
+        }
+    }
+
+    /// Whether this variant predicts trajectories (all but the baseline).
+    pub fn predicts_trajectories(&self) -> bool {
+        !matches!(self, Variant::RoboFlamingo)
+    }
+}
+
+/// How many control steps are executed per inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StepsTakenModel {
+    /// Always the same number of steps.
+    Fixed(usize),
+    /// A cyclic empirical distribution (e.g. the executed lengths measured by
+    /// the `corki-sim` rollouts for Corki-ADAP).
+    Distribution(Vec<usize>),
+}
+
+impl StepsTakenModel {
+    fn steps_for(&self, inference_index: usize) -> usize {
+        match self {
+            StepsTakenModel::Fixed(n) => (*n).max(1),
+            StepsTakenModel::Distribution(d) => {
+                if d.is_empty() {
+                    1
+                } else {
+                    d[inference_index % d.len()].max(1)
+                }
+            }
+        }
+    }
+
+    /// Mean number of steps per inference.
+    pub fn mean(&self) -> f64 {
+        match self {
+            StepsTakenModel::Fixed(n) => *n as f64,
+            StepsTakenModel::Distribution(d) => {
+                if d.is_empty() {
+                    1.0
+                } else {
+                    d.iter().sum::<usize>() as f64 / d.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of the pipeline simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// The variant to simulate.
+    pub variant: Variant,
+    /// Inference device/precision model.
+    pub inference: InferenceModel,
+    /// Communication link model.
+    pub communication: CommunicationModel,
+    /// The accelerator latency model (used by every Corki variant except
+    /// Corki-SW).
+    pub accelerator: AcceleratorModel,
+    /// The CPU control model (used by the baseline and Corki-SW).
+    pub cpu: CpuControlModel,
+    /// Fraction of matrix updates skipped by the ACE units (paper: >51 % at
+    /// the 40 % threshold).
+    pub ace_skip_fraction: f64,
+    /// Executed-length distribution used by [`Variant::CorkiAdaptive`]
+    /// (typically measured by the `corki-sim` evaluation); defaults to a
+    /// distribution whose mean is ≈4.4 steps.
+    pub adaptive_lengths: Vec<usize>,
+    /// Fraction of the final-frame upload that cannot be hidden under robot
+    /// execution when a trajectory spans more than one step.
+    pub unhidden_comm_fraction: f64,
+    /// Number of camera frames to simulate.
+    pub num_frames: usize,
+    /// Random seed for the per-frame jitter.
+    pub seed: u64,
+    /// Relative magnitude of the per-frame latency jitter (models the
+    /// measurement noise visible in Fig. 2/14).
+    pub jitter: f64,
+    /// Average power of the accelerator while computing (watts).
+    pub accelerator_power_w: f64,
+}
+
+impl PipelineConfig {
+    /// A configuration for the given variant with the paper's default
+    /// devices (V100, fp32, Wi-Fi, ZC706 accelerator, i7-6770HQ CPU).
+    pub fn paper_defaults(variant: Variant) -> Self {
+        PipelineConfig {
+            variant,
+            inference: InferenceModel::default(),
+            communication: CommunicationModel::default(),
+            accelerator: AcceleratorModel::default(),
+            cpu: CpuControlModel::i7_6770hq(),
+            ace_skip_fraction: 0.51,
+            adaptive_lengths: vec![5, 4, 3, 5, 6, 4, 5, 3, 5, 4],
+            unhidden_comm_fraction: 0.3,
+            num_frames: 300,
+            seed: 7,
+            jitter: 0.04,
+            accelerator_power_w: 2.5,
+        }
+    }
+}
+
+/// Whether a frame runs an LLM inference or only executes a previously
+/// predicted trajectory step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// A frame on which the LLM predicts (crest in Fig. 14).
+    Inference,
+    /// A frame that only executes the current trajectory (trough in Fig. 14).
+    Execution,
+}
+
+/// The latency and energy of one camera frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameTrace {
+    /// Frame index.
+    pub index: usize,
+    /// Inference or execution frame.
+    pub kind: FrameKind,
+    /// Compute latency attributed to the frame (ms).
+    pub latency_ms: f64,
+    /// Energy consumed by the computing system for the frame (J).
+    pub energy_j: f64,
+}
+
+/// Latency distribution statistics (for the long-tail analysis of Fig. 14c).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionStats {
+    /// Mean frame latency (ms).
+    pub mean_ms: f64,
+    /// Maximum frame latency (ms).
+    pub max_ms: f64,
+    /// 99th-percentile frame latency (ms).
+    pub p99_ms: f64,
+    /// Coefficient of variation (standard deviation / mean).
+    pub relative_variation: f64,
+}
+
+/// Aggregated result of a pipeline simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSummary {
+    /// Variant name.
+    pub variant: String,
+    /// Mean per-frame latency (ms).
+    pub mean_frame_latency_ms: f64,
+    /// Mean per-frame energy (J).
+    pub mean_frame_energy_j: f64,
+    /// Effective frame rate (Hz) = 1000 / mean latency.
+    pub frame_rate_hz: f64,
+    /// Number of LLM inferences over the simulated sequence.
+    pub inference_count: usize,
+    /// Number of simulated frames.
+    pub frames: usize,
+    /// Latency statistics.
+    pub stats: ExecutionStats,
+    /// Per-frame traces (Fig. 14a/14b).
+    pub frame_traces: Vec<FrameTrace>,
+}
+
+impl PipelineSummary {
+    /// Speed-up of this variant over a baseline summary.
+    pub fn speedup_over(&self, baseline: &PipelineSummary) -> f64 {
+        baseline.mean_frame_latency_ms / self.mean_frame_latency_ms
+    }
+
+    /// Energy reduction factor relative to a baseline summary.
+    pub fn energy_reduction_over(&self, baseline: &PipelineSummary) -> f64 {
+        baseline.mean_frame_energy_j / self.mean_frame_energy_j
+    }
+
+    /// Reduction in LLM inference count relative to a baseline summary.
+    pub fn inference_reduction_over(&self, baseline: &PipelineSummary) -> f64 {
+        baseline.inference_count as f64 / self.inference_count.max(1) as f64
+    }
+}
+
+/// Simulates the execution pipeline of one variant.
+#[derive(Debug, Clone)]
+pub struct PipelineSimulator {
+    config: PipelineConfig,
+}
+
+impl PipelineSimulator {
+    /// Creates a simulator.
+    pub fn new(config: PipelineConfig) -> Self {
+        PipelineSimulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the simulation and aggregates the per-frame traces.
+    pub fn simulate(&self) -> PipelineSummary {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut traces = Vec::with_capacity(cfg.num_frames);
+        let mut inference_count = 0usize;
+
+        match &cfg.variant {
+            Variant::RoboFlamingo => {
+                for index in 0..cfg.num_frames {
+                    let latency = cfg.inference.action_latency_ms()
+                        + baseline_control_ms()
+                        + cfg.communication.per_frame_ms;
+                    let energy = cfg.inference.action_energy_j()
+                        + baseline_control_ms() / 1000.0 * cfg.cpu.power_w
+                        + cfg.communication.energy_per_frame_j();
+                    inference_count += 1;
+                    traces.push(self.jittered(index, FrameKind::Inference, latency, energy, &mut rng));
+                }
+            }
+            variant => {
+                let steps_model = match variant {
+                    Variant::CorkiFixed(n) => StepsTakenModel::Fixed(*n),
+                    Variant::CorkiAdaptive => {
+                        StepsTakenModel::Distribution(cfg.adaptive_lengths.clone())
+                    }
+                    Variant::CorkiSoftware => StepsTakenModel::Fixed(5),
+                    Variant::RoboFlamingo => unreachable!("handled above"),
+                };
+                let control_latency_ms = self.control_latency_ms();
+                let control_energy_j = self.control_energy_j(control_latency_ms);
+
+                let mut index = 0usize;
+                while index < cfg.num_frames {
+                    let steps = steps_model.steps_for(inference_count);
+                    inference_count += 1;
+                    for step in 0..steps {
+                        if index >= cfg.num_frames {
+                            break;
+                        }
+                        let (kind, mut latency, mut energy) = if step == 0 {
+                            // Inference frame: the final image upload (which
+                            // cannot be fully hidden), the trajectory
+                            // inference and the first control computation.
+                            let unhidden = if steps == 1 {
+                                cfg.communication.per_frame_ms
+                            } else {
+                                cfg.communication.per_frame_ms * cfg.unhidden_comm_fraction
+                            };
+                            (
+                                FrameKind::Inference,
+                                unhidden + cfg.inference.trajectory_latency_ms() + control_latency_ms,
+                                cfg.inference.trajectory_energy_j()
+                                    + cfg.communication.energy_per_frame_j()
+                                    + control_energy_j,
+                            )
+                        } else {
+                            // Execution frame: control only; one mid-trajectory
+                            // frame upload happens in the background (energy
+                            // still spent, latency hidden).
+                            let hidden_comm_energy = if step == 1 {
+                                cfg.communication.energy_per_frame_j()
+                            } else {
+                                0.0
+                            };
+                            (
+                                FrameKind::Execution,
+                                control_latency_ms,
+                                control_energy_j + hidden_comm_energy,
+                            )
+                        };
+                        latency = latency.max(0.0);
+                        energy = energy.max(0.0);
+                        traces.push(self.jittered(index, kind, latency, energy, &mut rng));
+                        index += 1;
+                    }
+                }
+            }
+        }
+
+        let latencies: Vec<f64> = traces.iter().map(|t| t.latency_ms).collect();
+        let energies: Vec<f64> = traces.iter().map(|t| t.energy_j).collect();
+        let mean_latency = mean(&latencies);
+        let mean_energy = mean(&energies);
+        PipelineSummary {
+            variant: cfg.variant.name(),
+            mean_frame_latency_ms: mean_latency,
+            mean_frame_energy_j: mean_energy,
+            frame_rate_hz: 1000.0 / mean_latency,
+            inference_count,
+            frames: traces.len(),
+            stats: stats(&latencies),
+            frame_traces: traces,
+        }
+    }
+
+    /// Simulates the baseline with the same devices (for speed-up reporting).
+    pub fn simulate_baseline_reference(&self) -> PipelineSummary {
+        let mut config = self.config.clone();
+        config.variant = Variant::RoboFlamingo;
+        PipelineSimulator::new(config).simulate()
+    }
+
+    /// Per-frame control latency of the configured variant.
+    fn control_latency_ms(&self) -> f64 {
+        match self.config.variant {
+            Variant::CorkiSoftware => {
+                // Control stays on the CPU; the ACE approximation still skips
+                // the configuration-dependent matrix work, which is roughly
+                // 40 % of the CPU control computation.
+                self.config.cpu.control_latency_ms
+                    * (1.0 - self.config.ace_skip_fraction * 0.42)
+            }
+            _ => self
+                .config
+                .accelerator
+                .control_latency_with_skips(self.config.ace_skip_fraction)
+                .latency_ms,
+        }
+    }
+
+    fn control_energy_j(&self, control_latency_ms: f64) -> f64 {
+        let power = match self.config.variant {
+            Variant::CorkiSoftware => self.config.cpu.power_w,
+            _ => self.config.accelerator_power_w,
+        };
+        control_latency_ms / 1000.0 * power
+    }
+
+    fn jittered(
+        &self,
+        index: usize,
+        kind: FrameKind,
+        latency: f64,
+        energy: f64,
+        rng: &mut StdRng,
+    ) -> FrameTrace {
+        let j = self.config.jitter;
+        let scale = 1.0 + rng.gen_range(-j..=j);
+        FrameTrace {
+            index,
+            kind,
+            latency_ms: latency * scale,
+            energy_j: energy * scale,
+        }
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn stats(latencies: &[f64]) -> ExecutionStats {
+    if latencies.is_empty() {
+        return ExecutionStats::default();
+    }
+    let m = mean(latencies);
+    let variance = latencies.iter().map(|x| (x - m).powi(2)).sum::<f64>() / latencies.len() as f64;
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p99_idx = ((sorted.len() as f64 - 1.0) * 0.99).round() as usize;
+    ExecutionStats {
+        mean_ms: m,
+        max_ms: *sorted.last().unwrap(),
+        p99_ms: sorted[p99_idx],
+        relative_variation: variance.sqrt() / m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{DataRepresentation, InferenceDevice, BASELINE_FRAME_MS};
+
+    fn summary(variant: Variant) -> PipelineSummary {
+        PipelineSimulator::new(PipelineConfig::paper_defaults(variant)).simulate()
+    }
+
+    #[test]
+    fn baseline_frame_latency_matches_fig2() {
+        let s = summary(Variant::RoboFlamingo);
+        assert!((s.mean_frame_latency_ms - BASELINE_FRAME_MS).abs() < 10.0);
+        assert_eq!(s.inference_count, s.frames);
+        assert!(s.mean_frame_energy_j > 20.0 && s.mean_frame_energy_j < 30.0);
+    }
+
+    #[test]
+    fn speedup_grows_with_executed_steps() {
+        let baseline = summary(Variant::RoboFlamingo);
+        let mut previous = 0.0;
+        for steps in [1usize, 3, 5, 7, 9] {
+            let s = summary(Variant::CorkiFixed(steps));
+            let speedup = s.speedup_over(&baseline);
+            assert!(
+                speedup > previous,
+                "speed-up must grow with steps: Corki-{steps} gives {speedup:.2}"
+            );
+            previous = speedup;
+        }
+        // Paper: Corki-9 reaches ≈9.1× speed-up, Corki-1 ≈1.2×.
+        let corki9 = summary(Variant::CorkiFixed(9)).speedup_over(&baseline);
+        assert!((7.5..11.5).contains(&corki9), "Corki-9 speed-up {corki9:.2}");
+        let corki1 = summary(Variant::CorkiFixed(1)).speedup_over(&baseline);
+        assert!((1.0..1.6).contains(&corki1), "Corki-1 speed-up {corki1:.2}");
+    }
+
+    #[test]
+    fn adaptive_variant_sits_between_corki3_and_corki7() {
+        let baseline = summary(Variant::RoboFlamingo);
+        let adap = summary(Variant::CorkiAdaptive).speedup_over(&baseline);
+        let c3 = summary(Variant::CorkiFixed(3)).speedup_over(&baseline);
+        let c7 = summary(Variant::CorkiFixed(7)).speedup_over(&baseline);
+        assert!(adap > c3 && adap < c7, "ADAP speed-up {adap:.2} not between Corki-3 and Corki-7");
+        // Paper reports ≈5.9× for Corki-ADAP.
+        assert!((4.5..7.5).contains(&adap), "Corki-ADAP speed-up {adap:.2}");
+    }
+
+    #[test]
+    fn corki_sw_is_slower_than_corki_5_but_faster_than_baseline() {
+        let baseline = summary(Variant::RoboFlamingo);
+        let c5 = summary(Variant::CorkiFixed(5));
+        let sw = summary(Variant::CorkiSoftware);
+        assert!(sw.mean_frame_latency_ms > c5.mean_frame_latency_ms);
+        assert!(sw.mean_frame_latency_ms < baseline.mean_frame_latency_ms);
+        let overhead = sw.mean_frame_latency_ms / c5.mean_frame_latency_ms - 1.0;
+        // Paper: Corki-SW is 43.6 % slower than Corki-5 (26.9 Hz → 18.7 Hz).
+        assert!(
+            (0.2..0.7).contains(&overhead),
+            "Corki-SW overhead over Corki-5 is {overhead:.2}"
+        );
+        // Frame rates should bracket the paper's 26.9 Hz / 18.7 Hz figures.
+        assert!(c5.frame_rate_hz > 20.0 && c5.frame_rate_hz < 32.0);
+        assert!(sw.frame_rate_hz > 14.0 && sw.frame_rate_hz < c5.frame_rate_hz);
+    }
+
+    #[test]
+    fn energy_savings_grow_with_steps_and_corki1_costs_slightly_more() {
+        let baseline = summary(Variant::RoboFlamingo);
+        let corki1 = summary(Variant::CorkiFixed(1));
+        assert!(
+            corki1.mean_frame_energy_j > baseline.mean_frame_energy_j * 0.98,
+            "Corki-1 should not save energy: {} vs {}",
+            corki1.mean_frame_energy_j,
+            baseline.mean_frame_energy_j
+        );
+        let corki9 = summary(Variant::CorkiFixed(9));
+        let reduction = corki9.energy_reduction_over(&baseline);
+        // Paper: 9.2× energy reduction for Corki-9.
+        assert!((7.0..11.0).contains(&reduction), "Corki-9 energy reduction {reduction:.2}");
+    }
+
+    #[test]
+    fn inference_frequency_reduction_matches_steps_taken() {
+        let baseline = summary(Variant::RoboFlamingo);
+        let corki5 = summary(Variant::CorkiFixed(5));
+        let reduction = corki5.inference_reduction_over(&baseline);
+        assert!((4.5..5.5).contains(&reduction), "inference reduction {reduction:.2}");
+    }
+
+    #[test]
+    fn corki_exhibits_a_longer_latency_tail_than_the_baseline() {
+        // Fig. 14c: the baseline's relative latency variation is much lower.
+        let baseline = summary(Variant::RoboFlamingo);
+        let corki5 = summary(Variant::CorkiFixed(5));
+        assert!(corki5.stats.relative_variation > 1.5 * baseline.stats.relative_variation);
+        assert!(corki5.stats.max_ms > 3.0 * corki5.stats.mean_ms);
+    }
+
+    #[test]
+    fn frame_traces_alternate_crests_and_troughs() {
+        let corki5 = summary(Variant::CorkiFixed(5));
+        let crests: Vec<&FrameTrace> = corki5
+            .frame_traces
+            .iter()
+            .filter(|t| t.kind == FrameKind::Inference)
+            .collect();
+        let troughs: Vec<&FrameTrace> = corki5
+            .frame_traces
+            .iter()
+            .filter(|t| t.kind == FrameKind::Execution)
+            .collect();
+        assert_eq!(crests.len() * 4, troughs.len());
+        let crest_mean = mean(&crests.iter().map(|t| t.latency_ms).collect::<Vec<_>>());
+        let trough_mean = mean(&troughs.iter().map(|t| t.latency_ms).collect::<Vec<_>>());
+        assert!(crest_mean > 20.0 * trough_mean, "crest {crest_mean:.1} vs trough {trough_mean:.3}");
+    }
+
+    #[test]
+    fn table3_speedups_hold_across_devices() {
+        for device in InferenceDevice::ALL {
+            let mut cfg = PipelineConfig::paper_defaults(Variant::CorkiAdaptive);
+            cfg.inference = InferenceModel::new(device, DataRepresentation::Float32);
+            let sim = PipelineSimulator::new(cfg);
+            let s = sim.simulate();
+            let b = sim.simulate_baseline_reference();
+            let speedup = s.speedup_over(&b);
+            // Paper Table 3: speed-ups between 5.3× and 6.4× across devices.
+            assert!(
+                (4.0..8.0).contains(&speedup),
+                "{}: speed-up {speedup:.2} out of range",
+                device.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table4_speedups_hold_across_precisions() {
+        for representation in DataRepresentation::ALL {
+            let mut cfg = PipelineConfig::paper_defaults(Variant::CorkiAdaptive);
+            cfg.inference = InferenceModel::new(InferenceDevice::V100, representation);
+            let sim = PipelineSimulator::new(cfg);
+            let s = sim.simulate();
+            let b = sim.simulate_baseline_reference();
+            let speedup = s.speedup_over(&b);
+            assert!(
+                (4.5..8.0).contains(&speedup),
+                "{}: speed-up {speedup:.2} out of range",
+                representation.name()
+            );
+        }
+    }
+
+    #[test]
+    fn steps_taken_model_statistics() {
+        let fixed = StepsTakenModel::Fixed(5);
+        assert_eq!(fixed.mean(), 5.0);
+        let dist = StepsTakenModel::Distribution(vec![3, 5, 7]);
+        assert!((dist.mean() - 5.0).abs() < 1e-12);
+        let empty = StepsTakenModel::Distribution(vec![]);
+        assert_eq!(empty.mean(), 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The Corki trajectory representation and algorithm framework (paper §3).
+//!
+//! Instead of predicting one discrete 7-DoF action per camera frame, the
+//! Corki policy predicts a *continuous trajectory* of the near future: one
+//! cubic polynomial per controlled dimension (x, y, z, α, β, γ) plus a binary
+//! gripper schedule.  This crate provides:
+//!
+//! * [`EePose`] / [`DeltaAction`] — the 7-dimensional end-effector action
+//!   space shared with the baseline RoboFlamingo-style policy,
+//! * [`Trajectory`] — six cubic polynomials + gripper schedule (Equation 4),
+//!   with sampling, analytic derivatives and least-squares fitting from
+//!   waypoints (the supervision path of Equation 5),
+//! * [`waypoints`] — waypoint extraction and the adaptive-trajectory-length
+//!   selection of Algorithm 1 (curvature and gripper-change tests),
+//! * [`metrics`] — mean trajectory error (RMSE) and maximum per-axis
+//!   trajectory distance (the Fig. 11 metrics).
+//!
+//! # Example
+//!
+//! ```
+//! use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP};
+//! use corki_math::Vec3;
+//!
+//! // Fit a trajectory to 5 waypoints spaced one camera frame apart.
+//! let waypoints: Vec<EePose> = (0..5)
+//!     .map(|i| EePose::new(
+//!         Vec3::new(0.4 + 0.01 * i as f64, 0.0, 0.3),
+//!         Vec3::ZERO,
+//!         GripperState::Open,
+//!     ))
+//!     .collect();
+//! let trajectory = Trajectory::fit_waypoints(&waypoints, CONTROL_STEP).unwrap();
+//! let end = trajectory.sample(trajectory.duration());
+//! assert!((end.position.x - 0.44).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+pub mod metrics;
+mod trajectory;
+pub mod waypoints;
+
+pub use action::{DeltaAction, EePose, GripperState};
+pub use trajectory::{Trajectory, TrajectoryError, TrajectorySample};
+pub use waypoints::{AdaptiveLengthConfig, TerminationReason, WaypointDecision};
+
+/// The camera-frame interval of the CALVIN setup (30 Hz), which is also the
+/// spacing between trajectory waypoints, in seconds.
+pub const CONTROL_STEP: f64 = 1.0 / 30.0;
+
+/// The maximum number of future steps the Corki policy predicts (the paper
+/// predicts nine steps and takes between one and nine of them).
+pub const MAX_PREDICTION_STEPS: usize = 9;

@@ -1,0 +1,60 @@
+//! Adaptive trajectory length (paper Algorithm 1): show how a gripper change
+//! or high curvature terminates the executed trajectory early, and how the
+//! executed lengths vary inside a real Corki-ADAP episode.
+//!
+//! ```text
+//! cargo run --release --example adaptive_trajectory
+//! ```
+
+use corki::{Variant, VariantSetup};
+use corki_math::Vec3;
+use corki_sim::evaluation::{run_job, EvalConfig};
+use corki_trajectory::waypoints::{adaptive_trajectory_length, AdaptiveLengthConfig};
+use corki_trajectory::{EePose, GripperState};
+
+fn line(n: usize) -> (EePose, Vec<EePose>) {
+    let start = EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
+    let wps = (1..=n)
+        .map(|i| EePose::new(Vec3::new(0.3 + 0.012 * i as f64, 0.0, 0.3), Vec3::ZERO, GripperState::Open))
+        .collect();
+    (start, wps)
+}
+
+fn main() {
+    let config = AdaptiveLengthConfig::default();
+
+    // Case 1: a straight reach — the full 9-step prediction is executed.
+    let (start, wps) = line(9);
+    let decision = adaptive_trajectory_length(&start, &wps, &config);
+    println!("straight reach        -> execute {} steps ({:?})", decision.steps, decision.reason);
+
+    // Case 2: the gripper closes at step 5 — the trajectory ends just before.
+    let (start, mut wps) = line(9);
+    for wp in wps.iter_mut().skip(4) {
+        wp.gripper = GripperState::Closed;
+    }
+    let decision = adaptive_trajectory_length(&start, &wps, &config);
+    println!("grasp at step 5       -> execute {} steps ({:?})", decision.steps, decision.reason);
+
+    // Case 3: the path doubles back at step 6 — high curvature cuts it.
+    let (start, mut wps) = line(9);
+    for (i, wp) in wps.iter_mut().enumerate().skip(5) {
+        wp.position.x -= 0.03 * (i - 4) as f64;
+    }
+    let decision = adaptive_trajectory_length(&start, &wps, &config);
+    println!("sharp turn at step 6  -> execute {} steps ({:?})", decision.steps, decision.reason);
+    println!();
+
+    // A real Corki-ADAP episode: the executed lengths adapt to the task.
+    let setup = VariantSetup::new(Variant::CorkiAdaptive);
+    let env = setup.build_environment(3);
+    let mut policy = setup.build_policy(3);
+    let result = run_job(&env, policy.as_mut(), &EvalConfig { num_jobs: 1, unseen: false, seed: 3 }, 0);
+    println!("Corki-ADAP job: {}/5 tasks completed", result.tasks_completed);
+    for (episode, name) in result.episodes.iter().zip(&result.task_names) {
+        println!(
+            "  {:<28} executed lengths per inference: {:?}",
+            name, episode.executed_lengths
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Long-horizon tabletop manipulation: run one five-task job from the
+//! CALVIN-like benchmark with the baseline and with Corki-5, and compare
+//! success and inference counts.
+//!
+//! ```text
+//! cargo run --release --example tabletop_manipulation
+//! ```
+
+use corki::{Variant, VariantSetup};
+use corki_sim::evaluation::{job_tasks, run_job, EvalConfig};
+
+fn main() {
+    let config = EvalConfig { num_jobs: 1, unseen: false, seed: 11 };
+    let tasks = job_tasks(config.seed, 0);
+    println!("job consists of five chained tasks:");
+    for (i, task) in tasks.iter().enumerate() {
+        println!("  {}. {} ({:?})", i + 1, task.name(), task.category);
+    }
+    println!();
+
+    for variant in [Variant::RoboFlamingo, Variant::CorkiFixed(5), Variant::CorkiAdaptive] {
+        let setup = VariantSetup::new(variant.clone());
+        let env = setup.build_environment(config.seed);
+        let mut policy = setup.build_policy(config.seed);
+        let result = run_job(&env, policy.as_mut(), &config, 0);
+
+        let total_steps: usize = result.episodes.iter().map(|e| e.steps).sum();
+        let total_inferences: usize = result.episodes.iter().map(|e| e.inferences).sum();
+        println!(
+            "{:<14} completed {}/5 tasks in {} control steps with {} LLM inferences",
+            variant.name(),
+            result.tasks_completed,
+            total_steps,
+            total_inferences
+        );
+        for (task, episode) in tasks.iter().zip(&result.episodes) {
+            println!(
+                "   {:<28} {}  ({} steps, {} inferences, {:.1} steps/inference)",
+                task.name(),
+                if episode.success { "ok " } else { "FAILED" },
+                episode.steps,
+                episode.inferences,
+                episode.mean_steps_per_inference()
+            );
+        }
+        println!();
+    }
+}

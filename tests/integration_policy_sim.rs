@@ -1,0 +1,135 @@
+//! Integration tests across the policy → simulator stack: learned policies
+//! trained on simulator demonstrations, and oracle-policy evaluations
+//! reproducing the qualitative accuracy trends of Tables 1/2.
+
+use corki::policy::training::{train_corki, TrainingConfig};
+use corki::policy::{CorkiTrajectoryPolicy, ManipulationPolicy};
+use corki::sim::evaluation::{evaluate, EvalConfig};
+use corki::sim::{generate_demonstrations, task_catalog, Environment, EnvironmentConfig, Scene, StepsPolicy};
+use corki::{Variant, VariantSetup};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A Corki head trained on simulator demonstrations produces closed-loop
+/// behaviour that approaches the manipulated object much more than an
+/// untrained head does (policy → trajectory → execution integration).
+#[test]
+fn trained_corki_head_approaches_the_target_in_closed_loop() {
+    let demonstrations = generate_demonstrations(40, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut trained = CorkiTrajectoryPolicy::new(5, &mut rng);
+    let mut rng_untrained = StdRng::seed_from_u64(5);
+    let mut untrained = CorkiTrajectoryPolicy::new(5, &mut rng_untrained);
+    let config = TrainingConfig { epochs: 6, learning_rate: 2e-3, lambda_gripper: 0.2 };
+    let losses = train_corki(&mut trained, &demonstrations, &config);
+    assert!(
+        losses.last().unwrap() < &losses[0],
+        "training loss must decrease: {losses:?}"
+    );
+
+    let env = Environment::new(EnvironmentConfig {
+        steps_policy: StepsPolicy::Fixed(5),
+        max_steps: 90,
+        ..Default::default()
+    });
+    let catalog = task_catalog();
+    let mut improvement_count = 0usize;
+    let mut total = 0usize;
+    let mut episodes: Vec<(f64, f64)> = Vec::new();
+    for task in catalog.iter().take(8) {
+        let mut scene_a = Scene::randomized(500 + task.id as u64, false);
+        task.prepare(&mut scene_a);
+        let mut scene_b = scene_a.clone();
+        let target = scene_a.object_position(task.target_object());
+
+        let run = |scene: &mut Scene, policy: &mut CorkiTrajectoryPolicy| -> f64 {
+            let outcome = env.run_episode(scene, task, policy, false);
+            outcome
+                .achieved_poses
+                .iter()
+                .map(|p| p.position.distance(target))
+                .fold(f64::MAX, f64::min)
+        };
+        let trained_distance = run(&mut scene_a, &mut trained);
+        let untrained_distance = run(&mut scene_b, &mut untrained);
+        episodes.push((trained_distance, untrained_distance));
+        total += 1;
+        if trained_distance < untrained_distance {
+            improvement_count += 1;
+        }
+    }
+    // The trained head should get closer to the object than the untrained one
+    // in the clear majority of episodes.
+    assert!(
+        improvement_count * 3 >= total * 2,
+        "trained head only improved {improvement_count}/{total} episodes: {episodes:?}"
+    );
+}
+
+/// The oracle-policy evaluation reproduces the paper's qualitative accuracy
+/// trends: Corki variants beat the baseline, performance degrades on the
+/// unseen split, and very long open-loop execution (Corki-9) is worse than a
+/// medium horizon (Corki-5).
+#[test]
+fn accuracy_trends_match_the_paper() {
+    let jobs = 40;
+    let run = |variant: Variant, unseen: bool| {
+        let setup = VariantSetup::new(variant);
+        let mut policy = setup.build_policy(9);
+        let env = setup.build_environment(9);
+        evaluate(&env, policy.as_mut(), &EvalConfig { num_jobs: jobs, unseen, seed: 77 })
+    };
+
+    let baseline = run(Variant::RoboFlamingo, false);
+    let corki5 = run(Variant::CorkiFixed(5), false);
+    let corki9 = run(Variant::CorkiFixed(9), false);
+    let corki5_unseen = run(Variant::CorkiFixed(5), true);
+
+    // Corki-5 outperforms the baseline on average job length (Table 1).
+    assert!(
+        corki5.average_length >= baseline.average_length,
+        "Corki-5 ({:.2}) should not be worse than the baseline ({:.2})",
+        corki5.average_length,
+        baseline.average_length
+    );
+    // Executing the full nine steps open loop hurts compared with five.
+    assert!(
+        corki9.average_length <= corki5.average_length + 0.25,
+        "Corki-9 ({:.2}) should not beat Corki-5 ({:.2}) by a margin",
+        corki9.average_length,
+        corki5.average_length
+    );
+    // The unseen split is harder (Table 2 vs Table 1).
+    assert!(
+        corki5_unseen.average_length <= corki5.average_length,
+        "unseen ({:.2}) should not beat seen ({:.2})",
+        corki5_unseen.average_length,
+        corki5.average_length
+    );
+    // Success rates decrease monotonically along the five-task chain.
+    for summary in [&baseline, &corki5, &corki9, &corki5_unseen] {
+        for k in 1..5 {
+            assert!(summary.success_rates[k] <= summary.success_rates[k - 1] + 1e-12);
+        }
+    }
+}
+
+/// Trajectory error (Fig. 11): the Corki reference trajectories stay closer
+/// to the expert than the baseline's per-frame targets.
+#[test]
+fn corki_reduces_mean_trajectory_error() {
+    let run = |variant: Variant| {
+        let setup = VariantSetup::new(variant);
+        let mut policy = setup.build_policy(4);
+        let env = setup.build_environment(4);
+        evaluate(&env, policy.as_mut(), &EvalConfig { num_jobs: 25, unseen: false, seed: 31 })
+    };
+    let baseline = run(Variant::RoboFlamingo);
+    let corki5 = run(Variant::CorkiFixed(5));
+    assert!(
+        corki5.trajectory_error.rmse < baseline.trajectory_error.rmse,
+        "Corki-5 RMSE {:.4} should be below the baseline's {:.4}",
+        corki5.trajectory_error.rmse,
+        baseline.trajectory_error.rmse
+    );
+}
