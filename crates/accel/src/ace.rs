@@ -25,9 +25,7 @@ impl JointImpactFactors {
     /// joint around the home configuration (the Fig. 9 experiment). These are
     /// the defaults used by the ACE unit when no robot model is at hand.
     pub fn panda_defaults() -> Self {
-        JointImpactFactors {
-            factors: vec![0.08, 0.95, 0.55, 0.70, 0.18, 0.12, 0.03],
-        }
+        JointImpactFactors { factors: vec![0.08, 0.95, 0.55, 0.70, 0.18, 0.12, 0.03] }
     }
 
     /// Measures impact factors from a robot model by perturbing each joint by
@@ -76,15 +74,8 @@ impl JointImpactFactors {
         // joint corresponds to certainty that an update is needed (Fig. 9: a
         // 6° ≈ 0.1 rad motion of joint 2 already changes the mass matrix by
         // ~15 %).
-        let max_factor = self
-            .factors
-            .iter()
-            .fold(f64::MIN_POSITIVE, |acc, f| acc.max(*f));
-        let score: f64 = delta_theta
-            .iter()
-            .zip(&self.factors)
-            .map(|(dt, f)| dt.abs() * f)
-            .sum();
+        let max_factor = self.factors.iter().fold(f64::MIN_POSITIVE, |acc, f| acc.max(*f));
+        let score: f64 = delta_theta.iter().zip(&self.factors).map(|(dt, f)| dt.abs() * f).sum();
         (score / (0.1 * max_factor)).min(1.0)
     }
 }
@@ -263,10 +254,8 @@ pub fn sweep_thresholds(
     thresholds
         .iter()
         .map(|&threshold| {
-            let mut ace = AceState::new(AceConfig {
-                impact_factors: impact_factors.clone(),
-                threshold,
-            });
+            let mut ace =
+                AceState::new(AceConfig { impact_factors: impact_factors.clone(), threshold });
             let stats = ace.run_trace(trace);
             let skip_fraction = stats.skip_fraction();
             let latency = model.control_latency_with_skips(skip_fraction).latency_ms;
@@ -317,12 +306,7 @@ mod tests {
         let factors = JointImpactFactors::measure(&robot, &PANDA_HOME, 0.1);
         let f = factors.factors();
         assert_eq!(f.len(), 7);
-        let strongest = f
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let strongest = f.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert!(
             (1..=3).contains(&strongest),
             "a middle joint should dominate, got joint {}",
@@ -345,14 +329,8 @@ mod tests {
             assert!(per_joint[0].max_absolute_change <= per_joint[2].max_absolute_change + 1e-12);
         }
         // Joint 2 at 29° produces a much larger change than joint 7.
-        let j2 = rows
-            .iter()
-            .find(|r| r.joint == 1 && (r.delta_rad - 0.5).abs() < 1e-12)
-            .unwrap();
-        let j7 = rows
-            .iter()
-            .find(|r| r.joint == 6 && (r.delta_rad - 0.5).abs() < 1e-12)
-            .unwrap();
+        let j2 = rows.iter().find(|r| r.joint == 1 && (r.delta_rad - 0.5).abs() < 1e-12).unwrap();
+        let j7 = rows.iter().find(|r| r.joint == 6 && (r.delta_rad - 0.5).abs() < 1e-12).unwrap();
         assert!(j2.max_absolute_change > 5.0 * j7.max_absolute_change);
     }
 

@@ -111,10 +111,7 @@ impl AcceleratorModel {
     ///
     /// Panics if `skip_fraction` is outside `[0, 1]`.
     pub fn control_latency_with_skips(&self, skip_fraction: f64) -> ControlLatencyBreakdown {
-        assert!(
-            (0.0..=1.0).contains(&skip_fraction),
-            "skip_fraction must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&skip_fraction), "skip_fraction must be in [0, 1]");
         let keep = 1.0 - skip_fraction;
         let dataflow_quantities = [
             QuantityKind::Pose,
@@ -122,11 +119,8 @@ impl AcceleratorModel {
             QuantityKind::Acceleration,
             QuantityKind::Force,
         ];
-        let skippable = [
-            QuantityKind::Jacobian,
-            QuantityKind::JacobianTranspose,
-            QuantityKind::TaskMassMatrix,
-        ];
+        let skippable =
+            [QuantityKind::Jacobian, QuantityKind::JacobianTranspose, QuantityKind::TaskMassMatrix];
 
         // Operations in the streaming dataflow portion.
         let dataflow_ops: f64 = if self.config.pipelining {
@@ -135,11 +129,9 @@ impl AcceleratorModel {
             let fill = (self.ops.ops_per_link(QuantityKind::Pose)
                 + self.ops.ops_per_link(QuantityKind::Velocity)
                 + self.ops.ops_per_link(QuantityKind::Acceleration)) as f64;
-            let slowest = dataflow_quantities
-                .iter()
-                .map(|q| self.ops.ops_per_link(*q))
-                .max()
-                .unwrap_or(0) as f64;
+            let slowest =
+                dataflow_quantities.iter().map(|q| self.ops.ops_per_link(*q)).max().unwrap_or(0)
+                    as f64;
             fill + slowest * self.ops.num_links as f64
         } else {
             dataflow_quantities.iter().map(|q| self.ops.ops(*q) as f64).sum()
@@ -151,8 +143,7 @@ impl AcceleratorModel {
         // derived quantities themselves.
         let always_recomputed = self.ops.ops(QuantityKind::TaskBiasForce) as f64
             + self.ops.ops(QuantityKind::JointTorque) as f64;
-        let skippable_ops =
-            skippable.iter().map(|q| self.ops.ops(*q) as f64).sum::<f64>() * keep;
+        let skippable_ops = skippable.iter().map(|q| self.ops.ops(*q) as f64).sum::<f64>() * keep;
         let derived_ops: f64 = if self.config.data_reuse {
             skippable_ops + always_recomputed
         } else {
@@ -236,8 +227,8 @@ mod tests {
         }
         // Skipping ~51 % of updates (the paper's observation at the 40 %
         // threshold) must give a tangible speed-up.
-        let speedup = full.control_latency().latency_ms
-            / full.control_latency_with_skips(0.51).latency_ms;
+        let speedup =
+            full.control_latency().latency_ms / full.control_latency_with_skips(0.51).latency_ms;
         assert!(speedup > 1.1 && speedup < 2.0, "speed-up {speedup:.2} out of range");
     }
 

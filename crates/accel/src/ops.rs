@@ -218,10 +218,7 @@ mod tests {
     fn bias_force_is_the_most_demanding_dependency_chain() {
         // Sanity check of Fig. 7: the bias-force block consumes the longest
         // chain of prerequisites.
-        let longest = BlockKind::ALL
-            .iter()
-            .max_by_key(|b| b.required_quantities().len())
-            .unwrap();
+        let longest = BlockKind::ALL.iter().max_by_key(|b| b.required_quantities().len()).unwrap();
         assert_eq!(*longest, BlockKind::TaskBiasForce);
     }
 }

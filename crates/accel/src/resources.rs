@@ -71,16 +71,40 @@ impl ResourceReport {
     pub fn corki_on_zc706() -> Self {
         let units = vec![
             ("pose unit".to_owned(), ResourceUsage { dsp: 18, ff: 4_600, lut: 5_200, bram36: 0 }),
-            ("velocity unit".to_owned(), ResourceUsage { dsp: 14, ff: 3_800, lut: 4_300, bram36: 0 }),
-            ("acceleration unit".to_owned(), ResourceUsage { dsp: 16, ff: 4_200, lut: 4_800, bram36: 0 }),
+            (
+                "velocity unit".to_owned(),
+                ResourceUsage { dsp: 14, ff: 3_800, lut: 4_300, bram36: 0 },
+            ),
+            (
+                "acceleration unit".to_owned(),
+                ResourceUsage { dsp: 16, ff: 4_200, lut: 4_800, bram36: 0 },
+            ),
             ("force unit".to_owned(), ResourceUsage { dsp: 20, ff: 4_900, lut: 5_500, bram36: 0 }),
-            ("task-space mass matrix unit".to_owned(), ResourceUsage { dsp: 26, ff: 6_300, lut: 7_400, bram36: 2 }),
-            ("task-space bias force unit".to_owned(), ResourceUsage { dsp: 16, ff: 3_900, lut: 4_500, bram36: 1 }),
-            ("joint torque unit".to_owned(), ResourceUsage { dsp: 8, ff: 2_100, lut: 2_400, bram36: 0 }),
+            (
+                "task-space mass matrix unit".to_owned(),
+                ResourceUsage { dsp: 26, ff: 6_300, lut: 7_400, bram36: 2 },
+            ),
+            (
+                "task-space bias force unit".to_owned(),
+                ResourceUsage { dsp: 16, ff: 3_900, lut: 4_500, bram36: 1 },
+            ),
+            (
+                "joint torque unit".to_owned(),
+                ResourceUsage { dsp: 8, ff: 2_100, lut: 2_400, bram36: 0 },
+            ),
             ("ACE units".to_owned(), ResourceUsage { dsp: 4, ff: 1_300, lut: 1_500, bram36: 0 }),
-            ("FIFOs + line buffer".to_owned(), ResourceUsage { dsp: 0, ff: 1_200, lut: 800, bram36: 18 }),
-            ("Jacobian-transpose copy + scratchpad".to_owned(), ResourceUsage { dsp: 0, ff: 700, lut: 350, bram36: 13 }),
-            ("input/output buffers".to_owned(), ResourceUsage { dsp: 0, ff: 500, lut: 300, bram36: 2 }),
+            (
+                "FIFOs + line buffer".to_owned(),
+                ResourceUsage { dsp: 0, ff: 1_200, lut: 800, bram36: 18 },
+            ),
+            (
+                "Jacobian-transpose copy + scratchpad".to_owned(),
+                ResourceUsage { dsp: 0, ff: 700, lut: 350, bram36: 13 },
+            ),
+            (
+                "input/output buffers".to_owned(),
+                ResourceUsage { dsp: 0, ff: 500, lut: 300, bram36: 2 },
+            ),
             ("micro-controller".to_owned(), ResourceUsage { dsp: 0, ff: 700, lut: 600, bram36: 0 }),
         ];
         ResourceReport { device: FpgaDevice::zc706(), units }
@@ -88,9 +112,7 @@ impl ResourceReport {
 
     /// Total usage across all units.
     pub fn total(&self) -> ResourceUsage {
-        self.units
-            .iter()
-            .fold(ResourceUsage::default(), |acc, (_, u)| acc.add(u))
+        self.units.iter().fold(ResourceUsage::default(), |acc, (_, u)| acc.add(u))
     }
 
     /// Utilisation percentages `(dsp, ff, lut, bram)` of the target device.
@@ -130,10 +152,7 @@ mod tests {
     #[test]
     fn totals_are_the_sum_of_units() {
         let report = ResourceReport::corki_on_zc706();
-        let manual = report
-            .units
-            .iter()
-            .fold(ResourceUsage::default(), |acc, (_, u)| acc.add(u));
+        let manual = report.units.iter().fold(ResourceUsage::default(), |acc, (_, u)| acc.add(u));
         assert_eq!(manual, report.total());
         assert!(!report.requires_dram());
     }

@@ -2,9 +2,9 @@
 //! points and the ACE decision path (which the paper bounds at "< 100 FLOPs"
 //! per control cycle).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use corki_accel::ace::{representative_joint_trace, AceConfig, AceState};
 use corki_accel::{AcceleratorConfig, AcceleratorModel, OpCounts};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_accel_model(c: &mut Criterion) {

@@ -3,8 +3,10 @@
 //! control cycle) on the host CPU. These are the software counterparts of the
 //! per-block latencies the §4.2 ablation reasons about.
 
+use corki_robot::{
+    panda, ControllerGains, JointState, TaskReference, TaskSpaceController, TaskSpaceDynamics,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
-use corki_robot::{panda, ControllerGains, JointState, TaskReference, TaskSpaceController, TaskSpaceDynamics};
 use std::hint::black_box;
 
 fn configuration() -> Vec<f64> {
@@ -21,9 +23,7 @@ fn bench_control_kernels(c: &mut Criterion) {
     group.bench_function("forward_kinematics", |b| {
         b.iter(|| black_box(robot.forward_kinematics(black_box(&q))))
     });
-    group.bench_function("jacobian", |b| {
-        b.iter(|| black_box(robot.jacobian(black_box(&q))))
-    });
+    group.bench_function("jacobian", |b| b.iter(|| black_box(robot.jacobian(black_box(&q)))));
     group.bench_function("mass_matrix_crba", |b| {
         b.iter(|| black_box(robot.mass_matrix(black_box(&q))))
     });

@@ -1,10 +1,10 @@
 //! Benchmarks of the end-to-end pipeline simulation (Fig. 13/14 generator)
 //! and of a full simulator job rollout (Tables 1/2 generator).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use corki::VariantSetup;
 use corki_sim::evaluation::{run_job, EvalConfig};
 use corki_system::{PipelineConfig, PipelineSimulator, Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {

@@ -2,22 +2,23 @@
 //! head and Corki trajectory head) and the oracle policies used by the large
 //! evaluation sweeps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use corki_math::Vec3;
 use corki_policy::{
     BaselineFramePolicy, CorkiTrajectoryPolicy, ManipulationPolicy, NoiseModel, Observation,
     OracleTrajectoryPolicy, PlanRequest,
 };
 use corki_trajectory::{EePose, GripperState};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
 fn request() -> PlanRequest {
-    let mut observation = Observation::default();
-    observation.end_effector =
-        EePose::new(Vec3::new(0.35, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
-    observation.object_position = Vec3::new(0.45, -0.1, 0.02);
+    let observation = Observation {
+        end_effector: EePose::new(Vec3::new(0.35, 0.0, 0.3), Vec3::ZERO, GripperState::Open),
+        object_position: Vec3::new(0.45, -0.1, 0.02),
+        ..Observation::default()
+    };
     let expert_future = (1..=9)
         .map(|k| {
             EePose::new(

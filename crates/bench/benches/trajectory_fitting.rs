@@ -3,10 +3,10 @@
 //! Algorithm 1 adaptive-length decision (which the paper bounds at
 //! "< 500 FLOPs").
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use corki_math::Vec3;
 use corki_trajectory::waypoints::{adaptive_trajectory_length, AdaptiveLengthConfig};
 use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn waypoints(n: usize) -> Vec<EePose> {

@@ -15,33 +15,57 @@ use corki_system::FrameKind;
 use std::collections::BTreeMap;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Flags may appear anywhere, including after `only`; strip them first so
+    // only experiment names remain as positionals.
     let mut scale = ExperimentScale::default();
-    if args.iter().any(|a| a == "--full") {
-        scale = ExperimentScale::full();
+    let mut json_path = None;
+    let mut positionals: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--full" => scale = ExperimentScale::full(),
+            "--smoke" => scale = ExperimentScale::smoke(),
+            "--json" => match raw.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("error: --json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            _ => positionals.push(arg),
+        }
     }
-    if args.iter().any(|a| a == "--smoke") {
-        scale = ExperimentScale::smoke();
+    let selected: Vec<String> =
+        positionals.iter().skip_while(|a| *a != "only").skip(1).cloned().collect();
+    // Keep in sync with the wants() sites below and the doc comment above.
+    const KNOWN: [&str; 15] = [
+        "fig2",
+        "table1",
+        "table2",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "table3",
+        "table4",
+        "resources",
+        "fig9",
+        "ablation",
+        "approx",
+        "fig15",
+        "bottleneck",
+    ];
+    for name in &selected {
+        if !KNOWN.contains(&name.as_str()) {
+            eprintln!("error: unknown experiment name `{name}` (known: {})", KNOWN.join(", "));
+            std::process::exit(2);
+        }
     }
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let selected: Vec<String> = args
-        .iter()
-        .skip_while(|a| *a != "only")
-        .skip(1)
-        .cloned()
-        .collect();
     let wants = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
 
     let mut json = BTreeMap::new();
     println!("DaDu-Corki paper reproduction — experiment harness");
-    println!(
-        "scale: {} jobs, {} frames, seed {}\n",
-        scale.jobs, scale.frames, scale.seed
-    );
+    println!("scale: {} jobs, {} frames, seed {}\n", scale.jobs, scale.frames, scale.seed);
 
     if wants("fig2") {
         println!("== Fig. 2: per-frame latency & energy breakdown of RoboFlamingo (V100 + i7-6770HQ + Wi-Fi) ==");
@@ -80,7 +104,9 @@ fn main() {
 
     if wants("fig11") {
         if let Some(seen) = &seen_table {
-            println!("== Fig. 11: trajectory comparison metrics (reference vs expert ground truth) ==");
+            println!(
+                "== Fig. 11: trajectory comparison metrics (reference vs expert ground truth) =="
+            );
             println!(
                 "  {:<16} {:>12} {:>10} {:>10} {:>10}",
                 "variant", "RMSE [m]", "maxX [m]", "maxY [m]", "maxZ [m]"
@@ -154,7 +180,9 @@ fn main() {
         }
         println!();
         if wants("fig14") {
-            println!("== Fig. 14: per-frame latency trace (first 30 frames) and long-tail statistics ==");
+            println!(
+                "== Fig. 14: per-frame latency trace (first 30 frames) and long-tail statistics =="
+            );
             for row in &rows {
                 if !["RoboFlamingo", "Corki-5", "Corki-ADAP"].contains(&row.variant.as_str()) {
                     continue;
@@ -184,7 +212,9 @@ fn main() {
     }
 
     if wants("table3") {
-        println!("== Table 3: performance under different GPU/CPU inference baselines (Corki-ADAP) ==");
+        println!(
+            "== Table 3: performance under different GPU/CPU inference baselines (Corki-ADAP) =="
+        );
         println!("  {:<18} {:>22} {:>10}", "device", "norm. inference lat.", "speedup");
         for (device, norm, speedup) in experiments::device_table(&scale) {
             println!("  {:<18} {:>21.1}x {:>9.1}x", device, norm, speedup);
@@ -276,7 +306,12 @@ fn main() {
 
     if let Some(path) = json_path {
         let blob = serde_json::to_string_pretty(&json).expect("results are serialisable");
-        std::fs::write(&path, blob).expect("failed to write JSON output");
-        println!("(wrote JSON results to {path})");
+        match std::fs::write(&path, blob) {
+            Ok(()) => println!("(wrote JSON results to {path})"),
+            Err(e) => {
+                eprintln!("error: cannot write JSON results to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

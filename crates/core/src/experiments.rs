@@ -9,9 +9,7 @@ use corki_accel::ace::{
     mass_matrix_sensitivity, representative_joint_trace, sweep_thresholds, AceConfig, AceState,
     JointImpactFactors, MassMatrixSensitivity, ThresholdSweepPoint,
 };
-use corki_accel::{
-    AcceleratorConfig, AcceleratorModel, CpuControlModel, OpCounts, ResourceReport,
-};
+use corki_accel::{AcceleratorConfig, AcceleratorModel, CpuControlModel, OpCounts, ResourceReport};
 use corki_robot::panda::{panda_model, PANDA_HOME};
 use corki_sim::evaluation::{evaluate, run_job, EpisodeTraces, EvalConfig, EvaluationSummary};
 use corki_system::{
@@ -71,9 +69,7 @@ pub fn accuracy_table(unseen: bool, scale: &ExperimentScale) -> Vec<EvaluationSu
 /// Figure 11: the trajectory-error statistics are part of the
 /// [`EvaluationSummary`] returned by [`accuracy_table`]; this helper extracts
 /// the `(variant, rmse, max_distance_xyz)` series.
-pub fn trajectory_error_series(
-    summaries: &[EvaluationSummary],
-) -> Vec<(String, f64, [f64; 3])> {
+pub fn trajectory_error_series(summaries: &[EvaluationSummary]) -> Vec<(String, f64, [f64; 3])> {
     summaries
         .iter()
         .map(|s| {
@@ -115,21 +111,9 @@ pub fn fig2_breakdown() -> Vec<(String, f64, f64)> {
     let cpu = CpuControlModel::i7_6770hq();
     let control_ms = corki_system::BASELINE_FRAME_MS * 0.099;
     vec![
-        (
-            "LLM inference".to_owned(),
-            inference.action_latency_ms(),
-            inference.action_energy_j(),
-        ),
-        (
-            "Robot control".to_owned(),
-            control_ms,
-            control_ms / 1000.0 * cpu.power_w,
-        ),
-        (
-            "Data communication".to_owned(),
-            comm.per_frame_ms,
-            comm.energy_per_frame_j(),
-        ),
+        ("LLM inference".to_owned(), inference.action_latency_ms(), inference.action_energy_j()),
+        ("Robot control".to_owned(), control_ms, control_ms / 1000.0 * cpu.power_w),
+        ("Data communication".to_owned(), comm.per_frame_ms, comm.energy_per_frame_j()),
     ]
 }
 
@@ -158,11 +142,7 @@ pub fn device_table(scale: &ExperimentScale) -> Vec<(String, f64, f64)> {
             let sim = PipelineSimulator::new(config);
             let corki = sim.simulate();
             let baseline = sim.simulate_baseline_reference();
-            (
-                device.name().to_owned(),
-                device.normalized_latency(),
-                corki.speedup_over(&baseline),
-            )
+            (device.name().to_owned(), device.normalized_latency(), corki.speedup_over(&baseline))
         })
         .collect()
 }
@@ -219,9 +199,7 @@ pub fn accelerator_ablation() -> Vec<(String, f64)> {
         ),
         (
             "data reuse + pipelining".to_owned(),
-            AcceleratorModel::new(AcceleratorConfig::default(), ops)
-                .control_latency()
-                .latency_ms,
+            AcceleratorModel::new(AcceleratorConfig::default(), ops).control_latency().latency_ms,
         ),
     ]
 }
@@ -234,12 +212,8 @@ pub fn approximation_study() -> (f64, Vec<ThresholdSweepPoint>) {
     let stats = ace.run_trace(&trace);
     let model = AcceleratorModel::default();
     let thresholds: Vec<f64> = (0..=8).map(|i| i as f64 * 0.1).collect();
-    let sweep = sweep_thresholds(
-        &model,
-        &JointImpactFactors::panda_defaults(),
-        &trace,
-        &thresholds,
-    );
+    let sweep =
+        sweep_thresholds(&model, &JointImpactFactors::panda_defaults(), &trace, &thresholds);
     (stats.skip_fraction(), sweep)
 }
 

@@ -35,9 +35,9 @@ impl VariantSetup {
     pub fn build_policy(&self, seed: u64) -> Box<dyn ManipulationPolicy> {
         match self.variant {
             Variant::RoboFlamingo => Box::new(OracleFramePolicy::new(self.noise, seed)),
-            Variant::CorkiFixed(_) | Variant::CorkiAdaptive | Variant::CorkiSoftware => Box::new(
-                OracleTrajectoryPolicy::new(MAX_PREDICTION_STEPS, self.noise, seed),
-            ),
+            Variant::CorkiFixed(_) | Variant::CorkiAdaptive | Variant::CorkiSoftware => {
+                Box::new(OracleTrajectoryPolicy::new(MAX_PREDICTION_STEPS, self.noise, seed))
+            }
         }
     }
 

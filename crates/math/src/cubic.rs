@@ -158,10 +158,11 @@ fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
         if pivot.abs() < 1e-15 {
             continue;
         }
+        let pivot_row = a[k];
         for i in (k + 1)..4 {
             let f = a[i][k] / pivot;
-            for j in k..4 {
-                a[i][j] -= f * a[k][j];
+            for (aij, pkj) in a[i][k..4].iter_mut().zip(&pivot_row[k..4]) {
+                *aij -= f * pkj;
             }
             b[i] -= f * b[k];
         }
@@ -212,11 +213,12 @@ mod tests {
     #[test]
     fn least_squares_recovers_exact_cubic() {
         let truth = CubicPoly::new(0.7, -0.2, 1.3, -0.5);
-        let samples: Vec<(f64, f64)> =
-            (0..10).map(|i| {
+        let samples: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
                 let t = i as f64 * 0.033;
                 (t, truth.eval(t))
-            }).collect();
+            })
+            .collect();
         let fit = CubicPoly::fit_least_squares(&samples);
         for i in 0..10 {
             let t = i as f64 * 0.033;

@@ -110,11 +110,7 @@ impl DVec {
     /// Panics when the lengths differ.
     pub fn dot(&self, other: &DVec) -> f64 {
         assert_eq!(self.len(), other.len(), "DVec::dot length mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean norm.
@@ -150,13 +146,7 @@ impl Add for &DVec {
     type Output = DVec;
     fn add(self, rhs: &DVec) -> DVec {
         assert_eq!(self.len(), rhs.len(), "DVec addition length mismatch");
-        DVec::from_vec(
-            self.data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| a + b)
-                .collect(),
-        )
+        DVec::from_vec(self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect())
     }
 }
 
@@ -164,13 +154,7 @@ impl Sub for &DVec {
     type Output = DVec;
     fn sub(self, rhs: &DVec) -> DVec {
         assert_eq!(self.len(), rhs.len(), "DVec subtraction length mismatch");
-        DVec::from_vec(
-            self.data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| a - b)
-                .collect(),
-        )
+        DVec::from_vec(self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect())
     }
 }
 
@@ -237,10 +221,7 @@ impl DMat {
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, |r| r.len());
-        assert!(
-            rows.iter().all(|r| r.len() == ncols),
-            "all rows must have the same length"
-        );
+        assert!(rows.iter().all(|r| r.len() == ncols), "all rows must have the same length");
         let mut data = Vec::with_capacity(nrows * ncols);
         for r in rows {
             data.extend_from_slice(r);
@@ -336,10 +317,7 @@ impl DMat {
     pub fn max_abs_diff(&self, other: &DMat) -> f64 {
         assert_eq!(self.rows, other.rows, "max_abs_diff dimension mismatch");
         assert_eq!(self.cols, other.cols, "max_abs_diff dimension mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .fold(0.0_f64, |acc, (a, b)| acc.max((a - b).abs()))
+        self.data.iter().zip(other.data.iter()).fold(0.0_f64, |acc, (a, b)| acc.max((a - b).abs()))
     }
 
     /// Solves `self * x = b` using LU decomposition with partial pivoting.
@@ -571,11 +549,8 @@ mod tests {
 
     #[test]
     fn lu_solve_known_system() {
-        let m = DMat::from_rows(&[
-            vec![2.0, 1.0, -1.0],
-            vec![-3.0, -1.0, 2.0],
-            vec![-2.0, 1.0, 2.0],
-        ]);
+        let m =
+            DMat::from_rows(&[vec![2.0, 1.0, -1.0], vec![-3.0, -1.0, 2.0], vec![-2.0, 1.0, 2.0]]);
         let b = DVec::from_slice(&[8.0, -11.0, -3.0]);
         let x = m.solve_lu(&b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-10);
@@ -623,19 +598,12 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let m = DMat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
-        assert_eq!(
-            m.cholesky_factor().unwrap_err(),
-            CholeskyError::NotPositiveDefinite
-        );
+        assert_eq!(m.cholesky_factor().unwrap_err(), CholeskyError::NotPositiveDefinite);
     }
 
     #[test]
     fn inverse_roundtrip() {
-        let m = DMat::from_rows(&[
-            vec![3.0, 0.5, 1.0],
-            vec![0.5, 2.0, 0.0],
-            vec![1.0, 0.0, 4.0],
-        ]);
+        let m = DMat::from_rows(&[vec![3.0, 0.5, 1.0], vec![0.5, 2.0, 0.0], vec![1.0, 0.0, 4.0]]);
         let inv = m.inverse().unwrap();
         let eye = m.mul_mat(&inv);
         assert!(eye.max_abs_diff(&DMat::identity(3)) < 1e-10);

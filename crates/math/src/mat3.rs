@@ -34,9 +34,7 @@ impl Mat3 {
 
     /// The identity matrix.
     pub const fn identity() -> Self {
-        Mat3 {
-            m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-        }
+        Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
     }
 
     /// Builds a matrix from rows.
@@ -46,20 +44,12 @@ impl Mat3 {
 
     /// Builds a matrix from three column vectors.
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
-        Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
-        }
+        Mat3 { m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]] }
     }
 
     /// Builds a diagonal matrix.
     pub fn diagonal(d: Vec3) -> Self {
-        Mat3 {
-            m: [[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]],
-        }
+        Mat3 { m: [[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]] }
     }
 
     /// Rotation about the X axis by `theta` radians.
@@ -193,20 +183,12 @@ impl Mat3 {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.m
-            .iter()
-            .flat_map(|r| r.iter())
-            .map(|x| x * x)
-            .sum::<f64>()
-            .sqrt()
+        self.m.iter().flat_map(|r| r.iter()).map(|x| x * x).sum::<f64>().sqrt()
     }
 
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
-        self.m
-            .iter()
-            .flat_map(|r| r.iter())
-            .fold(0.0_f64, |acc, x| acc.max(x.abs()))
+        self.m.iter().flat_map(|r| r.iter()).fold(0.0_f64, |acc, x| acc.max(x.abs()))
     }
 
     /// Returns `true` when this matrix is a valid rotation (orthonormal with
@@ -317,11 +299,7 @@ impl IndexMut<(usize, usize)> for Mat3 {
 impl std::fmt::Display for Mat3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for i in 0..3 {
-            writeln!(
-                f,
-                "[{:9.4} {:9.4} {:9.4}]",
-                self.m[i][0], self.m[i][1], self.m[i][2]
-            )?;
+            writeln!(f, "[{:9.4} {:9.4} {:9.4}]", self.m[i][0], self.m[i][1], self.m[i][2])?;
         }
         Ok(())
     }

@@ -110,21 +110,9 @@ impl UnitQuaternion {
     pub fn to_rotation_matrix(&self) -> Mat3 {
         let (w, x, y, z) = (self.w, self.x, self.y, self.z);
         Mat3::from_rows(
-            [
-                1.0 - 2.0 * (y * y + z * z),
-                2.0 * (x * y - w * z),
-                2.0 * (x * z + w * y),
-            ],
-            [
-                2.0 * (x * y + w * z),
-                1.0 - 2.0 * (x * x + z * z),
-                2.0 * (y * z - w * x),
-            ],
-            [
-                2.0 * (x * z - w * y),
-                2.0 * (y * z + w * x),
-                1.0 - 2.0 * (x * x + y * y),
-            ],
+            [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
+            [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
+            [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
         )
     }
 
@@ -204,11 +192,7 @@ impl Mul for UnitQuaternion {
 
 impl std::fmt::Display for UnitQuaternion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "q({:.6} + {:.6}i + {:.6}j + {:.6}k)",
-            self.w, self.x, self.y, self.z
-        )
+        write!(f, "q({:.6} + {:.6}i + {:.6}j + {:.6}k)", self.w, self.x, self.y, self.z)
     }
 }
 

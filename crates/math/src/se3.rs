@@ -63,11 +63,8 @@ impl SE3 {
     pub fn from_mdh(a: f64, d: f64, alpha: f64, theta: f64) -> Self {
         let (st, ct) = theta.sin_cos();
         let (sa, ca) = alpha.sin_cos();
-        let rotation = Mat3::from_rows(
-            [ct, -st, 0.0],
-            [st * ca, ct * ca, -sa],
-            [st * sa, ct * sa, ca],
-        );
+        let rotation =
+            Mat3::from_rows([ct, -st, 0.0], [st * ca, ct * ca, -sa], [st * sa, ct * sa, ca]);
         let translation = Vec3::new(a, -sa * d, ca * d);
         SE3::new(rotation, translation)
     }
@@ -123,21 +120,14 @@ impl SE3 {
 impl Mul for SE3 {
     type Output = SE3;
     fn mul(self, rhs: SE3) -> SE3 {
-        SE3::new(
-            self.rotation * rhs.rotation,
-            self.rotation * rhs.translation + self.translation,
-        )
+        SE3::new(self.rotation * rhs.rotation, self.rotation * rhs.translation + self.translation)
     }
 }
 
 impl std::fmt::Display for SE3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (r, p, y) = self.euler_xyz();
-        write!(
-            f,
-            "SE3(t = {}, rpy = ({:.4}, {:.4}, {:.4}))",
-            self.translation, r, p, y
-        )
+        write!(f, "SE3(t = {}, rpy = ({:.4}, {:.4}, {:.4}))", self.translation, r, p, y)
     }
 }
 

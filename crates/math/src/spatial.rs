@@ -8,7 +8,7 @@
 //! exactly the structure the Corki accelerator exploits (pose → velocity →
 //! acceleration → force → torque units).
 
-use crate::{Mat3, SE3, Vec3};
+use crate::{Mat3, Vec3, SE3};
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
 
@@ -81,9 +81,7 @@ impl SpatialMotion {
 
     /// Returns the stacked `[ωx, ωy, ωz, vx, vy, vz]` array.
     pub fn to_array(&self) -> [f64; 6] {
-        [
-            self.ang.x, self.ang.y, self.ang.z, self.lin.x, self.lin.y, self.lin.z,
-        ]
+        [self.ang.x, self.ang.y, self.ang.z, self.lin.x, self.lin.y, self.lin.z]
     }
 }
 
@@ -103,14 +101,7 @@ impl SpatialForce {
 
     /// Returns the stacked `[nx, ny, nz, fx, fy, fz]` array.
     pub fn to_array(&self) -> [f64; 6] {
-        [
-            self.moment.x,
-            self.moment.y,
-            self.moment.z,
-            self.force.x,
-            self.force.y,
-            self.force.z,
-        ]
+        [self.moment.x, self.moment.y, self.moment.z, self.force.x, self.force.y, self.force.z]
     }
 }
 
@@ -193,18 +184,12 @@ impl SpatialTransform {
 
     /// Transforms a motion vector from frame A into frame B.
     pub fn apply_motion(&self, m: &SpatialMotion) -> SpatialMotion {
-        SpatialMotion::new(
-            self.rot * m.ang,
-            self.rot * (m.lin - self.trans.cross(m.ang)),
-        )
+        SpatialMotion::new(self.rot * m.ang, self.rot * (m.lin - self.trans.cross(m.ang)))
     }
 
     /// Transforms a force vector from frame A into frame B.
     pub fn apply_force(&self, f: &SpatialForce) -> SpatialForce {
-        SpatialForce::new(
-            self.rot * (f.moment - self.trans.cross(f.force)),
-            self.rot * f.force,
-        )
+        SpatialForce::new(self.rot * (f.moment - self.trans.cross(f.force)), self.rot * f.force)
     }
 
     /// Transforms a motion vector from frame B back into frame A.
@@ -223,10 +208,7 @@ impl SpatialTransform {
 
     /// The inverse transform `^A X_B`.
     pub fn inverse(&self) -> SpatialTransform {
-        SpatialTransform {
-            rot: self.rot.transpose(),
-            trans: -(self.rot * self.trans),
-        }
+        SpatialTransform { rot: self.rot.transpose(), trans: -(self.rot * self.trans) }
     }
 
     /// Composition: if `self` is `^C X_B` and `rhs` is `^B X_A`, the result is
@@ -392,18 +374,15 @@ impl SpatialMat {
     pub fn mul_motion(&self, v: &SpatialMotion) -> SpatialForce {
         let x = v.to_array();
         let mut y = [0.0; 6];
-        for i in 0..6 {
-            y[i] = (0..6).map(|j| self.m[i][j] * x[j]).sum();
+        for (yi, row) in y.iter_mut().zip(&self.m) {
+            *yi = row.iter().zip(&x).map(|(mij, xj)| mij * xj).sum();
         }
         SpatialForce::new(Vec3::new(y[0], y[1], y[2]), Vec3::new(y[3], y[4], y[5]))
     }
 
     /// Maximum absolute entry.
     pub fn max_abs(&self) -> f64 {
-        self.m
-            .iter()
-            .flat_map(|r| r.iter())
-            .fold(0.0_f64, |acc, x| acc.max(x.abs()))
+        self.m.iter().flat_map(|r| r.iter()).fold(0.0_f64, |acc, x| acc.max(x.abs()))
     }
 }
 
@@ -582,17 +561,9 @@ mod tests {
     }
 
     fn arb_motion() -> impl Strategy<Value = SpatialMotion> {
-        (
-            -3.0..3.0,
-            -3.0..3.0,
-            -3.0..3.0,
-            -3.0..3.0,
-            -3.0..3.0,
-            -3.0..3.0,
+        (-3.0..3.0, -3.0..3.0, -3.0..3.0, -3.0..3.0, -3.0..3.0, -3.0..3.0).prop_map(
+            |(a, b, c, d, e, f)| SpatialMotion::new(Vec3::new(a, b, c), Vec3::new(d, e, f)),
         )
-            .prop_map(|(a, b, c, d, e, f)| {
-                SpatialMotion::new(Vec3::new(a, b, c), Vec3::new(d, e, f))
-            })
     }
 
     proptest! {

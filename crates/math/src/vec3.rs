@@ -101,8 +101,7 @@ impl Vec3 {
     ///
     /// Panics if the vector is (nearly) zero.
     pub fn normalize(self) -> Vec3 {
-        self.try_normalize()
-            .expect("cannot normalize a zero-length Vec3")
+        self.try_normalize().expect("cannot normalize a zero-length Vec3")
     }
 
     /// Component-wise multiplication.

@@ -84,16 +84,14 @@ mod tests {
             for &x in &[-1.5, -0.3, 0.0, 0.4, 2.0] {
                 let y = act.apply(x);
                 let fd = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
-                assert!(
-                    (act.derivative_from_output(y) - fd).abs() < 1e-6,
-                    "{act:?} at {x}"
-                );
+                assert!((act.derivative_from_output(y) - fd).abs() < 1e-6, "{act:?} at {x}");
             }
         }
         // ReLU away from the kink.
         for &x in &[-1.0, 1.0] {
             let y = Activation::Relu.apply(x);
-            let fd = (Activation::Relu.apply(x + eps) - Activation::Relu.apply(x - eps)) / (2.0 * eps);
+            let fd =
+                (Activation::Relu.apply(x + eps) - Activation::Relu.apply(x - eps)) / (2.0 * eps);
             assert!((Activation::Relu.derivative_from_output(y) - fd).abs() < 1e-6);
         }
     }

@@ -67,11 +67,7 @@ impl Linear {
     ///
     /// Panics if `grad_output.len()` differs from the output dimensionality.
     pub fn backward(&mut self, cache: &LinearCache, grad_output: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            grad_output.len(),
-            self.output_dim(),
-            "Linear::backward: wrong gradient length"
-        );
+        assert_eq!(grad_output.len(), self.output_dim(), "Linear::backward: wrong gradient length");
         self.weight.accumulate_outer(grad_output, &cache.input);
         for (i, g) in grad_output.iter().enumerate() {
             self.bias.accumulate_grad(i, 0, *g);

@@ -58,11 +58,7 @@ pub fn pose_and_gripper_loss(
 ) -> (f64, Vec<f64>, f64) {
     let (pose_loss, pose_grad) = mse(pose_pred, pose_target);
     let (grip_loss, grip_grad) = bce_with_logits(gripper_logit, gripper_target);
-    (
-        pose_loss + lambda * grip_loss,
-        pose_grad,
-        lambda * grip_grad,
-    )
+    (pose_loss + lambda * grip_loss, pose_grad, lambda * grip_grad)
 }
 
 #[cfg(test)]
@@ -128,10 +124,8 @@ mod tests {
     fn combined_loss_weights_gripper_with_lambda() {
         let pose_pred = [0.1, 0.2];
         let pose_target = [0.0, 0.0];
-        let (total_0, _, ggrad_0) =
-            pose_and_gripper_loss(&pose_pred, &pose_target, 1.0, 0.0, 0.0);
-        let (total_1, _, ggrad_1) =
-            pose_and_gripper_loss(&pose_pred, &pose_target, 1.0, 0.0, 2.0);
+        let (total_0, _, ggrad_0) = pose_and_gripper_loss(&pose_pred, &pose_target, 1.0, 0.0, 0.0);
+        let (total_1, _, ggrad_1) = pose_and_gripper_loss(&pose_pred, &pose_target, 1.0, 0.0, 2.0);
         assert!(total_1 > total_0);
         assert_eq!(ggrad_0, 0.0);
         assert!(ggrad_1 > 0.0);

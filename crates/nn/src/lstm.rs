@@ -190,12 +190,7 @@ mod tests {
         for x in inputs {
             state = cell.forward(x, &state);
         }
-        state
-            .h
-            .iter()
-            .zip(target)
-            .map(|(h, t)| 0.5 * (h - t).powi(2))
-            .sum()
+        state.h.iter().zip(target).map(|(h, t)| 0.5 * (h - t).powi(2)).sum()
     }
 
     #[test]
@@ -258,10 +253,7 @@ mod tests {
         }
         let fd = (total_loss(&plus, &inputs, &target) - total_loss(&minus, &inputs, &target))
             / (2.0 * eps);
-        assert!(
-            (analytic_wih - fd).abs() < 1e-5,
-            "analytic {analytic_wih} vs fd {fd}"
-        );
+        assert!((analytic_wih - fd).abs() < 1e-5, "analytic {analytic_wih} vs fd {fd}");
     }
 
     #[test]

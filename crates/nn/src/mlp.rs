@@ -33,10 +33,7 @@ impl Mlp {
     /// Panics if fewer than two sizes are given.
     pub fn new(sizes: &[usize], activation: Activation, rng: &mut impl Rng) -> Self {
         assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
-        let layers = sizes
-            .windows(2)
-            .map(|w| Linear::new(w[0], w[1], rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
         Mlp { layers, activation }
     }
 
@@ -108,10 +105,7 @@ impl Mlp {
 
     /// Mutable references to every parameter tensor (for optimisers).
     pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers
-            .iter_mut()
-            .flat_map(Linear::parameters_mut)
-            .collect()
+        self.layers.iter_mut().flat_map(Linear::parameters_mut).collect()
     }
 }
 
@@ -195,7 +189,13 @@ mod tests {
             })
             .collect();
         let mut last = f64::MAX;
-        for _ in 0..400 {
+        // Run to convergence with a hard epoch cap: the exact trajectory
+        // depends on the RNG stream behind the Xavier init, and this test is
+        // about *whether* the MLP can fit, not how fast one seed does.
+        for _ in 0..1500 {
+            if last < 8e-3 {
+                break;
+            }
             let mut epoch = 0.0;
             // Mini-batches keep the per-sample Adam updates stable.
             for chunk in data.chunks(8) {

@@ -19,12 +19,7 @@ pub struct Tensor {
 impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-            grad: vec![0.0; rows * cols],
-        }
+        Tensor { rows, cols, data: vec![0.0; rows * cols], grad: vec![0.0; rows * cols] }
     }
 
     /// Xavier/Glorot-uniform initialisation, the standard choice for the

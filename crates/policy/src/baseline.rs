@@ -117,7 +117,12 @@ impl ManipulationPolicy for BaselineFramePolicy {
             GripperState::Open
         };
         PolicyPlan::SingleStep(DeltaAction::from_array7([
-            pose[0], pose[1], pose[2], pose[3], pose[4], pose[5],
+            pose[0],
+            pose[1],
+            pose[2],
+            pose[3],
+            pose[4],
+            pose[5],
             gripper.to_target(),
         ]))
     }

@@ -43,7 +43,7 @@ impl CorkiTrajectoryPolicy {
     /// Panics if `horizon` is zero or exceeds [`MAX_PREDICTION_STEPS`].
     pub fn new(horizon: usize, rng: &mut impl Rng) -> Self {
         assert!(
-            horizon >= 1 && horizon <= MAX_PREDICTION_STEPS,
+            (1..=MAX_PREDICTION_STEPS).contains(&horizon),
             "horizon must be in 1..={MAX_PREDICTION_STEPS}"
         );
         CorkiTrajectoryPolicy {
@@ -105,7 +105,11 @@ impl CorkiTrajectoryPolicy {
 
     /// Decodes hidden state + close-loop feature into per-step waypoint
     /// offsets (cumulative, in the 6-D pose space) and gripper logits.
-    pub(crate) fn decode(&self, hidden: &[f64], close_loop_feature: &[f64]) -> (Vec<[f64; 6]>, Vec<f64>) {
+    pub(crate) fn decode(
+        &self,
+        hidden: &[f64],
+        close_loop_feature: &[f64],
+    ) -> (Vec<[f64; 6]>, Vec<f64>) {
         let mut input = Vec::with_capacity(hidden.len() + close_loop_feature.len());
         input.extend_from_slice(hidden);
         input.extend_from_slice(close_loop_feature);
@@ -210,9 +214,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn observation_at(x: f64) -> Observation {
-        let mut obs = Observation::default();
-        obs.end_effector = EePose::new(Vec3::new(x, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
-        obs
+        Observation {
+            end_effector: EePose::new(Vec3::new(x, 0.0, 0.3), Vec3::ZERO, GripperState::Open),
+            ..Observation::default()
+        }
     }
 
     #[test]

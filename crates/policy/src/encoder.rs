@@ -26,11 +26,7 @@ impl TokenEncoder {
     /// Creates an encoder with random (frozen) weights.
     pub fn new(rng: &mut impl Rng) -> Self {
         // +1 input for the instruction embedding.
-        let backbone = Mlp::new(
-            &[OBSERVATION_DIM + 1, 64, TOKEN_DIM],
-            Activation::Tanh,
-            rng,
-        );
+        let backbone = Mlp::new(&[OBSERVATION_DIM + 1, 64, TOKEN_DIM], Activation::Tanh, rng);
         let mask_embedding = (0..TOKEN_DIM).map(|_| rng.gen_range(-0.1..0.1)).collect();
         TokenEncoder { backbone, mask_embedding }
     }

@@ -135,7 +135,8 @@ mod tests {
         assert_eq!(single.horizon(), 1);
         let start = EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
         let end = EePose::new(Vec3::new(0.4, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
-        let traj = Trajectory::point_to_point(&start, &end, 5, corki_trajectory::CONTROL_STEP).unwrap();
+        let traj =
+            Trajectory::point_to_point(&start, &end, 5, corki_trajectory::CONTROL_STEP).unwrap();
         assert_eq!(PolicyPlan::Trajectory(traj).horizon(), 5);
     }
 

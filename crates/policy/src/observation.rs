@@ -90,15 +90,17 @@ mod tests {
 
     #[test]
     fn feature_vector_has_fixed_length_and_layout() {
-        let mut obs = Observation::default();
-        obs.end_effector = EePose::new(
-            Vec3::new(0.4, -0.1, 0.3),
-            Vec3::new(0.0, 0.1, 0.2),
-            GripperState::Closed,
-        );
-        obs.object_position = Vec3::new(0.5, 0.2, 0.05);
-        obs.goal_position = Vec3::new(0.1, 0.3, 0.05);
-        obs.object_grasped = true;
+        let mut obs = Observation {
+            end_effector: EePose::new(
+                Vec3::new(0.4, -0.1, 0.3),
+                Vec3::new(0.0, 0.1, 0.2),
+                GripperState::Closed,
+            ),
+            object_position: Vec3::new(0.5, 0.2, 0.05),
+            goal_position: Vec3::new(0.1, 0.3, 0.05),
+            object_grasped: true,
+            ..Observation::default()
+        };
         obs.task.category_id = 2;
         let f = obs.to_features();
         assert_eq!(f.len(), OBSERVATION_DIM);

@@ -19,7 +19,9 @@
 
 use crate::{ManipulationPolicy, PlanRequest, PolicyKind, PolicyPlan};
 use corki_math::Vec3;
-use corki_trajectory::{DeltaAction, EePose, GripperState, Trajectory, CONTROL_STEP, MAX_PREDICTION_STEPS};
+use corki_trajectory::{
+    DeltaAction, EePose, GripperState, Trajectory, CONTROL_STEP, MAX_PREDICTION_STEPS,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -70,8 +72,14 @@ impl Default for NoiseModel {
 impl NoiseModel {
     /// The positional noise of a prediction `steps_ahead` control steps into
     /// the future under the given supervision style.
-    pub fn position_sigma_at(&self, steps_ahead: usize, trajectory_supervised: bool, unseen: bool) -> f64 {
-        let mut sigma = self.position_sigma * (1.0 + self.horizon_growth * steps_ahead.saturating_sub(1) as f64);
+    pub fn position_sigma_at(
+        &self,
+        steps_ahead: usize,
+        trajectory_supervised: bool,
+        unseen: bool,
+    ) -> f64 {
+        let mut sigma = self.position_sigma
+            * (1.0 + self.horizon_growth * steps_ahead.saturating_sub(1) as f64);
         if trajectory_supervised {
             sigma *= self.trajectory_smoothing;
         }
@@ -101,17 +109,9 @@ fn noisy_pose(
     gripper_flip_prob: f64,
 ) -> EePose {
     let position = pose.position
-        + Vec3::new(
-            gaussian(rng, pos_sigma),
-            gaussian(rng, pos_sigma),
-            gaussian(rng, pos_sigma),
-        );
+        + Vec3::new(gaussian(rng, pos_sigma), gaussian(rng, pos_sigma), gaussian(rng, pos_sigma));
     let euler = pose.euler
-        + Vec3::new(
-            gaussian(rng, rot_sigma),
-            gaussian(rng, rot_sigma),
-            gaussian(rng, rot_sigma),
-        );
+        + Vec3::new(gaussian(rng, rot_sigma), gaussian(rng, rot_sigma), gaussian(rng, rot_sigma));
     let gripper = if rng.gen_bool(gripper_flip_prob.clamp(0.0, 1.0)) {
         match pose.gripper {
             GripperState::Open => GripperState::Closed,
@@ -153,14 +153,14 @@ impl ManipulationPolicy for OracleFramePolicy {
         if unseen {
             drift_step *= self.noise.unseen_multiplier;
         }
-        target.position = target.position
-            + Vec3::new(
-                gaussian(&mut self.rng, drift_step),
-                gaussian(&mut self.rng, drift_step),
-                gaussian(&mut self.rng, drift_step),
-            );
+        target.position += Vec3::new(
+            gaussian(&mut self.rng, drift_step),
+            gaussian(&mut self.rng, drift_step),
+            gaussian(&mut self.rng, drift_step),
+        );
         let sigma = self.noise.position_sigma_at(1, false, unseen);
-        let rot_sigma = self.noise.orientation_sigma * if unseen { self.noise.unseen_multiplier } else { 1.0 };
+        let rot_sigma =
+            self.noise.orientation_sigma * if unseen { self.noise.unseen_multiplier } else { 1.0 };
         let noisy = noisy_pose(
             &mut self.rng,
             &target,
@@ -207,15 +207,10 @@ impl OracleTrajectoryPolicy {
     /// Panics if `horizon` is zero or exceeds [`MAX_PREDICTION_STEPS`].
     pub fn new(horizon: usize, noise: NoiseModel, seed: u64) -> Self {
         assert!(
-            horizon >= 1 && horizon <= MAX_PREDICTION_STEPS,
+            (1..=MAX_PREDICTION_STEPS).contains(&horizon),
             "horizon must be in 1..={MAX_PREDICTION_STEPS}"
         );
-        OracleTrajectoryPolicy {
-            horizon,
-            noise,
-            rng: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        OracleTrajectoryPolicy { horizon, noise, rng: StdRng::seed_from_u64(seed), seed }
     }
 
     /// The prediction horizon in control steps.
@@ -250,18 +245,13 @@ impl ManipulationPolicy for OracleTrajectoryPolicy {
         }
         let mut drift = Vec3::ZERO;
         for k in 1..=self.horizon {
-            let expert = request
-                .expert_future
-                .get(k - 1)
-                .copied()
-                .unwrap_or(last_expert);
+            let expert = request.expert_future.get(k - 1).copied().unwrap_or(last_expert);
             last_expert = expert;
-            drift = drift
-                + Vec3::new(
-                    gaussian(&mut self.rng, drift_step),
-                    gaussian(&mut self.rng, drift_step),
-                    gaussian(&mut self.rng, drift_step),
-                );
+            drift += Vec3::new(
+                gaussian(&mut self.rng, drift_step),
+                gaussian(&mut self.rng, drift_step),
+                gaussian(&mut self.rng, drift_step),
+            );
             let mut sigma = self.noise.position_sigma_at(k, true, unseen);
             let mut rot_sigma = self.noise.orientation_sigma
                 * self.noise.trajectory_smoothing
@@ -275,7 +265,7 @@ impl ManipulationPolicy for OracleTrajectoryPolicy {
             }
             let flip = self.noise.gripper_error_probability * (1.0 + 0.1 * (k - 1) as f64);
             let mut drifted = expert;
-            drifted.position = drifted.position + drift;
+            drifted.position += drift;
             waypoints.push(noisy_pose(&mut self.rng, &drifted, sigma, rot_sigma, flip));
         }
         let trajectory = Trajectory::fit_waypoints(&waypoints, CONTROL_STEP)
@@ -302,8 +292,10 @@ mod tests {
     use crate::Observation;
 
     fn request_with_expert(steps: usize) -> PlanRequest {
-        let mut obs = Observation::default();
-        obs.end_effector = EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
+        let obs = Observation {
+            end_effector: EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open),
+            ..Observation::default()
+        };
         let expert: Vec<EePose> = (1..=steps)
             .map(|k| {
                 EePose::new(

@@ -37,11 +37,7 @@ impl Demonstration {
     /// Panics if the sequences have different lengths or fewer than two
     /// samples.
     pub fn new(observations: Vec<Observation>, waypoints: Vec<EePose>) -> Self {
-        assert_eq!(
-            observations.len(),
-            waypoints.len(),
-            "demonstration sequences must align"
-        );
+        assert_eq!(observations.len(), waypoints.len(), "demonstration sequences must align");
         assert!(observations.len() >= 2, "a demonstration needs at least two steps");
         Demonstration { observations, waypoints }
     }
@@ -116,10 +112,8 @@ pub fn train_baseline(
                 let predicted_delta: Vec<f64> =
                     pose_raw.iter().map(|r| r * policy.action_scale).collect();
                 let (pose_loss, pose_grad_scaled) = losses::mse(&predicted_delta, &target_delta);
-                let (grip_loss, grip_grad) = losses::bce_with_logits(
-                    grip_out[0],
-                    demo.waypoints[t + 1].gripper.to_target(),
-                );
+                let (grip_loss, grip_grad) =
+                    losses::bce_with_logits(grip_out[0], demo.waypoints[t + 1].gripper.to_target());
                 total += pose_loss + config.lambda_gripper * grip_loss;
                 count += 1;
 
@@ -127,14 +121,10 @@ pub fn train_baseline(
                 let pose_grad_raw: Vec<f64> =
                     pose_grad_scaled.iter().map(|g| g * policy.action_scale).collect();
                 let grad_hidden_pose = policy.pose_head.backward(&pose_cache, &pose_grad_raw);
-                let grad_hidden_grip = policy
-                    .gripper_head
-                    .backward(&grip_cache, &[config.lambda_gripper * grip_grad]);
-                let mut grad_h: Vec<f64> = grad_hidden_pose
-                    .iter()
-                    .zip(&grad_hidden_grip)
-                    .map(|(a, b)| a + b)
-                    .collect();
+                let grad_hidden_grip =
+                    policy.gripper_head.backward(&grip_cache, &[config.lambda_gripper * grip_grad]);
+                let mut grad_h: Vec<f64> =
+                    grad_hidden_pose.iter().zip(&grad_hidden_grip).map(|(a, b)| a + b).collect();
                 let mut grad_c = vec![0.0; HIDDEN_DIM];
                 for cache in caches.iter().rev() {
                     let (_, gh, gc) = policy.lstm.backward(cache, &grad_h, &grad_c);
@@ -288,12 +278,15 @@ mod tests {
                 for s in 0..=steps {
                     let alpha = s as f64 / steps as f64;
                     let pos = start.lerp(object, alpha);
-                    let gripper = if alpha > 0.9 { GripperState::Closed } else { GripperState::Open };
+                    let gripper =
+                        if alpha > 0.9 { GripperState::Closed } else { GripperState::Open };
                     let pose = EePose::new(pos, Vec3::ZERO, gripper);
-                    let mut obs = Observation::default();
-                    obs.end_effector = pose;
-                    obs.object_position = object;
-                    obs.goal_position = object;
+                    let obs = Observation {
+                        end_effector: pose,
+                        object_position: object,
+                        goal_position: object,
+                        ..Observation::default()
+                    };
                     observations.push(obs);
                     waypoints.push(pose);
                 }
@@ -334,7 +327,8 @@ mod tests {
         let demo = &demos[0];
         let request = PlanRequest::from_observation(demo.observations[2]);
         let PolicyPlan::SingleStep(action) = policy.plan(&request) else { panic!() };
-        let to_target = demo.observations[2].object_position - demo.observations[2].end_effector.position;
+        let to_target =
+            demo.observations[2].object_position - demo.observations[2].end_effector.position;
         let cosine = action.delta_position.dot(to_target)
             / (action.delta_position.norm() * to_target.norm() + 1e-12);
         assert!(cosine > 0.3, "trained action should point towards the object, cos = {cosine}");

@@ -109,11 +109,8 @@ pub(crate) fn orientation_error(desired: &SE3, actual: &SE3) -> Vec3 {
     let w = q_err.w.clamp(-1.0, 1.0);
     let angle = 2.0 * w.acos();
     let sin_half = (1.0 - w * w).sqrt();
-    let axis = if sin_half < 1e-9 {
-        Vec3::ZERO
-    } else {
-        Vec3::new(q_err.x, q_err.y, q_err.z) / sin_half
-    };
+    let axis =
+        if sin_half < 1e-9 { Vec3::ZERO } else { Vec3::new(q_err.x, q_err.y, q_err.z) / sin_half };
     // Map the angle into (-pi, pi] so the error is the short way around.
     let angle = corki_math::wrap_angle(angle);
     axis * angle
@@ -364,13 +361,8 @@ mod tests {
         let state = JointState::at_rest(PANDA_HOME.to_vec());
         let ctrl = JointSpaceController::new(0.0, 0.0);
         let qdd_desired: Vec<f64> = (0..7).map(|i| 0.1 * i as f64).collect();
-        let tau = ctrl.compute_torque(
-            &robot,
-            &state,
-            &state.positions,
-            &state.velocities,
-            &qdd_desired,
-        );
+        let tau =
+            ctrl.compute_torque(&robot, &state, &state.positions, &state.velocities, &qdd_desired);
         let qdd = robot.forward_dynamics(&state.positions, &state.velocities, &tau);
         for i in 0..7 {
             assert!((qdd[i] - qdd_desired[i]).abs() < 1e-6);

@@ -145,8 +145,7 @@ impl RobotModel {
         }
 
         // Composite inertias, accumulated tip-to-base.
-        let mut composite: Vec<SpatialInertia> =
-            self.links().iter().map(|l| l.inertia).collect();
+        let mut composite: Vec<SpatialInertia> = self.links().iter().map(|l| l.inertia).collect();
         for i in (1..n).rev() {
             let in_parent = composite[i].expressed_in_parent(&poses_in_parent[i]);
             composite[i - 1] = composite[i - 1].combine(&in_parent);
@@ -263,9 +262,8 @@ impl TaskSpaceDynamics {
         for i in 0..6 {
             lambda_inv[(i, i)] += self.damping;
         }
-        let task_mass_matrix = lambda_inv
-            .inverse()
-            .expect("damped task-space inertia is invertible");
+        let task_mass_matrix =
+            lambda_inv.inverse().expect("damped task-space inertia is invertible");
 
         // hx = Λ (J M⁻¹ h − J̇ q̇)
         let minv_h = joint_mass_matrix
@@ -308,10 +306,7 @@ mod tests {
     fn random_like_config(seed: usize) -> Vec<f64> {
         // Deterministic, limit-respecting configurations for tests.
         let base = [0.3, -0.5, 0.4, -1.7, 0.2, 1.4, 0.6];
-        base.iter()
-            .enumerate()
-            .map(|(i, b)| b + 0.1 * ((seed + i) as f64).sin())
-            .collect()
+        base.iter().enumerate().map(|(i, b)| b + 0.1 * ((seed + i) as f64).sin()).collect()
     }
 
     #[test]
@@ -321,10 +316,7 @@ mod tests {
             let q = random_like_config(seed);
             let m = robot.mass_matrix(&q);
             assert!(m.is_symmetric(1e-9), "mass matrix not symmetric");
-            assert!(
-                m.cholesky_factor().is_ok(),
-                "mass matrix not positive definite"
-            );
+            assert!(m.cholesky_factor().is_ok(), "mass matrix not positive definite");
         }
     }
 
@@ -382,7 +374,7 @@ mod tests {
     fn bias_reduces_to_gravity_at_rest() {
         let robot = panda_model();
         let q = PANDA_HOME.to_vec();
-        let h = robot.bias_forces(&q, &vec![0.0; 7]);
+        let h = robot.bias_forces(&q, &[0.0; 7]);
         let g = robot.gravity_torques(&q);
         for i in 0..7 {
             assert!((h[i] - g[i]).abs() < 1e-10);
@@ -409,10 +401,7 @@ mod tests {
         let qd = vec![0.0; 7];
         let model = tsd.compute(&robot, &q, &qd);
         let g = robot.gravity_torques(&q);
-        let minv_g = model
-            .joint_mass_matrix
-            .solve_cholesky(&DVec::from_slice(&g))
-            .unwrap();
+        let minv_g = model.joint_mass_matrix.solve_cholesky(&DVec::from_slice(&g)).unwrap();
         let j_minv_g = model.jacobian.matrix().mul_vec(&minv_g);
         let expected = model.task_mass_matrix.mul_vec(&j_minv_g);
         for i in 0..6 {
@@ -451,7 +440,7 @@ mod tests {
             let robot = panda_model();
             let qd = vec![0.0; 7];
             let tau_a = robot.inverse_dynamics(&q, &qd, &qdd);
-            let tau_0 = robot.inverse_dynamics(&q, &qd, &vec![0.0; 7]);
+            let tau_0 = robot.inverse_dynamics(&q, &qd, &[0.0; 7]);
             let m = robot.mass_matrix(&q);
             let m_qdd = m.mul_vec(&DVec::from_slice(&qdd));
             for i in 0..7 {

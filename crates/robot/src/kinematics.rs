@@ -56,10 +56,7 @@ impl Jacobian {
     /// Panics if `qd.len()` differs from the number of columns.
     pub fn mul_qdot(&self, qd: &[f64]) -> (Vec3, Vec3) {
         let v = self.matrix.mul_vec(&DVec::from_slice(qd));
-        (
-            Vec3::new(v[0], v[1], v[2]),
-            Vec3::new(v[3], v[4], v[5]),
-        )
+        (Vec3::new(v[0], v[1], v[2]), Vec3::new(v[3], v[4], v[5]))
     }
 
     /// Maps a task-space wrench `[f; n]` (linear force on top, moment below,
@@ -206,8 +203,22 @@ mod tests {
             JointModel::fixed("tip", 1.0, 0.0, 0.0, 0.0),
         ];
         let links = vec![
-            Link::new("l1", SpatialInertia::new(1.0, corki_math::Vec3::new(0.5, 0.0, 0.0), Mat3::identity() * 0.01)),
-            Link::new("l2", SpatialInertia::new(1.0, corki_math::Vec3::new(0.5, 0.0, 0.0), Mat3::identity() * 0.01)),
+            Link::new(
+                "l1",
+                SpatialInertia::new(
+                    1.0,
+                    corki_math::Vec3::new(0.5, 0.0, 0.0),
+                    Mat3::identity() * 0.01,
+                ),
+            ),
+            Link::new(
+                "l2",
+                SpatialInertia::new(
+                    1.0,
+                    corki_math::Vec3::new(0.5, 0.0, 0.0),
+                    Mat3::identity() * 0.01,
+                ),
+            ),
             Link::new("tip", SpatialInertia::zero()),
         ];
         RobotModel::new("planar2", joints, links).unwrap()

@@ -40,6 +40,7 @@ pub mod panda;
 mod simulate;
 mod state;
 
+pub use self::simulate::{ArmSimulator, SimulatorConfig};
 pub use control::{
     rotation_angle_between, rotation_error_vector, ControllerGains, JointSpaceController,
     TaskReference, TaskSpaceController,
@@ -47,5 +48,4 @@ pub use control::{
 pub use dynamics::{TaskSpaceDynamics, TaskSpaceModel};
 pub use kinematics::{ForwardKinematics, Jacobian};
 pub use model::{JointKind, JointModel, Link, RobotError, RobotModel};
-pub use simulate::{ArmSimulator, SimulatorConfig};
 pub use state::{EndEffectorState, JointState};

@@ -188,9 +188,7 @@ impl RobotModel {
             )));
         }
         if !joints.iter().any(|j| j.kind.is_actuated()) {
-            return Err(RobotError::InvalidModel(
-                "model has no actuated joints".to_owned(),
-            ));
+            return Err(RobotError::InvalidModel("model has no actuated joints".to_owned()));
         }
         Ok(RobotModel {
             name: name.to_owned(),
@@ -253,10 +251,7 @@ impl RobotModel {
     /// Returns [`RobotError::DimensionMismatch`] on length mismatch.
     pub fn check_dof(&self, values: &[f64]) -> Result<(), RobotError> {
         if values.len() != self.dof() {
-            Err(RobotError::DimensionMismatch {
-                expected: self.dof(),
-                actual: values.len(),
-            })
+            Err(RobotError::DimensionMismatch { expected: self.dof(), actual: values.len() })
         } else {
             Ok(())
         }
@@ -281,20 +276,12 @@ impl RobotModel {
 
     /// Returns per-joint effort (torque) limits for the actuated joints.
     pub fn effort_limits(&self) -> Vec<f64> {
-        self.joints
-            .iter()
-            .filter(|j| j.kind.is_actuated())
-            .map(|j| j.effort_limit)
-            .collect()
+        self.joints.iter().filter(|j| j.kind.is_actuated()).map(|j| j.effort_limit).collect()
     }
 
     /// Returns per-joint velocity limits for the actuated joints.
     pub fn velocity_limits(&self) -> Vec<f64> {
-        self.joints
-            .iter()
-            .filter(|j| j.kind.is_actuated())
-            .map(|j| j.velocity_limit)
-            .collect()
+        self.joints.iter().filter(|j| j.kind.is_actuated()).map(|j| j.velocity_limit).collect()
     }
 }
 
@@ -337,10 +324,7 @@ mod tests {
     fn mismatched_joints_and_links_rejected() {
         let joints = vec![JointModel::revolute("j1", 0.0, 0.0, 0.0, -1.0, 1.0, 1.0, 1.0)];
         let links = vec![];
-        assert!(matches!(
-            RobotModel::new("bad", joints, links),
-            Err(RobotError::InvalidModel(_))
-        ));
+        assert!(matches!(RobotModel::new("bad", joints, links), Err(RobotError::InvalidModel(_))));
     }
 
     #[test]

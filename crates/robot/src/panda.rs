@@ -32,8 +32,26 @@ pub fn panda_model() -> RobotModel {
         JointModel::revolute("panda_joint1", 0.0, 0.333, 0.0, -2.8973, 2.8973, 2.1750, 87.0),
         JointModel::revolute("panda_joint2", 0.0, 0.0, -FRAC_PI_2, -1.7628, 1.7628, 2.1750, 87.0),
         JointModel::revolute("panda_joint3", 0.0, 0.316, FRAC_PI_2, -2.8973, 2.8973, 2.1750, 87.0),
-        JointModel::revolute("panda_joint4", 0.0825, 0.0, FRAC_PI_2, -3.0718, -0.0698, 2.1750, 87.0),
-        JointModel::revolute("panda_joint5", -0.0825, 0.384, -FRAC_PI_2, -2.8973, 2.8973, 2.6100, 12.0),
+        JointModel::revolute(
+            "panda_joint4",
+            0.0825,
+            0.0,
+            FRAC_PI_2,
+            -3.0718,
+            -0.0698,
+            2.1750,
+            87.0,
+        ),
+        JointModel::revolute(
+            "panda_joint5",
+            -0.0825,
+            0.384,
+            -FRAC_PI_2,
+            -2.8973,
+            2.8973,
+            2.6100,
+            12.0,
+        ),
         JointModel::revolute("panda_joint6", 0.0, 0.0, FRAC_PI_2, -0.0175, 3.7525, 2.6100, 12.0),
         JointModel::revolute("panda_joint7", 0.088, 0.0, FRAC_PI_2, -2.8973, 2.8973, 2.6100, 12.0),
         // Flange (fixed) and gripper body (fixed).
@@ -85,12 +103,7 @@ pub fn panda_model() -> RobotModel {
             [0.012516, 0.010027, 0.004815, -0.000428, -0.001196, -0.000741],
         ),
         // Flange: essentially massless adapter plate.
-        link(
-            "panda_flange",
-            0.1,
-            Vec3::new(0.0, 0.0, 0.01),
-            [1e-4, 1e-4, 1e-4, 0.0, 0.0, 0.0],
-        ),
+        link("panda_flange", 0.1, Vec3::new(0.0, 0.0, 0.01), [1e-4, 1e-4, 1e-4, 0.0, 0.0, 0.0]),
         // Hand with two fingers (combined), per the Franka hand datasheet.
         link(
             "panda_hand",
@@ -107,11 +120,7 @@ pub fn panda_model() -> RobotModel {
 /// Builds a link from mass, centre of mass and the six independent entries
 /// `[Ixx, Iyy, Izz, Ixy, Ixz, Iyz]` of its rotational inertia about the CoM.
 fn link(name: &str, mass: f64, com: Vec3, i: [f64; 6]) -> Link {
-    let inertia_com = Mat3::from_rows(
-        [i[0], i[3], i[4]],
-        [i[3], i[1], i[5]],
-        [i[4], i[5], i[2]],
-    );
+    let inertia_com = Mat3::from_rows([i[0], i[3], i[4]], [i[3], i[1], i[5]], [i[4], i[5], i[2]]);
     Link::new(name, SpatialInertia::new(mass, com, inertia_com))
 }
 

@@ -111,7 +111,6 @@ impl ArmSimulator {
     }
 
     fn substep(&mut self, torque: &[f64], dt: f64) {
-        let n = self.robot.dof();
         let mut applied = torque.to_vec();
         if self.config.enforce_effort_limits {
             for (t, limit) in applied.iter_mut().zip(self.robot.effort_limits()) {
@@ -122,12 +121,11 @@ impl ArmSimulator {
         for (t, qd) in applied.iter_mut().zip(&self.state.velocities) {
             *t -= self.config.joint_friction * qd;
         }
-        let qdd = self
-            .robot
-            .forward_dynamics(&self.state.positions, &self.state.velocities, &applied);
+        let qdd =
+            self.robot.forward_dynamics(&self.state.positions, &self.state.velocities, &applied);
         // Semi-implicit Euler: update velocity first, then position.
-        for i in 0..n {
-            self.state.velocities[i] += qdd[i] * dt;
+        for (v, a) in self.state.velocities.iter_mut().zip(&qdd) {
+            *v += a * dt;
         }
         let vel_limits = self.robot.velocity_limits();
         for (v, limit) in self.state.velocities.iter_mut().zip(vel_limits) {
@@ -135,16 +133,17 @@ impl ArmSimulator {
                 *v = v.clamp(-limit, limit);
             }
         }
-        for i in 0..n {
-            self.state.positions[i] += self.state.velocities[i] * dt;
+        for (p, v) in self.state.positions.iter_mut().zip(&self.state.velocities) {
+            *p += v * dt;
         }
         if self.config.enforce_position_limits {
             let clamped = self.robot.clamp_positions(&self.state.positions);
-            for i in 0..n {
-                if (clamped[i] - self.state.positions[i]).abs() > 1e-12 {
+            let joints = self.state.positions.iter_mut().zip(self.state.velocities.iter_mut());
+            for ((p, v), c) in joints.zip(&clamped) {
+                if (c - *p).abs() > 1e-12 {
                     // Hit a joint limit: stop the joint.
-                    self.state.positions[i] = clamped[i];
-                    self.state.velocities[i] = 0.0;
+                    *p = *c;
+                    *v = 0.0;
                 }
             }
         }
@@ -178,13 +177,8 @@ mod tests {
         sim.reset(JointState::at_rest(PANDA_HOME.to_vec()));
         let zero = vec![0.0; 7];
         sim.step(&zero, 0.2);
-        let moved: f64 = sim
-            .state()
-            .positions
-            .iter()
-            .zip(PANDA_HOME.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let moved: f64 =
+            sim.state().positions.iter().zip(PANDA_HOME.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(moved > 0.05, "arm should sag without torque, moved {moved}");
     }
 

@@ -16,10 +16,7 @@ pub struct JointState {
 impl JointState {
     /// A state with all positions and velocities set to zero.
     pub fn zeros(dof: usize) -> Self {
-        JointState {
-            positions: vec![0.0; dof],
-            velocities: vec![0.0; dof],
-        }
+        JointState { positions: vec![0.0; dof], velocities: vec![0.0; dof] }
     }
 
     /// Creates a state from position and velocity vectors.
@@ -77,11 +74,7 @@ impl Default for EndEffectorState {
 impl EndEffectorState {
     /// A stationary end-effector at the given pose.
     pub fn at_pose(pose: SE3) -> Self {
-        EndEffectorState {
-            pose,
-            linear_velocity: Vec3::ZERO,
-            angular_velocity: Vec3::ZERO,
-        }
+        EndEffectorState { pose, linear_velocity: Vec3::ZERO, angular_velocity: Vec3::ZERO }
     }
 
     /// Position part of the pose.

@@ -156,11 +156,7 @@ impl Environment {
             goal_position: task.goal_position(scene),
             articulation_state: scene.articulation_state(object),
             object_grasped: scene.grasped_block.is_some(),
-            task: TaskDescriptor {
-                task_id: task.id,
-                category_id: task.category.index(),
-                unseen,
-            },
+            task: TaskDescriptor { task_id: task.id, category_id: task.category.index(), unseen },
         }
     }
 
@@ -172,7 +168,8 @@ impl Environment {
         policy: &mut dyn ManipulationPolicy,
         unseen: bool,
     ) -> EpisodeOutcome {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (task.id as u64).wrapping_mul(0x9e37_79b9));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ (task.id as u64).wrapping_mul(0x9e37_79b9));
         let initial_scene = scene.clone();
         let mut outcome = EpisodeOutcome {
             success: false,
@@ -221,14 +218,11 @@ impl Environment {
 
             // Decide how many steps of the plan to execute.
             let (references, executed) = match &plan {
-                PolicyPlan::SingleStep(action) => {
-                    (vec![current.apply_delta(action)], 1usize)
-                }
+                PolicyPlan::SingleStep(action) => (vec![current.apply_delta(action)], 1usize),
                 PolicyPlan::Trajectory(trajectory) => {
                     let steps = self.executed_steps(trajectory);
-                    let refs = (1..=steps)
-                        .map(|i| trajectory.sample(i as f64 * CONTROL_STEP))
-                        .collect();
+                    let refs =
+                        (1..=steps).map(|i| trajectory.sample(i as f64 * CONTROL_STEP)).collect();
                     (refs, steps)
                 }
             };
@@ -249,9 +243,7 @@ impl Environment {
                     (Some(backend), PolicyPlan::Trajectory(trajectory)) => {
                         backend.track_trajectory_step(trajectory, i, reference.gripper)
                     }
-                    (Some(backend), PolicyPlan::SingleStep(_)) => {
-                        backend.track_pose(reference)
-                    }
+                    (Some(backend), PolicyPlan::SingleStep(_)) => backend.track_pose(reference),
                     (None, _) => self.kinematic_track(reference, &mut rng),
                 };
                 let expert_pose = expert_future
@@ -300,11 +292,8 @@ impl Environment {
     /// to a Gaussian tracking error whose magnitude reflects the control rate.
     fn kinematic_track(&self, reference: &EePose, rng: &mut StdRng) -> EePose {
         let sigma = self.config.tracking_error;
-        let noise = corki_math::Vec3::new(
-            gaussian(rng, sigma),
-            gaussian(rng, sigma),
-            gaussian(rng, sigma),
-        );
+        let noise =
+            corki_math::Vec3::new(gaussian(rng, sigma), gaussian(rng, sigma), gaussian(rng, sigma));
         EePose {
             position: reference.position + noise,
             euler: reference.euler,
@@ -337,10 +326,7 @@ impl DynamicBackend {
         let robot = panda::panda_model();
         let mut sim = ArmSimulator::new(robot, SimulatorConfig::default());
         sim.reset(JointState::at_rest(panda::PANDA_HOME.to_vec()));
-        DynamicBackend {
-            sim,
-            controller: TaskSpaceController::new(ControllerGains::default()),
-        }
+        DynamicBackend { sim, controller: TaskSpaceController::new(ControllerGains::default()) }
     }
 
     fn end_effector(&self) -> EePose {
@@ -370,9 +356,8 @@ impl DynamicBackend {
                 linear_acceleration: sample.linear_acceleration,
                 angular_acceleration: corki_math::Vec3::ZERO,
             };
-            let tau = self
-                .controller
-                .compute_torque(self.sim.robot(), self.sim.state(), &reference);
+            let tau =
+                self.controller.compute_torque(self.sim.robot(), self.sim.state(), &reference);
             self.sim.step(&tau, control_dt);
             t += control_dt;
         }
@@ -390,9 +375,7 @@ impl DynamicBackend {
         let task_ref = TaskReference::hold(target);
         let mut t = 0.0;
         while t < CONTROL_STEP - 1e-9 {
-            let tau = self
-                .controller
-                .compute_torque(self.sim.robot(), self.sim.state(), &task_ref);
+            let tau = self.controller.compute_torque(self.sim.robot(), self.sim.state(), &task_ref);
             self.sim.step(&tau, control_dt);
             t += control_dt;
         }
@@ -433,10 +416,7 @@ mod tests {
                 solved += 1;
             }
         }
-        assert!(
-            solved * 10 >= total * 8,
-            "oracle baseline solved only {solved}/{total} tasks"
-        );
+        assert!(solved * 10 >= total * 8, "oracle baseline solved only {solved}/{total} tasks");
     }
 
     #[test]
@@ -478,10 +458,7 @@ mod tests {
         });
         // A lift task includes a gripper change, which should trigger early
         // termination at least once.
-        let task = task_catalog()
-            .into_iter()
-            .find(|t| t.name() == "lift_red_block_table")
-            .unwrap();
+        let task = task_catalog().into_iter().find(|t| t.name() == "lift_red_block_table").unwrap();
         let mut scene = Scene::randomized(11, false);
         task.prepare(&mut scene);
         let mut policy = OracleTrajectoryPolicy::new(9, quiet_noise(), 5);
@@ -505,10 +482,7 @@ mod tests {
         assert_eq!(outcome.reference_poses.len(), outcome.steps);
         assert_eq!(outcome.achieved_poses.len(), outcome.steps);
         assert_eq!(outcome.expert_poses.len(), outcome.steps);
-        assert_eq!(
-            outcome.executed_lengths.iter().sum::<usize>(),
-            outcome.steps
-        );
+        assert_eq!(outcome.executed_lengths.iter().sum::<usize>(), outcome.steps);
     }
 
     #[test]
@@ -517,10 +491,8 @@ mod tests {
         let task = task_catalog()[0];
         let mut scene = Scene::randomized(5, false);
         task.prepare(&mut scene);
-        let mut policy = OracleFramePolicy::new(
-            NoiseModel { position_sigma: 0.15, ..Default::default() },
-            3,
-        );
+        let mut policy =
+            OracleFramePolicy::new(NoiseModel { position_sigma: 0.15, ..Default::default() }, 3);
         let outcome = env.run_episode(&mut scene, &task, &mut policy, false);
         assert_eq!(outcome.steps, 40);
         assert!(!outcome.success);
@@ -534,10 +506,7 @@ mod tests {
             max_steps: 90,
             ..Default::default()
         });
-        let task = task_catalog()
-            .into_iter()
-            .find(|t| t.name() == "turn_on_lightbulb")
-            .unwrap();
+        let task = task_catalog().into_iter().find(|t| t.name() == "turn_on_lightbulb").unwrap();
         let mut scene = Scene::randomized(21, false);
         task.prepare(&mut scene);
         let mut policy = OracleTrajectoryPolicy::new(9, quiet_noise(), 4);

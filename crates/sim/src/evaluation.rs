@@ -145,8 +145,7 @@ pub fn evaluate(
             total_steps += episode.steps;
             total_inferences += episode.inferences;
             if !episode.reference_poses.is_empty() {
-                let stats =
-                    compare_pose_sequences(&episode.reference_poses, &episode.expert_poses);
+                let stats = compare_pose_sequences(&episode.reference_poses, &episode.expert_poses);
                 error_stats = error_stats.merge(&stats);
             }
         }
@@ -201,11 +200,7 @@ mod tests {
     use corki_policy::{NoiseModel, OracleFramePolicy, OracleTrajectoryPolicy};
 
     fn small_noise() -> NoiseModel {
-        NoiseModel {
-            position_sigma: 0.002,
-            gripper_error_probability: 0.002,
-            ..Default::default()
-        }
+        NoiseModel { position_sigma: 0.002, gripper_error_probability: 0.002, ..Default::default() }
     }
 
     #[test]

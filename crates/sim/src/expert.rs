@@ -119,8 +119,16 @@ impl ExpertPlanner {
             TaskTemplate::TurnOnLightbulb | TaskTemplate::TurnOffLightbulb => {
                 let lever = scene.config.switch_position;
                 let up = task.template == TaskTemplate::TurnOnLightbulb;
-                let start = if up { lever - Vec3::new(0.0, 0.0, 0.03) } else { lever + Vec3::new(0.0, 0.0, 0.03) };
-                let end = if up { lever + Vec3::new(0.0, 0.0, 0.03) } else { lever - Vec3::new(0.0, 0.0, 0.03) };
+                let start = if up {
+                    lever - Vec3::new(0.0, 0.0, 0.03)
+                } else {
+                    lever + Vec3::new(0.0, 0.0, 0.03)
+                };
+                let end = if up {
+                    lever + Vec3::new(0.0, 0.0, 0.03)
+                } else {
+                    lever - Vec3::new(0.0, 0.0, 0.03)
+                };
                 b.move_to(start + Vec3::new(-0.06, 0.0, 0.0), yaw, GripperState::Open);
                 b.move_to(start, yaw, GripperState::Open);
                 b.move_to(end, yaw, GripperState::Open);
@@ -230,11 +238,7 @@ mod tests {
             let mut prev = home_pose();
             for (i, wp) in plan.iter().enumerate() {
                 let step = wp.position_distance(&prev);
-                assert!(
-                    step <= planner.max_step + 1e-9,
-                    "{} step {i} moves {step} m",
-                    task.name()
-                );
+                assert!(step <= planner.max_step + 1e-9, "{} step {i} moves {step} m", task.name());
                 prev = *wp;
             }
         }

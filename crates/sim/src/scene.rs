@@ -166,11 +166,8 @@ impl Scene {
         for i in 0..3 {
             // Rejection-sample so blocks do not overlap.
             loop {
-                let candidate = Vec3::new(
-                    rng.gen_range(x_range.clone()),
-                    rng.gen_range(y_range.clone()),
-                    z,
-                );
+                let candidate =
+                    Vec3::new(rng.gen_range(x_range.clone()), rng.gen_range(y_range.clone()), z);
                 let clear = scene.blocks[..i]
                     .iter()
                     .all(|b| (b.position - candidate).norm() > 2.5 * config.block_size);
@@ -451,8 +448,7 @@ mod tests {
 
     #[test]
     fn switch_toggles_with_vertical_sweeps() {
-        let mut scene = Scene::default();
-        scene.switch_on = false;
+        let mut scene = Scene { switch_on: false, ..Scene::default() };
         let lever = scene.config.switch_position;
         let below = pose(lever - Vec3::new(0.0, 0.0, 0.02), GripperState::Open);
         let above = pose(lever + Vec3::new(0.0, 0.0, 0.02), GripperState::Open);

@@ -280,8 +280,12 @@ impl TaskInstance {
                 };
                 handle
             }
-            TaskTemplate::TurnOnLightbulb => scene.config.switch_position + Vec3::new(0.0, 0.0, 0.03),
-            TaskTemplate::TurnOffLightbulb => scene.config.switch_position - Vec3::new(0.0, 0.0, 0.03),
+            TaskTemplate::TurnOnLightbulb => {
+                scene.config.switch_position + Vec3::new(0.0, 0.0, 0.03)
+            }
+            TaskTemplate::TurnOffLightbulb => {
+                scene.config.switch_position - Vec3::new(0.0, 0.0, 0.03)
+            }
             TaskTemplate::TurnOnLed | TaskTemplate::TurnOffLed => {
                 scene.config.button_position - Vec3::new(0.0, 0.0, 0.01)
             }
@@ -338,9 +342,8 @@ impl TaskInstance {
                         < 0.07
             }
             TaskTemplate::RotateBlock { color, clockwise } => {
-                let delta = corki_math::wrap_angle(
-                    scene.block(color).yaw - initial.block(color).yaw,
-                );
+                let delta =
+                    corki_math::wrap_angle(scene.block(color).yaw - initial.block(color).yaw);
                 if clockwise {
                     delta < -0.4
                 } else {
@@ -349,8 +352,7 @@ impl TaskInstance {
             }
             TaskTemplate::LiftBlockFromTable { color }
             | TaskTemplate::LiftBlockFromSlider { color } => {
-                scene.block(color).position.z
-                    > initial.block(color).position.z + 0.06
+                scene.block(color).position.z > initial.block(color).position.z + 0.06
             }
             TaskTemplate::PlaceBlockInSlider { color } => {
                 let shelf = scene.slider_handle() + Vec3::new(-0.05, 0.0, 0.0);
@@ -485,7 +487,9 @@ mod tests {
         let catalog = task_catalog();
         let lift = catalog
             .iter()
-            .find(|t| matches!(t.template, TaskTemplate::LiftBlockFromTable { color: BlockColor::Red }))
+            .find(|t| {
+                matches!(t.template, TaskTemplate::LiftBlockFromTable { color: BlockColor::Red })
+            })
             .unwrap();
         let mut scene = Scene::default();
         lift.prepare(&mut scene);
@@ -497,7 +501,11 @@ mod tests {
         let open = EePose::new(at, corki_math::Vec3::ZERO, GripperState::Open);
         let closed = EePose::new(at, corki_math::Vec3::ZERO, GripperState::Closed);
         scene.step(&closed, &open);
-        let lifted = EePose::new(at + Vec3::new(0.0, 0.0, 0.1), corki_math::Vec3::ZERO, GripperState::Closed);
+        let lifted = EePose::new(
+            at + Vec3::new(0.0, 0.0, 0.1),
+            corki_math::Vec3::ZERO,
+            GripperState::Closed,
+        );
         scene.step(&lifted, &closed);
         assert!(lift.is_success(&scene, &initial));
     }

@@ -81,11 +81,8 @@ pub enum DataRepresentation {
 
 impl DataRepresentation {
     /// All representations of Table 4.
-    pub const ALL: [DataRepresentation; 3] = [
-        DataRepresentation::Float32,
-        DataRepresentation::Float16,
-        DataRepresentation::Int8,
-    ];
+    pub const ALL: [DataRepresentation; 3] =
+        [DataRepresentation::Float32, DataRepresentation::Float16, DataRepresentation::Int8];
 
     /// Inference latency normalised to 32-bit floats (Table 4).
     pub fn latency_scale(self) -> f64 {
@@ -172,10 +169,7 @@ pub struct CommunicationModel {
 
 impl Default for CommunicationModel {
     fn default() -> Self {
-        CommunicationModel {
-            per_frame_ms: BASELINE_FRAME_MS * COMMUNICATION_SHARE,
-            power_w: 5.0,
-        }
+        CommunicationModel { per_frame_ms: BASELINE_FRAME_MS * COMMUNICATION_SHARE, power_w: 5.0 }
     }
 }
 
@@ -222,7 +216,8 @@ mod tests {
     fn table3_device_ordering() {
         // H100 is the fastest, Jetson Orin the slowest (>0.9 s per frame).
         assert!(InferenceDevice::H100.normalized_latency() < 1.0);
-        let orin = InferenceModel::new(InferenceDevice::JetsonOrin32Gb, DataRepresentation::Float32);
+        let orin =
+            InferenceModel::new(InferenceDevice::JetsonOrin32Gb, DataRepresentation::Float32);
         assert!(orin.action_latency_ms() > 900.0);
     }
 

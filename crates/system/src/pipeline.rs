@@ -259,7 +259,13 @@ impl PipelineSimulator {
                         + baseline_control_ms() / 1000.0 * cfg.cpu.power_w
                         + cfg.communication.energy_per_frame_j();
                     inference_count += 1;
-                    traces.push(self.jittered(index, FrameKind::Inference, latency, energy, &mut rng));
+                    traces.push(self.jittered(
+                        index,
+                        FrameKind::Inference,
+                        latency,
+                        energy,
+                        &mut rng,
+                    ));
                 }
             }
             variant => {
@@ -293,7 +299,9 @@ impl PipelineSimulator {
                             };
                             (
                                 FrameKind::Inference,
-                                unhidden + cfg.inference.trajectory_latency_ms() + control_latency_ms,
+                                unhidden
+                                    + cfg.inference.trajectory_latency_ms()
+                                    + control_latency_ms,
                                 cfg.inference.trajectory_energy_j()
                                     + cfg.communication.energy_per_frame_j()
                                     + control_energy_j,
@@ -352,14 +360,14 @@ impl PipelineSimulator {
                 // Control stays on the CPU; the ACE approximation still skips
                 // the configuration-dependent matrix work, which is roughly
                 // 40 % of the CPU control computation.
-                self.config.cpu.control_latency_ms
-                    * (1.0 - self.config.ace_skip_fraction * 0.42)
+                self.config.cpu.control_latency_ms * (1.0 - self.config.ace_skip_fraction * 0.42)
             }
-            _ => self
-                .config
-                .accelerator
-                .control_latency_with_skips(self.config.ace_skip_fraction)
-                .latency_ms,
+            _ => {
+                self.config
+                    .accelerator
+                    .control_latency_with_skips(self.config.ace_skip_fraction)
+                    .latency_ms
+            }
         }
     }
 
@@ -381,12 +389,7 @@ impl PipelineSimulator {
     ) -> FrameTrace {
         let j = self.config.jitter;
         let scale = 1.0 + rng.gen_range(-j..=j);
-        FrameTrace {
-            index,
-            kind,
-            latency_ms: latency * scale,
-            energy_j: energy * scale,
-        }
+        FrameTrace { index, kind, latency_ms: latency * scale, energy_j: energy * scale }
     }
 }
 
@@ -472,10 +475,7 @@ mod tests {
         assert!(sw.mean_frame_latency_ms < baseline.mean_frame_latency_ms);
         let overhead = sw.mean_frame_latency_ms / c5.mean_frame_latency_ms - 1.0;
         // Paper: Corki-SW is 43.6 % slower than Corki-5 (26.9 Hz → 18.7 Hz).
-        assert!(
-            (0.2..0.7).contains(&overhead),
-            "Corki-SW overhead over Corki-5 is {overhead:.2}"
-        );
+        assert!((0.2..0.7).contains(&overhead), "Corki-SW overhead over Corki-5 is {overhead:.2}");
         // Frame rates should bracket the paper's 26.9 Hz / 18.7 Hz figures.
         assert!(c5.frame_rate_hz > 20.0 && c5.frame_rate_hz < 32.0);
         assert!(sw.frame_rate_hz > 14.0 && sw.frame_rate_hz < c5.frame_rate_hz);
@@ -517,20 +517,17 @@ mod tests {
     #[test]
     fn frame_traces_alternate_crests_and_troughs() {
         let corki5 = summary(Variant::CorkiFixed(5));
-        let crests: Vec<&FrameTrace> = corki5
-            .frame_traces
-            .iter()
-            .filter(|t| t.kind == FrameKind::Inference)
-            .collect();
-        let troughs: Vec<&FrameTrace> = corki5
-            .frame_traces
-            .iter()
-            .filter(|t| t.kind == FrameKind::Execution)
-            .collect();
+        let crests: Vec<&FrameTrace> =
+            corki5.frame_traces.iter().filter(|t| t.kind == FrameKind::Inference).collect();
+        let troughs: Vec<&FrameTrace> =
+            corki5.frame_traces.iter().filter(|t| t.kind == FrameKind::Execution).collect();
         assert_eq!(crests.len() * 4, troughs.len());
         let crest_mean = mean(&crests.iter().map(|t| t.latency_ms).collect::<Vec<_>>());
         let trough_mean = mean(&troughs.iter().map(|t| t.latency_ms).collect::<Vec<_>>());
-        assert!(crest_mean > 20.0 * trough_mean, "crest {crest_mean:.1} vs trough {trough_mean:.3}");
+        assert!(
+            crest_mean > 20.0 * trough_mean,
+            "crest {crest_mean:.1} vs trough {trough_mean:.3}"
+        );
     }
 
     #[test]

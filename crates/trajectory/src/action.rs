@@ -60,20 +60,13 @@ impl EePose {
 
     /// Converts to an [`SE3`] rigid transform (dropping the gripper bit).
     pub fn to_se3(&self) -> SE3 {
-        SE3::new(
-            Mat3::from_euler_xyz(self.euler.x, self.euler.y, self.euler.z),
-            self.position,
-        )
+        SE3::new(Mat3::from_euler_xyz(self.euler.x, self.euler.y, self.euler.z), self.position)
     }
 
     /// Builds a pose sample from an [`SE3`] transform and gripper state.
     pub fn from_se3(pose: &SE3, gripper: GripperState) -> Self {
         let (roll, pitch, yaw) = pose.euler_xyz();
-        EePose {
-            position: pose.translation,
-            euler: Vec3::new(roll, pitch, yaw),
-            gripper,
-        }
+        EePose { position: pose.translation, euler: Vec3::new(roll, pitch, yaw), gripper }
     }
 
     /// The six continuous components as an array
@@ -191,11 +184,8 @@ mod tests {
 
     #[test]
     fn se3_roundtrip_preserves_pose() {
-        let pose = EePose::new(
-            Vec3::new(0.4, -0.1, 0.3),
-            Vec3::new(0.2, -0.5, 1.0),
-            GripperState::Closed,
-        );
+        let pose =
+            EePose::new(Vec3::new(0.4, -0.1, 0.3), Vec3::new(0.2, -0.5, 1.0), GripperState::Closed);
         let back = EePose::from_se3(&pose.to_se3(), pose.gripper);
         assert!((back.position - pose.position).norm() < 1e-9);
         let orig = pose.to_se3();
@@ -235,7 +225,11 @@ mod tests {
         let arr = delta.to_array7();
         let back = DeltaAction::from_array7(arr);
         assert_eq!(back, delta);
-        assert!((delta.position_norm() - (0.01f64.powi(2) + 0.02f64.powi(2) + 0.03f64.powi(2)).sqrt()).abs() < 1e-12);
+        assert!(
+            (delta.position_norm() - (0.01f64.powi(2) + 0.02f64.powi(2) + 0.03f64.powi(2)).sqrt())
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

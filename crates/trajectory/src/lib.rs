@@ -42,8 +42,8 @@ pub mod metrics;
 mod trajectory;
 pub mod waypoints;
 
+pub use self::trajectory::{Trajectory, TrajectoryError, TrajectorySample};
 pub use action::{DeltaAction, EePose, GripperState};
-pub use trajectory::{Trajectory, TrajectoryError, TrajectorySample};
 pub use waypoints::{AdaptiveLengthConfig, TerminationReason, WaypointDecision};
 
 /// The camera-frame interval of the CALVIN setup (30 Hz), which is also the

@@ -53,12 +53,11 @@ impl TrajectoryErrorStats {
 /// # Panics
 ///
 /// Panics if the sequences have different lengths or are empty.
-pub fn compare_pose_sequences(predicted: &[EePose], ground_truth: &[EePose]) -> TrajectoryErrorStats {
-    assert_eq!(
-        predicted.len(),
-        ground_truth.len(),
-        "compare_pose_sequences: length mismatch"
-    );
+pub fn compare_pose_sequences(
+    predicted: &[EePose],
+    ground_truth: &[EePose],
+) -> TrajectoryErrorStats {
+    assert_eq!(predicted.len(), ground_truth.len(), "compare_pose_sequences: length mismatch");
     assert!(!predicted.is_empty(), "compare_pose_sequences: empty input");
     let mut sum_sq = 0.0;
     let mut max_distance = Vec3::ZERO;
@@ -97,9 +96,8 @@ pub fn compare_trajectory_to_waypoints(
     step: f64,
 ) -> TrajectoryErrorStats {
     assert!(!ground_truth.is_empty(), "compare_trajectory_to_waypoints: empty ground truth");
-    let sampled: Vec<EePose> = (0..ground_truth.len())
-        .map(|i| predicted.sample(i as f64 * step))
-        .collect();
+    let sampled: Vec<EePose> =
+        (0..ground_truth.len()).map(|i| predicted.sample(i as f64 * step)).collect();
     compare_pose_sequences(&sampled, ground_truth)
 }
 

@@ -216,9 +216,7 @@ impl Trajectory {
     /// one step after `t = 0` and ending at the endpoint (paper Fig. 5:
     /// points `B..F`).
     pub fn waypoints(&self) -> Vec<EePose> {
-        (1..=self.num_steps())
-            .map(|i| self.sample(i as f64 * self.step))
-            .collect()
+        (1..=self.num_steps()).map(|i| self.sample(i as f64 * self.step)).collect()
     }
 
     /// Truncates the trajectory to the first `steps` control steps (early
@@ -296,10 +294,7 @@ mod tests {
             Err(TrajectoryError::TooFewWaypoints { provided: 1 })
         );
         let wps = line_waypoints(3);
-        assert_eq!(
-            Trajectory::fit_waypoints(&wps, 0.0),
-            Err(TrajectoryError::InvalidDuration)
-        );
+        assert_eq!(Trajectory::fit_waypoints(&wps, 0.0), Err(TrajectoryError::InvalidDuration));
     }
 
     #[test]
@@ -330,11 +325,8 @@ mod tests {
     #[test]
     fn point_to_point_hits_both_ends_with_zero_velocity() {
         let start = EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
-        let end = EePose::new(
-            Vec3::new(0.45, -0.1, 0.2),
-            Vec3::new(0.0, 0.0, 0.3),
-            GripperState::Closed,
-        );
+        let end =
+            EePose::new(Vec3::new(0.45, -0.1, 0.2), Vec3::new(0.0, 0.0, 0.3), GripperState::Closed);
         let traj = Trajectory::point_to_point(&start, &end, 5, CONTROL_STEP).unwrap();
         assert!(traj.sample(0.0).position_distance(&start) < 1e-9);
         assert!(traj.sample(traj.duration()).position_distance(&end) < 1e-9);
@@ -367,7 +359,8 @@ mod tests {
 
     #[test]
     fn hold_trajectory_is_constant() {
-        let pose = EePose::new(Vec3::new(0.4, 0.1, 0.3), Vec3::new(0.1, 0.0, 0.0), GripperState::Open);
+        let pose =
+            EePose::new(Vec3::new(0.4, 0.1, 0.3), Vec3::new(0.1, 0.0, 0.0), GripperState::Open);
         let traj = Trajectory::hold(&pose, 4);
         for i in 0..=4 {
             let t = i as f64 * CONTROL_STEP;

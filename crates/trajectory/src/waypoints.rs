@@ -108,10 +108,7 @@ pub fn adaptive_trajectory_length(
         }
     }
 
-    WaypointDecision {
-        steps: waypoints.len(),
-        reason: TerminationReason::FullTrajectory,
-    }
+    WaypointDecision { steps: waypoints.len(), reason: TerminationReason::FullTrajectory }
 }
 
 /// Runs Algorithm 1 on a predicted [`Trajectory`], extracting the waypoints at
@@ -194,8 +191,7 @@ mod tests {
     #[test]
     fn straight_line_executes_full_trajectory() {
         let (start, wps) = straight_line(5);
-        let decision =
-            adaptive_trajectory_length(&start, &wps, &AdaptiveLengthConfig::default());
+        let decision = adaptive_trajectory_length(&start, &wps, &AdaptiveLengthConfig::default());
         assert_eq!(decision.steps, 5);
         assert_eq!(decision.reason, TerminationReason::FullTrajectory);
     }
@@ -205,8 +201,7 @@ mod tests {
         let (start, mut wps) = straight_line(5);
         wps[3].gripper = GripperState::Closed;
         wps[4].gripper = GripperState::Closed;
-        let decision =
-            adaptive_trajectory_length(&start, &wps, &AdaptiveLengthConfig::default());
+        let decision = adaptive_trajectory_length(&start, &wps, &AdaptiveLengthConfig::default());
         // The change happens at waypoint index 3 (step 4); checking waypoint 3
         // (step 3) sees the next waypoint change, so the trajectory ends at
         // step 3.
@@ -226,8 +221,7 @@ mod tests {
             EePose::new(Vec3::new(0.01, 0.0, 0.0), Vec3::ZERO, GripperState::Open),
             EePose::new(Vec3::new(-0.04, 0.0, 0.0), Vec3::ZERO, GripperState::Open),
         ];
-        let decision =
-            adaptive_trajectory_length(&start, &wps, &AdaptiveLengthConfig::default());
+        let decision = adaptive_trajectory_length(&start, &wps, &AdaptiveLengthConfig::default());
         assert_eq!(decision.reason, TerminationReason::HighCurvature);
         assert!(decision.steps >= 2 && decision.steps <= 4, "steps = {}", decision.steps);
     }
@@ -264,7 +258,8 @@ mod tests {
         all.extend(wps.iter().cloned());
         let traj = Trajectory::fit_waypoints(&all, CONTROL_STEP).unwrap();
         let d1 = adaptive_length_for_trajectory(&traj, &AdaptiveLengthConfig::default());
-        let d2 = adaptive_trajectory_length(&start, &traj.waypoints(), &AdaptiveLengthConfig::default());
+        let d2 =
+            adaptive_trajectory_length(&start, &traj.waypoints(), &AdaptiveLengthConfig::default());
         assert_eq!(d1, d2);
     }
 

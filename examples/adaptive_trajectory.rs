@@ -15,7 +15,9 @@ use corki_trajectory::{EePose, GripperState};
 fn line(n: usize) -> (EePose, Vec<EePose>) {
     let start = EePose::new(Vec3::new(0.3, 0.0, 0.3), Vec3::ZERO, GripperState::Open);
     let wps = (1..=n)
-        .map(|i| EePose::new(Vec3::new(0.3 + 0.012 * i as f64, 0.0, 0.3), Vec3::ZERO, GripperState::Open))
+        .map(|i| {
+            EePose::new(Vec3::new(0.3 + 0.012 * i as f64, 0.0, 0.3), Vec3::ZERO, GripperState::Open)
+        })
         .collect();
     (start, wps)
 }
@@ -49,12 +51,10 @@ fn main() {
     let setup = VariantSetup::new(Variant::CorkiAdaptive);
     let env = setup.build_environment(3);
     let mut policy = setup.build_policy(3);
-    let result = run_job(&env, policy.as_mut(), &EvalConfig { num_jobs: 1, unseen: false, seed: 3 }, 0);
+    let result =
+        run_job(&env, policy.as_mut(), &EvalConfig { num_jobs: 1, unseen: false, seed: 3 }, 0);
     println!("Corki-ADAP job: {}/5 tasks completed", result.tasks_completed);
     for (episode, name) in result.episodes.iter().zip(&result.task_names) {
-        println!(
-            "  {:<28} executed lengths per inference: {:?}",
-            name, episode.executed_lengths
-        );
+        println!("  {:<28} executed lengths per inference: {:?}", name, episode.executed_lengths);
     }
 }

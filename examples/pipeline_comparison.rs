@@ -9,10 +9,17 @@
 use corki::system::{PipelineConfig, PipelineSimulator, Variant};
 
 fn main() {
-    let baseline = PipelineSimulator::new(PipelineConfig::paper_defaults(Variant::RoboFlamingo)).simulate();
+    let baseline =
+        PipelineSimulator::new(PipelineConfig::paper_defaults(Variant::RoboFlamingo)).simulate();
     println!(
         "{:<14} {:>13} {:>10} {:>11} {:>9} {:>12} {:>12}",
-        "variant", "latency [ms]", "rate [Hz]", "energy [J]", "speedup", "energy red.", "inferences"
+        "variant",
+        "latency [ms]",
+        "rate [Hz]",
+        "energy [J]",
+        "speedup",
+        "energy red.",
+        "inferences"
     );
     for variant in Variant::paper_lineup() {
         let summary = PipelineSimulator::new(PipelineConfig::paper_defaults(variant)).simulate();
@@ -32,7 +39,8 @@ fn main() {
         "baseline long-tail: mean {:.1} ms, p99 {:.1} ms, relative variation {:.2}",
         baseline.stats.mean_ms, baseline.stats.p99_ms, baseline.stats.relative_variation
     );
-    let corki5 = PipelineSimulator::new(PipelineConfig::paper_defaults(Variant::CorkiFixed(5))).simulate();
+    let corki5 =
+        PipelineSimulator::new(PipelineConfig::paper_defaults(Variant::CorkiFixed(5))).simulate();
     println!(
         "Corki-5 long-tail:  mean {:.1} ms, p99 {:.1} ms, relative variation {:.2}  (the paper's Fig. 14c long-tail effect)",
         corki5.stats.mean_ms, corki5.stats.p99_ms, corki5.stats.relative_variation

@@ -6,8 +6,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use corki::policy::{ManipulationPolicy, NoiseModel, Observation, OracleTrajectoryPolicy, PlanRequest, PolicyPlan};
-use corki::robot::{panda, ArmSimulator, ControllerGains, JointState, SimulatorConfig, TaskReference, TaskSpaceController};
+use corki::policy::{
+    ManipulationPolicy, NoiseModel, Observation, OracleTrajectoryPolicy, PlanRequest, PolicyPlan,
+};
+use corki::robot::{
+    panda, ArmSimulator, ControllerGains, JointState, SimulatorConfig, TaskReference,
+    TaskSpaceController,
+};
 use corki::trajectory::{EePose, GripperState, CONTROL_STEP};
 use corki_math::Vec3;
 
@@ -71,7 +76,11 @@ fn main() {
     let final_fk = sim.robot().forward_kinematics(&sim.state().positions);
     let error = (final_fk.end_effector.translation - target).norm();
     println!("reached pose: {}", final_fk.end_effector.translation);
-    println!("target error after {:.0} ms of execution: {:.1} mm", trajectory.duration() * 1000.0, error * 1000.0);
+    println!(
+        "target error after {:.0} ms of execution: {:.1} mm",
+        trajectory.duration() * 1000.0,
+        error * 1000.0
+    );
     println!(
         "(one LLM inference covered {} control steps instead of {} — that is the Corki idea)",
         trajectory.num_steps(),

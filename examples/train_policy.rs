@@ -41,5 +41,7 @@ fn main() {
         baseline.num_trainable_parameters(),
         corki.num_trainable_parameters()
     );
-    println!("(training at paper scale uses the same code path with more demonstrations and epochs)");
+    println!(
+        "(training at paper scale uses the same code path with more demonstrations and epochs)"
+    );
 }

@@ -24,7 +24,7 @@ fn ts_ctc_tracks_a_corki_trajectory_on_the_dynamic_arm() {
     let start_fk = sim.robot().forward_kinematics(&sim.state().positions);
     let start = EePose::from_se3(&start_fk.end_effector, GripperState::Open);
     let mut goal = start;
-    goal.position = goal.position + Vec3::new(0.05, -0.06, -0.04);
+    goal.position += Vec3::new(0.05, -0.06, -0.04);
     let trajectory = Trajectory::point_to_point(&start, &goal, 9, CONTROL_STEP).unwrap();
 
     let control_dt = 0.01;
@@ -46,8 +46,8 @@ fn ts_ctc_tracks_a_corki_trajectory_on_the_dynamic_arm() {
         sim.step(&tau, control_dt);
         t += control_dt;
         let achieved = sim.robot().forward_kinematics(&sim.state().positions);
-        worst_error = worst_error
-            .max((achieved.end_effector.translation - sample.pose.position).norm());
+        worst_error =
+            worst_error.max((achieved.end_effector.translation - sample.pose.position).norm());
     }
     let final_fk = sim.robot().forward_kinematics(&sim.state().positions);
     let final_error = (final_fk.end_effector.translation - goal.position).norm();
@@ -66,7 +66,7 @@ fn ace_on_a_real_control_trace_matches_the_papers_savings() {
     let controller = TaskSpaceController::new(ControllerGains::default());
     let start_fk = sim.robot().forward_kinematics(&sim.state().positions);
     let mut goal = start_fk.end_effector;
-    goal.translation = goal.translation + Vec3::new(0.06, 0.05, -0.03);
+    goal.translation += Vec3::new(0.06, 0.05, -0.03);
     let reference = TaskReference::hold(goal);
 
     let mut trace = Vec::new();
@@ -87,7 +87,7 @@ fn ace_on_a_real_control_trace_matches_the_papers_savings() {
 
     let accel = AcceleratorModel::default();
     let cpu = CpuControlModel::i7_6770hq();
-    let speedup = cpu.control_latency_ms
-        / accel.control_latency_with_skips(stats.skip_fraction()).latency_ms;
+    let speedup =
+        cpu.control_latency_ms / accel.control_latency_with_skips(stats.skip_fraction()).latency_ms;
     assert!(speedup > 25.0, "control speed-up {speedup:.1}× is below the paper's ≈29×");
 }

@@ -1,0 +1,24 @@
+//! Workspace smoke test: every paper variant must construct a policy and an
+//! environment and survive an evaluation job without panicking.
+
+use corki::sim::evaluation::{run_job, EvalConfig};
+use corki::{Variant, VariantSetup};
+
+#[test]
+fn every_paper_variant_builds_and_steps() {
+    let lineup = Variant::paper_lineup();
+    assert_eq!(lineup.len(), 8, "the paper evaluates eight variants");
+    for variant in lineup {
+        let setup = VariantSetup::new(variant.clone());
+        let mut policy = setup.build_policy(7);
+        let env = setup.build_environment(7);
+        let config = EvalConfig { num_jobs: 1, unseen: false, seed: 7 };
+        let result = run_job(&env, policy.as_mut(), &config, 0);
+        assert!(
+            !result.episodes.is_empty(),
+            "{variant:?}: the job should run at least one episode"
+        );
+        let steps: usize = result.episodes.iter().map(|e| e.steps).sum();
+        assert!(steps > 0, "{variant:?}: the job should consume at least one control step");
+    }
+}

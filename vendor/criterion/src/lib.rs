@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the macro and type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`, `Bencher::iter`) backed by a deliberately simple
+//! timing loop: warm up briefly, time a fixed number of samples, report the
+//! median ns/iteration. No statistics machinery, plots or baselines — just
+//! enough to compare hot paths and keep `cargo bench` meaningful offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name.as_ref(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside this group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name.as_ref(), &mut f);
+        self
+    }
+
+    /// Finishes the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut bencher = Bencher { samples: Vec::new() };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("  {name:<32} (no measurement — Bencher::iter never called)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("  {name:<32} median {median:>12.1} ns/iter ({} samples)", samples.len());
+}
+
+/// Passed to the closure given to `bench_function`; drives the timing loop.
+pub struct Bencher {
+    samples: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const WARMUP: Duration = Duration::from_millis(20);
+        const SAMPLES: usize = 15;
+        const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+        // Warm up and estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u32 = 0;
+        while warmup_start.elapsed() < WARMUP {
+            std_black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() / u128::from(warmup_iters.max(1));
+        let iters_per_sample =
+            (TARGET_SAMPLE.as_nanos() / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as u64;
+            self.samples.push(nanos / iters_per_sample);
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function of a bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

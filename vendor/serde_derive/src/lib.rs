@@ -1,0 +1,458 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! `syn` and `quote` are unavailable in this offline build environment, so
+//! the item is parsed directly from the [`proc_macro::TokenStream`] and the
+//! generated impls are assembled as source strings. The supported shapes are
+//! exactly what this workspace derives on:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, restored
+//!   via `Default` on deserialization),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   serde default representation).
+//!
+//! Generic type parameters are not supported and produce a compile error
+//! naming the offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The shape of the item a derive was applied to.
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the vendored trait) for the annotated item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut map = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "map.insert(String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(map)");
+            s
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_owned()
+        }
+        Shape::Tuple(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert(String::from(\"{v}\"), ::serde::Serialize::to_value(f0));\n\
+                         ::serde::Value::Object(map)\n}}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(String::from(\"{v}\"), ::serde::Value::Array(vec![{items}]));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            v = v.name,
+                            binds = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(String::from(\"{v}\"), ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (the vendored trait) for the annotated item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let map = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for struct {name}\"))?;\n"
+            );
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!("{n}: ::std::default::Default::default(),\n", n = f.name));
+                } else {
+                    s.push_str(&format!(
+                        "{n}: match map.get(\"{n}\") {{\n\
+                         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                         None => return Err(::serde::Error::custom(\"missing field `{n}` of struct {name}\")),\n\
+                         }},\n",
+                        n = f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let items: Vec<String> =
+                (0..n).map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?")).collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for tuple struct {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(\"wrong tuple length for {name}\"));\n}}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Unit => format!(
+            "match value {{\n\
+             ::serde::Value::Null => Ok({name}),\n\
+             _ => Err(::serde::Error::custom(\"expected null for unit struct {name}\")),\n}}"
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n", v = v.name))
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for variant {v}\"))?;\n\
+                             if items.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"wrong arity for variant {v}\"));\n}}\n\
+                             Ok({name}::{v}({items}))\n}}\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut field_exprs = String::new();
+                        for f in fields {
+                            field_exprs.push_str(&format!(
+                                "{f}: match fields.get(\"{f}\") {{\n\
+                                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                                 None => return Err(::serde::Error::custom(\"missing field `{f}` of variant {v}\")),\n\
+                                 }},\n",
+                                v = v.name
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let fields = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for variant {v}\"))?;\n\
+                             Ok({name}::{v} {{\n{field_exprs}}})\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(tag) => match tag.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of enum {name}\"))),\n}},\n\
+                 ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                 let (tag, inner) = map.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of enum {name}\"))),\n}}\n}}\n\
+                 _ => Err(::serde::Error::custom(\"expected string or single-key object for enum {name}\")),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Unit),
+            other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde_derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
+fn eat_attributes(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            let text: String = g.to_string().chars().filter(|c| !c.is_whitespace()).collect();
+            if text.contains("serde(skip") {
+                skip = true;
+            }
+        }
+    }
+    skip
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let skip = eat_attributes(&mut iter);
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    let mut index = 0usize;
+    while iter.peek().is_some() {
+        let skip = eat_attributes(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(Field { name: index.to_string(), skip });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        eat_attributes(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream()).into_iter().map(|f| f.name).collect();
+                iter.next();
+                VariantKind::Named(names)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        skip_type_until_comma(&mut iter);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Advances past a type (or discriminant expression) up to and including the
+/// next comma that sits outside any angle brackets. Groups (`()`, `[]`, `{}`)
+/// are single token trees, so only `<`/`>` need explicit depth tracking.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0usize;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts comma-separated fields at the top level of a tuple-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    if iter.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut saw_token_since_comma = false;
+    for tt in iter {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    saw_token_since_comma = false;
+                    count += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    // Tolerate a trailing comma.
+    if !saw_token_since_comma {
+        count -= 1;
+    }
+    count
+}
