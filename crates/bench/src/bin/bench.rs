@@ -1,0 +1,95 @@
+//! The registry-free micro-bench runner.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench [--quick] [--json <path>] [--check <path>] [--compare <baseline>]
+//! ```
+//!
+//! * default — run the full suite and print the report table;
+//! * `--quick` — tiny iteration counts (CI smoke runs);
+//! * `--json <path>` — additionally write the canonical `BENCH_*.json`
+//!   report (the file is parsed back and schema-validated after writing);
+//! * `--check <path>` — only validate an existing report against the schema;
+//! * `--compare <baseline>` — after running, print per-benchmark deltas
+//!   against a previously committed report (e.g. `BENCH_baseline.json`).
+
+use corki_bench::micro::{run_suite, BenchReport, RunnerConfig};
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+fn load_report(path: &str) -> BenchReport {
+    let json =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    BenchReport::from_json(&json).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut compare_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => fail("--json requires a path argument"),
+            },
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(path),
+                None => fail("--check requires a path argument"),
+            },
+            "--compare" => match args.next() {
+                Some(path) => compare_path = Some(path),
+                None => fail("--compare requires a path argument"),
+            },
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(path) = check_path {
+        let report = load_report(&path);
+        println!(
+            "{path}: valid bench report ({} benches, {} mode)",
+            report.benches.len(),
+            report.mode
+        );
+        return;
+    }
+
+    let (config, mode) =
+        if quick { (RunnerConfig::quick(), "quick") } else { (RunnerConfig::full(), "full") };
+    let report = run_suite(&config, mode);
+    print!("{}", report.to_table());
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        // Round-trip the file through the schema validator so a corrupt
+        // write fails the run, not a later consumer.
+        let _ = load_report(path);
+        println!("(wrote and validated JSON report at {path})");
+    }
+
+    if let Some(path) = compare_path {
+        let baseline = load_report(&path);
+        println!("comparison against {path}:");
+        for bench in &report.benches {
+            match baseline.benches.iter().find(|b| b.name == bench.name) {
+                Some(base) => println!(
+                    "  {:<44} {:>10.1} ns/op vs {:>10.1} ns/op  ({:+.1} %)",
+                    bench.name,
+                    bench.median_ns,
+                    base.median_ns,
+                    100.0 * (bench.median_ns - base.median_ns) / base.median_ns
+                ),
+                None => println!("  {:<44} (not in baseline)", bench.name),
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Benchmark support library for the DaDu-Corki reproduction.
+//!
+//! Two modules back the `bench` binary (the registry-free micro-bench runner
+//! that emits the canonical `BENCH_*.json` perf trajectory):
+//!
+//! * [`micro`] — the timing runner, the JSON report schema and the suite of
+//!   hot-path micro-benchmarks (policy inference, trajectory fitting, the
+//!   TS-CTC control kernel and the full pipeline simulation);
+//! * [`reference`] — faithful re-implementations of the *pre-optimisation*
+//!   allocating hot paths (naive sequential-sum matvec, clone-per-step
+//!   LSTM/MLP caches, per-solve Cholesky refactorisation), kept so every
+//!   report records the speedup of the zero-allocation fast path against the
+//!   code it replaced.
+
+pub mod micro;
+pub mod reference;

@@ -1,0 +1,399 @@
+//! The registry-free micro-bench runner behind the `bench` binary.
+//!
+//! Times the four hot paths of the reproduction (policy inference,
+//! trajectory fitting, the TS-CTC control kernel and the full pipeline
+//! simulation), always side by side with the pre-optimisation reference
+//! implementations from [`crate::reference`], and emits a canonical JSON
+//! report (`BENCH_*.json`) so every future PR has a baseline to compare
+//! against.
+
+use crate::reference::{
+    bench_controller, bench_rng, reference_fit_waypoints, reference_task_space_torque, RefCorkiHead,
+};
+use corki_math::Vec3;
+use corki_policy::{
+    BaselineFramePolicy, CorkiTrajectoryPolicy, ManipulationPolicy, Observation, PlanRequest,
+};
+use corki_robot::panda::{panda_model, PANDA_HOME};
+use corki_robot::{JointState, TaskReference};
+use corki_system::{PipelineConfig, PipelineSimulator, Variant};
+use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The schema version stamped into every report; bump when the JSON layout
+/// changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Timing-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Warm-up duration per benchmark (also calibrates iterations/sample).
+    pub warmup: Duration,
+    /// Number of timed samples; the report records their median.
+    pub samples: usize,
+    /// Target wall-clock duration of one sample.
+    pub target_sample: Duration,
+}
+
+impl RunnerConfig {
+    /// The configuration behind committed baselines: many short samples so
+    /// the median shrugs off scheduler noise and stolen time on shared
+    /// hosts, rather than few long samples that smear it into every
+    /// measurement.
+    pub fn full() -> Self {
+        RunnerConfig {
+            warmup: Duration::from_millis(40),
+            samples: 41,
+            target_sample: Duration::from_millis(3),
+        }
+    }
+
+    /// A tiny-iteration-count configuration for CI smoke runs.
+    pub fn quick() -> Self {
+        RunnerConfig {
+            warmup: Duration::from_millis(5),
+            samples: 3,
+            target_sample: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Median nanoseconds per operation across the samples.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations folded into each sample.
+    pub iters_per_sample: u64,
+}
+
+/// A fast-vs-reference pairing recorded alongside the raw measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// The hot path being compared.
+    pub name: String,
+    /// Median ns/op of the pre-optimisation allocating path.
+    pub reference_ns: f64,
+    /// Median ns/op of the zero-allocation fast path.
+    pub fast_ns: f64,
+    /// `reference_ns / fast_ns`.
+    pub speedup: f64,
+}
+
+/// The canonical report emitted as `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Human-readable provenance string.
+    pub generator: String,
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// Raw per-benchmark medians.
+    pub benches: Vec<BenchResult>,
+    /// Fast-vs-reference speedups derived from `benches`.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl BenchReport {
+    /// Serialises the report as pretty-printed canonical JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serialisable")
+    }
+
+    /// Parses and schema-validates a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the JSON does not parse into
+    /// the report schema or violates its invariants.
+    pub fn from_json(json: &str) -> Result<BenchReport, String> {
+        let report: BenchReport =
+            serde_json::from_str(json).map_err(|e| format!("not a bench report: {e}"))?;
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// Checks the report invariants (version, non-empty suite, positive
+    /// medians, consistent comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema version {} (runner understands {SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.benches.is_empty() {
+            return Err("empty benchmark suite".to_owned());
+        }
+        for bench in &self.benches {
+            let positive = bench.median_ns.is_finite() && bench.median_ns > 0.0;
+            if !positive || bench.samples == 0 || bench.iters_per_sample == 0 {
+                return Err(format!("degenerate measurement for `{}`", bench.name));
+            }
+        }
+        for cmp in &self.comparisons {
+            let all_positive = [cmp.reference_ns, cmp.fast_ns, cmp.speedup]
+                .iter()
+                .all(|v| v.is_finite() && *v > 0.0);
+            if !all_positive {
+                return Err(format!("degenerate comparison for `{}`", cmp.name));
+            }
+            let expected = cmp.reference_ns / cmp.fast_ns;
+            if (cmp.speedup - expected).abs() > 1e-6 * expected {
+                return Err(format!("inconsistent speedup for `{}`", cmp.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Formats the report as an aligned console table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("micro-bench report ({} mode)\n", self.mode));
+        for bench in &self.benches {
+            out.push_str(&format!("  {:<44} {:>14.1} ns/op\n", bench.name, bench.median_ns));
+        }
+        for cmp in &self.comparisons {
+            out.push_str(&format!(
+                "  {:<44} {:>12.2}x  ({:.0} ns -> {:.0} ns)\n",
+                format!("speedup: {}", cmp.name),
+                cmp.speedup,
+                cmp.reference_ns,
+                cmp.fast_ns
+            ));
+        }
+        out
+    }
+}
+
+/// One named routine in the suite.
+struct BenchCase<'a> {
+    name: &'static str,
+    routine: Box<dyn FnMut() + 'a>,
+}
+
+/// Warm a routine up and pick the iteration count that fills one sample.
+fn calibrate(config: &RunnerConfig, routine: &mut dyn FnMut()) -> u64 {
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    while warmup_start.elapsed() < config.warmup {
+        routine();
+        warmup_iters += 1;
+    }
+    let per_iter = warmup_start.elapsed().as_nanos() / u128::from(warmup_iters.max(1));
+    (config.target_sample.as_nanos() / per_iter.max(1)).clamp(1, 1_000_000) as u64
+}
+
+/// Times every case with interleaved sample rounds — all benchmarks see the
+/// same thermal/frequency environment instead of later cases paying for the
+/// turbo budget the earlier ones spent — and reports per-case medians.
+fn measure_interleaved(config: &RunnerConfig, cases: &mut [BenchCase<'_>]) -> Vec<BenchResult> {
+    let iters: Vec<u64> =
+        cases.iter_mut().map(|case| calibrate(config, &mut case.routine)).collect();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(config.samples); cases.len()];
+    for _ in 0..config.samples {
+        for (case_index, case) in cases.iter_mut().enumerate() {
+            let start = Instant::now();
+            for _ in 0..iters[case_index] {
+                (case.routine)();
+            }
+            samples[case_index].push(start.elapsed().as_nanos() as f64 / iters[case_index] as f64);
+        }
+    }
+    cases
+        .iter()
+        .zip(samples.iter_mut())
+        .zip(&iters)
+        .map(|((case, case_samples), &iters_per_sample)| {
+            case_samples.sort_by(f64::total_cmp);
+            BenchResult {
+                name: case.name.to_owned(),
+                median_ns: case_samples[case_samples.len() / 2],
+                samples: config.samples,
+                iters_per_sample,
+            }
+        })
+        .collect()
+}
+
+fn bench_observation() -> Observation {
+    Observation {
+        end_effector: EePose::new(Vec3::new(0.35, 0.0, 0.3), Vec3::ZERO, GripperState::Open),
+        object_position: Vec3::new(0.45, -0.1, 0.02),
+        goal_position: Vec3::new(0.5, 0.1, 0.02),
+        ..Observation::default()
+    }
+}
+
+fn bench_waypoints(n: usize) -> Vec<EePose> {
+    (0..n)
+        .map(|i| {
+            EePose::new(
+                Vec3::new(0.3 + 0.012 * i as f64, -0.015 * i as f64, 0.25 + 0.004 * i as f64),
+                Vec3::new(0.0, 0.0, 0.02 * i as f64),
+                if i >= n / 2 { GripperState::Closed } else { GripperState::Open },
+            )
+        })
+        .collect()
+}
+
+/// Runs the whole micro-bench suite and assembles the report.
+pub fn run_suite(config: &RunnerConfig, mode: &str) -> BenchReport {
+    let observation = bench_observation();
+
+    // Policy inference: pre-optimisation allocating path vs the live
+    // zero-allocation fast path, identical network shapes and identical
+    // steady state: Corki-9 executes 9 control steps per plan, so each plan
+    // pushes 8 mask embeddings plus the freshly captured frame (Fig. 4).
+    const HORIZON: usize = 9;
+    let mut reference_head = RefCorkiHead::new(HORIZON, &mut bench_rng());
+    let mut policy = CorkiTrajectoryPolicy::new(HORIZON, &mut bench_rng());
+    let mut request = PlanRequest::from_observation(observation);
+    request.steps_since_last_plan = HORIZON;
+    let mut out = Trajectory::hold(&observation.end_effector, 1);
+    let mut baseline = BaselineFramePolicy::new(&mut bench_rng());
+    let baseline_request = PlanRequest::from_observation(observation);
+
+    // Trajectory fitting: sample-buffer fit vs in-place refit.
+    let waypoints = bench_waypoints(10);
+    let mut trajectory = Trajectory::fit_waypoints(&waypoints, CONTROL_STEP).expect("valid fit");
+
+    // Control kernel: per-solve refactorisation vs the shared factorisation.
+    let robot = panda_model();
+    let state = JointState::at_rest(PANDA_HOME.to_vec());
+    let fk = robot.forward_kinematics(&state.positions);
+    let mut target = fk.end_effector;
+    target.translation.x += 0.05;
+    let task_reference = TaskReference::hold(target);
+    let controller = bench_controller();
+
+    // Full pipeline simulation (Corki-5, 120 frames).
+    let mut pipeline_config = PipelineConfig::paper_defaults(Variant::CorkiFixed(5));
+    pipeline_config.num_frames = 120;
+
+    let mut cases: Vec<BenchCase<'_>> = vec![
+        BenchCase {
+            name: "policy_inference/corki_reference_alloc",
+            routine: Box::new(|| {
+                black_box(reference_head.plan(black_box(&observation), HORIZON - 1));
+            }),
+        },
+        BenchCase {
+            name: "policy_inference/corki_fast",
+            routine: Box::new(|| {
+                policy.plan_into(black_box(&request), &mut out);
+            }),
+        },
+        BenchCase {
+            name: "policy_inference/baseline_fast",
+            routine: Box::new(|| {
+                black_box(baseline.plan(black_box(&baseline_request)));
+            }),
+        },
+        BenchCase {
+            name: "trajectory_fit/reference_alloc",
+            routine: Box::new(|| {
+                black_box(reference_fit_waypoints(black_box(&waypoints), CONTROL_STEP));
+            }),
+        },
+        BenchCase {
+            name: "trajectory_fit/refit_fast",
+            routine: Box::new(|| {
+                trajectory.refit_waypoints(black_box(&waypoints), CONTROL_STEP).expect("valid fit");
+            }),
+        },
+        BenchCase {
+            name: "control_kernel/reference_refactor",
+            routine: Box::new(|| {
+                black_box(reference_task_space_torque(
+                    black_box(&robot),
+                    &state,
+                    &task_reference,
+                    1e-6,
+                    &controller,
+                ));
+            }),
+        },
+        BenchCase {
+            name: "control_kernel/ts_ctc_fast",
+            routine: Box::new(|| {
+                black_box(controller.compute_torque(black_box(&robot), &state, &task_reference));
+            }),
+        },
+        BenchCase {
+            name: "pipeline_sim/corki5_120_frames",
+            routine: Box::new(|| {
+                black_box(PipelineSimulator::new(pipeline_config.clone()).simulate());
+            }),
+        },
+    ];
+    let benches = measure_interleaved(config, &mut cases);
+    drop(cases);
+
+    let comparisons = [
+        (
+            "policy_inference",
+            "policy_inference/corki_reference_alloc",
+            "policy_inference/corki_fast",
+        ),
+        ("trajectory_fit", "trajectory_fit/reference_alloc", "trajectory_fit/refit_fast"),
+        ("control_kernel", "control_kernel/reference_refactor", "control_kernel/ts_ctc_fast"),
+    ]
+    .into_iter()
+    .map(|(name, reference, fast)| {
+        let find =
+            |n: &str| benches.iter().find(|b| b.name == n).expect("bench in suite").median_ns;
+        let reference_ns = find(reference);
+        let fast_ns = find(fast);
+        Comparison { name: name.to_owned(), reference_ns, fast_ns, speedup: reference_ns / fast_ns }
+    })
+    .collect();
+
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        generator: "corki-bench micro runner".to_owned(),
+        mode: mode.to_owned(),
+        benches,
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_produces_a_valid_report_that_round_trips() {
+        let report = run_suite(&RunnerConfig::quick(), "quick");
+        report.validate().expect("fresh report must validate");
+        let json = report.to_json();
+        let parsed = BenchReport::from_json(&json).expect("round trip");
+        assert_eq!(parsed, report);
+        assert_eq!(report.comparisons.len(), 3);
+        assert!(report.benches.len() >= 7);
+        assert!(!report.to_table().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let mut report = run_suite(&RunnerConfig::quick(), "quick");
+        report.comparisons[0].speedup *= 2.0;
+        assert!(report.validate().is_err());
+        report.comparisons.clear();
+        report.benches.clear();
+        assert!(report.validate().is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+    }
+}

@@ -11,7 +11,9 @@ use corki_accel::ace::{
 };
 use corki_accel::{AcceleratorConfig, AcceleratorModel, CpuControlModel, OpCounts, ResourceReport};
 use corki_robot::panda::{panda_model, PANDA_HOME};
-use corki_sim::evaluation::{evaluate, run_job, EpisodeTraces, EvalConfig, EvaluationSummary};
+use corki_sim::evaluation::{
+    evaluate_parallel, run_job, EpisodeTraces, EvalConfig, EvaluationSummary,
+};
 use corki_system::{
     DataRepresentation, InferenceDevice, InferenceModel, PipelineConfig, PipelineSimulator,
     PipelineSummary, Variant,
@@ -51,19 +53,57 @@ impl ExperimentScale {
 }
 
 /// Tables 1 and 2: success rate per chain position and average job length for
-/// every variant, on the seen or unseen split.
+/// every variant, on the seen or unseen split. Runs the eight variants (and
+/// their jobs) across all available cores; see [`accuracy_table_with`].
 pub fn accuracy_table(unseen: bool, scale: &ExperimentScale) -> Vec<EvaluationSummary> {
-    VariantSetup::paper_lineup()
-        .into_iter()
-        .map(|setup| {
-            let mut policy = setup.build_policy(scale.seed);
-            let env = setup.build_environment(scale.seed);
-            let config = EvalConfig { num_jobs: scale.jobs, unseen, seed: scale.seed };
-            let mut summary = evaluate(&env, policy.as_mut(), &config);
-            summary.variant = setup.variant.name();
-            summary
-        })
-        .collect()
+    accuracy_table_with(unseen, scale, true)
+}
+
+/// [`accuracy_table`] with explicit control over parallelism.
+///
+/// With `parallel = true` the eight variants of the paper lineup run on one
+/// scoped thread each, and every variant fans its jobs out over the
+/// remaining cores. Policies are seeded deterministically per job, so the
+/// result is **byte-identical** between the parallel and sequential runs —
+/// the sweep is reproducible regardless of core count.
+pub fn accuracy_table_with(
+    unseen: bool,
+    scale: &ExperimentScale,
+    parallel: bool,
+) -> Vec<EvaluationSummary> {
+    let setups = VariantSetup::paper_lineup();
+    let job_threads = if parallel {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        cores.div_ceil(setups.len()).max(1)
+    } else {
+        1
+    };
+    let run_one = |setup: &VariantSetup| {
+        // Mix the base seed before adding the job index so the policy's
+        // noise stream is decorrelated from the scene-randomisation stream,
+        // which `run_job` seeds with the *unmixed* `seed + job_index`.
+        let make = |job: usize| {
+            let mixed = scale.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0_121;
+            setup.build_policy(mixed.wrapping_add(job as u64))
+        };
+        let env = setup.build_environment(scale.seed);
+        let config = EvalConfig { num_jobs: scale.jobs, unseen, seed: scale.seed };
+        let mut summary = evaluate_parallel(&env, &make, &config, job_threads);
+        summary.variant = setup.variant.name();
+        summary
+    };
+    if parallel {
+        let mut rows: Vec<Option<EvaluationSummary>> = setups.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let run_one = &run_one;
+            for (slot, setup) in rows.iter_mut().zip(&setups) {
+                scope.spawn(move || *slot = Some(run_one(setup)));
+            }
+        });
+        rows.into_iter().map(|row| row.expect("every variant ran")).collect()
+    } else {
+        setups.iter().map(run_one).collect()
+    }
 }
 
 /// Figure 11: the trajectory-error statistics are part of the
@@ -248,6 +288,18 @@ mod tests {
         }
         let errors = trajectory_error_series(&table);
         assert_eq!(errors.len(), 8);
+    }
+
+    #[test]
+    fn parallel_variant_sweep_is_byte_identical_to_sequential() {
+        let scale = ExperimentScale { jobs: 6, frames: 120, seed: 2024 };
+        let parallel = accuracy_table_with(false, &scale, true);
+        let sequential = accuracy_table_with(false, &scale, false);
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&sequential).unwrap(),
+            "the parallel sweep must reproduce the sequential one exactly"
+        );
     }
 
     #[test]

@@ -100,20 +100,28 @@ impl CubicPoly {
     /// With fewer than four samples the fit degrades gracefully (falls back to
     /// lower-order forms); with zero samples the zero polynomial is returned.
     pub fn fit_least_squares(samples: &[(f64, f64)]) -> Self {
-        match samples.len() {
-            0 => CubicPoly::zero(),
-            1 => CubicPoly::constant(samples[0].1),
-            _ => Self::fit_normal_equations(samples),
-        }
+        Self::fit_least_squares_iter(samples.iter().copied())
     }
 
-    fn fit_normal_equations(samples: &[(f64, f64)]) -> Self {
+    /// Least-squares cubic fit streamed from an iterator of `(t, value)`
+    /// samples — the allocation-free twin of
+    /// [`CubicPoly::fit_least_squares`]: the normal equations are accumulated
+    /// in a single pass over stack arrays, so callers (e.g. the per-dimension
+    /// trajectory fit) never materialise a sample buffer. Bit-identical to
+    /// the slice-based fit (same accumulation order).
+    pub fn fit_least_squares_iter(samples: impl IntoIterator<Item = (f64, f64)>) -> Self {
         // Build the 4x4 normal equations sum(t^i+j) x = sum(t^i y) for the
         // basis [t^3, t^2, t, 1]. For degenerate sample sets fall back by
         // ridge-regularising the diagonal slightly.
         let mut ata = [[0.0f64; 4]; 4];
         let mut atb = [0.0f64; 4];
-        for &(t, y) in samples {
+        let mut count = 0usize;
+        let mut first_value = 0.0;
+        for (t, y) in samples {
+            if count == 0 {
+                first_value = y;
+            }
+            count += 1;
             let basis = [t * t * t, t * t, t, 1.0];
             for i in 0..4 {
                 atb[i] += basis[i] * y;
@@ -122,13 +130,19 @@ impl CubicPoly {
                 }
             }
         }
-        // Tiny ridge term keeps the system solvable when samples are not
-        // distinct enough to determine all four coefficients.
-        for (i, row) in ata.iter_mut().enumerate() {
-            row[i] += 1e-9;
+        match count {
+            0 => CubicPoly::zero(),
+            1 => CubicPoly::constant(first_value),
+            _ => {
+                // Tiny ridge term keeps the system solvable when samples are
+                // not distinct enough to determine all four coefficients.
+                for (i, row) in ata.iter_mut().enumerate() {
+                    row[i] += 1e-9;
+                }
+                let coeffs = solve4(ata, atb);
+                CubicPoly::new(coeffs[0], coeffs[1], coeffs[2], coeffs[3])
+            }
         }
-        let coeffs = solve4(ata, atb);
-        CubicPoly::new(coeffs[0], coeffs[1], coeffs[2], coeffs[3])
     }
 
     /// Integral of the squared second derivative over `[0, duration]`; a
@@ -223,6 +237,22 @@ mod tests {
         for i in 0..10 {
             let t = i as f64 * 0.033;
             assert!((fit.eval(t) - truth.eval(t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn iterator_fit_is_bit_identical_to_slice_fit() {
+        let truth = CubicPoly::new(0.3, -0.6, 0.9, 0.1);
+        for n in [0usize, 1, 2, 5, 9] {
+            let samples: Vec<(f64, f64)> = (0..n)
+                .map(|i| {
+                    let t = i as f64 * 0.04;
+                    (t, truth.eval(t) + (i as f64).cos() * 0.01)
+                })
+                .collect();
+            let from_slice = CubicPoly::fit_least_squares(&samples);
+            let from_iter = CubicPoly::fit_least_squares_iter(samples.iter().copied());
+            assert_eq!(from_slice, from_iter, "n = {n}");
         }
     }
 

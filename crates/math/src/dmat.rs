@@ -123,6 +123,25 @@ impl DVec {
         DVec::from_vec(self.data.iter().map(|x| x * s).collect())
     }
 
+    /// Scales the vector in place — the allocation-free variant of
+    /// [`DVec::scale`].
+    pub fn scale_mut(&mut self, s: f64) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// In-place `self += a · x` (BLAS `axpy`) — replaces the
+    /// `scale`-then-`Add` pattern without allocating two temporaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths differ.
+    pub fn axpy(&mut self, a: f64, x: &DVec) {
+        assert_eq!(self.len(), x.len(), "DVec::axpy length mismatch");
+        for (s, xi) in self.data.iter_mut().zip(x.data.iter()) {
+            *s += a * xi;
+        }
+    }
+
     /// Maximum absolute element, or 0 for an empty vector.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
@@ -155,6 +174,24 @@ impl Sub for &DVec {
     fn sub(self, rhs: &DVec) -> DVec {
         assert_eq!(self.len(), rhs.len(), "DVec subtraction length mismatch");
         DVec::from_vec(self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect())
+    }
+}
+
+impl std::ops::AddAssign<&DVec> for DVec {
+    fn add_assign(&mut self, rhs: &DVec) {
+        assert_eq!(self.len(), rhs.len(), "DVec addition length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl std::ops::SubAssign<&DVec> for DVec {
+    fn sub_assign(&mut self, rhs: &DVec) {
+        assert_eq!(self.len(), rhs.len(), "DVec subtraction length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
     }
 }
 
@@ -322,6 +359,9 @@ impl DMat {
 
     /// Solves `self * x = b` using LU decomposition with partial pivoting.
     ///
+    /// Callers that solve against the same matrix repeatedly should factor
+    /// once with [`DMat::lu_factor`] and reuse [`LuFactors::solve_into`].
+    ///
     /// # Errors
     ///
     /// Returns [`LuError::NotSquare`], [`LuError::DimensionMismatch`] or
@@ -333,10 +373,42 @@ impl DMat {
         if b.len() != self.rows {
             return Err(LuError::DimensionMismatch);
         }
+        let factors = self.lu_factor()?;
+        let mut x = DVec::default();
+        factors.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// LU-factorises the matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError::NotSquare`] or [`LuError::Singular`].
+    pub fn lu_factor(&self) -> Result<LuFactors, LuError> {
+        let mut factors = LuFactors::default();
+        self.lu_factor_into(&mut factors)?;
+        Ok(factors)
+    }
+
+    /// LU-factorises the matrix into an existing [`LuFactors`], reusing its
+    /// storage — the in-place variant behind [`DMat::lu_factor`] for callers
+    /// that refactor every control cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError::NotSquare`] or [`LuError::Singular`].
+    pub fn lu_factor_into(&self, factors: &mut LuFactors) -> Result<(), LuError> {
+        if !self.is_square() {
+            return Err(LuError::NotSquare);
+        }
         let n = self.rows;
-        let mut a = self.data.clone();
-        let mut x = b.as_slice().to_vec();
-        let mut perm: Vec<usize> = (0..n).collect();
+        factors.n = n;
+        factors.lu.clear();
+        factors.lu.extend_from_slice(&self.data);
+        factors.perm.clear();
+        factors.perm.extend(0..n);
+        let a = &mut factors.lu;
+        let perm = &mut factors.perm;
 
         for k in 0..n {
             // Partial pivoting.
@@ -362,30 +434,11 @@ impl DMat {
                 }
             }
         }
-
-        // Forward substitution (L has unit diagonal), applying permutation.
-        let mut y = vec![0.0; n];
-        for i in 0..n {
-            let pi = perm[i];
-            let mut acc = x[pi];
-            for (j, yj) in y.iter().enumerate().take(i) {
-                acc -= a[pi * n + j] * yj;
-            }
-            y[i] = acc;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let pi = perm[i];
-            let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= a[pi * n + j] * x[j];
-            }
-            x[i] = acc / a[pi * n + i];
-        }
-        Ok(DVec::from_vec(x))
+        Ok(())
     }
 
-    /// Inverse via LU decomposition.
+    /// Inverse via LU decomposition (one factorisation shared by all
+    /// columns).
     ///
     /// # Errors
     ///
@@ -395,11 +448,14 @@ impl DMat {
             return Err(LuError::NotSquare);
         }
         let n = self.rows;
+        let factors = self.lu_factor()?;
         let mut out = DMat::zeros(n, n);
+        let mut e = DVec::zeros(n);
+        let mut col = DVec::default();
         for j in 0..n {
-            let mut e = DVec::zeros(n);
+            e.data.fill(0.0);
             e[j] = 1.0;
-            let col = self.solve_lu(&e)?;
+            factors.solve_into(&e, &mut col)?;
             for i in 0..n {
                 out[(i, j)] = col[i];
             }
@@ -410,6 +466,11 @@ impl DMat {
     /// Solves `self * x = b` via Cholesky decomposition, requiring the matrix
     /// to be symmetric positive definite (e.g. a mass matrix).
     ///
+    /// Callers that solve against the same matrix repeatedly should factor
+    /// once with [`DMat::cholesky_factor`] (or
+    /// [`DMat::cholesky_factor_into`]) and reuse
+    /// [`DMat::cholesky_solve_with_factor`].
+    ///
     /// # Errors
     ///
     /// Returns a [`CholeskyError`] if the matrix is not square, the dimensions
@@ -419,26 +480,47 @@ impl DMat {
         if b.len() != self.rows {
             return Err(CholeskyError::DimensionMismatch);
         }
+        let mut x = DVec::default();
+        l.cholesky_solve_with_factor(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `L Lᵀ x = b` where `self` is a lower-triangular Cholesky factor
+    /// previously produced by [`DMat::cholesky_factor`], writing the solution
+    /// into `x` (resized in place, no allocation at steady state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CholeskyError`] if the factor is not square or the
+    /// dimensions mismatch.
+    pub fn cholesky_solve_with_factor(&self, b: &DVec, x: &mut DVec) -> Result<(), CholeskyError> {
+        if !self.is_square() {
+            return Err(CholeskyError::NotSquare);
+        }
+        if b.len() != self.rows {
+            return Err(CholeskyError::DimensionMismatch);
+        }
         let n = self.rows;
-        // Forward substitution L y = b.
-        let mut y = vec![0.0; n];
+        x.data.clear();
+        x.data.resize(n, 0.0);
+        // Forward substitution L y = b (y stored in x).
         for i in 0..n {
             let mut acc = b[i];
-            for (j, yj) in y.iter().enumerate().take(i) {
-                acc -= l[(i, j)] * yj;
+            for j in 0..i {
+                acc -= self[(i, j)] * x[j];
             }
-            y[i] = acc / l[(i, i)];
+            x[i] = acc / self[(i, i)];
         }
-        // Back substitution Lᵀ x = y.
-        let mut x = vec![0.0; n];
+        // Back substitution Lᵀ x = y, in place: x[i] only reads y[i] and the
+        // already-final x[j] with j > i.
         for i in (0..n).rev() {
-            let mut acc = y[i];
-            for (j, xj) in x.iter().enumerate().skip(i + 1) {
-                acc -= l[(j, i)] * xj;
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self[(j, i)] * x[j];
             }
-            x[i] = acc / l[(i, i)];
+            x[i] = acc / self[(i, i)];
         }
-        Ok(DVec::from_vec(x))
+        Ok(())
     }
 
     /// Lower-triangular Cholesky factor `L` with `self = L Lᵀ`.
@@ -448,11 +530,28 @@ impl DMat {
     /// Returns a [`CholeskyError`] if the matrix is not square or not
     /// positive definite.
     pub fn cholesky_factor(&self) -> Result<DMat, CholeskyError> {
+        let mut l = DMat::default();
+        self.cholesky_factor_into(&mut l)?;
+        Ok(l)
+    }
+
+    /// Cholesky-factorises into an existing matrix, reusing its storage —
+    /// the in-place variant behind [`DMat::cholesky_factor`] for callers that
+    /// refactor every control cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CholeskyError`] if the matrix is not square or not
+    /// positive definite.
+    pub fn cholesky_factor_into(&self, l: &mut DMat) -> Result<(), CholeskyError> {
         if !self.is_square() {
             return Err(CholeskyError::NotSquare);
         }
         let n = self.rows;
-        let mut l = DMat::zeros(n, n);
+        l.rows = n;
+        l.cols = n;
+        l.data.clear();
+        l.data.resize(n * n, 0.0);
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = self[(i, j)];
@@ -469,7 +568,59 @@ impl DMat {
                 }
             }
         }
-        Ok(l)
+        Ok(())
+    }
+}
+
+/// Packed LU factors (with the partial-pivoting row permutation) of a square
+/// [`DMat`], produced by [`DMat::lu_factor`]. One factorisation serves any
+/// number of right-hand sides via [`LuFactors::solve_into`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LuFactors {
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    n: usize,
+}
+
+impl LuFactors {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factors, writing the solution into
+    /// `x` (resized in place, no allocation at steady state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError::DimensionMismatch`] when `b` has the wrong length.
+    pub fn solve_into(&self, b: &DVec, x: &mut DVec) -> Result<(), LuError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(LuError::DimensionMismatch);
+        }
+        x.data.clear();
+        x.data.resize(n, 0.0);
+        // Forward substitution (L has unit diagonal), applying the
+        // permutation; the intermediate y lives in x.
+        for i in 0..n {
+            let pi = self.perm[i];
+            let mut acc = b[pi];
+            for j in 0..i {
+                acc -= self.lu[pi * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U, in place over the same buffer.
+        for i in (0..n).rev() {
+            let pi = self.perm[i];
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[pi * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[pi * n + i];
+        }
+        Ok(())
     }
 }
 
@@ -633,6 +784,65 @@ mod tests {
         assert_eq!((&a - &b).as_slice(), &[-2.0, 2.0, -2.0]);
         assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 4.0]);
         assert_eq!(b.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn in_place_dvec_ops_match_allocating_ones() {
+        let a = DVec::from_slice(&[1.0, 2.0, 2.0]);
+        let b = DVec::from_slice(&[3.0, 0.0, 4.0]);
+        let mut c = a.clone();
+        c.scale_mut(2.0);
+        assert_eq!(c, a.scale(2.0));
+        let mut d = a.clone();
+        d.axpy(0.5, &b);
+        assert_eq!(d, &a + &b.scale(0.5));
+        let mut e = a.clone();
+        e += &b;
+        assert_eq!(e, &a + &b);
+        e -= &b;
+        assert_eq!(e.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn factored_solves_are_bit_identical_to_direct_solves() {
+        let m = DMat::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ]);
+        let bs = [[1.0, 2.0, 3.0], [-0.5, 4.0, 0.25], [10.0, -3.0, 7.0]];
+        let l = m.cholesky_factor().unwrap();
+        let lu = m.lu_factor().unwrap();
+        let mut x = DVec::default();
+        for b in bs {
+            let rhs = DVec::from_slice(&b);
+            l.cholesky_solve_with_factor(&rhs, &mut x).unwrap();
+            assert_eq!(x, m.solve_cholesky(&rhs).unwrap());
+            lu.solve_into(&rhs, &mut x).unwrap();
+            assert_eq!(x, m.solve_lu(&rhs).unwrap());
+        }
+        assert_eq!(lu.dim(), 3);
+        // Reusing the factor buffers must not change the results.
+        let mut l2 = DMat::default();
+        m.cholesky_factor_into(&mut l2).unwrap();
+        assert_eq!(l2, l);
+        let mut lu2 = LuFactors::default();
+        m.lu_factor_into(&mut lu2).unwrap();
+        assert_eq!(lu2, lu);
+    }
+
+    #[test]
+    fn factored_solve_rejects_wrong_lengths() {
+        let m = DMat::identity(3);
+        let l = m.cholesky_factor().unwrap();
+        let lu = m.lu_factor().unwrap();
+        let mut x = DVec::default();
+        let short = DVec::zeros(2);
+        assert_eq!(
+            l.cholesky_solve_with_factor(&short, &mut x),
+            Err(CholeskyError::DimensionMismatch)
+        );
+        assert_eq!(lu.solve_into(&short, &mut x), Err(LuError::DimensionMismatch));
     }
 
     fn arb_spd(n: usize) -> impl Strategy<Value = DMat> {

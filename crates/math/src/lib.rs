@@ -34,7 +34,7 @@ mod spatial;
 mod vec3;
 
 pub use cubic::CubicPoly;
-pub use dmat::{CholeskyError, DMat, DVec, LuError};
+pub use dmat::{CholeskyError, DMat, DVec, LuError, LuFactors};
 pub use mat3::Mat3;
 pub use quat::UnitQuaternion;
 pub use se3::SE3;

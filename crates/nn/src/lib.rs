@@ -43,11 +43,13 @@ pub mod losses;
 mod lstm;
 mod mlp;
 mod optim;
+mod scratch;
 mod tensor;
 
-pub use activation::Activation;
+pub use activation::{sigmoid, sigmoid_slice, tanh, tanh_slice, Activation};
 pub use linear::{Linear, LinearCache};
 pub use lstm::{LstmCache, LstmCell, LstmState};
 pub use mlp::{Mlp, MlpCache};
 pub use optim::{Adam, Sgd};
-pub use tensor::Tensor;
+pub use scratch::InferenceScratch;
+pub use tensor::{matvec_colmajor, Tensor};

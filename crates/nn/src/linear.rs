@@ -1,5 +1,6 @@
 //! Fully-connected (affine) layers.
 
+use crate::activation::Activation;
 use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -13,9 +14,18 @@ pub struct Linear {
 
 /// The forward-pass cache of a [`Linear`] layer (the input), needed by the
 /// backward pass.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LinearCache {
     input: Vec<f64>,
+}
+
+impl LinearCache {
+    /// Overwrites the cached input, reusing the existing buffer (the pooled
+    /// alternative to the `to_vec()` of [`Linear::forward_cached`]).
+    pub(crate) fn store_input(&mut self, x: &[f64]) {
+        self.input.clear();
+        self.input.extend_from_slice(x);
+    }
 }
 
 impl Linear {
@@ -48,16 +58,52 @@ impl Linear {
     ///
     /// Panics if `x.len()` differs from the input dimensionality.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.weight.matvec(x);
-        for (yi, b) in y.iter_mut().zip(self.bias.data()) {
+        let mut y = vec![0.0; self.output_dim()];
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free forward pass: writes `W x + b` into `out`.
+    ///
+    /// Bit-identical to [`Linear::forward`] (both run the same kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` have the wrong length.
+    pub fn forward_into(&self, x: &[f64], out: &mut [f64]) {
+        self.weight.matvec_into(x, out);
+        for (yi, b) in out.iter_mut().zip(self.bias.data()) {
             *yi += b;
         }
-        y
+    }
+
+    /// Fused affine + activation: writes `f(W x + b)` into `out` in a single
+    /// pass over the output, avoiding the separate activation sweep of the
+    /// allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` have the wrong length.
+    pub fn forward_activated_into(&self, x: &[f64], activation: Activation, out: &mut [f64]) {
+        self.weight.matvec_into(x, out);
+        for (yi, b) in out.iter_mut().zip(self.bias.data()) {
+            *yi = activation.apply(*yi + b);
+        }
     }
 
     /// Forward pass returning the cache required by [`Linear::backward`].
     pub fn forward_cached(&self, x: &[f64]) -> (Vec<f64>, LinearCache) {
         (self.forward(x), LinearCache { input: x.to_vec() })
+    }
+
+    /// Forward pass storing the cache into an existing [`LinearCache`],
+    /// reusing both the output and cache buffers (zero allocations once the
+    /// buffers have reached their steady-state sizes).
+    pub fn forward_cached_reuse(&self, x: &[f64], y: &mut Vec<f64>, cache: &mut LinearCache) {
+        y.clear();
+        y.resize(self.output_dim(), 0.0);
+        self.forward_into(x, y);
+        cache.store_input(x);
     }
 
     /// Backward pass: accumulates parameter gradients and returns the gradient

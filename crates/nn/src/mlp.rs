@@ -3,6 +3,7 @@
 
 use crate::activation::Activation;
 use crate::linear::{Linear, LinearCache};
+use crate::scratch::InferenceScratch;
 use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -18,7 +19,7 @@ pub struct Mlp {
 }
 
 /// Forward-pass cache of an [`Mlp`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MlpCache {
     layer_caches: Vec<LinearCache>,
     activations: Vec<Vec<f64>>,
@@ -56,6 +57,67 @@ impl Mlp {
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         let (y, _) = self.forward_cached(x);
         y
+    }
+
+    /// Allocation-free forward pass: hidden layers run the fused
+    /// affine+activation kernel, ping-ponging between the two scratch
+    /// buffers, and the (linear) output layer writes into `out`.
+    ///
+    /// Bit-identical to [`Mlp::forward`]; `out` is resized in place, so the
+    /// call performs zero allocations once the buffers have grown to their
+    /// steady-state sizes.
+    pub fn forward_into(&self, x: &[f64], scratch: &mut InferenceScratch, out: &mut Vec<f64>) {
+        let n = self.layers.len();
+        let last = &self.layers[n - 1];
+        let ensure = |buf: &mut Vec<f64>, len: usize| {
+            if buf.len() != len {
+                buf.clear();
+                buf.resize(len, 0.0);
+            }
+        };
+        ensure(out, last.output_dim());
+        if n == 1 {
+            last.forward_into(x, out);
+            return;
+        }
+        let InferenceScratch { mlp_a, mlp_b, .. } = scratch;
+        ensure(mlp_a, self.layers[0].output_dim());
+        self.layers[0].forward_activated_into(x, self.activation, mlp_a);
+        let mut src_is_a = true;
+        for layer in &self.layers[1..n - 1] {
+            let (src, dst) =
+                if src_is_a { (&mut *mlp_a, &mut *mlp_b) } else { (&mut *mlp_b, &mut *mlp_a) };
+            ensure(dst, layer.output_dim());
+            layer.forward_activated_into(src, self.activation, dst);
+            src_is_a = !src_is_a;
+        }
+        last.forward_into(if src_is_a { mlp_a } else { mlp_b }, out);
+    }
+
+    /// Forward pass filling a pooled [`MlpCache`] in place — the training
+    /// counterpart of [`Mlp::forward_into`]. Unlike [`Mlp::forward_cached`],
+    /// which `to_vec()`s the input of every layer and clones every hidden
+    /// activation, all cache buffers are reused across calls. Returns the
+    /// network output as a slice into the cache. Bit-identical to
+    /// [`Mlp::forward_cached`].
+    pub fn forward_cached_reuse<'a>(&self, x: &[f64], cache: &'a mut MlpCache) -> &'a [f64] {
+        let n = self.layers.len();
+        cache.layer_caches.resize_with(n, LinearCache::default);
+        cache.activations.resize_with(n, Vec::new);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (prev, cur) = cache.activations.split_at_mut(i);
+            let input: &[f64] = if i == 0 { x } else { &prev[i - 1] };
+            let y = &mut cur[0];
+            y.clear();
+            y.resize(layer.output_dim(), 0.0);
+            if i + 1 == n {
+                layer.forward_into(input, y);
+            } else {
+                layer.forward_activated_into(input, self.activation, y);
+            }
+            cache.layer_caches[i].store_input(input);
+        }
+        &cache.activations[n - 1]
     }
 
     /// Forward pass returning the cache for [`Mlp::backward`].

@@ -1,0 +1,45 @@
+//! The reusable inference workspace behind the zero-allocation fast path.
+//!
+//! Every `*_into` forward pass in this crate writes into caller-provided
+//! buffers; [`InferenceScratch`] bundles the intermediate buffers those
+//! passes need (MLP ping-pong activations, LSTM pre-activation and
+//! recurrent-contribution vectors) so that a steady-state policy inference
+//! performs no heap allocations: buffers grow to their high-water mark on
+//! the first call and are reused (`clear` + `resize`) afterwards.
+
+/// Scratch buffers shared by the allocation-free forward passes of
+/// [`crate::Mlp`] and [`crate::LstmCell`].
+///
+/// One `InferenceScratch` serves one inference at a time; policies own one
+/// (excluded from serde/checkpointing) and thread it through every layer of
+/// a control step.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    /// MLP ping buffer (hidden activations of even layers).
+    pub(crate) mlp_a: Vec<f64>,
+    /// MLP pong buffer (hidden activations of odd layers).
+    pub(crate) mlp_b: Vec<f64>,
+    /// LSTM pre-activation vector `W_ih x + W_hh h + b` (length `4H`).
+    pub(crate) lstm_pre: Vec<f64>,
+    /// LSTM recurrent contribution `W_hh h` (length `4H`).
+    pub(crate) lstm_rec: Vec<f64>,
+}
+
+impl InferenceScratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        InferenceScratch::default()
+    }
+}
+
+/// Re-sizes a buffer without giving back its capacity: after the first call
+/// at a given size this never touches the allocator, and a buffer already at
+/// the right length is returned as-is (callers fully overwrite the contents,
+/// so no zero-fill is spent on the steady state).
+pub(crate) fn reuse(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, 0.0);
+    }
+    buf.as_mut_slice()
+}

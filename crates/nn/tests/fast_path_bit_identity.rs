@@ -1,0 +1,120 @@
+//! Property tests pinning the zero-allocation fast path to the allocating
+//! forward passes: for every layer, the `*_into` kernels must produce
+//! **bit-identical** outputs (same summation order, same activation
+//! arithmetic), so switching a policy onto the scratch workspace can never
+//! change a rollout. The transposed-recurrent LSTM step is the one
+//! documented exception — it reorders the recurrent sums — and is held to a
+//! tight relative tolerance instead.
+
+use corki_nn::{Activation, InferenceScratch, LstmCell, LstmState, Mlp, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn input_vec(len: usize, seed: u64) -> Vec<f64> {
+    (0..len).map(|i| ((i as f64) * 0.37 + seed as f64 * 0.11).sin() * 2.0).collect()
+}
+
+proptest! {
+    #[test]
+    fn matvec_into_matches_matvec_bitwise(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::xavier(rows, cols, &mut rng);
+        let x = input_vec(cols, seed);
+        let alloc = t.matvec(&x);
+        let mut fast = vec![f64::NAN; rows];
+        t.matvec_into(&x, &mut fast);
+        prop_assert_eq!(alloc, fast);
+    }
+
+    #[test]
+    fn linear_forward_into_matches_forward_bitwise(
+        input in 1usize..32,
+        output in 1usize..32,
+        seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = corki_nn::Linear::new(input, output, &mut rng);
+        let x = input_vec(input, seed);
+        let alloc = layer.forward(&x);
+        let mut fast = vec![f64::NAN; output];
+        layer.forward_into(&x, &mut fast);
+        prop_assert_eq!(&alloc, &fast);
+        // The fused affine+activation equals activation applied afterwards.
+        let mut fused = vec![f64::NAN; output];
+        layer.forward_activated_into(&x, Activation::Tanh, &mut fused);
+        let after: Vec<f64> = alloc.iter().map(|&v| Activation::Tanh.apply(v)).collect();
+        prop_assert_eq!(after, fused);
+    }
+
+    #[test]
+    fn lstm_forward_into_matches_forward_bitwise(
+        input in 1usize..24,
+        hidden in 1usize..24,
+        seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = LstmCell::new(input, hidden, &mut rng);
+        let x = input_vec(input, seed);
+        let mut state = LstmState::zeros(hidden);
+        let mut scratch = InferenceScratch::new();
+        let mut fast = LstmState::zeros(hidden);
+        // Walk a few steps so non-zero states are covered too.
+        for _ in 0..3 {
+            let alloc = cell.forward(&x, &state);
+            cell.forward_into(&x, &state, &mut fast, &mut scratch);
+            prop_assert_eq!(&alloc.h, &fast.h);
+            prop_assert_eq!(&alloc.c, &fast.c);
+            // The premixed step over a precomputed input projection is also
+            // bit-identical.
+            let mut projection = Vec::new();
+            cell.input_projection_into(&x, &mut projection);
+            let mut premixed = LstmState::zeros(hidden);
+            cell.forward_premixed(&projection, &state, &mut premixed, &mut scratch);
+            prop_assert_eq!(&alloc.h, &premixed.h);
+            prop_assert_eq!(&alloc.c, &premixed.c);
+            // The pooled training step fills its caches in place but is
+            // bit-identical to the allocating cached forward.
+            let mut cache = corki_nn::LstmCache::default();
+            let mut pooled = LstmState::zeros(hidden);
+            cell.forward_cached_reuse(&x, &state, &mut pooled, &mut cache, &mut scratch);
+            prop_assert_eq!(&alloc.h, &pooled.h);
+            prop_assert_eq!(&alloc.c, &pooled.c);
+            // The transposed-recurrent step reorders the recurrent sums; it
+            // must agree to within rounding.
+            let mut w_hh_t = Vec::new();
+            cell.recurrent_transposed_into(&mut w_hh_t);
+            let mut transposed = LstmState::zeros(hidden);
+            cell.forward_premixed_transposed(
+                &projection, &w_hh_t, &state, &mut transposed, &mut scratch,
+            );
+            for (a, b) in alloc.h.iter().zip(&transposed.h) {
+                prop_assert!((a - b).abs() <= 1e-12 + 1e-9 * a.abs());
+            }
+            state = alloc;
+        }
+    }
+
+    #[test]
+    fn mlp_forward_into_matches_forward_bitwise(
+        a in 1usize..24,
+        b in 1usize..24,
+        c in 1usize..24,
+        layers in 2usize..4,
+        seed in 0u64..500) {
+        let sizes = [a, b, c][..layers].to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&sizes, Activation::Tanh, &mut rng);
+        let x = input_vec(sizes[0], seed);
+        let alloc = mlp.forward(&x);
+        let mut scratch = InferenceScratch::new();
+        let mut fast = Vec::new();
+        mlp.forward_into(&x, &mut scratch, &mut fast);
+        prop_assert_eq!(&alloc, &fast);
+        // The pooled training forward is bit-identical as well.
+        let mut cache = corki_nn::MlpCache::default();
+        let reused = mlp.forward_cached_reuse(&x, &mut cache).to_vec();
+        prop_assert_eq!(alloc, reused);
+    }
+}

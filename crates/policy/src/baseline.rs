@@ -3,8 +3,9 @@
 //! (paper §3.1, Fig. 3).
 
 use crate::encoder::{TokenEncoder, TOKEN_DIM};
-use crate::{ManipulationPolicy, PlanRequest, PolicyKind, PolicyPlan, TOKEN_WINDOW};
-use corki_nn::{Activation, LstmCell, LstmState, Mlp, Tensor};
+use crate::scratch::{recycled_slot, run_window_premixed, PolicyScratch, WindowSlot};
+use crate::{ManipulationPolicy, PlanRequest, PolicyKind, PolicyPlan};
+use corki_nn::{Activation, LstmCell, Mlp, Tensor};
 use corki_trajectory::{DeltaAction, GripperState};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -29,7 +30,13 @@ pub struct BaselineFramePolicy {
     /// radians per step (keeps network outputs in a well-conditioned range).
     pub(crate) action_scale: f64,
     #[serde(skip)]
-    token_window: VecDeque<Vec<f64>>,
+    window: VecDeque<WindowSlot>,
+    /// Set by [`BaselineFramePolicy::parameters_mut`]: the cached window
+    /// projections were computed with weights that may since have changed.
+    #[serde(skip)]
+    projections_stale: bool,
+    #[serde(skip)]
+    scratch: PolicyScratch,
 }
 
 impl BaselineFramePolicy {
@@ -41,7 +48,24 @@ impl BaselineFramePolicy {
             pose_head: Mlp::new(&[HIDDEN_DIM, 64, 6], Activation::Tanh, rng),
             gripper_head: Mlp::new(&[HIDDEN_DIM, 32, 1], Activation::Tanh, rng),
             action_scale: 0.02,
-            token_window: VecDeque::new(),
+            window: VecDeque::new(),
+            projections_stale: false,
+            scratch: PolicyScratch::default(),
+        }
+    }
+
+    /// Refreshes the cached per-slot input projections and the transposed
+    /// recurrent weights if training touched the weights since they were
+    /// computed.
+    fn refresh_projections(&mut self) {
+        if self.projections_stale {
+            for slot in &mut self.window {
+                self.lstm.input_projection_into(&slot.token, &mut slot.projection);
+            }
+            self.lstm.recurrent_transposed_into(&mut self.scratch.w_hh_t);
+            self.projections_stale = false;
+        } else if self.scratch.w_hh_t.len() != 4 * HIDDEN_DIM * HIDDEN_DIM {
+            self.lstm.recurrent_transposed_into(&mut self.scratch.w_hh_t);
         }
     }
 
@@ -53,39 +77,10 @@ impl BaselineFramePolicy {
             + self.gripper_head.num_parameters()
     }
 
-    /// Pushes a token, evicting the oldest when the window is full (the
-    /// paper's queue of length 12).
-    pub(crate) fn push_token(&mut self, token: Vec<f64>) {
-        if self.token_window.len() == TOKEN_WINDOW {
-            self.token_window.pop_front();
-        }
-        self.token_window.push_back(token);
-    }
-
-    /// Runs the LSTM over the current token window, returning the final
-    /// hidden state.
-    pub(crate) fn run_window(&self) -> Vec<f64> {
-        let mut state = LstmState::zeros(HIDDEN_DIM);
-        for token in &self.token_window {
-            state = self.lstm.forward(token, &state);
-        }
-        state.h
-    }
-
-    /// Maps a hidden state to the raw 7-dimensional output
-    /// `[Δx..Δγ, gripper_logit]`.
-    pub(crate) fn decode(&self, hidden: &[f64]) -> ([f64; 6], f64) {
-        let pose = self.pose_head.forward(hidden);
-        let grip = self.gripper_head.forward(hidden);
-        let mut out = [0.0; 6];
-        for (o, p) in out.iter_mut().zip(&pose) {
-            *o = p * self.action_scale;
-        }
-        (out, grip[0])
-    }
-
-    /// Mutable parameter tensors of the trainable head.
+    /// Mutable parameter tensors of the trainable head. Marks the cached
+    /// window projections stale, since the caller may update the weights.
     pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        self.projections_stale = true;
         let mut p = self.lstm.parameters_mut();
         p.extend(self.pose_head.parameters_mut());
         p.extend(self.gripper_head.parameters_mut());
@@ -101,17 +96,43 @@ impl BaselineFramePolicy {
 
     /// Current number of tokens in the window (for tests).
     pub fn window_len(&self) -> usize {
-        self.token_window.len()
+        self.window.len()
     }
 }
 
 impl ManipulationPolicy for BaselineFramePolicy {
     fn plan(&mut self, request: &PlanRequest) -> PolicyPlan {
-        let token = self.encoder.encode(&request.observation);
-        self.push_token(token);
-        let hidden = self.run_window();
-        let (pose, gripper_logit) = self.decode(&hidden);
-        let gripper = if corki_nn::Activation::Sigmoid.apply(gripper_logit) >= 0.5 {
+        // Zero-allocation fast path: every intermediate lives in the scratch
+        // workspace; the returned action is plain stack data. The freshly
+        // encoded token is projected once at push time, older slots keep
+        // their cached projections, and the window rollout runs through the
+        // transposed recurrent kernel.
+        self.encoder.encode_into(
+            &request.observation,
+            &mut self.scratch.nn,
+            &mut self.scratch.token,
+        );
+        self.lstm.input_projection_into(&self.scratch.token, &mut self.scratch.token_pre);
+        let slot = recycled_slot(&mut self.window, false);
+        slot.token.extend_from_slice(&self.scratch.token);
+        slot.projection.extend_from_slice(&self.scratch.token_pre);
+        self.refresh_projections();
+        run_window_premixed(&self.lstm, HIDDEN_DIM, &self.window, &mut self.scratch);
+        self.pose_head.forward_into(
+            &self.scratch.state.h,
+            &mut self.scratch.nn,
+            &mut self.scratch.raw,
+        );
+        self.gripper_head.forward_into(
+            &self.scratch.state.h,
+            &mut self.scratch.nn,
+            &mut self.scratch.logits,
+        );
+        let mut pose = [0.0; 6];
+        for (o, p) in pose.iter_mut().zip(&self.scratch.raw) {
+            *o = p * self.action_scale;
+        }
+        let gripper = if Activation::Sigmoid.apply(self.scratch.logits[0]) >= 0.5 {
             GripperState::Closed
         } else {
             GripperState::Open
@@ -128,7 +149,7 @@ impl ManipulationPolicy for BaselineFramePolicy {
     }
 
     fn reset(&mut self) {
-        self.token_window.clear();
+        self.window.clear();
     }
 
     fn kind(&self) -> PolicyKind {
@@ -143,7 +164,7 @@ impl ManipulationPolicy for BaselineFramePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Observation;
+    use crate::{Observation, TOKEN_WINDOW};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

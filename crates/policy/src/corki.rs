@@ -6,8 +6,9 @@
 //! concatenated before the heads.
 
 use crate::encoder::{CloseLoopEncoder, TokenEncoder, TOKEN_DIM};
-use crate::{ManipulationPolicy, PlanRequest, PolicyKind, PolicyPlan, TOKEN_WINDOW};
-use corki_nn::{Activation, LstmCell, LstmState, Mlp, Tensor};
+use crate::scratch::{recycled_slot, run_window_premixed, PolicyScratch, WindowSlot};
+use crate::{ManipulationPolicy, PlanRequest, PolicyKind, PolicyPlan};
+use corki_nn::{Activation, LstmCell, Mlp, Tensor};
 use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP, MAX_PREDICTION_STEPS};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -32,7 +33,14 @@ pub struct CorkiTrajectoryPolicy {
     /// Scale applied to raw waypoint-head outputs (metres / radians per step).
     pub(crate) action_scale: f64,
     #[serde(skip)]
-    token_window: VecDeque<Vec<f64>>,
+    window: VecDeque<WindowSlot>,
+    /// Set by [`CorkiTrajectoryPolicy::parameters_mut`]: the cached window
+    /// and mask projections were computed with weights that may since have
+    /// changed, and must be refreshed before the next plan.
+    #[serde(skip)]
+    projections_stale: bool,
+    #[serde(skip)]
+    scratch: PolicyScratch,
 }
 
 impl CorkiTrajectoryPolicy {
@@ -62,7 +70,9 @@ impl CorkiTrajectoryPolicy {
             ),
             horizon,
             action_scale: 0.02,
-            token_window: VecDeque::new(),
+            window: VecDeque::new(),
+            projections_stale: false,
+            scratch: PolicyScratch::default(),
         }
     }
 
@@ -79,65 +89,119 @@ impl CorkiTrajectoryPolicy {
             + self.gripper_head.num_parameters()
     }
 
-    pub(crate) fn push_token(&mut self, token: Vec<f64>) {
-        if self.token_window.len() == TOKEN_WINDOW {
-            self.token_window.pop_front();
-        }
-        self.token_window.push_back(token);
-    }
-
     /// Inserts mask embeddings for the `skipped` frames that were never
     /// captured while the robot executed the previous trajectory (Fig. 4).
+    /// Masked slots carry no payload; they replay the shared mask projection.
     pub(crate) fn push_masked_frames(&mut self, skipped: usize) {
         for _ in 0..skipped {
-            let mask = self.encoder.mask_token().to_vec();
-            self.push_token(mask);
+            recycled_slot(&mut self.window, true);
         }
     }
 
-    pub(crate) fn run_window(&self) -> Vec<f64> {
-        let mut state = LstmState::zeros(HIDDEN_DIM);
-        for token in &self.token_window {
-            state = self.lstm.forward(token, &state);
+    /// Refreshes the cached `W_ih` projections (per-slot for real tokens, the
+    /// shared one for the mask embedding) if training touched the weights
+    /// since they were computed.
+    fn refresh_projections(&mut self) {
+        if self.projections_stale {
+            for slot in &mut self.window {
+                if !slot.is_mask {
+                    self.lstm.input_projection_into(&slot.token, &mut slot.projection);
+                }
+            }
+            self.lstm.input_projection_into(self.encoder.mask_token(), &mut self.scratch.mask_pre);
+            self.lstm.recurrent_transposed_into(&mut self.scratch.w_hh_t);
+            self.projections_stale = false;
+        } else {
+            if self.scratch.mask_pre.len() != 4 * HIDDEN_DIM {
+                self.lstm
+                    .input_projection_into(self.encoder.mask_token(), &mut self.scratch.mask_pre);
+            }
+            if self.scratch.w_hh_t.len() != 4 * HIDDEN_DIM * HIDDEN_DIM {
+                self.lstm.recurrent_transposed_into(&mut self.scratch.w_hh_t);
+            }
         }
-        state.h
     }
 
-    /// Decodes hidden state + close-loop feature into per-step waypoint
-    /// offsets (cumulative, in the 6-D pose space) and gripper logits.
-    pub(crate) fn decode(
-        &self,
-        hidden: &[f64],
-        close_loop_feature: &[f64],
-    ) -> (Vec<[f64; 6]>, Vec<f64>) {
-        let mut input = Vec::with_capacity(hidden.len() + close_loop_feature.len());
-        input.extend_from_slice(hidden);
-        input.extend_from_slice(close_loop_feature);
-        let raw = self.waypoint_head.forward(&input);
-        let gripper_logits = self.gripper_head.forward(&input);
-        let mut offsets = Vec::with_capacity(self.horizon);
+    /// The zero-allocation planning fast path: runs the full inference
+    /// (frame encoding, token window, LSTM, heads, trajectory fit) through
+    /// the scratch workspace and re-fits the result into `out`, reusing its
+    /// storage. [`ManipulationPolicy::plan`] wraps this with a freshly
+    /// allocated output trajectory.
+    pub fn plan_into(&mut self, request: &PlanRequest, out: &mut Trajectory) {
+        // Frames skipped while the previous trajectory executed are replaced
+        // by mask embeddings; the freshly captured frame is a real token.
+        let skipped = request.steps_since_last_plan.saturating_sub(1);
+        self.push_masked_frames(skipped);
+        self.encoder.encode_into(
+            &request.observation,
+            &mut self.scratch.nn,
+            &mut self.scratch.token,
+        );
+        // Project the fresh token once at push time; old real tokens keep
+        // their cached projections, masked slots share `scratch.mask_pre` —
+        // so the window rollout below never touches `W_ih` again.
+        self.lstm.input_projection_into(&self.scratch.token, &mut self.scratch.token_pre);
+        let slot = recycled_slot(&mut self.window, false);
+        slot.token.extend_from_slice(&self.scratch.token);
+        slot.projection.extend_from_slice(&self.scratch.token_pre);
+        self.refresh_projections();
+
+        // Run the LSTM over the window, every step from a premixed input
+        // projection — in the Corki steady state (horizon N ⇒ N−1 masks per
+        // real frame) this removes all per-step input matvecs from the hot
+        // loop.
+        run_window_premixed(&self.lstm, HIDDEN_DIM, &self.window, &mut self.scratch);
+
+        // Close-loop feature: average of the mid-trajectory encodings, or
+        // zeros when no frame was sent back (paper §3.4).
+        self.scratch.close_loop.clear();
+        self.scratch.close_loop.resize(self.close_loop.feature_dim, 0.0);
+        if !request.close_loop_observations.is_empty() {
+            for obs in &request.close_loop_observations {
+                self.close_loop.encode_into(
+                    obs,
+                    &mut self.scratch.nn,
+                    &mut self.scratch.close_loop_tmp,
+                );
+                for (a, v) in self.scratch.close_loop.iter_mut().zip(&self.scratch.close_loop_tmp) {
+                    *a += v;
+                }
+            }
+            for a in self.scratch.close_loop.iter_mut() {
+                *a /= request.close_loop_observations.len() as f64;
+            }
+        }
+
+        // Decode hidden state + close-loop feature into cumulative waypoint
+        // offsets and gripper logits.
+        self.scratch.head_input.clear();
+        self.scratch.head_input.extend_from_slice(&self.scratch.state.h);
+        self.scratch.head_input.extend_from_slice(&self.scratch.close_loop);
+        self.waypoint_head.forward_into(
+            &self.scratch.head_input,
+            &mut self.scratch.nn,
+            &mut self.scratch.raw,
+        );
+        self.gripper_head.forward_into(
+            &self.scratch.head_input,
+            &mut self.scratch.nn,
+            &mut self.scratch.logits,
+        );
+        self.scratch.offsets.clear();
         let mut cumulative = [0.0; 6];
         for step in 0..self.horizon {
-            for d in 0..6 {
-                cumulative[d] += raw[step * 6 + d] * self.action_scale;
+            for (d, c) in cumulative.iter_mut().enumerate() {
+                *c += self.scratch.raw[step * 6 + d] * self.action_scale;
             }
-            offsets.push(cumulative);
+            self.scratch.offsets.push(cumulative);
         }
-        (offsets, gripper_logits)
-    }
 
-    /// Builds the output [`Trajectory`] from the current pose and the decoded
-    /// waypoint offsets.
-    pub(crate) fn assemble_trajectory(
-        &self,
-        current: &EePose,
-        offsets: &[[f64; 6]],
-        gripper_logits: &[f64],
-    ) -> Trajectory {
+        // Assemble the waypoints and re-fit the output trajectory in place.
+        let current = &request.observation.end_effector;
         let base = current.to_array6();
-        let mut waypoints = Vec::with_capacity(offsets.len() + 1);
-        waypoints.push(*current);
-        for (offset, logit) in offsets.iter().zip(gripper_logits) {
+        self.scratch.waypoints.clear();
+        self.scratch.waypoints.push(*current);
+        for (offset, logit) in self.scratch.offsets.iter().zip(&self.scratch.logits) {
             let mut values = [0.0; 6];
             for d in 0..6 {
                 values[d] = base[d] + offset[d];
@@ -147,14 +211,16 @@ impl CorkiTrajectoryPolicy {
             } else {
                 GripperState::Open
             };
-            waypoints.push(EePose::from_array6(values, gripper));
+            self.scratch.waypoints.push(EePose::from_array6(values, gripper));
         }
-        Trajectory::fit_waypoints(&waypoints, CONTROL_STEP)
-            .expect("at least two waypoints by construction")
+        out.refit_waypoints(&self.scratch.waypoints, CONTROL_STEP)
+            .expect("at least two waypoints by construction");
     }
 
-    /// Mutable parameter tensors of the trainable parts.
+    /// Mutable parameter tensors of the trainable parts. Marks the cached
+    /// window projections stale, since the caller may update the weights.
     pub fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        self.projections_stale = true;
         let mut p = self.lstm.parameters_mut();
         p.extend(self.waypoint_head.parameters_mut());
         p.extend(self.gripper_head.parameters_mut());
@@ -171,29 +237,19 @@ impl CorkiTrajectoryPolicy {
 
     /// Current number of tokens in the window (for tests).
     pub fn window_len(&self) -> usize {
-        self.token_window.len()
+        self.window.len()
     }
 }
 
 impl ManipulationPolicy for CorkiTrajectoryPolicy {
     fn plan(&mut self, request: &PlanRequest) -> PolicyPlan {
-        // Frames skipped while the previous trajectory executed are replaced
-        // by mask embeddings; the freshly captured frame is a real token.
-        let skipped = request.steps_since_last_plan.saturating_sub(1);
-        self.push_masked_frames(skipped);
-        let token = self.encoder.encode(&request.observation);
-        self.push_token(token);
-
-        let hidden = self.run_window();
-        let close_loop_feature = self.close_loop.encode_all(&request.close_loop_observations);
-        let (offsets, gripper_logits) = self.decode(&hidden, &close_loop_feature);
-        let trajectory =
-            self.assemble_trajectory(&request.observation.end_effector, &offsets, &gripper_logits);
+        let mut trajectory = Trajectory::hold(&request.observation.end_effector, 1);
+        self.plan_into(request, &mut trajectory);
         PolicyPlan::Trajectory(trajectory)
     }
 
     fn reset(&mut self) {
-        self.token_window.clear();
+        self.window.clear();
     }
 
     fn kind(&self) -> PolicyKind {

@@ -2,7 +2,7 @@
 //! encoder (paper §3.4, ViT features).
 
 use crate::observation::{Observation, OBSERVATION_DIM};
-use corki_nn::{Activation, Mlp, Tensor};
+use corki_nn::{Activation, InferenceScratch, Mlp, Tensor};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -33,11 +33,25 @@ impl TokenEncoder {
 
     /// Encodes an observation into a vision-language token.
     pub fn encode(&self, observation: &Observation) -> Vec<f64> {
-        let f = observation.to_features();
-        let mut input = Vec::with_capacity(OBSERVATION_DIM + 1);
-        input.extend_from_slice(&f);
-        input.push(observation.instruction_embedding());
-        self.backbone.forward(&input)
+        let mut scratch = InferenceScratch::new();
+        let mut out = Vec::new();
+        self.encode_into(observation, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free encoding: the feature vector is assembled on the stack
+    /// and the backbone runs through the scratch workspace into `out`.
+    /// Bit-identical to [`TokenEncoder::encode`].
+    pub fn encode_into(
+        &self,
+        observation: &Observation,
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let mut input = [0.0; OBSERVATION_DIM + 1];
+        input[..OBSERVATION_DIM].copy_from_slice(&observation.to_features());
+        input[OBSERVATION_DIM] = observation.instruction_embedding();
+        self.backbone.forward_into(&input, scratch, out);
     }
 
     /// The mask embedding substituted for tokens whose frame was not captured
@@ -75,6 +89,17 @@ impl CloseLoopEncoder {
     /// back, callers should use [`CloseLoopEncoder::empty_feature`].
     pub fn encode(&self, observation: &Observation) -> Vec<f64> {
         self.projection.forward(&observation.to_features())
+    }
+
+    /// Allocation-free variant of [`CloseLoopEncoder::encode`], bit-identical
+    /// to it.
+    pub fn encode_into(
+        &self,
+        observation: &Observation,
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.projection.forward_into(&observation.to_features(), scratch, out);
     }
 
     /// Averages the features of several mid-trajectory observations, or

@@ -30,6 +30,7 @@ mod corki;
 mod encoder;
 mod observation;
 mod oracle;
+mod scratch;
 pub mod training;
 
 pub use baseline::BaselineFramePolicy;

@@ -15,9 +15,38 @@ use crate::baseline::{BaselineFramePolicy, HIDDEN_DIM};
 use crate::corki::CorkiTrajectoryPolicy;
 use crate::observation::Observation;
 use crate::TOKEN_WINDOW;
-use corki_nn::{losses, Adam, LstmState};
+use corki_nn::{losses, Adam, InferenceScratch, LstmCache, LstmState, MlpCache};
 use corki_trajectory::EePose;
 use serde::{Deserialize, Serialize};
+
+/// Pooled forward-pass buffers shared by the training loops: LSTM caches (one
+/// per window position), MLP head caches, the state double-buffer and the
+/// layer scratch. Everything is allocated once and reused by every training
+/// step, removing the per-step `to_vec()`/clone churn of the plain
+/// `forward_cached` paths.
+#[derive(Debug, Default)]
+struct TrainingPool {
+    scratch: InferenceScratch,
+    lstm_caches: Vec<LstmCache>,
+    state: LstmState,
+    state_next: LstmState,
+}
+
+impl TrainingPool {
+    /// Resets the state double-buffer and returns the cache pool grown to
+    /// `window` entries.
+    fn prepare(&mut self, hidden_dim: usize, window: usize) {
+        if self.lstm_caches.len() < window {
+            self.lstm_caches.resize_with(window, LstmCache::default);
+        }
+        for state in [&mut self.state, &mut self.state_next] {
+            state.h.clear();
+            state.h.resize(hidden_dim, 0.0);
+            state.c.clear();
+            state.c.resize(hidden_dim, 0.0);
+        }
+    }
+}
 
 /// One expert demonstration: aligned sequences of observations and the
 /// corresponding end-effector waypoints (both sampled at the camera rate).
@@ -85,6 +114,10 @@ pub fn train_baseline(
         .map(|demo| demo.observations.iter().map(|o| policy.encoder.encode(o)).collect())
         .collect();
 
+    let mut pool = TrainingPool::default();
+    let mut pose_cache = MlpCache::default();
+    let mut grip_cache = MlpCache::default();
+
     for _ in 0..config.epochs {
         let mut total = 0.0;
         let mut count = 0usize;
@@ -94,26 +127,34 @@ pub fn train_baseline(
                 let start = t.saturating_sub(TOKEN_WINDOW - 1);
                 let window = &tokens[start..=t];
 
-                // Forward through the LSTM with caches for BPTT.
-                let mut state = LstmState::zeros(HIDDEN_DIM);
-                let mut caches = Vec::with_capacity(window.len());
-                for token in window {
-                    let (next, cache) = policy.lstm.forward_cached(token, &state);
-                    caches.push(cache);
-                    state = next;
+                // Forward through the LSTM with pooled caches for BPTT.
+                pool.prepare(HIDDEN_DIM, window.len());
+                for (token, cache) in window.iter().zip(&mut pool.lstm_caches) {
+                    policy.lstm.forward_cached_reuse(
+                        token,
+                        &pool.state,
+                        &mut pool.state_next,
+                        cache,
+                        &mut pool.scratch,
+                    );
+                    std::mem::swap(&mut pool.state, &mut pool.state_next);
                 }
-                let (pose_raw, pose_cache) = policy.pose_head.forward_cached(&state.h);
-                let (grip_out, grip_cache) = policy.gripper_head.forward_cached(&state.h);
+                let predicted_delta: Vec<f64> = policy
+                    .pose_head
+                    .forward_cached_reuse(&pool.state.h, &mut pose_cache)
+                    .iter()
+                    .map(|r| r * policy.action_scale)
+                    .collect();
+                let grip_logit =
+                    policy.gripper_head.forward_cached_reuse(&pool.state.h, &mut grip_cache)[0];
 
                 // Targets (Equation 3).
                 let current = demo.waypoints[t].to_array6();
                 let next = demo.waypoints[t + 1].to_array6();
                 let target_delta: Vec<f64> = next.iter().zip(current).map(|(n, c)| n - c).collect();
-                let predicted_delta: Vec<f64> =
-                    pose_raw.iter().map(|r| r * policy.action_scale).collect();
                 let (pose_loss, pose_grad_scaled) = losses::mse(&predicted_delta, &target_delta);
                 let (grip_loss, grip_grad) =
-                    losses::bce_with_logits(grip_out[0], demo.waypoints[t + 1].gripper.to_target());
+                    losses::bce_with_logits(grip_logit, demo.waypoints[t + 1].gripper.to_target());
                 total += pose_loss + config.lambda_gripper * grip_loss;
                 count += 1;
 
@@ -126,7 +167,7 @@ pub fn train_baseline(
                 let mut grad_h: Vec<f64> =
                     grad_hidden_pose.iter().zip(&grad_hidden_grip).map(|(a, b)| a + b).collect();
                 let mut grad_c = vec![0.0; HIDDEN_DIM];
-                for cache in caches.iter().rev() {
+                for cache in pool.lstm_caches[..window.len()].iter().rev() {
                     let (_, gh, gc) = policy.lstm.backward(cache, &grad_h, &grad_c);
                     grad_h = gh;
                     grad_c = gc;
@@ -159,6 +200,11 @@ pub fn train_corki(
     let mask = policy.encoder.mask_token().to_vec();
     let close_loop_feature = policy.close_loop.empty_feature();
 
+    let mut pool = TrainingPool::default();
+    let mut way_cache = MlpCache::default();
+    let mut grip_cache = MlpCache::default();
+    let mut head_input = Vec::with_capacity(HIDDEN_DIM + close_loop_feature.len());
+
     for _ in 0..config.epochs {
         let mut total = 0.0;
         let mut count = 0usize;
@@ -169,30 +215,30 @@ pub fn train_corki(
             for t in 0..demo.len() - horizon {
                 policy.zero_grad();
                 let start = t.saturating_sub(TOKEN_WINDOW - 1);
-                // Only frames captured at inference boundaries are real; the
-                // rest are masked (Fig. 4).
-                let window: Vec<&[f64]> = (start..=t)
-                    .map(|frame| {
-                        if (t - frame) % horizon == 0 {
-                            tokens[frame].as_slice()
-                        } else {
-                            mask.as_slice()
-                        }
-                    })
-                    .collect();
+                let window_len = t - start + 1;
 
-                let mut state = LstmState::zeros(HIDDEN_DIM);
-                let mut caches = Vec::with_capacity(window.len());
-                for token in &window {
-                    let (next, cache) = policy.lstm.forward_cached(token, &state);
-                    caches.push(cache);
-                    state = next;
+                // Only frames captured at inference boundaries are real; the
+                // rest are masked (Fig. 4). The window is streamed straight
+                // into the pooled LSTM caches — no per-step token-slice Vec.
+                pool.prepare(HIDDEN_DIM, window_len);
+                for (i, frame) in (start..=t).enumerate() {
+                    let token = if (t - frame) % horizon == 0 {
+                        tokens[frame].as_slice()
+                    } else {
+                        mask.as_slice()
+                    };
+                    policy.lstm.forward_cached_reuse(
+                        token,
+                        &pool.state,
+                        &mut pool.state_next,
+                        &mut pool.lstm_caches[i],
+                        &mut pool.scratch,
+                    );
+                    std::mem::swap(&mut pool.state, &mut pool.state_next);
                 }
-                let mut head_input = Vec::with_capacity(HIDDEN_DIM + close_loop_feature.len());
-                head_input.extend_from_slice(&state.h);
+                head_input.clear();
+                head_input.extend_from_slice(&pool.state.h);
                 head_input.extend_from_slice(&close_loop_feature);
-                let (way_raw, way_cache) = policy.waypoint_head.forward_cached(&head_input);
-                let (grip_raw, grip_cache) = policy.gripper_head.forward_cached(&head_input);
 
                 // Targets: cumulative offsets to the next `horizon` waypoints
                 // (Equation 5 supervises the trajectory itself).
@@ -208,19 +254,27 @@ pub fn train_corki(
                 }
                 // Predicted cumulative offsets.
                 let mut predicted = vec![0.0; 6 * horizon];
-                for k in 0..horizon {
-                    for d in 0..6 {
-                        let prev = if k == 0 { 0.0 } else { predicted[(k - 1) * 6 + d] };
-                        predicted[k * 6 + d] = prev + way_raw[k * 6 + d] * policy.action_scale;
+                {
+                    let way_raw =
+                        policy.waypoint_head.forward_cached_reuse(&head_input, &mut way_cache);
+                    for k in 0..horizon {
+                        for d in 0..6 {
+                            let prev = if k == 0 { 0.0 } else { predicted[(k - 1) * 6 + d] };
+                            predicted[k * 6 + d] = prev + way_raw[k * 6 + d] * policy.action_scale;
+                        }
                     }
                 }
                 let (pose_loss, grad_cumulative) = losses::mse(&predicted, &target);
                 let mut grip_loss_total = 0.0;
                 let mut grip_grads = vec![0.0; horizon];
-                for k in 0..horizon {
-                    let (l, g) = losses::bce_with_logits(grip_raw[k], gripper_targets[k]);
-                    grip_loss_total += l;
-                    grip_grads[k] = config.lambda_gripper * g / horizon as f64;
+                {
+                    let grip_raw =
+                        policy.gripper_head.forward_cached_reuse(&head_input, &mut grip_cache);
+                    for k in 0..horizon {
+                        let (l, g) = losses::bce_with_logits(grip_raw[k], gripper_targets[k]);
+                        grip_loss_total += l;
+                        grip_grads[k] = config.lambda_gripper * g / horizon as f64;
+                    }
                 }
                 total += pose_loss + config.lambda_gripper * grip_loss_total / horizon as f64;
                 count += 1;
@@ -243,7 +297,7 @@ pub fn train_corki(
                     .map(|(a, b)| a + b)
                     .collect();
                 let mut grad_c = vec![0.0; HIDDEN_DIM];
-                for cache in caches.iter().rev() {
+                for cache in pool.lstm_caches[..window_len].iter().rev() {
                     let (_, gh, gc) = policy.lstm.backward(cache, &grad_h, &grad_c);
                     grad_h = gh;
                     grad_c = gc;

@@ -183,10 +183,9 @@ impl RobotModel {
         assert_eq!(tau.len(), self.dof(), "forward_dynamics: wrong tau length");
         let m = self.mass_matrix(q);
         let h = self.bias_forces(q, qd);
-        let rhs: Vec<f64> = tau.iter().zip(h.iter()).map(|(t, b)| t - b).collect();
-        m.solve_cholesky(&DVec::from_vec(rhs))
-            .expect("mass matrix must be positive definite")
-            .into_vec()
+        let mut rhs = DVec::from_slice(tau);
+        rhs -= &DVec::from_vec(h);
+        m.solve_cholesky(&rhs).expect("mass matrix must be positive definite").into_vec()
     }
 }
 
@@ -244,15 +243,24 @@ impl TaskSpaceDynamics {
         let joint_bias = robot.bias_forces(q, qd);
         let jdot_qdot = robot.jacobian_dot_qdot(q, qd);
 
-        // M⁻¹ Jᵀ, column by column via Cholesky solves.
+        // The seven solves below (M⁻¹ Jᵀ column by column, then M⁻¹ h) share
+        // one Cholesky factorisation of the mass matrix instead of
+        // re-factorising per solve — identical results, ~7× less O(n³) work
+        // per control cycle.
+        let mass_factor =
+            joint_mass_matrix.cholesky_factor().expect("mass matrix must be positive definite");
         let jt = jacobian.transpose(); // n×6
         let n = robot.dof();
         let mut minv_jt = DMat::zeros(n, 6);
+        let mut rhs = DVec::zeros(n);
+        let mut x = DVec::zeros(n);
         for col in 0..6 {
-            let rhs: DVec = (0..n).map(|row| jt[(row, col)]).collect();
-            let x = joint_mass_matrix
-                .solve_cholesky(&rhs)
-                .expect("mass matrix must be positive definite");
+            for row in 0..n {
+                rhs[row] = jt[(row, col)];
+            }
+            mass_factor
+                .cholesky_solve_with_factor(&rhs, &mut x)
+                .expect("factor and right-hand side dimensions agree");
             for row in 0..n {
                 minv_jt[(row, col)] = x[row];
             }
@@ -266,14 +274,13 @@ impl TaskSpaceDynamics {
             lambda_inv.inverse().expect("damped task-space inertia is invertible");
 
         // hx = Λ (J M⁻¹ h − J̇ q̇)
-        let minv_h = joint_mass_matrix
-            .solve_cholesky(&DVec::from_slice(&joint_bias))
-            .expect("mass matrix must be positive definite");
+        let mut minv_h = DVec::zeros(n);
+        mass_factor
+            .cholesky_solve_with_factor(&DVec::from_slice(&joint_bias), &mut minv_h)
+            .expect("factor and right-hand side dimensions agree");
         let j_minv_h = jacobian.matrix().mul_vec(&minv_h);
-        let mut residual = DVec::zeros(6);
-        for i in 0..6 {
-            residual[i] = j_minv_h[i] - jdot_qdot[i];
-        }
+        let mut residual = j_minv_h;
+        residual -= &DVec::from_slice(&jdot_qdot);
         let hx_vec = task_mass_matrix.mul_vec(&residual);
         let mut task_bias = [0.0; 6];
         for (i, t) in task_bias.iter_mut().enumerate() {

@@ -127,14 +127,66 @@ pub fn evaluate(
     policy: &mut dyn ManipulationPolicy,
     config: &EvalConfig,
 ) -> EvaluationSummary {
+    let results: Vec<JobResult> =
+        (0..config.num_jobs).map(|index| run_job(env, policy, config, index)).collect();
+    summarize(policy.name(), &results, config.num_jobs.max(1))
+}
+
+/// Runs a full evaluation sweep with one freshly seeded policy per job,
+/// fanning the independent jobs out over `threads` OS threads
+/// (`std::thread::scope`; pass `1` for a sequential run).
+///
+/// Because every job builds its own policy via `make_policy(job_index)` (a
+/// per-job seeded RNG instead of one RNG stream threaded through all jobs)
+/// and the per-job results are aggregated strictly in job-index order, the
+/// summary is **bit-identical for every thread count** — a parallel sweep
+/// reproduces the sequential one exactly.
+pub fn evaluate_parallel<F>(
+    env: &Environment,
+    make_policy: &F,
+    config: &EvalConfig,
+    threads: usize,
+) -> EvaluationSummary
+where
+    F: Fn(usize) -> Box<dyn ManipulationPolicy> + Sync,
+{
+    let jobs = config.num_jobs;
+    let threads = threads.clamp(1, jobs.max(1));
+    let mut results: Vec<Option<JobResult>> = (0..jobs).map(|_| None).collect();
+    if threads <= 1 {
+        for (index, slot) in results.iter_mut().enumerate() {
+            let mut policy = make_policy(index);
+            *slot = Some(run_job(env, policy.as_mut(), config, index));
+        }
+    } else {
+        let chunk = jobs.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_index, slots) in results.chunks_mut(chunk).enumerate() {
+                let base = chunk_index * chunk;
+                scope.spawn(move || {
+                    for (offset, slot) in slots.iter_mut().enumerate() {
+                        let index = base + offset;
+                        let mut policy = make_policy(index);
+                        *slot = Some(run_job(env, policy.as_mut(), config, index));
+                    }
+                });
+            }
+        });
+    }
+    let results: Vec<JobResult> = results.into_iter().map(|r| r.expect("every job ran")).collect();
+    summarize(make_policy(0).name(), &results, jobs.max(1))
+}
+
+/// Aggregates per-job results — strictly in job-index order, so sequential
+/// and parallel sweeps fold the floating-point statistics identically.
+fn summarize(variant: String, results: &[JobResult], jobs: usize) -> EvaluationSummary {
     let mut completed_counts = [0usize; JOB_LENGTH];
     let mut total_completed = 0usize;
     let mut total_steps = 0usize;
     let mut total_inferences = 0usize;
     let mut error_stats = TrajectoryErrorStats::default();
 
-    for job_index in 0..config.num_jobs {
-        let result = run_job(env, policy, config, job_index);
+    for result in results {
         for (k, count) in completed_counts.iter_mut().enumerate() {
             if result.tasks_completed > k {
                 *count += 1;
@@ -151,13 +203,12 @@ pub fn evaluate(
         }
     }
 
-    let jobs = config.num_jobs.max(1);
     let mut success_rates = [0.0; JOB_LENGTH];
     for (rate, count) in success_rates.iter_mut().zip(completed_counts) {
         *rate = count as f64 / jobs as f64;
     }
     EvaluationSummary {
-        variant: policy.name(),
+        variant,
         success_rates,
         average_length: total_completed as f64 / jobs as f64,
         jobs,
@@ -254,6 +305,27 @@ mod tests {
         let summary = evaluate(&env, &mut policy, &config);
         assert!((summary.inferences_per_step - 1.0).abs() < 1e-9);
         assert_eq!(summary.variant, "RoboFlamingo");
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        let env = Environment::new(EnvironmentConfig {
+            steps_policy: StepsPolicy::Fixed(5),
+            ..Default::default()
+        });
+        let make = |job: usize| -> Box<dyn ManipulationPolicy> {
+            Box::new(OracleTrajectoryPolicy::new(9, small_noise(), 100 + job as u64))
+        };
+        let config = EvalConfig { num_jobs: 9, unseen: false, seed: 3 };
+        let sequential = evaluate_parallel(&env, &make, &config, 1);
+        for threads in [2, 4, 16] {
+            let parallel = evaluate_parallel(&env, &make, &config, threads);
+            assert_eq!(
+                serde_json::to_string(&sequential).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "thread count {threads} changed the summary"
+            );
+        }
     }
 
     #[test]

@@ -94,29 +94,51 @@ impl Trajectory {
     /// waypoints, or [`TrajectoryError::InvalidDuration`] for a non-positive
     /// step.
     pub fn fit_waypoints(waypoints: &[EePose], step: f64) -> Result<Self, TrajectoryError> {
+        let mut trajectory = Trajectory {
+            dims: [CubicPoly::zero(); 6],
+            gripper_schedule: Vec::with_capacity(waypoints.len().saturating_sub(1)),
+            step: CONTROL_STEP,
+            duration: CONTROL_STEP,
+        };
+        trajectory.refit_waypoints(waypoints, step)?;
+        Ok(trajectory)
+    }
+
+    /// Re-fits this trajectory to a new waypoint sequence in place, reusing
+    /// the gripper-schedule storage — the allocation-free fast path behind
+    /// [`Trajectory::fit_waypoints`] used by the Corki inference scratch
+    /// workspace. On error the trajectory is left unchanged.
+    ///
+    /// Bit-identical to [`Trajectory::fit_waypoints`] (the per-dimension
+    /// cubics are streamed through the same normal-equation accumulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::TooFewWaypoints`] with fewer than two
+    /// waypoints, or [`TrajectoryError::InvalidDuration`] for a non-positive
+    /// step.
+    pub fn refit_waypoints(
+        &mut self,
+        waypoints: &[EePose],
+        step: f64,
+    ) -> Result<(), TrajectoryError> {
         if waypoints.len() < 2 {
             return Err(TrajectoryError::TooFewWaypoints { provided: waypoints.len() });
         }
         if step <= 0.0 {
             return Err(TrajectoryError::InvalidDuration);
         }
-        let mut dims = [CubicPoly::zero(); 6];
-        for (dim, poly) in dims.iter_mut().enumerate() {
-            let samples: Vec<(f64, f64)> = waypoints
-                .iter()
-                .enumerate()
-                .map(|(i, w)| (i as f64 * step, w.to_array6()[dim]))
-                .collect();
-            *poly = CubicPoly::fit_least_squares(&samples);
+        for (dim, poly) in self.dims.iter_mut().enumerate() {
+            *poly = CubicPoly::fit_least_squares_iter(
+                waypoints.iter().enumerate().map(|(i, w)| (i as f64 * step, w.to_array6()[dim])),
+            );
         }
         // The gripper schedule covers the steps *after* the starting pose.
-        let gripper_schedule = waypoints[1..].iter().map(|w| w.gripper).collect();
-        Ok(Trajectory {
-            dims,
-            gripper_schedule,
-            step,
-            duration: step * (waypoints.len() - 1) as f64,
-        })
+        self.gripper_schedule.clear();
+        self.gripper_schedule.extend(waypoints[1..].iter().map(|w| w.gripper));
+        self.step = step;
+        self.duration = step * (waypoints.len() - 1) as f64;
+        Ok(())
     }
 
     /// Builds a smooth point-to-point trajectory from boundary conditions
@@ -287,6 +309,30 @@ mod tests {
     }
 
     #[test]
+    fn refit_matches_fresh_fit_and_reuses_storage() {
+        let first = line_waypoints(9);
+        let second: Vec<EePose> = line_waypoints(6)
+            .into_iter()
+            .map(|mut w| {
+                w.position.z += 0.05;
+                w
+            })
+            .collect();
+        let mut reused = Trajectory::fit_waypoints(&first, CONTROL_STEP).unwrap();
+        let capacity_probe = reused.gripper_schedule.capacity();
+        reused.refit_waypoints(&second, CONTROL_STEP).unwrap();
+        let fresh = Trajectory::fit_waypoints(&second, CONTROL_STEP).unwrap();
+        assert_eq!(reused, fresh);
+        // Refitting to a shorter waypoint list must not shrink the buffer.
+        assert_eq!(reused.gripper_schedule.capacity(), capacity_probe);
+        // A failed refit leaves the trajectory untouched.
+        let before = reused.clone();
+        assert!(reused.refit_waypoints(&second[..1], CONTROL_STEP).is_err());
+        assert!(reused.refit_waypoints(&second, -1.0).is_err());
+        assert_eq!(reused, before);
+    }
+
+    #[test]
     fn fit_rejects_degenerate_inputs() {
         let wps = line_waypoints(1);
         assert_eq!(
@@ -382,6 +428,38 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn fit_waypoints_is_bit_identical_to_sample_buffer_fit(
+            amplitude in -0.05..0.05f64,
+            n in 2usize..11) {
+            // The streamed normal-equation fit must reproduce the
+            // pre-optimisation path (collect per-dimension sample buffers,
+            // then the slice-based least-squares fit) bit for bit.
+            let wps: Vec<EePose> = (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    EePose::new(
+                        Vec3::new(0.3 + 0.01 * t, amplitude * (t * 0.9).sin(), 0.25 + amplitude * t),
+                        Vec3::new(0.0, amplitude, 0.01 * t),
+                        if i % 3 == 0 { GripperState::Closed } else { GripperState::Open },
+                    )
+                })
+                .collect();
+            let fast = Trajectory::fit_waypoints(&wps, CONTROL_STEP).unwrap();
+            let mut reference_dims = [CubicPoly::zero(); 6];
+            for (dim, poly) in reference_dims.iter_mut().enumerate() {
+                let samples: Vec<(f64, f64)> = wps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| (i as f64 * CONTROL_STEP, w.to_array6()[dim]))
+                    .collect();
+                *poly = CubicPoly::fit_least_squares(&samples);
+            }
+            prop_assert_eq!(fast.coefficients(), &reference_dims);
+            let schedule: Vec<GripperState> = wps[1..].iter().map(|w| w.gripper).collect();
+            prop_assert_eq!(fast.gripper_schedule(), &schedule[..]);
+        }
+
         #[test]
         fn fitted_trajectory_error_is_bounded_for_smooth_motions(
             amplitude in 0.0..0.05f64,
