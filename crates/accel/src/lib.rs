@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod ace;
+pub mod arbiter;
 mod cpu;
 mod dataflow;
 mod ops;
 mod resources;
 
 pub use ace::{AceConfig, AceState, AceStatistics, JointImpactFactors};
+pub use arbiter::{Arbiter, Grant};
 pub use cpu::{CpuControlModel, CpuKind};
 pub use dataflow::{AcceleratorConfig, AcceleratorModel, ControlLatencyBreakdown};
 pub use ops::{BlockKind, OpCounts, QuantityKind};

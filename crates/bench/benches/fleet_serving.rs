@@ -1,0 +1,31 @@
+//! Benchmarks of the discrete-event fleet-serving runtime: how fast the
+//! engine simulates fleets of different sizes and scheduling disciplines.
+
+use corki_system::fleet::{FleetConfig, FleetSimulator};
+use corki_system::{SchedulerKind, Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_serving");
+
+    for robots in [1usize, 8, 16] {
+        let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), robots, 2024);
+        config.frames_per_robot = 120;
+        let sim = FleetSimulator::new(config);
+        group.bench_function(format!("fifo/corki5_{robots}robots_120frames"), |b| {
+            b.iter(|| black_box(sim.run()))
+        });
+    }
+
+    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
+    config.frames_per_robot = 120;
+    config.scheduler = SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 };
+    let sim = FleetSimulator::new(config);
+    group.bench_function("batch4/corki5_8robots_120frames", |b| b.iter(|| black_box(sim.run())));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -3,18 +3,21 @@
 //! Usage:
 //!
 //! ```text
-//! bench [--quick] [--json <path>] [--check <path>] [--compare <baseline>]
+//! bench [--quick] [--only <prefix>] [--json <path>] [--check <path>]
+//!       [--compare <baseline>]
 //! ```
 //!
 //! * default — run the full suite and print the report table;
 //! * `--quick` — tiny iteration counts (CI smoke runs);
+//! * `--only <prefix>` — run only benchmarks whose name starts with the
+//!   prefix (e.g. `fleet_serving` for the `BENCH_fleet.json` metrics);
 //! * `--json <path>` — additionally write the canonical `BENCH_*.json`
 //!   report (the file is parsed back and schema-validated after writing);
 //! * `--check <path>` — only validate an existing report against the schema;
 //! * `--compare <baseline>` — after running, print per-benchmark deltas
 //!   against a previously committed report (e.g. `BENCH_baseline.json`).
 
-use corki_bench::micro::{run_suite, BenchReport, RunnerConfig};
+use corki_bench::micro::{run_suite_filtered, BenchReport, RunnerConfig};
 
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -29,6 +32,7 @@ fn load_report(path: &str) -> BenchReport {
 
 fn main() {
     let mut quick = false;
+    let mut only: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
@@ -36,6 +40,10 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--only" => match args.next() {
+                Some(prefix) => only = Some(prefix),
+                None => fail("--only requires a benchmark-name prefix"),
+            },
             "--json" => match args.next() {
                 Some(path) => json_path = Some(path),
                 None => fail("--json requires a path argument"),
@@ -64,7 +72,10 @@ fn main() {
 
     let (config, mode) =
         if quick { (RunnerConfig::quick(), "quick") } else { (RunnerConfig::full(), "full") };
-    let report = run_suite(&config, mode);
+    let report = run_suite_filtered(&config, mode, only.as_deref());
+    if report.benches.is_empty() {
+        fail(&format!("no benchmark matches prefix `{}`", only.unwrap_or_default()));
+    }
     print!("{}", report.to_table());
 
     if let Some(path) = &json_path {

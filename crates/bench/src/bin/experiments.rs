@@ -8,9 +8,12 @@
 //!
 //! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `table3`, `table4`, `resources`, `fig9`, `ablation`, `approx`,
-//! `fig15`, `bottleneck`. With no names, everything runs.
+//! `fig15`, `bottleneck`, `fleet`. With no names, everything runs.
 
 use corki::experiments::{self, ExperimentScale};
+use corki::fleet::{
+    fleet_sweep, measured_adaptive_lengths, robots_within_budget, FleetExperiment, FleetScale,
+};
 use corki_system::FrameKind;
 use std::collections::BTreeMap;
 
@@ -18,13 +21,23 @@ fn main() {
     // Flags may appear anywhere, including after `only`; strip them first so
     // only experiment names remain as positionals.
     let mut scale = ExperimentScale::default();
+    let mut fleet_scale = FleetScale::default();
+    let mut smoke = false;
     let mut json_path = None;
     let mut positionals: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
         match arg.as_str() {
-            "--full" => scale = ExperimentScale::full(),
-            "--smoke" => scale = ExperimentScale::smoke(),
+            "--full" => {
+                scale = ExperimentScale::full();
+                fleet_scale = FleetScale::default();
+                smoke = false;
+            }
+            "--smoke" => {
+                scale = ExperimentScale::smoke();
+                fleet_scale = FleetScale::smoke();
+                smoke = true;
+            }
             "--json" => match raw.next() {
                 Some(path) => json_path = Some(path),
                 None => {
@@ -38,7 +51,7 @@ fn main() {
     let selected: Vec<String> =
         positionals.iter().skip_while(|a| *a != "only").skip(1).cloned().collect();
     // Keep in sync with the wants() sites below and the doc comment above.
-    const KNOWN: [&str; 15] = [
+    const KNOWN: [&str; 16] = [
         "fig2",
         "table1",
         "table2",
@@ -54,6 +67,7 @@ fn main() {
         "approx",
         "fig15",
         "bottleneck",
+        "fleet",
     ];
     for name in &selected {
         if !KNOWN.contains(&name.as_str()) {
@@ -183,8 +197,16 @@ fn main() {
             println!(
                 "== Fig. 14: per-frame latency trace (first 30 frames) and long-tail statistics =="
             );
+            let fig14_variants: Vec<String> = [
+                corki::Variant::RoboFlamingo,
+                corki::Variant::CorkiFixed(5),
+                corki::Variant::CorkiAdaptive,
+            ]
+            .iter()
+            .map(corki::Variant::name)
+            .collect();
             for row in &rows {
-                if !["RoboFlamingo", "Corki-5", "Corki-ADAP"].contains(&row.variant.as_str()) {
+                if !fig14_variants.contains(&row.variant) {
                     continue;
                 }
                 let preview: Vec<String> = row
@@ -302,6 +324,61 @@ fn main() {
         println!("  control loop on the robot CPU (zero inference latency): {cpu_hz:.1} Hz");
         println!("  control share of that loop: {:.1} %", control_share * 100.0);
         println!("  control rate on the Corki accelerator: {accel_hz:.0} Hz\n");
+    }
+
+    if wants("fleet") {
+        println!("== Fleet serving: robots-per-server × variant × scheduler sweep ==");
+        let mut experiment = FleetExperiment::paper_defaults(fleet_scale);
+        if !smoke {
+            // Feed the serving sweep the executed lengths that Corki-ADAP
+            // actually produced in the simulator rollouts.
+            experiment.adaptive_lengths = Some(measured_adaptive_lengths(3, scale.seed));
+        }
+        println!(
+            "scale: fleets of {:?} robots, {} frames/robot, seed {}",
+            experiment.scale.robot_counts, experiment.scale.frames_per_robot, experiment.scale.seed
+        );
+        let rows = fleet_sweep(&experiment);
+        println!(
+            "  {:<12} {:<13} {:>4} {:>10} {:>9} {:>20} {:>20} {:>6} {:>6}",
+            "variant",
+            "scheduler",
+            "N",
+            "thr[st/s]",
+            "Hz/robot",
+            "plan mean/p99 [ms]",
+            "queue mean/p99 [ms]",
+            "util",
+            "batch"
+        );
+        for row in &rows {
+            println!(
+                "  {:<12} {:<13} {:>4} {:>10.1} {:>9.1} {:>9.1} /{:>9.1} {:>9.1} /{:>9.1} {:>6.2} {:>6.2}",
+                row.variant,
+                row.scheduler,
+                row.robots,
+                row.throughput_steps_per_s,
+                row.per_robot_rate_hz,
+                row.mean_plan_latency_ms,
+                row.p99_plan_latency_ms,
+                row.mean_queue_delay_ms,
+                row.p99_queue_delay_ms,
+                row.server_utilization,
+                row.mean_batch_size,
+            );
+        }
+        let budget = robots_within_budget(&rows, experiment.latency_budget_ms);
+        println!(
+            "\n  robots-per-server within a {:.0} ms p99 plan-latency budget:",
+            experiment.latency_budget_ms
+        );
+        println!("  {:<12} {:<13} {:>11}", "variant", "scheduler", "max robots");
+        for row in &budget {
+            println!("  {:<12} {:<13} {:>11}", row.variant, row.scheduler, row.max_robots);
+        }
+        println!();
+        json.insert("fleet".to_owned(), serde_json::to_value(&rows).unwrap());
+        json.insert("fleet_budget".to_owned(), serde_json::to_value(&budget).unwrap());
     }
 
     if let Some(path) = json_path {

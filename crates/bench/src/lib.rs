@@ -6,7 +6,7 @@
 //! * [`micro`] — the timing runner, the JSON report schema and the suite of
 //!   hot-path micro-benchmarks (policy inference, trajectory fitting, the
 //!   TS-CTC control kernel and the full pipeline simulation);
-//! * [`reference`] — faithful re-implementations of the *pre-optimisation*
+//! * [`mod@reference`] — faithful re-implementations of the *pre-optimisation*
 //!   allocating hot paths (naive sequential-sum matvec, clone-per-step
 //!   LSTM/MLP caches, per-solve Cholesky refactorisation), kept so every
 //!   report records the speedup of the zero-allocation fast path against the

@@ -1,11 +1,11 @@
 //! The registry-free micro-bench runner behind the `bench` binary.
 //!
-//! Times the four hot paths of the reproduction (policy inference,
-//! trajectory fitting, the TS-CTC control kernel and the full pipeline
-//! simulation), always side by side with the pre-optimisation reference
-//! implementations from [`crate::reference`], and emits a canonical JSON
-//! report (`BENCH_*.json`) so every future PR has a baseline to compare
-//! against.
+//! Times the hot paths of the reproduction (policy inference, trajectory
+//! fitting, the TS-CTC control kernel, the full pipeline simulation and the
+//! multi-robot fleet-serving runtime), the first three always side by side
+//! with the pre-optimisation reference implementations from
+//! [`crate::reference`], and emits a canonical JSON report (`BENCH_*.json`)
+//! so every future PR has a baseline to compare against.
 
 use crate::reference::{
     bench_controller, bench_rng, reference_fit_waypoints, reference_task_space_torque, RefCorkiHead,
@@ -16,7 +16,8 @@ use corki_policy::{
 };
 use corki_robot::panda::{panda_model, PANDA_HOME};
 use corki_robot::{JointState, TaskReference};
-use corki_system::{PipelineConfig, PipelineSimulator, Variant};
+use corki_system::fleet::{FleetConfig, FleetSimulator};
+use corki_system::{PipelineConfig, PipelineSimulator, SchedulerKind, Variant};
 use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
@@ -250,6 +251,13 @@ fn bench_waypoints(n: usize) -> Vec<EePose> {
 
 /// Runs the whole micro-bench suite and assembles the report.
 pub fn run_suite(config: &RunnerConfig, mode: &str) -> BenchReport {
+    run_suite_filtered(config, mode, None)
+}
+
+/// [`run_suite`] restricted to benchmarks whose name starts with `filter`
+/// (e.g. `fleet_serving`); comparisons whose members were filtered out are
+/// dropped.
+pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str>) -> BenchReport {
     let observation = bench_observation();
 
     // Policy inference: pre-optimisation allocating path vs the live
@@ -281,6 +289,13 @@ pub fn run_suite(config: &RunnerConfig, mode: &str) -> BenchReport {
     // Full pipeline simulation (Corki-5, 120 frames).
     let mut pipeline_config = PipelineConfig::paper_defaults(Variant::CorkiFixed(5));
     pipeline_config.num_frames = 120;
+
+    // Fleet serving: eight Corki-5 robots sharing one server, FIFO vs
+    // dynamic batching (the BENCH_fleet metrics).
+    let mut fleet_fifo_config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
+    fleet_fifo_config.frames_per_robot = 60;
+    let mut fleet_batch_config = fleet_fifo_config.clone();
+    fleet_batch_config.scheduler = SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 };
 
     let mut cases: Vec<BenchCase<'_>> = vec![
         BenchCase {
@@ -337,7 +352,22 @@ pub fn run_suite(config: &RunnerConfig, mode: &str) -> BenchReport {
                 black_box(PipelineSimulator::new(pipeline_config.clone()).simulate());
             }),
         },
+        BenchCase {
+            name: "fleet_serving/fifo_8robots_60frames",
+            routine: Box::new(|| {
+                black_box(FleetSimulator::new(fleet_fifo_config.clone()).run());
+            }),
+        },
+        BenchCase {
+            name: "fleet_serving/batch4_8robots_60frames",
+            routine: Box::new(|| {
+                black_box(FleetSimulator::new(fleet_batch_config.clone()).run());
+            }),
+        },
     ];
+    if let Some(prefix) = filter {
+        cases.retain(|case| case.name.starts_with(prefix));
+    }
     let benches = measure_interleaved(config, &mut cases);
     drop(cases);
 
@@ -351,12 +381,16 @@ pub fn run_suite(config: &RunnerConfig, mode: &str) -> BenchReport {
         ("control_kernel", "control_kernel/reference_refactor", "control_kernel/ts_ctc_fast"),
     ]
     .into_iter()
-    .map(|(name, reference, fast)| {
-        let find =
-            |n: &str| benches.iter().find(|b| b.name == n).expect("bench in suite").median_ns;
-        let reference_ns = find(reference);
-        let fast_ns = find(fast);
-        Comparison { name: name.to_owned(), reference_ns, fast_ns, speedup: reference_ns / fast_ns }
+    .filter_map(|(name, reference, fast)| {
+        let find = |n: &str| benches.iter().find(|b| b.name == n).map(|b| b.median_ns);
+        let reference_ns = find(reference)?;
+        let fast_ns = find(fast)?;
+        Some(Comparison {
+            name: name.to_owned(),
+            reference_ns,
+            fast_ns,
+            speedup: reference_ns / fast_ns,
+        })
     })
     .collect();
 
@@ -381,8 +415,18 @@ mod tests {
         let parsed = BenchReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
         assert_eq!(report.comparisons.len(), 3);
-        assert!(report.benches.len() >= 7);
+        assert!(report.benches.len() >= 9);
+        assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
         assert!(!report.to_table().is_empty());
+    }
+
+    #[test]
+    fn filtered_suite_keeps_only_the_prefix_and_drops_broken_comparisons() {
+        let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("fleet_serving"));
+        report.validate().expect("filtered report must validate");
+        assert_eq!(report.benches.len(), 2);
+        assert!(report.benches.iter().all(|b| b.name.starts_with("fleet_serving/")));
+        assert!(report.comparisons.is_empty());
     }
 
     #[test]

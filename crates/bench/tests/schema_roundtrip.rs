@@ -1,0 +1,55 @@
+//! Serde round-trip and schema tests for the committed `BENCH_*.json`
+//! reports and the fleet summary JSON.
+
+use corki_bench::micro::BenchReport;
+use corki_system::fleet::{FleetConfig, FleetOutcome, FleetSimulator, SchedulerKind};
+use corki_system::Variant;
+use std::path::PathBuf;
+
+fn workspace_file(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
+}
+
+/// Loads a committed report, re-serialises it and compares: the canonical
+/// JSON layout must be stable so `--compare` keeps working across PRs.
+fn assert_report_roundtrips(name: &str) {
+    let path = workspace_file(name);
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report = BenchReport::from_json(&json).unwrap_or_else(|e| panic!("{name}: {e}"));
+    report.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    // Struct-level round trip is exact …
+    let reserialized = report.to_json();
+    let reparsed = BenchReport::from_json(&reserialized).expect("re-serialised report parses");
+    assert_eq!(reparsed, report, "{name}: serde round trip changed the report");
+    // … and the canonical pretty printing reproduces the committed bytes.
+    assert_eq!(
+        reserialized.trim_end(),
+        json.trim_end(),
+        "{name}: re-serialisation must reproduce the committed file"
+    );
+}
+
+#[test]
+fn bench_baseline_round_trips_through_the_schema() {
+    assert_report_roundtrips("BENCH_baseline.json");
+}
+
+#[test]
+fn bench_fleet_round_trips_through_the_schema() {
+    assert_report_roundtrips("BENCH_fleet.json");
+}
+
+#[test]
+fn fleet_outcome_json_round_trips() {
+    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 4, 7);
+    config.frames_per_robot = 40;
+    config.scheduler = SchedulerKind::DynamicBatch { max_batch: 2, timeout_ms: 10.0 };
+    config.record_event_log = true;
+    let outcome = FleetSimulator::new(config).run();
+    let json = serde_json::to_string_pretty(&outcome).expect("outcome serialises");
+    let parsed: FleetOutcome = serde_json::from_str(&json).expect("outcome parses back");
+    assert_eq!(parsed, outcome, "fleet outcome must survive a serde round trip");
+    assert_eq!(parsed.summary.robots, 4);
+    assert!(!parsed.event_log.is_empty());
+}

@@ -12,7 +12,7 @@ use corki_accel::ace::{
 use corki_accel::{AcceleratorConfig, AcceleratorModel, CpuControlModel, OpCounts, ResourceReport};
 use corki_robot::panda::{panda_model, PANDA_HOME};
 use corki_sim::evaluation::{
-    evaluate_parallel, run_job, EpisodeTraces, EvalConfig, EvaluationSummary,
+    evaluate_parallel, run_job, session_seed, EpisodeTraces, EvalConfig, EvaluationSummary,
 };
 use corki_system::{
     DataRepresentation, InferenceDevice, InferenceModel, PipelineConfig, PipelineSimulator,
@@ -79,13 +79,10 @@ pub fn accuracy_table_with(
         1
     };
     let run_one = |setup: &VariantSetup| {
-        // Mix the base seed before adding the job index so the policy's
-        // noise stream is decorrelated from the scene-randomisation stream,
-        // which `run_job` seeds with the *unmixed* `seed + job_index`.
-        let make = |job: usize| {
-            let mixed = scale.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0_121;
-            setup.build_policy(mixed.wrapping_add(job as u64))
-        };
+        // Per-job session seeds (see `corki_sim::evaluation::session_seed`)
+        // keep the policy noise stream decorrelated from the
+        // scene-randomisation stream and independent of the thread count.
+        let make = |job: usize| setup.build_policy(session_seed(scale.seed, job as u64));
         let env = setup.build_environment(scale.seed);
         let config = EvalConfig { num_jobs: scale.jobs, unseen, seed: scale.seed };
         let mut summary = evaluate_parallel(&env, &make, &config, job_threads);

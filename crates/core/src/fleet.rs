@@ -1,0 +1,344 @@
+//! Fleet-serving experiments: how many robots can one inference server
+//! sustain, and how do trajectory length and batch scheduling move that
+//! number?
+//!
+//! This is the experiment layer on top of the discrete-event fleet runtime
+//! in `corki_system::fleet`.  A sweep runs robots-per-server × variant ×
+//! scheduler cells and reports, per cell, fleet throughput, end-to-end plan
+//! latency (mean/p99), server queueing delay (mean/p99) and server
+//! utilisation.  [`robots_within_budget`] then condenses the sweep into the
+//! paper's serving claim: because one Corki inference buys a multi-step
+//! trajectory, longer trajectories lower the per-robot request rate and
+//! raise the number of robots a server sustains within a latency budget.
+
+use corki_sim::evaluation::{parallel_map, run_job, session_seed, EvalConfig};
+use corki_system::fleet::{fleet_robot_seed, FleetConfig, FleetSimulator};
+use corki_system::{SchedulerKind, Variant};
+use serde::{Deserialize, Serialize};
+
+use crate::variants::VariantSetup;
+
+/// Scale of a fleet sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScale {
+    /// Fleet sizes to sweep (robots per server).
+    pub robot_counts: Vec<usize>,
+    /// Camera frames each robot executes per cell.
+    pub frames_per_robot: usize,
+    /// Base seed; robots derive their jitter seeds from it.
+    pub seed: u64,
+}
+
+impl Default for FleetScale {
+    fn default() -> Self {
+        FleetScale {
+            robot_counts: vec![1, 2, 3, 4, 6, 8, 12, 16],
+            frames_per_robot: 240,
+            seed: 2024,
+        }
+    }
+}
+
+impl FleetScale {
+    /// A minimal configuration for CI and integration tests.
+    pub fn smoke() -> Self {
+        FleetScale { robot_counts: vec![1, 8], frames_per_robot: 60, seed: 2024 }
+    }
+}
+
+/// A full fleet experiment: scale × variants × schedulers plus the latency
+/// budget used for the robots-per-server summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetExperiment {
+    /// Sweep scale.
+    pub scale: FleetScale,
+    /// Variants to sweep (homogeneous fleet per cell).
+    pub variants: Vec<Variant>,
+    /// Schedulers to sweep.
+    pub schedulers: Vec<SchedulerKind>,
+    /// Executed-length distribution for Corki-ADAP fleets; `None` uses the
+    /// pipeline defaults, `Some` typically carries lengths measured by
+    /// [`measured_adaptive_lengths`].
+    pub adaptive_lengths: Option<Vec<usize>>,
+    /// End-to-end plan-latency budget (p99, ms) for [`robots_within_budget`].
+    pub latency_budget_ms: f64,
+}
+
+impl FleetExperiment {
+    /// The default sweep: four variants spanning the trajectory-length axis
+    /// and both serving disciplines.
+    pub fn paper_defaults(scale: FleetScale) -> Self {
+        FleetExperiment {
+            scale,
+            variants: vec![
+                Variant::RoboFlamingo,
+                Variant::CorkiFixed(3),
+                Variant::CorkiFixed(9),
+                Variant::CorkiAdaptive,
+            ],
+            schedulers: vec![
+                SchedulerKind::Fifo,
+                SchedulerKind::DynamicBatch { max_batch: 8, timeout_ms: 15.0 },
+            ],
+            adaptive_lengths: None,
+            latency_budget_ms: 400.0,
+        }
+    }
+}
+
+/// One cell of the fleet sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSweepRow {
+    /// Robots sharing the server.
+    pub robots: usize,
+    /// Variant name.
+    pub variant: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Executed control steps per second across the fleet.
+    pub throughput_steps_per_s: f64,
+    /// Effective per-robot step rate (Hz).
+    pub per_robot_rate_hz: f64,
+    /// Mean end-to-end plan latency: capture → trajectory received (ms).
+    pub mean_plan_latency_ms: f64,
+    /// 99th-percentile end-to-end plan latency (ms).
+    pub p99_plan_latency_ms: f64,
+    /// Mean server queueing delay (ms).
+    pub mean_queue_delay_ms: f64,
+    /// 99th-percentile server queueing delay (ms).
+    pub p99_queue_delay_ms: f64,
+    /// Fraction of the run the inference server was busy.
+    pub server_utilization: f64,
+    /// Mean formed batch size.
+    pub mean_batch_size: f64,
+}
+
+/// Runs the fleet sweep, fanning independent cells out over all cores.
+///
+/// Results are **byte-identical for every job count** — each cell is an
+/// independent deterministic simulation and rows are assembled in sweep
+/// order (scheduler-major, then variant, then fleet size).
+pub fn fleet_sweep(experiment: &FleetExperiment) -> Vec<FleetSweepRow> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    fleet_sweep_with_jobs(experiment, cores)
+}
+
+/// [`fleet_sweep`] with an explicit worker count (`1` runs sequentially).
+pub fn fleet_sweep_with_jobs(experiment: &FleetExperiment, jobs: usize) -> Vec<FleetSweepRow> {
+    let cells: Vec<(SchedulerKind, Variant, usize)> = experiment
+        .schedulers
+        .iter()
+        .flat_map(|scheduler| {
+            experiment.variants.iter().flat_map(move |variant| {
+                experiment
+                    .scale
+                    .robot_counts
+                    .iter()
+                    .map(move |&robots| (*scheduler, variant.clone(), robots))
+            })
+        })
+        .collect();
+    let run_cell = |(scheduler, variant, robots): &(SchedulerKind, Variant, usize)| {
+        let mut config =
+            FleetConfig::paper_defaults(variant.clone(), *robots, experiment.scale.seed);
+        config.frames_per_robot = experiment.scale.frames_per_robot;
+        config.scheduler = *scheduler;
+        if let Some(lengths) = &experiment.adaptive_lengths {
+            if !lengths.is_empty() {
+                config.adaptive_lengths = lengths.clone();
+            }
+        }
+        let summary = FleetSimulator::new(config).run().summary;
+        FleetSweepRow {
+            robots: *robots,
+            variant: variant.name(),
+            scheduler: summary.scheduler.clone(),
+            throughput_steps_per_s: summary.throughput_steps_per_s,
+            per_robot_rate_hz: summary.throughput_steps_per_s / *robots as f64,
+            mean_plan_latency_ms: summary.mean_plan_latency_ms,
+            p99_plan_latency_ms: summary.p99_plan_latency_ms,
+            mean_queue_delay_ms: summary.mean_queue_delay_ms,
+            p99_queue_delay_ms: summary.p99_queue_delay_ms,
+            server_utilization: summary.server_utilization,
+            mean_batch_size: summary.mean_batch_size,
+        }
+    };
+    parallel_map(&cells, |_, cell| run_cell(cell), jobs)
+}
+
+/// Robots-per-server at a latency budget: for one variant × scheduler, the
+/// largest swept fleet whose p99 end-to-end plan latency stays within budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetRow {
+    /// Variant name.
+    pub variant: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// p99 plan-latency budget applied (ms).
+    pub budget_ms: f64,
+    /// Largest swept fleet size within budget (0 when even one robot
+    /// overruns it).
+    pub max_robots: usize,
+}
+
+/// Condenses sweep rows into the robots-per-server-at-budget table, in the
+/// rows' variant × scheduler order.
+pub fn robots_within_budget(rows: &[FleetSweepRow], budget_ms: f64) -> Vec<BudgetRow> {
+    let mut out: Vec<BudgetRow> = Vec::new();
+    for row in rows {
+        let within = row.p99_plan_latency_ms <= budget_ms;
+        match out.iter_mut().find(|b| b.variant == row.variant && b.scheduler == row.scheduler) {
+            Some(budget_row) => {
+                if within && row.robots > budget_row.max_robots {
+                    budget_row.max_robots = row.robots;
+                }
+            }
+            None => out.push(BudgetRow {
+                variant: row.variant.clone(),
+                scheduler: row.scheduler.clone(),
+                budget_ms,
+                max_robots: if within { row.robots } else { 0 },
+            }),
+        }
+    }
+    out
+}
+
+/// Measures the executed-length distribution of Corki-ADAP rollouts in the
+/// simulator (the closed loop between the accuracy layer and the serving
+/// layer: the fleet sweep can run on lengths the policy actually produced).
+///
+/// Reuses one policy instance across jobs via the
+/// [`reseed`](corki_policy::ManipulationPolicy::reseed) session seeding
+/// hook; returns the pipeline's default distribution when the rollouts
+/// produce no lengths.
+pub fn measured_adaptive_lengths(jobs: usize, seed: u64) -> Vec<usize> {
+    let setup = VariantSetup::new(Variant::CorkiAdaptive);
+    let env = setup.build_environment(seed);
+    let mut policy = setup.build_policy(session_seed(seed, 0));
+    let config = EvalConfig { num_jobs: 1, unseen: false, seed };
+    let mut lengths = Vec::new();
+    for job in 0..jobs {
+        policy.reseed(session_seed(seed, job as u64));
+        let result = run_job(&env, policy.as_mut(), &config, job);
+        for episode in &result.episodes {
+            lengths.extend(episode.executed_lengths.iter().copied());
+        }
+    }
+    if lengths.is_empty() {
+        corki_system::PipelineConfig::paper_defaults(Variant::CorkiAdaptive).adaptive_lengths
+    } else {
+        lengths
+    }
+}
+
+/// Seeds of the robots of one fleet cell (exposed for tests and tooling;
+/// must match what `FleetConfig::paper_defaults` assigns).
+pub fn robot_seeds(seed: u64, robots: usize) -> Vec<u64> {
+    (0..robots).map(|r| fleet_robot_seed(seed, r as u64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_experiment() -> FleetExperiment {
+        FleetExperiment::paper_defaults(FleetScale::smoke())
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_in_order() {
+        let experiment = smoke_experiment();
+        let rows = fleet_sweep_with_jobs(&experiment, 1);
+        assert_eq!(
+            rows.len(),
+            experiment.schedulers.len()
+                * experiment.variants.len()
+                * experiment.scale.robot_counts.len()
+        );
+        assert_eq!(rows[0].variant, "RoboFlamingo");
+        assert_eq!(rows[0].robots, 1);
+        for row in &rows {
+            assert!(row.throughput_steps_per_s > 0.0);
+            assert!(row.p99_plan_latency_ms >= row.mean_queue_delay_ms);
+            assert!(row.server_utilization > 0.0 && row.server_utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_is_byte_identical_across_job_counts() {
+        let experiment = smoke_experiment();
+        let sequential = fleet_sweep_with_jobs(&experiment, 1);
+        for jobs in [2, 5, 16] {
+            let parallel = fleet_sweep_with_jobs(&experiment, jobs);
+            assert_eq!(
+                serde_json::to_string(&sequential).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "jobs={jobs} changed the sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_trajectories_raise_robots_per_server_at_fixed_budget() {
+        // Long enough that p99 measures the steady state, not the start-up
+        // transient of the closed queueing loop.
+        let mut experiment = FleetExperiment::paper_defaults(FleetScale {
+            robot_counts: vec![1, 2, 3, 4, 6, 8],
+            frames_per_robot: 240,
+            seed: 2024,
+        });
+        experiment.variants =
+            vec![Variant::RoboFlamingo, Variant::CorkiFixed(3), Variant::CorkiFixed(9)];
+        experiment.schedulers = vec![SchedulerKind::Fifo];
+        let rows = fleet_sweep(&experiment);
+        let budget = robots_within_budget(&rows, experiment.latency_budget_ms);
+        let max = |variant: &str| {
+            budget.iter().find(|b| b.variant == variant).expect("variant swept").max_robots
+        };
+        let baseline = max("RoboFlamingo");
+        let corki3 = max("Corki-3");
+        let corki9 = max("Corki-9");
+        assert!(
+            baseline <= corki3 && corki3 <= corki9,
+            "robots-per-server must not fall as trajectories lengthen: \
+             baseline {baseline}, Corki-3 {corki3}, Corki-9 {corki9}"
+        );
+        assert!(corki9 > baseline, "Corki-9 ({corki9}) must beat the frame baseline ({baseline})");
+        // At a saturated fleet size the throughput separation is large:
+        // every extra trajectory step is a served control step the baseline
+        // would spend on another full inference.
+        let throughput = |variant: &str| {
+            rows.iter()
+                .find(|r| r.variant == variant && r.robots == 8)
+                .expect("N=8 swept")
+                .throughput_steps_per_s
+        };
+        assert!(throughput("Corki-9") > 2.0 * throughput("Corki-3"));
+        assert!(throughput("Corki-3") > 2.0 * throughput("RoboFlamingo"));
+    }
+
+    #[test]
+    fn sweep_rows_round_trip_through_serde() {
+        let rows = fleet_sweep_with_jobs(&smoke_experiment(), 1);
+        let json = serde_json::to_string(&rows).unwrap();
+        let parsed: Vec<FleetSweepRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn measured_adaptive_lengths_are_plausible() {
+        let lengths = measured_adaptive_lengths(2, 5);
+        assert!(!lengths.is_empty());
+        assert!(lengths.iter().all(|&l| (1..=9).contains(&l)));
+    }
+
+    #[test]
+    fn robot_seeds_are_distinct_per_fleet() {
+        let seeds = robot_seeds(2024, 16);
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 16);
+    }
+}

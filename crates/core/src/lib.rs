@@ -28,9 +28,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fleet;
 mod variants;
 
-pub use corki_system::Variant;
+pub use corki_system::{SchedulerKind, Variant};
 pub use variants::VariantSetup;
 
 // Re-export the sub-crates so downstream users need a single dependency.

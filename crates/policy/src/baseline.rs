@@ -17,7 +17,7 @@ pub(crate) const HIDDEN_DIM: usize = 48;
 /// The frame-by-frame baseline policy (RoboFlamingo execution model).
 ///
 /// At every camera frame the policy encodes the observation into a token,
-/// appends it to a window of the last [`TOKEN_WINDOW`] tokens, runs the LSTM
+/// appends it to a window of the last [`crate::TOKEN_WINDOW`] tokens, runs the LSTM
 /// over the window and maps the final hidden state through two MLP heads to
 /// the pose delta and the gripper logit (Equation 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -117,6 +117,15 @@ pub trait ManipulationPolicy {
     /// start of a new episode.
     fn reset(&mut self);
 
+    /// Re-binds the policy to a new deterministic noise/sampling stream and
+    /// clears its state — the session seeding hook used by fleet and
+    /// parallel-evaluation runs to reuse one policy instance across
+    /// robots/jobs without correlating their randomness.  Policies without
+    /// internal randomness (the learned heads) just reset.
+    fn reseed(&mut self, _seed: u64) {
+        self.reset();
+    }
+
     /// The execution model this policy belongs to.
     fn kind(&self) -> PolicyKind;
 

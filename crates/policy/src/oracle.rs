@@ -179,6 +179,11 @@ impl ManipulationPolicy for OracleFramePolicy {
         self.rng = StdRng::seed_from_u64(self.seed);
     }
 
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
+    }
+
     fn kind(&self) -> PolicyKind {
         PolicyKind::FramePrediction
     }
@@ -277,6 +282,11 @@ impl ManipulationPolicy for OracleTrajectoryPolicy {
         self.rng = StdRng::seed_from_u64(self.seed);
     }
 
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
+    }
+
     fn kind(&self) -> PolicyKind {
         PolicyKind::TrajectoryPrediction
     }
@@ -361,6 +371,31 @@ mod tests {
         policy.reset();
         let PolicyPlan::Trajectory(b) = policy.plan(&request) else { panic!() };
         assert!(a.sample(a.duration()).position_distance(&b.sample(b.duration())) < 1e-12);
+    }
+
+    #[test]
+    fn reseeding_rebinds_the_noise_stream() {
+        // A reseeded policy must reproduce a fresh policy built with the
+        // same seed, and differ from its previous stream.
+        let request = request_with_expert(9);
+        let mut policy = OracleTrajectoryPolicy::new(5, NoiseModel::default(), 3);
+        let PolicyPlan::Trajectory(old) = policy.plan(&request) else { panic!() };
+        policy.reseed(17);
+        let PolicyPlan::Trajectory(reseeded) = policy.plan(&request) else { panic!() };
+        let mut fresh = OracleTrajectoryPolicy::new(5, NoiseModel::default(), 17);
+        let PolicyPlan::Trajectory(expected) = fresh.plan(&request) else { panic!() };
+        let end = |t: &Trajectory| t.sample(t.duration()).position;
+        assert!((end(&reseeded) - end(&expected)).norm() < 1e-15);
+        assert!((end(&reseeded) - end(&old)).norm() > 1e-9);
+        // Frame oracle honours the hook too.
+        let mut frame = OracleFramePolicy::new(NoiseModel::default(), 3);
+        let PolicyPlan::SingleStep(a0) = frame.plan(&request) else { panic!() };
+        frame.reseed(17);
+        let PolicyPlan::SingleStep(a1) = frame.plan(&request) else { panic!() };
+        let mut fresh_frame = OracleFramePolicy::new(NoiseModel::default(), 17);
+        let PolicyPlan::SingleStep(a2) = fresh_frame.plan(&request) else { panic!() };
+        assert!((a1.delta_position - a2.delta_position).norm() < 1e-15);
+        assert!((a1.delta_position - a0.delta_position).norm() > 1e-12);
     }
 
     #[test]

@@ -82,6 +82,60 @@ impl EvaluationSummary {
     }
 }
 
+/// Derives the policy seed of one *session* (an evaluation job) from a base
+/// sweep seed.
+///
+/// The base seed is mixed before the session index is added so the policy's
+/// noise stream is decorrelated from the scene-randomisation stream (which
+/// [`run_job`] seeds with the *unmixed* `seed + job_index`).  Every layer
+/// that fans an evaluation sweep out over jobs derives seeds here so
+/// results are reproducible and independent of how work is distributed.
+/// The system layer's counterpart for fleet robots is
+/// `corki_system::fleet::fleet_robot_seed` (same mixing idea, different
+/// finalisation — the two streams must stay decorrelated from each other).
+pub fn session_seed(base: u64, session: u64) -> u64 {
+    (base.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0_121).wrapping_add(session)
+}
+
+/// Deterministic chunked parallel map: applies `f(index, &item)` to every
+/// item, fanning contiguous chunks out over `threads` scoped OS threads
+/// (`1` runs sequentially), and returns the results in item order.
+///
+/// Because chunking is a pure function of `(len, threads)` and every result
+/// is written to its own slot, the output is **identical for every thread
+/// count** — the scaffolding behind [`evaluate_parallel`] and the fleet
+/// sweeps of the `corki` crate.
+pub fn parallel_map<T, R, F>(items: &[T], f: F, threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    if threads <= 1 {
+        for (index, (slot, item)) in results.iter_mut().zip(items).enumerate() {
+            *slot = Some(f(index, item));
+        }
+    } else {
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let f = &f;
+            for (chunk_index, (slots, chunk_items)) in
+                results.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate()
+            {
+                let base = chunk_index * chunk;
+                scope.spawn(move || {
+                    for (offset, (slot, item)) in slots.iter_mut().zip(chunk_items).enumerate() {
+                        *slot = Some(f(base + offset, item));
+                    }
+                });
+            }
+        });
+    }
+    results.into_iter().map(|r| r.expect("every item mapped")).collect()
+}
+
 /// Samples the five tasks of job `index` (deterministic in the seed).
 pub fn job_tasks(seed: u64, index: usize) -> Vec<TaskInstance> {
     let catalog = task_catalog();
@@ -150,31 +204,16 @@ pub fn evaluate_parallel<F>(
 where
     F: Fn(usize) -> Box<dyn ManipulationPolicy> + Sync,
 {
-    let jobs = config.num_jobs;
-    let threads = threads.clamp(1, jobs.max(1));
-    let mut results: Vec<Option<JobResult>> = (0..jobs).map(|_| None).collect();
-    if threads <= 1 {
-        for (index, slot) in results.iter_mut().enumerate() {
+    let jobs: Vec<usize> = (0..config.num_jobs).collect();
+    let results = parallel_map(
+        &jobs,
+        |_, &index| {
             let mut policy = make_policy(index);
-            *slot = Some(run_job(env, policy.as_mut(), config, index));
-        }
-    } else {
-        let chunk = jobs.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_index, slots) in results.chunks_mut(chunk).enumerate() {
-                let base = chunk_index * chunk;
-                scope.spawn(move || {
-                    for (offset, slot) in slots.iter_mut().enumerate() {
-                        let index = base + offset;
-                        let mut policy = make_policy(index);
-                        *slot = Some(run_job(env, policy.as_mut(), config, index));
-                    }
-                });
-            }
-        });
-    }
-    let results: Vec<JobResult> = results.into_iter().map(|r| r.expect("every job ran")).collect();
-    summarize(make_policy(0).name(), &results, jobs.max(1))
+            run_job(env, policy.as_mut(), config, index)
+        },
+        threads,
+    );
+    summarize(make_policy(0).name(), &results, config.num_jobs.max(1))
 }
 
 /// Aggregates per-job results — strictly in job-index order, so sequential

@@ -1,0 +1,187 @@
+//! A minimal discrete-event simulation (DES) core.
+//!
+//! The fleet-serving runtime (and, through it, the single-robot
+//! [`crate::PipelineSimulator`]) advances time by popping events off a queue
+//! keyed by `(time, sequence-number)`.  The sequence number is a
+//! monotonically increasing tie-breaker, so events scheduled at the same
+//! instant fire in scheduling order and every run of the same configuration
+//! pops events in exactly the same order — determinism is structural, not
+//! accidental.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+///
+/// Comparison (equality *and* ordering) is by the queue key `(time_ms,
+/// seq)` only — `seq` is unique per queue, so two distinct events of one
+/// queue never compare equal, and the `PartialEq`/`PartialOrd` contract
+/// (`a == b ⟺ partial_cmp(a, b) == Some(Equal)`) holds by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduled<E> {
+    /// Absolute simulated time of the event, in milliseconds.
+    pub time_ms: f64,
+    /// Scheduling sequence number — the deterministic tie-breaker for events
+    /// at the same instant.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+/// Reverse ordering on `(time, seq)` so the `BinaryHeap` (a max-heap) pops
+/// the earliest event first.
+impl<E> Scheduled<E> {
+    fn key_cmp(&self, other: &Self) -> Ordering {
+        other.time_ms.total_cmp(&self.time_ms).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_cmp(other) == Ordering::Equal
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key_cmp(other)
+    }
+}
+
+/// A deterministic future-event queue.
+///
+/// Events are totally ordered by `(time_ms, seq)`; `seq` is assigned at
+/// scheduling time.  Popping an event advances the queue's clock, and
+/// scheduling into the past is a logic error (checked in debug builds).
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now_ms: f64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with its clock at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now_ms: 0.0 }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Schedules `event` at absolute time `time_ms` and returns its sequence
+    /// number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ms` is NaN, and (in debug builds) if it lies before
+    /// the current clock.
+    pub fn schedule(&mut self, time_ms: f64, event: E) -> u64 {
+        assert!(!time_ms.is_nan(), "cannot schedule an event at NaN");
+        debug_assert!(
+            time_ms >= self.now_ms,
+            "scheduling into the past: {time_ms} < {}",
+            self.now_ms
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time_ms, seq, event });
+        seq
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let scheduled = self.heap.pop()?;
+        self.now_ms = scheduled.time_ms;
+        Some(scheduled)
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_time_ms(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time_ms)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule(2.0, label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_advances_the_clock() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now_ms(), 0.0);
+        q.schedule(4.5, ());
+        q.schedule(7.25, ());
+        assert_eq!(q.peek_time_ms(), Some(4.5));
+        q.pop();
+        assert_eq!(q.now_ms(), 4.5);
+        q.pop();
+        assert_eq!(q.now_ms(), 7.25);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now_ms(), 7.25);
+    }
+
+    #[test]
+    fn sequence_numbers_are_stable_across_identical_runs() {
+        let run = || {
+            let mut q = EventQueue::new();
+            q.schedule(1.0, 10u32);
+            q.schedule(1.0, 11u32);
+            q.schedule(0.5, 12u32);
+            let mut log = Vec::new();
+            while let Some(s) = q.pop() {
+                log.push((s.time_ms.to_bits(), s.seq, s.event));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_times_are_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+}

@@ -1,0 +1,1013 @@
+//! The event-driven multi-robot fleet-serving runtime.
+//!
+//! N independent robot sessions share one LLM inference server, one
+//! communication link and (optionally) one control accelerator; everything is
+//! driven by the deterministic event queue of [`crate::des`].  Each session
+//! cycles through the Corki serving loop:
+//!
+//! 1. **capture** — the robot finishes its current plan and captures a frame;
+//!    the (un-hidden part of the) upload contends for the shared link;
+//! 2. **queue** — the request joins the server's [`BatchScheduler`], which
+//!    decides when to release which requests as one inference batch;
+//! 3. **inference** — the server runs the batch (service time grows mildly
+//!    with batch size) and returns a plan per robot;
+//! 4. **execute** — the robot executes its trajectory step by step on its
+//!    control back-end ([`ControlBackend::PerRobot`] or a shared,
+//!    arbitrated accelerator), paced by [`FleetConfig::execution_step_ms`].
+//!
+//! The single-robot [`crate::PipelineSimulator`] is the N=1 special case of
+//! this engine (uncontended link, FIFO scheduler, per-robot back-end, no
+//! execution pacing) and reproduces the legacy per-frame traces exactly —
+//! see `tests/des_regression.rs`.  With N>1 the engine turns the paper's
+//! per-robot claim (one inference buys a multi-step trajectory) into a
+//! serving claim: longer trajectories lower the per-robot request rate,
+//! which raises the number of robots one server sustains within a latency
+//! budget.
+
+use crate::des::{EventQueue, Scheduled};
+use crate::devices::{baseline_control_ms, CommunicationModel, InferenceModel};
+use crate::pipeline::{mean, percentile, FrameKind, FrameTrace, PipelineConfig, StepsTakenModel};
+use crate::variant::Variant;
+use corki_accel::{AcceleratorModel, Arbiter, CpuControlModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How requests waiting at the inference server are released as batches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Serve one request at a time, in arrival order.
+    Fifo,
+    /// Dynamic batching: release as soon as `max_batch` requests are queued,
+    /// or when the oldest request has waited `timeout_ms`.
+    DynamicBatch {
+        /// Largest batch the server will form.
+        max_batch: usize,
+        /// Longest a request may wait for co-batched requests.
+        timeout_ms: f64,
+    },
+    /// Serve one request at a time, shortest planned trajectory first
+    /// (shortest-job-first arbitration for mixed fleets).
+    ShortestTrajectoryFirst,
+}
+
+impl SchedulerKind {
+    /// A stable short name used in result tables.
+    pub fn name(&self) -> String {
+        match self {
+            SchedulerKind::Fifo => "fifo".to_owned(),
+            SchedulerKind::DynamicBatch { max_batch, timeout_ms } => {
+                format!("batch{max_batch}-{timeout_ms:.0}ms")
+            }
+            SchedulerKind::ShortestTrajectoryFirst => "stf".to_owned(),
+        }
+    }
+
+    /// Builds the scheduler implementation.
+    pub fn build(&self) -> Box<dyn BatchScheduler> {
+        match *self {
+            SchedulerKind::Fifo => Box::new(FifoScheduler::default()),
+            SchedulerKind::DynamicBatch { max_batch, timeout_ms } => {
+                Box::new(DynamicBatchScheduler::new(max_batch, timeout_ms))
+            }
+            SchedulerKind::ShortestTrajectoryFirst => {
+                Box::new(ShortestTrajectoryFirstScheduler::default())
+            }
+        }
+    }
+}
+
+/// One inference request waiting at (or being served by) the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingRequest {
+    /// Index of the requesting robot.
+    pub robot: usize,
+    /// When the request reached the server (upload complete), ms.
+    pub arrival_ms: f64,
+    /// Unbatched service time of this request, ms.
+    pub service_ms: f64,
+    /// Control steps the returned trajectory will execute.
+    pub planned_steps: usize,
+    /// Arrival sequence number (deterministic tie-breaker).
+    pub seq: u64,
+}
+
+/// Decides when queued inference requests are released as a batch.
+///
+/// The engine calls [`push`](BatchScheduler::push) on every arrival and
+/// [`pop_batch`](BatchScheduler::pop_batch) whenever the server goes idle;
+/// a scheduler that holds requests back (e.g. waiting for a batch to fill)
+/// reports the release deadline via
+/// [`next_release_ms`](BatchScheduler::next_release_ms) so the engine can
+/// schedule a wake-up event.
+pub trait BatchScheduler: std::fmt::Debug {
+    /// Accepts a newly arrived request.
+    fn push(&mut self, request: PendingRequest);
+    /// Releases the batch to serve now, or an empty vector to keep waiting.
+    fn pop_batch(&mut self, now_ms: f64) -> Vec<PendingRequest>;
+    /// The earliest time a held-back batch would be released without new
+    /// arrivals (None when the scheduler never holds requests back).
+    fn next_release_ms(&self) -> Option<f64>;
+    /// Number of queued requests.
+    fn pending(&self) -> usize;
+}
+
+/// One-at-a-time FIFO service.
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<PendingRequest>,
+}
+
+impl BatchScheduler for FifoScheduler {
+    fn push(&mut self, request: PendingRequest) {
+        self.queue.push_back(request);
+    }
+
+    fn pop_batch(&mut self, _now_ms: f64) -> Vec<PendingRequest> {
+        self.queue.pop_front().into_iter().collect()
+    }
+
+    fn next_release_ms(&self) -> Option<f64> {
+        None
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Max-batch / timeout dynamic batching (the classic serving trade-off:
+/// larger batches amortise the forward pass, the timeout bounds how long a
+/// lone request waits for company).
+#[derive(Debug)]
+pub struct DynamicBatchScheduler {
+    max_batch: usize,
+    timeout_ms: f64,
+    queue: VecDeque<PendingRequest>,
+}
+
+impl DynamicBatchScheduler {
+    /// Creates a scheduler with the given knobs (`max_batch` is clamped to
+    /// at least 1).
+    pub fn new(max_batch: usize, timeout_ms: f64) -> Self {
+        DynamicBatchScheduler { max_batch: max_batch.max(1), timeout_ms, queue: VecDeque::new() }
+    }
+}
+
+impl BatchScheduler for DynamicBatchScheduler {
+    fn push(&mut self, request: PendingRequest) {
+        self.queue.push_back(request);
+    }
+
+    fn pop_batch(&mut self, now_ms: f64) -> Vec<PendingRequest> {
+        let ready_by_size = self.queue.len() >= self.max_batch;
+        let ready_by_timeout =
+            self.queue.front().is_some_and(|oldest| oldest.arrival_ms + self.timeout_ms <= now_ms);
+        if ready_by_size || ready_by_timeout {
+            let take = self.queue.len().min(self.max_batch);
+            self.queue.drain(..take).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn next_release_ms(&self) -> Option<f64> {
+        self.queue.front().map(|oldest| oldest.arrival_ms + self.timeout_ms)
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Shortest-trajectory-first arbitration: requests whose plans cover fewer
+/// control steps (robots that will be back soonest) are served first.
+#[derive(Debug, Default)]
+pub struct ShortestTrajectoryFirstScheduler {
+    queue: Vec<PendingRequest>,
+}
+
+impl BatchScheduler for ShortestTrajectoryFirstScheduler {
+    fn push(&mut self, request: PendingRequest) {
+        self.queue.push(request);
+    }
+
+    fn pop_batch(&mut self, _now_ms: f64) -> Vec<PendingRequest> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let best = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (r.planned_steps, r.seq))
+            .map(|(i, _)| i)
+            .expect("queue is non-empty");
+        vec![self.queue.remove(best)]
+    }
+
+    fn next_release_ms(&self) -> Option<f64> {
+        None
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Where a robot's control computation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlBackend {
+    /// Every robot owns its control hardware (no contention).
+    PerRobot,
+    /// All accelerator-backed robots share one arbitrated accelerator.
+    SharedAccelerator,
+}
+
+/// One robot of the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobotConfig {
+    /// The policy/execution variant this robot runs.
+    pub variant: Variant,
+    /// Seed of the robot's private jitter stream.
+    pub seed: u64,
+}
+
+/// Configuration of a fleet-serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// The robots of the fleet (variant + seed each).
+    pub robots: Vec<RobotConfig>,
+    /// How the shared server batches requests.
+    pub scheduler: SchedulerKind,
+    /// Inference device/precision model of the shared server.
+    pub inference: InferenceModel,
+    /// Communication link model (shared uplink).
+    pub communication: CommunicationModel,
+    /// Accelerator latency model for accelerator-backed variants.
+    pub accelerator: AcceleratorModel,
+    /// CPU control model (baseline and Corki-SW).
+    pub cpu: CpuControlModel,
+    /// Fraction of matrix updates skipped by the ACE units.
+    pub ace_skip_fraction: f64,
+    /// Executed-length distribution for [`Variant::CorkiAdaptive`] robots.
+    pub adaptive_lengths: Vec<usize>,
+    /// Fraction of the final-frame upload that cannot be hidden under robot
+    /// execution when a trajectory spans more than one step.
+    pub unhidden_comm_fraction: f64,
+    /// Camera frames (control steps) each robot executes.
+    pub frames_per_robot: usize,
+    /// Relative magnitude of the per-frame measurement jitter.
+    pub jitter: f64,
+    /// Average accelerator power while computing (watts).
+    pub accelerator_power_w: f64,
+    /// Fractional extra service time per additional request in a batch
+    /// (batch of n costs `1 + overhead·(n−1)` times one request).
+    pub batch_overhead: f64,
+    /// Real-time duration of one executed control step — the robot's motion
+    /// paces the loop at e.g. the 30 Hz camera rate. `0` disables pacing
+    /// (the legacy latency-only model of the single-robot pipeline).
+    pub execution_step_ms: f64,
+    /// Deterministic start offset between consecutive robots (robot `r`
+    /// captures its first frame at `r · start_stagger_ms`).  Prevents the
+    /// artificial time-zero convoy of a perfectly phase-locked fleet; robot
+    /// 0 always starts at time zero.
+    pub start_stagger_ms: f64,
+    /// Model the *hidden* portion of each multi-step plan's frame upload as
+    /// real uplink occupancy: the frame streamed under robot execution
+    /// still consumes shared link bandwidth, delaying other robots'
+    /// uploads.  Off in the N=1 compatibility mode, where the legacy model
+    /// attributes only the unhidden fraction.
+    pub background_uploads: bool,
+    /// Control back-end topology.
+    pub control_backend: ControlBackend,
+    /// Record the full event log (for determinism regression tests).
+    pub record_event_log: bool,
+}
+
+impl FleetConfig {
+    /// A fleet with the paper's default devices: `robots` homogeneous robots
+    /// running `variant`, seeded deterministically from `seed`.
+    pub fn paper_defaults(variant: Variant, robots: usize, seed: u64) -> Self {
+        let base = PipelineConfig::paper_defaults(variant);
+        let robots = (0..robots)
+            .map(|r| RobotConfig {
+                variant: base.variant.clone(),
+                seed: fleet_robot_seed(seed, r as u64),
+            })
+            .collect();
+        FleetConfig {
+            robots,
+            scheduler: SchedulerKind::Fifo,
+            inference: base.inference,
+            communication: base.communication,
+            accelerator: base.accelerator,
+            cpu: base.cpu,
+            ace_skip_fraction: base.ace_skip_fraction,
+            adaptive_lengths: base.adaptive_lengths,
+            unhidden_comm_fraction: base.unhidden_comm_fraction,
+            frames_per_robot: base.num_frames,
+            jitter: base.jitter,
+            accelerator_power_w: base.accelerator_power_w,
+            batch_overhead: 0.15,
+            execution_step_ms: 1000.0 / 30.0,
+            start_stagger_ms: 1000.0 / 30.0,
+            background_uploads: true,
+            control_backend: ControlBackend::PerRobot,
+            record_event_log: false,
+        }
+    }
+
+    /// The N=1 compatibility configuration behind [`crate::PipelineSimulator`]:
+    /// one robot, FIFO service, per-robot control, no execution pacing — the
+    /// exact legacy latency model.
+    pub fn single_robot(config: &PipelineConfig) -> Self {
+        FleetConfig {
+            robots: vec![RobotConfig { variant: config.variant.clone(), seed: config.seed }],
+            scheduler: SchedulerKind::Fifo,
+            inference: config.inference,
+            communication: config.communication,
+            accelerator: config.accelerator,
+            cpu: config.cpu,
+            ace_skip_fraction: config.ace_skip_fraction,
+            adaptive_lengths: config.adaptive_lengths.clone(),
+            unhidden_comm_fraction: config.unhidden_comm_fraction,
+            frames_per_robot: config.num_frames,
+            jitter: config.jitter,
+            accelerator_power_w: config.accelerator_power_w,
+            batch_overhead: 0.15,
+            execution_step_ms: 0.0,
+            start_stagger_ms: 0.0,
+            background_uploads: false,
+            control_backend: ControlBackend::PerRobot,
+            record_event_log: false,
+        }
+    }
+}
+
+/// Mixes a fleet seed with a robot index so per-robot jitter streams are
+/// decorrelated (robot 0 of a fleet seeded `s` does **not** reuse `s`
+/// verbatim; the single-robot compatibility path sets the seed explicitly).
+pub fn fleet_robot_seed(seed: u64, robot: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(robot.wrapping_mul(0xD129_0286_4DB6_4AA7))
+}
+
+/// One recorded event of a fleet run (the determinism regression surface).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Event time, ms.
+    pub time_ms: f64,
+    /// Event queue sequence number.
+    pub seq: u64,
+    /// Event kind (`capture`, `upload_done`, `scheduler_wake`,
+    /// `inference_done`, `step_done`).
+    pub kind: String,
+    /// The robot concerned, if any.
+    pub robot: Option<usize>,
+}
+
+/// Per-robot results of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobotOutcome {
+    /// Robot index.
+    pub robot: usize,
+    /// Variant name.
+    pub variant: String,
+    /// Frames executed.
+    pub frames: usize,
+    /// LLM inferences issued.
+    pub inferences: usize,
+    /// When the robot finished its last frame, ms.
+    pub completed_ms: f64,
+    /// Mean end-to-end plan latency (capture → trajectory received), ms.
+    pub mean_plan_latency_ms: f64,
+    /// Per-frame latency/energy traces (legacy-compatible attribution plus
+    /// any link/queue/arbitration waits absorbed by inference frames).
+    pub frame_traces: Vec<FrameTrace>,
+}
+
+/// Aggregate serving metrics of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Number of robots.
+    pub robots: usize,
+    /// Frames executed per robot.
+    pub frames_per_robot: usize,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Time until the last robot finished, ms.
+    pub makespan_ms: f64,
+    /// Executed control steps per second across the fleet.
+    pub throughput_steps_per_s: f64,
+    /// Mean per-frame latency over all robots (ms, includes waits).
+    pub mean_frame_latency_ms: f64,
+    /// 99th-percentile per-frame latency (ms).
+    pub p99_frame_latency_ms: f64,
+    /// Mean end-to-end plan latency: frame capture → trajectory received (ms).
+    pub mean_plan_latency_ms: f64,
+    /// 99th-percentile end-to-end plan latency (ms).
+    pub p99_plan_latency_ms: f64,
+    /// Mean time requests queued at the server (ms).
+    pub mean_queue_delay_ms: f64,
+    /// 99th-percentile server queueing delay (ms).
+    pub p99_queue_delay_ms: f64,
+    /// Mean wait for the shared uplink (ms).
+    pub mean_link_wait_ms: f64,
+    /// Fraction of the makespan the inference server was busy.
+    pub server_utilization: f64,
+    /// Fraction of the makespan the uplink was busy.
+    pub link_utilization: f64,
+    /// Total inference requests served.
+    pub inferences: usize,
+    /// Mean formed batch size.
+    pub mean_batch_size: f64,
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Aggregate serving metrics.
+    pub summary: FleetSummary,
+    /// Per-robot results.
+    pub robots: Vec<RobotOutcome>,
+    /// Event log (empty unless [`FleetConfig::record_event_log`]).
+    pub event_log: Vec<EventRecord>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FleetEvent {
+    Capture { robot: usize },
+    UploadDone { robot: usize },
+    SchedulerWake,
+    InferenceDone,
+    StepDone { robot: usize },
+}
+
+/// Per-robot runtime state.
+struct Session {
+    steps_model: StepsTakenModel,
+    rng: StdRng,
+    is_baseline: bool,
+    uses_shared_accelerator: bool,
+    variant_name: String,
+    // Calibrated constants.
+    control_ms: f64,
+    control_energy_j: f64,
+    service_ms: f64,
+    inference_energy_j: f64,
+    // Progress.
+    frame_index: usize,
+    inference_count: usize,
+    plan_steps: usize,
+    step_in_plan: usize,
+    // Bookkeeping for the in-flight plan.
+    capture_ms: f64,
+    link_wait_ms: f64,
+    upload_ms: f64,
+    queue_wait_ms: f64,
+    batch_service_ms: f64,
+    ctl_wait_ms: f64,
+    // Outputs.
+    traces: Vec<FrameTrace>,
+    plan_latency_sum_ms: f64,
+    finished_ms: f64,
+}
+
+/// Simulates a fleet of robots sharing one inference server.
+#[derive(Debug, Clone)]
+pub struct FleetSimulator {
+    config: FleetConfig,
+}
+
+struct Engine<'a> {
+    cfg: &'a FleetConfig,
+    queue: EventQueue<FleetEvent>,
+    sessions: Vec<Session>,
+    link: Arbiter,
+    shared_accelerator: Option<Arbiter>,
+    scheduler: Box<dyn BatchScheduler>,
+    server_busy: bool,
+    server_batch: Vec<PendingRequest>,
+    server_busy_since_ms: f64,
+    server_busy_ms: f64,
+    next_wake_ms: Option<f64>,
+    arrival_seq: u64,
+    comm_energy_j: f64,
+    // Aggregate metric samples.
+    batch_sizes: Vec<usize>,
+    queue_waits_ms: Vec<f64>,
+    plan_latencies_ms: Vec<f64>,
+    link_waits_ms: Vec<f64>,
+    log: Vec<EventRecord>,
+}
+
+impl FleetSimulator {
+    /// Creates a simulator.
+    pub fn new(config: FleetConfig) -> Self {
+        FleetSimulator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the fleet to completion and aggregates the serving metrics.
+    pub fn run(&self) -> FleetOutcome {
+        let cfg = &self.config;
+        let mut engine = Engine {
+            cfg,
+            queue: EventQueue::new(),
+            sessions: cfg.robots.iter().map(|robot| Session::new(robot, cfg)).collect(),
+            link: Arbiter::new(),
+            shared_accelerator: match cfg.control_backend {
+                ControlBackend::PerRobot => None,
+                ControlBackend::SharedAccelerator => Some(Arbiter::new()),
+            },
+            scheduler: cfg.scheduler.build(),
+            server_busy: false,
+            server_batch: Vec::new(),
+            server_busy_since_ms: 0.0,
+            server_busy_ms: 0.0,
+            next_wake_ms: None,
+            arrival_seq: 0,
+            comm_energy_j: cfg.communication.energy_per_frame_j(),
+            batch_sizes: Vec::new(),
+            queue_waits_ms: Vec::new(),
+            plan_latencies_ms: Vec::new(),
+            link_waits_ms: Vec::new(),
+            log: Vec::new(),
+        };
+        for robot in 0..cfg.robots.len() {
+            engine
+                .queue
+                .schedule(robot as f64 * cfg.start_stagger_ms, FleetEvent::Capture { robot });
+        }
+        while let Some(scheduled) = engine.queue.pop() {
+            engine.record(&scheduled);
+            engine.handle(scheduled);
+        }
+        engine.finish()
+    }
+}
+
+impl Session {
+    fn new(robot: &RobotConfig, cfg: &FleetConfig) -> Self {
+        let variant = &robot.variant;
+        let is_baseline = *variant == Variant::RoboFlamingo;
+        let steps_model = match variant {
+            Variant::RoboFlamingo => StepsTakenModel::Fixed(1),
+            Variant::CorkiFixed(n) => StepsTakenModel::Fixed(*n),
+            Variant::CorkiAdaptive => StepsTakenModel::Distribution(cfg.adaptive_lengths.clone()),
+            Variant::CorkiSoftware => StepsTakenModel::Fixed(5),
+        };
+        let control_ms = match variant {
+            Variant::RoboFlamingo => baseline_control_ms(),
+            Variant::CorkiSoftware => {
+                cfg.cpu.control_latency_ms * (1.0 - cfg.ace_skip_fraction * 0.42)
+            }
+            _ => cfg.accelerator.control_latency_with_skips(cfg.ace_skip_fraction).latency_ms,
+        };
+        let control_power_w = match variant {
+            Variant::RoboFlamingo | Variant::CorkiSoftware => cfg.cpu.power_w,
+            _ => cfg.accelerator_power_w,
+        };
+        let (service_ms, inference_energy_j) = if is_baseline {
+            (cfg.inference.action_latency_ms(), cfg.inference.action_energy_j())
+        } else {
+            (cfg.inference.trajectory_latency_ms(), cfg.inference.trajectory_energy_j())
+        };
+        let uses_shared_accelerator =
+            !matches!(variant, Variant::RoboFlamingo | Variant::CorkiSoftware);
+        Session {
+            steps_model,
+            rng: StdRng::seed_from_u64(robot.seed),
+            is_baseline,
+            uses_shared_accelerator,
+            variant_name: variant.name(),
+            control_ms,
+            control_energy_j: control_ms / 1000.0 * control_power_w,
+            service_ms,
+            inference_energy_j,
+            frame_index: 0,
+            inference_count: 0,
+            plan_steps: 0,
+            step_in_plan: 0,
+            capture_ms: 0.0,
+            link_wait_ms: 0.0,
+            upload_ms: 0.0,
+            queue_wait_ms: 0.0,
+            batch_service_ms: 0.0,
+            ctl_wait_ms: 0.0,
+            traces: Vec::with_capacity(cfg.frames_per_robot),
+            plan_latency_sum_ms: 0.0,
+            finished_ms: 0.0,
+        }
+    }
+}
+
+impl Engine<'_> {
+    fn record(&mut self, scheduled: &Scheduled<FleetEvent>) {
+        if !self.cfg.record_event_log {
+            return;
+        }
+        let (kind, robot) = match scheduled.event {
+            FleetEvent::Capture { robot } => ("capture", Some(robot)),
+            FleetEvent::UploadDone { robot } => ("upload_done", Some(robot)),
+            FleetEvent::SchedulerWake => ("scheduler_wake", None),
+            FleetEvent::InferenceDone => ("inference_done", None),
+            FleetEvent::StepDone { robot } => ("step_done", Some(robot)),
+        };
+        self.log.push(EventRecord {
+            time_ms: scheduled.time_ms,
+            seq: scheduled.seq,
+            kind: kind.to_owned(),
+            robot,
+        });
+    }
+
+    fn handle(&mut self, scheduled: Scheduled<FleetEvent>) {
+        let now = scheduled.time_ms;
+        match scheduled.event {
+            FleetEvent::Capture { robot } => self.on_capture(robot, now),
+            FleetEvent::UploadDone { robot } => self.on_upload_done(robot, now),
+            FleetEvent::SchedulerWake => {
+                self.next_wake_ms = None;
+                self.try_dispatch(now);
+            }
+            FleetEvent::InferenceDone => self.on_inference_done(now),
+            FleetEvent::StepDone { robot } => self.on_step_done(robot, now),
+        }
+    }
+
+    fn on_capture(&mut self, robot: usize, now: f64) {
+        let frames = self.cfg.frames_per_robot;
+        let session = &mut self.sessions[robot];
+        if session.frame_index >= frames {
+            session.finished_ms = now;
+            return;
+        }
+        let plan_index = session.inference_count;
+        session.inference_count += 1;
+        // The untruncated length decides how much of the upload is hidden
+        // (mirrors the legacy per-plan `steps == 1` check); execution is
+        // truncated to the remaining frames.
+        let full_steps = session.steps_model.steps_for(plan_index);
+        session.plan_steps = full_steps.min(frames - session.frame_index);
+        session.step_in_plan = 0;
+        session.capture_ms = now;
+        session.upload_ms = if session.is_baseline || full_steps == 1 {
+            self.cfg.communication.per_frame_ms
+        } else {
+            self.cfg.communication.per_frame_ms * self.cfg.unhidden_comm_fraction
+        };
+        let grant = self.link.acquire(now, session.upload_ms);
+        session.link_wait_ms = grant.wait_ms;
+        self.link_waits_ms.push(grant.wait_ms);
+        self.queue.schedule(grant.end_ms, FleetEvent::UploadDone { robot });
+    }
+
+    fn on_upload_done(&mut self, robot: usize, now: f64) {
+        let session = &self.sessions[robot];
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.scheduler.push(PendingRequest {
+            robot,
+            arrival_ms: now,
+            service_ms: session.service_ms,
+            planned_steps: session.plan_steps,
+            seq,
+        });
+        self.try_dispatch(now);
+    }
+
+    fn try_dispatch(&mut self, now: f64) {
+        if self.server_busy {
+            return;
+        }
+        let batch = self.scheduler.pop_batch(now);
+        if batch.is_empty() {
+            if self.scheduler.pending() > 0 {
+                if let Some(release) = self.scheduler.next_release_ms() {
+                    let release = if release > now { release } else { now };
+                    let need = self.next_wake_ms.is_none_or(|wake| release < wake);
+                    if need {
+                        self.queue.schedule(release, FleetEvent::SchedulerWake);
+                        self.next_wake_ms = Some(release);
+                    }
+                }
+            }
+            return;
+        }
+        let base = batch.iter().map(|r| r.service_ms).fold(0.0_f64, f64::max);
+        let service = base * (1.0 + self.cfg.batch_overhead * (batch.len() as f64 - 1.0));
+        for request in &batch {
+            let wait = now - request.arrival_ms;
+            let session = &mut self.sessions[request.robot];
+            session.queue_wait_ms = wait;
+            session.batch_service_ms = service;
+            self.queue_waits_ms.push(wait);
+        }
+        self.batch_sizes.push(batch.len());
+        self.server_batch = batch;
+        self.server_busy = true;
+        self.server_busy_since_ms = now;
+        self.queue.schedule(now + service, FleetEvent::InferenceDone);
+    }
+
+    fn on_inference_done(&mut self, now: f64) {
+        self.server_busy_ms += now - self.server_busy_since_ms;
+        self.server_busy = false;
+        let batch = std::mem::take(&mut self.server_batch);
+        for request in &batch {
+            let session = &mut self.sessions[request.robot];
+            let plan_latency = now - session.capture_ms;
+            session.plan_latency_sum_ms += plan_latency;
+            self.plan_latencies_ms.push(plan_latency);
+            self.start_step(request.robot, now);
+        }
+        self.try_dispatch(now);
+    }
+
+    fn start_step(&mut self, robot: usize, now: f64) {
+        let control_ms = self.sessions[robot].control_ms;
+        let arbitrated = self.sessions[robot].uses_shared_accelerator;
+        let (wait_ms, compute_end) = match self.shared_accelerator.as_mut() {
+            Some(arbiter) if arbitrated => {
+                let grant = arbiter.acquire(now, control_ms);
+                (grant.wait_ms, grant.end_ms)
+            }
+            _ => (0.0, now + control_ms),
+        };
+        self.sessions[robot].ctl_wait_ms = wait_ms;
+        // The robot's physical motion paces the step; compute must fit inside
+        // the step period or it becomes the bottleneck.
+        let paced_end = now + self.cfg.execution_step_ms;
+        let step_end = if compute_end > paced_end { compute_end } else { paced_end };
+        self.queue.schedule(step_end, FleetEvent::StepDone { robot });
+    }
+
+    fn on_step_done(&mut self, robot: usize, now: f64) {
+        let comm_energy_j = self.comm_energy_j;
+        let frames = self.cfg.frames_per_robot;
+        let jitter = self.cfg.jitter;
+        let session = &mut self.sessions[robot];
+        // Per-frame latency/energy attribution, term-for-term identical to
+        // the legacy single-robot pipeline (fleet-only waits are folded in
+        // as exact zeros when uncontended).
+        let (kind, latency, energy) = if session.step_in_plan == 0 {
+            let fleet_extra = (session.link_wait_ms + session.queue_wait_ms) + session.ctl_wait_ms;
+            let (base_latency, base_energy) = if session.is_baseline {
+                (
+                    session.batch_service_ms + session.control_ms + session.upload_ms,
+                    session.inference_energy_j + session.control_energy_j + comm_energy_j,
+                )
+            } else {
+                (
+                    session.upload_ms + session.batch_service_ms + session.control_ms,
+                    session.inference_energy_j + comm_energy_j + session.control_energy_j,
+                )
+            };
+            (FrameKind::Inference, base_latency + fleet_extra, base_energy)
+        } else {
+            let hidden_comm_energy = if session.step_in_plan == 1 { comm_energy_j } else { 0.0 };
+            (
+                FrameKind::Execution,
+                session.control_ms + session.ctl_wait_ms,
+                session.control_energy_j + hidden_comm_energy,
+            )
+        };
+        let latency = latency.max(0.0);
+        let energy = energy.max(0.0);
+        let scale = 1.0 + session.rng.gen_range(-jitter..=jitter);
+        session.traces.push(FrameTrace {
+            index: session.frame_index,
+            kind,
+            latency_ms: latency * scale,
+            energy_j: energy * scale,
+        });
+        session.frame_index += 1;
+        session.step_in_plan += 1;
+        // The frame that will trigger the next plan streams in the
+        // background while the robot executes: the hidden portion of that
+        // upload still occupies the shared uplink (its energy is charged on
+        // the step-1 frame above).  The robot does not block on this grant,
+        // but other robots' uploads queue behind it.
+        if self.cfg.background_uploads && session.step_in_plan == 1 && session.plan_steps > 1 {
+            let hidden_ms = (self.cfg.communication.per_frame_ms - session.upload_ms).max(0.0);
+            self.link.acquire(now, hidden_ms);
+        }
+        if session.frame_index >= frames {
+            session.finished_ms = now;
+        } else if session.step_in_plan < session.plan_steps {
+            self.start_step(robot, now);
+        } else {
+            self.queue.schedule(now, FleetEvent::Capture { robot });
+        }
+    }
+
+    fn finish(self) -> FleetOutcome {
+        let cfg = self.cfg;
+        let makespan_ms = self.sessions.iter().map(|s| s.finished_ms).fold(0.0_f64, f64::max);
+        let total_frames: usize = self.sessions.iter().map(|s| s.frame_index).sum();
+        let frame_latencies: Vec<f64> =
+            self.sessions.iter().flat_map(|s| s.traces.iter().map(|t| t.latency_ms)).collect();
+        let inferences: usize = self.batch_sizes.iter().sum();
+        let summary = FleetSummary {
+            robots: cfg.robots.len(),
+            frames_per_robot: cfg.frames_per_robot,
+            scheduler: cfg.scheduler.name(),
+            makespan_ms,
+            throughput_steps_per_s: if makespan_ms > 0.0 {
+                total_frames as f64 / makespan_ms * 1000.0
+            } else {
+                0.0
+            },
+            mean_frame_latency_ms: mean(&frame_latencies),
+            p99_frame_latency_ms: percentile(&frame_latencies, 0.99),
+            mean_plan_latency_ms: mean(&self.plan_latencies_ms),
+            p99_plan_latency_ms: percentile(&self.plan_latencies_ms, 0.99),
+            mean_queue_delay_ms: mean(&self.queue_waits_ms),
+            p99_queue_delay_ms: percentile(&self.queue_waits_ms, 0.99),
+            mean_link_wait_ms: mean(&self.link_waits_ms),
+            server_utilization: if makespan_ms > 0.0 {
+                self.server_busy_ms / makespan_ms
+            } else {
+                0.0
+            },
+            link_utilization: self.link.utilization(makespan_ms),
+            inferences,
+            mean_batch_size: if self.batch_sizes.is_empty() {
+                0.0
+            } else {
+                inferences as f64 / self.batch_sizes.len() as f64
+            },
+        };
+        let robots = self
+            .sessions
+            .into_iter()
+            .enumerate()
+            .map(|(index, session)| RobotOutcome {
+                robot: index,
+                variant: session.variant_name,
+                frames: session.frame_index,
+                inferences: session.inference_count,
+                completed_ms: session.finished_ms,
+                mean_plan_latency_ms: if session.inference_count > 0 {
+                    session.plan_latency_sum_ms / session.inference_count as f64
+                } else {
+                    0.0
+                },
+                frame_traces: session.traces,
+            })
+            .collect();
+        FleetOutcome { summary, robots, event_log: self.log }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_fleet(variant: Variant, robots: usize, scheduler: SchedulerKind) -> FleetConfig {
+        let mut cfg = FleetConfig::paper_defaults(variant, robots, 11);
+        cfg.frames_per_robot = 60;
+        cfg.scheduler = scheduler;
+        cfg
+    }
+
+    #[test]
+    fn every_robot_completes_its_frames() {
+        for scheduler in [
+            SchedulerKind::Fifo,
+            SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 25.0 },
+            SchedulerKind::ShortestTrajectoryFirst,
+        ] {
+            let outcome =
+                FleetSimulator::new(quick_fleet(Variant::CorkiFixed(5), 4, scheduler)).run();
+            assert_eq!(outcome.robots.len(), 4);
+            for robot in &outcome.robots {
+                assert_eq!(robot.frames, 60, "{}", outcome.summary.scheduler);
+                assert_eq!(robot.frame_traces.len(), 60);
+                assert!(robot.inferences >= 60 / 5);
+            }
+            assert!(outcome.summary.makespan_ms > 0.0);
+            assert!(outcome.summary.server_utilization > 0.0);
+            assert!(outcome.summary.server_utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn contention_grows_with_fleet_size() {
+        let small =
+            FleetSimulator::new(quick_fleet(Variant::CorkiFixed(5), 1, SchedulerKind::Fifo))
+                .run()
+                .summary;
+        let large =
+            FleetSimulator::new(quick_fleet(Variant::CorkiFixed(5), 8, SchedulerKind::Fifo))
+                .run()
+                .summary;
+        assert!(large.mean_queue_delay_ms > small.mean_queue_delay_ms);
+        assert!(large.server_utilization > small.server_utilization);
+        assert!(large.p99_plan_latency_ms >= small.p99_plan_latency_ms);
+    }
+
+    #[test]
+    fn longer_trajectories_unload_the_server() {
+        let corki1 =
+            FleetSimulator::new(quick_fleet(Variant::CorkiFixed(1), 6, SchedulerKind::Fifo))
+                .run()
+                .summary;
+        let corki9 =
+            FleetSimulator::new(quick_fleet(Variant::CorkiFixed(9), 6, SchedulerKind::Fifo))
+                .run()
+                .summary;
+        assert!(
+            corki9.server_utilization < corki1.server_utilization,
+            "Corki-9 fleet should keep the server freer: {:.3} vs {:.3}",
+            corki9.server_utilization,
+            corki1.server_utilization
+        );
+        assert!(corki9.mean_queue_delay_ms < corki1.mean_queue_delay_ms);
+    }
+
+    #[test]
+    fn dynamic_batching_forms_batches_under_load() {
+        let fifo = FleetSimulator::new(quick_fleet(Variant::CorkiFixed(3), 8, SchedulerKind::Fifo))
+            .run()
+            .summary;
+        let batched = FleetSimulator::new(quick_fleet(
+            Variant::CorkiFixed(3),
+            8,
+            SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 30.0 },
+        ))
+        .run()
+        .summary;
+        assert!(batched.mean_batch_size > 1.0, "batches should form under load");
+        assert!((fifo.mean_batch_size - 1.0).abs() < 1e-12);
+        assert!(
+            batched.throughput_steps_per_s > fifo.throughput_steps_per_s,
+            "batching should raise saturated throughput: {:.1} vs {:.1}",
+            batched.throughput_steps_per_s,
+            fifo.throughput_steps_per_s
+        );
+    }
+
+    #[test]
+    fn shortest_trajectory_first_prefers_short_plans() {
+        // A mixed fleet: one Corki-1 robot among Corki-9 robots. Under STF
+        // the short-trajectory robot should queue no longer than its peers.
+        let mut cfg =
+            quick_fleet(Variant::CorkiFixed(9), 6, SchedulerKind::ShortestTrajectoryFirst);
+        cfg.robots[0].variant = Variant::CorkiFixed(1);
+        let stf = FleetSimulator::new(cfg.clone()).run();
+        cfg.scheduler = SchedulerKind::Fifo;
+        let fifo = FleetSimulator::new(cfg).run();
+        let stf_short = stf.robots[0].mean_plan_latency_ms;
+        let fifo_short = fifo.robots[0].mean_plan_latency_ms;
+        assert!(
+            stf_short <= fifo_short * 1.05,
+            "STF should not slow the short-trajectory robot: {stf_short:.1} vs {fifo_short:.1}"
+        );
+    }
+
+    #[test]
+    fn shared_accelerator_adds_arbitration_waits() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 8, SchedulerKind::Fifo);
+        cfg.control_backend = ControlBackend::SharedAccelerator;
+        // Remove pacing so control computations collide aggressively.
+        cfg.execution_step_ms = 0.0;
+        let shared = FleetSimulator::new(cfg.clone()).run().summary;
+        cfg.control_backend = ControlBackend::PerRobot;
+        let private = FleetSimulator::new(cfg).run().summary;
+        assert!(shared.mean_frame_latency_ms >= private.mean_frame_latency_ms);
+    }
+
+    #[test]
+    fn event_log_is_identical_across_runs() {
+        let mut cfg = quick_fleet(
+            Variant::CorkiAdaptive,
+            5,
+            SchedulerKind::DynamicBatch { max_batch: 3, timeout_ms: 15.0 },
+        );
+        cfg.record_event_log = true;
+        let a = FleetSimulator::new(cfg.clone()).run();
+        let b = FleetSimulator::new(cfg).run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "identical configs must replay identical event logs"
+        );
+        assert!(!a.event_log.is_empty());
+    }
+
+    #[test]
+    fn fleet_robot_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|r| fleet_robot_seed(2024, r)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+}

@@ -16,17 +16,35 @@
 //! measurements (Fig. 2: 249.4 ms per baseline frame, 72.7 % inference /
 //! 9.9 % control / 17.4 % communication; Tables 3 and 4 for other GPUs and
 //! data representations).
+//!
+//! Since the fleet refactor both pipelines run on a **discrete-event
+//! simulation core** ([`des`]): N robot sessions contend for a shared
+//! communication link, a shared inference server behind a pluggable
+//! [`BatchScheduler`], and per-robot or shared control back-ends
+//! ([`fleet`]).  The single-robot [`PipelineSimulator`] is the N=1 special
+//! case and reproduces the original frame-loop traces exactly; fleets of
+//! N>1 robots expose the serving-scale trade-offs (batching, arbitration,
+//! queueing delay, tail latency) that the `corki` crate's fleet experiments
+//! sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod des;
 mod devices;
+pub mod fleet;
 mod pipeline;
+mod variant;
 
 pub use devices::{
     CommunicationModel, DataRepresentation, InferenceDevice, InferenceModel, BASELINE_FRAME_MS,
 };
+pub use fleet::{
+    BatchScheduler, ControlBackend, EventRecord, FleetConfig, FleetOutcome, FleetSimulator,
+    FleetSummary, PendingRequest, RobotConfig, RobotOutcome, SchedulerKind,
+};
 pub use pipeline::{
     ExecutionStats, FrameKind, FrameTrace, PipelineConfig, PipelineSimulator, PipelineSummary,
-    StepsTakenModel, Variant,
+    StepsTakenModel,
 };
+pub use variant::{ParseVariantError, Variant};

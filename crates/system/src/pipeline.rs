@@ -1,60 +1,18 @@
-//! The baseline discrete pipeline and the Corki continuous pipeline
-//! (Fig. 1, §4.4), with per-frame latency/energy traces and summary
-//! statistics for the Fig. 13/14 and Table 3/4 experiments.
+//! The single-robot pipeline view (Fig. 1, §4.4): per-frame latency/energy
+//! traces and summary statistics for the Fig. 13/14 and Table 3/4
+//! experiments.
+//!
+//! Since the fleet refactor this is the N=1 special case of the
+//! discrete-event engine in [`crate::fleet`]: one robot, an uncontended
+//! link, FIFO service and a private control back-end.  The per-frame traces
+//! are identical to the original hand-rolled frame loop (pinned by
+//! `tests/des_regression.rs`).
 
-use crate::devices::{baseline_control_ms, CommunicationModel, InferenceModel};
+use crate::devices::{CommunicationModel, InferenceModel};
+use crate::fleet::{FleetConfig, FleetSimulator};
+use crate::variant::Variant;
 use corki_accel::{AcceleratorModel, CpuControlModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-
-/// The policy/execution variants evaluated in the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Variant {
-    /// The RoboFlamingo baseline: one inference, one control step and one
-    /// frame upload per camera frame.
-    RoboFlamingo,
-    /// Corki with a fixed number of executed steps per predicted trajectory
-    /// (`Corki-1` … `Corki-9`), control on the accelerator.
-    CorkiFixed(usize),
-    /// Corki with the adaptive trajectory length of Algorithm 1
-    /// (`Corki-ADAP`), control on the accelerator.
-    CorkiAdaptive,
-    /// Corki-SW: the Corki-5 execution model but with control kept on the
-    /// robot's CPU.
-    CorkiSoftware,
-}
-
-impl Variant {
-    /// The variants evaluated in Fig. 13 of the paper, in order.
-    pub fn paper_lineup() -> Vec<Variant> {
-        vec![
-            Variant::RoboFlamingo,
-            Variant::CorkiFixed(1),
-            Variant::CorkiFixed(3),
-            Variant::CorkiFixed(5),
-            Variant::CorkiFixed(7),
-            Variant::CorkiFixed(9),
-            Variant::CorkiAdaptive,
-            Variant::CorkiSoftware,
-        ]
-    }
-
-    /// Display name matching the paper's tables.
-    pub fn name(&self) -> String {
-        match self {
-            Variant::RoboFlamingo => "RoboFlamingo".to_owned(),
-            Variant::CorkiFixed(n) => format!("Corki-{n}"),
-            Variant::CorkiAdaptive => "Corki-ADAP".to_owned(),
-            Variant::CorkiSoftware => "Corki-SW".to_owned(),
-        }
-    }
-
-    /// Whether this variant predicts trajectories (all but the baseline).
-    pub fn predicts_trajectories(&self) -> bool {
-        !matches!(self, Variant::RoboFlamingo)
-    }
-}
 
 /// How many control steps are executed per inference.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,7 +25,8 @@ pub enum StepsTakenModel {
 }
 
 impl StepsTakenModel {
-    fn steps_for(&self, inference_index: usize) -> usize {
+    /// The number of steps executed by inference number `inference_index`.
+    pub fn steps_for(&self, inference_index: usize) -> usize {
         match self {
             StepsTakenModel::Fixed(n) => (*n).max(1),
             StepsTakenModel::Distribution(d) => {
@@ -242,104 +201,24 @@ impl PipelineSimulator {
         &self.config
     }
 
-    /// Runs the simulation and aggregates the per-frame traces.
+    /// Runs the simulation (on the discrete-event fleet engine, as a fleet
+    /// of one) and aggregates the per-frame traces.
     pub fn simulate(&self) -> PipelineSummary {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut traces = Vec::with_capacity(cfg.num_frames);
-        let mut inference_count = 0usize;
-
-        match &cfg.variant {
-            Variant::RoboFlamingo => {
-                for index in 0..cfg.num_frames {
-                    let latency = cfg.inference.action_latency_ms()
-                        + baseline_control_ms()
-                        + cfg.communication.per_frame_ms;
-                    let energy = cfg.inference.action_energy_j()
-                        + baseline_control_ms() / 1000.0 * cfg.cpu.power_w
-                        + cfg.communication.energy_per_frame_j();
-                    inference_count += 1;
-                    traces.push(self.jittered(
-                        index,
-                        FrameKind::Inference,
-                        latency,
-                        energy,
-                        &mut rng,
-                    ));
-                }
-            }
-            variant => {
-                let steps_model = match variant {
-                    Variant::CorkiFixed(n) => StepsTakenModel::Fixed(*n),
-                    Variant::CorkiAdaptive => {
-                        StepsTakenModel::Distribution(cfg.adaptive_lengths.clone())
-                    }
-                    Variant::CorkiSoftware => StepsTakenModel::Fixed(5),
-                    Variant::RoboFlamingo => unreachable!("handled above"),
-                };
-                let control_latency_ms = self.control_latency_ms();
-                let control_energy_j = self.control_energy_j(control_latency_ms);
-
-                let mut index = 0usize;
-                while index < cfg.num_frames {
-                    let steps = steps_model.steps_for(inference_count);
-                    inference_count += 1;
-                    for step in 0..steps {
-                        if index >= cfg.num_frames {
-                            break;
-                        }
-                        let (kind, mut latency, mut energy) = if step == 0 {
-                            // Inference frame: the final image upload (which
-                            // cannot be fully hidden), the trajectory
-                            // inference and the first control computation.
-                            let unhidden = if steps == 1 {
-                                cfg.communication.per_frame_ms
-                            } else {
-                                cfg.communication.per_frame_ms * cfg.unhidden_comm_fraction
-                            };
-                            (
-                                FrameKind::Inference,
-                                unhidden
-                                    + cfg.inference.trajectory_latency_ms()
-                                    + control_latency_ms,
-                                cfg.inference.trajectory_energy_j()
-                                    + cfg.communication.energy_per_frame_j()
-                                    + control_energy_j,
-                            )
-                        } else {
-                            // Execution frame: control only; one mid-trajectory
-                            // frame upload happens in the background (energy
-                            // still spent, latency hidden).
-                            let hidden_comm_energy = if step == 1 {
-                                cfg.communication.energy_per_frame_j()
-                            } else {
-                                0.0
-                            };
-                            (
-                                FrameKind::Execution,
-                                control_latency_ms,
-                                control_energy_j + hidden_comm_energy,
-                            )
-                        };
-                        latency = latency.max(0.0);
-                        energy = energy.max(0.0);
-                        traces.push(self.jittered(index, kind, latency, energy, &mut rng));
-                        index += 1;
-                    }
-                }
-            }
-        }
-
+        let outcome = FleetSimulator::new(FleetConfig::single_robot(&self.config)).run();
+        let robot = outcome.robots.into_iter().next().expect("the fleet has exactly one robot");
+        let traces = robot.frame_traces;
         let latencies: Vec<f64> = traces.iter().map(|t| t.latency_ms).collect();
         let energies: Vec<f64> = traces.iter().map(|t| t.energy_j).collect();
         let mean_latency = mean(&latencies);
         let mean_energy = mean(&energies);
         PipelineSummary {
-            variant: cfg.variant.name(),
+            variant: self.config.variant.name(),
             mean_frame_latency_ms: mean_latency,
             mean_frame_energy_j: mean_energy,
-            frame_rate_hz: 1000.0 / mean_latency,
-            inference_count,
+            // Keep the summary finite (and JSON round-trippable) for an
+            // empty simulation instead of emitting 1000/0 = inf.
+            frame_rate_hz: if mean_latency > 0.0 { 1000.0 / mean_latency } else { 0.0 },
+            inference_count: robot.inferences,
             frames: traces.len(),
             stats: stats(&latencies),
             frame_traces: traces,
@@ -352,53 +231,32 @@ impl PipelineSimulator {
         config.variant = Variant::RoboFlamingo;
         PipelineSimulator::new(config).simulate()
     }
-
-    /// Per-frame control latency of the configured variant.
-    fn control_latency_ms(&self) -> f64 {
-        match self.config.variant {
-            Variant::CorkiSoftware => {
-                // Control stays on the CPU; the ACE approximation still skips
-                // the configuration-dependent matrix work, which is roughly
-                // 40 % of the CPU control computation.
-                self.config.cpu.control_latency_ms * (1.0 - self.config.ace_skip_fraction * 0.42)
-            }
-            _ => {
-                self.config
-                    .accelerator
-                    .control_latency_with_skips(self.config.ace_skip_fraction)
-                    .latency_ms
-            }
-        }
-    }
-
-    fn control_energy_j(&self, control_latency_ms: f64) -> f64 {
-        let power = match self.config.variant {
-            Variant::CorkiSoftware => self.config.cpu.power_w,
-            _ => self.config.accelerator_power_w,
-        };
-        control_latency_ms / 1000.0 * power
-    }
-
-    fn jittered(
-        &self,
-        index: usize,
-        kind: FrameKind,
-        latency: f64,
-        energy: f64,
-        rng: &mut StdRng,
-    ) -> FrameTrace {
-        let j = self.config.jitter;
-        let scale = 1.0 + rng.gen_range(-j..=j);
-        FrameTrace { index, kind, latency_ms: latency * scale, energy_j: energy * scale }
-    }
 }
 
-fn mean(values: &[f64]) -> f64 {
+/// Mean of a sample set (0 when empty). Shared with the fleet summaries.
+pub(crate) fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         0.0
     } else {
         values.iter().sum::<f64>() / values.len() as f64
     }
+}
+
+/// Index of the nearest-rank quantile `q` in a sorted sample of `len`
+/// elements — the one estimator shared by pipeline and fleet statistics.
+fn quantile_index(len: usize, q: f64) -> usize {
+    (((len as f64 - 1.0) * q).round() as usize).min(len - 1)
+}
+
+/// Nearest-rank quantile `q` of a sample set (0 when empty). Shared with
+/// the fleet summaries so pipeline and fleet p99s use the same estimator.
+pub(crate) fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[quantile_index(sorted.len(), q)]
 }
 
 fn stats(latencies: &[f64]) -> ExecutionStats {
@@ -409,11 +267,10 @@ fn stats(latencies: &[f64]) -> ExecutionStats {
     let variance = latencies.iter().map(|x| (x - m).powi(2)).sum::<f64>() / latencies.len() as f64;
     let mut sorted = latencies.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    let p99_idx = ((sorted.len() as f64 - 1.0) * 0.99).round() as usize;
     ExecutionStats {
         mean_ms: m,
         max_ms: *sorted.last().unwrap(),
-        p99_ms: sorted[p99_idx],
+        p99_ms: sorted[quantile_index(sorted.len(), 0.99)],
         relative_variation: variance.sqrt() / m,
     }
 }
@@ -573,5 +430,21 @@ mod tests {
         assert!((dist.mean() - 5.0).abs() < 1e-12);
         let empty = StepsTakenModel::Distribution(vec![]);
         assert_eq!(empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn zero_frame_simulations_are_well_formed() {
+        let mut cfg = PipelineConfig::paper_defaults(Variant::CorkiFixed(5));
+        cfg.num_frames = 0;
+        let s = PipelineSimulator::new(cfg).simulate();
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.inference_count, 0);
+        assert_eq!(s.mean_frame_latency_ms, 0.0);
+        // Every field stays finite, so the summary survives a JSON round
+        // trip (inf would serialise as null and fail to parse back).
+        assert_eq!(s.frame_rate_hz, 0.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let parsed: PipelineSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, s);
     }
 }

@@ -3,6 +3,7 @@
 //! the same code path the `experiments` binary uses.
 
 use corki::experiments::{self, ExperimentScale};
+use corki::fleet;
 
 #[test]
 fn every_experiment_runs_at_smoke_scale() {
@@ -42,6 +43,19 @@ fn every_experiment_runs_at_smoke_scale() {
     assert!(skip > 0.0 && sweep.len() == 9);
     let (cpu_hz, _, accel_hz) = experiments::bottleneck_analysis();
     assert!(accel_hz > cpu_hz);
+
+    // Fleet serving sweep.
+    let experiment = fleet::FleetExperiment::paper_defaults(fleet::FleetScale::smoke());
+    let rows = fleet::fleet_sweep(&experiment);
+    assert_eq!(
+        rows.len(),
+        experiment.schedulers.len()
+            * experiment.variants.len()
+            * experiment.scale.robot_counts.len()
+    );
+    assert!(rows.iter().all(|r| r.throughput_steps_per_s > 0.0));
+    let budget = fleet::robots_within_budget(&rows, experiment.latency_budget_ms);
+    assert_eq!(budget.len(), experiment.schedulers.len() * experiment.variants.len());
 }
 
 #[test]
