@@ -1,8 +1,9 @@
 //! Benchmarks of the discrete-event fleet-serving runtime: how fast the
 //! engine simulates fleets of different sizes and scheduling disciplines.
 
+use corki::fleet::FleetComposition;
 use corki_system::fleet::{FleetConfig, FleetSimulator};
-use corki_system::{SchedulerKind, Variant};
+use corki_system::{RoutingPolicy, SchedulerKind, Variant};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -20,9 +21,25 @@ fn bench_fleet(c: &mut Criterion) {
 
     let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
     config.frames_per_robot = 120;
-    config.scheduler = SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 };
+    config.set_scheduler(SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 });
     let sim = FleetSimulator::new(config);
     group.bench_function("batch4/corki5_8robots_120frames", |b| b.iter(|| black_box(sim.run())));
+
+    // The heterogeneous shapes: a routed two-server pool and a mixed fleet
+    // with a Jetson board in every second robot.
+    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024).with_pool(2);
+    config.frames_per_robot = 120;
+    config.routing = RoutingPolicy::LeastQueueDepth;
+    let sim = FleetSimulator::new(config);
+    group.bench_function("pool2_lqd/corki5_8robots_120frames", |b| b.iter(|| black_box(sim.run())));
+
+    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
+    config.frames_per_robot = 120;
+    FleetComposition::jetson_every_second().apply(&mut config);
+    let sim = FleetSimulator::new(config);
+    group.bench_function("mixed_jetson_v100/corki5_8robots_120frames", |b| {
+        b.iter(|| black_box(sim.run()))
+    });
 
     group.finish();
 }

@@ -3,17 +3,26 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--full | --smoke] [--json <path>] [only <name> ...]
+//! experiments [--full | --smoke] [--json <path>] [--servers <n>]
+//!             [--routing <policy>] [only <name> ...]
 //! ```
 //!
 //! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `table3`, `table4`, `resources`, `fig9`, `ablation`, `approx`,
 //! `fig15`, `bottleneck`, `fleet`. With no names, everything runs.
+//!
+//! `--servers <n>` pins the fleet sweep's inference pool to exactly `n`
+//! servers; `--routing <policy>` (round-robin | least-queue-depth |
+//! device-affinity, or the aliases rr/lqd/affinity) picks how requests are
+//! spread over the pool. Without these flags the full-scale fleet sweep
+//! additionally walks the heterogeneous axes (1 vs 2 servers, all-offloaded
+//! vs a Jetson board in every second robot).
 
 use corki::experiments::{self, ExperimentScale};
 use corki::fleet::{
     fleet_sweep, measured_adaptive_lengths, robots_within_budget, FleetExperiment, FleetScale,
 };
+use corki::RoutingPolicy;
 use corki_system::FrameKind;
 use std::collections::BTreeMap;
 
@@ -24,6 +33,8 @@ fn main() {
     let mut fleet_scale = FleetScale::default();
     let mut smoke = false;
     let mut json_path = None;
+    let mut servers_override: Option<usize> = None;
+    let mut routing_override: Option<RoutingPolicy> = None;
     let mut positionals: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -42,6 +53,24 @@ fn main() {
                 Some(path) => json_path = Some(path),
                 None => {
                     eprintln!("error: --json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--servers" => match raw.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => servers_override = Some(n),
+                _ => {
+                    eprintln!("error: --servers requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--routing" => match raw.next().map(|p| p.parse::<RoutingPolicy>()) {
+                Some(Ok(policy)) => routing_override = Some(policy),
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("error: --routing requires a policy argument");
                     std::process::exit(2);
                 }
             },
@@ -327,23 +356,44 @@ fn main() {
     }
 
     if wants("fleet") {
-        println!("== Fleet serving: robots-per-server × variant × scheduler sweep ==");
-        let mut experiment = FleetExperiment::paper_defaults(fleet_scale);
+        println!("== Fleet serving: robots × variant × scheduler × pool × composition sweep ==");
+        // Smoke runs keep the fast single-server homogeneous sweep; full
+        // runs walk the heterogeneous pool/composition axes too. The
+        // --servers / --routing flags pin those axes explicitly.
+        let mut experiment = if smoke {
+            FleetExperiment::paper_defaults(fleet_scale)
+        } else {
+            FleetExperiment::heterogeneous(fleet_scale)
+        };
+        if let Some(servers) = servers_override {
+            experiment.server_counts = vec![servers];
+        }
+        if let Some(routing) = routing_override {
+            experiment.routing = routing;
+        }
         if !smoke {
             // Feed the serving sweep the executed lengths that Corki-ADAP
             // actually produced in the simulator rollouts.
             experiment.adaptive_lengths = Some(measured_adaptive_lengths(3, scale.seed));
         }
         println!(
-            "scale: fleets of {:?} robots, {} frames/robot, seed {}",
-            experiment.scale.robot_counts, experiment.scale.frames_per_robot, experiment.scale.seed
+            "scale: fleets of {:?} robots, {} frames/robot, seed {}, pools of {:?} servers, \
+             {} routing, {:.0} ms warm-up",
+            experiment.scale.robot_counts,
+            experiment.scale.frames_per_robot,
+            experiment.scale.seed,
+            experiment.server_counts,
+            experiment.routing,
+            experiment.scale.warmup_ms
         );
         let rows = fleet_sweep(&experiment);
         println!(
-            "  {:<12} {:<13} {:>4} {:>10} {:>9} {:>20} {:>20} {:>6} {:>6}",
+            "  {:<12} {:<13} {:<26} {:>4} {:>4} {:>10} {:>9} {:>20} {:>20} {:>6} {:>6}",
             "variant",
             "scheduler",
+            "composition",
             "N",
+            "srv",
             "thr[st/s]",
             "Hz/robot",
             "plan mean/p99 [ms]",
@@ -353,10 +403,12 @@ fn main() {
         );
         for row in &rows {
             println!(
-                "  {:<12} {:<13} {:>4} {:>10.1} {:>9.1} {:>9.1} /{:>9.1} {:>9.1} /{:>9.1} {:>6.2} {:>6.2}",
+                "  {:<12} {:<13} {:<26} {:>4} {:>4} {:>10.1} {:>9.1} {:>9.1} /{:>9.1} {:>9.1} /{:>9.1} {:>6.2} {:>6.2}",
                 row.variant,
                 row.scheduler,
+                row.composition,
                 row.robots,
+                row.servers,
                 row.throughput_steps_per_s,
                 row.per_robot_rate_hz,
                 row.mean_plan_latency_ms,
@@ -369,12 +421,18 @@ fn main() {
         }
         let budget = robots_within_budget(&rows, experiment.latency_budget_ms);
         println!(
-            "\n  robots-per-server within a {:.0} ms p99 plan-latency budget:",
+            "\n  robots-per-pool within a {:.0} ms p99 plan-latency budget (warm-up-trimmed):",
             experiment.latency_budget_ms
         );
-        println!("  {:<12} {:<13} {:>11}", "variant", "scheduler", "max robots");
+        println!(
+            "  {:<12} {:<13} {:<26} {:>4} {:>11}",
+            "variant", "scheduler", "composition", "srv", "max robots"
+        );
         for row in &budget {
-            println!("  {:<12} {:<13} {:>11}", row.variant, row.scheduler, row.max_robots);
+            println!(
+                "  {:<12} {:<13} {:<26} {:>4} {:>11}",
+                row.variant, row.scheduler, row.composition, row.servers, row.max_robots
+            );
         }
         println!();
         json.insert("fleet".to_owned(), serde_json::to_value(&rows).unwrap());

@@ -10,6 +10,7 @@
 use crate::reference::{
     bench_controller, bench_rng, reference_fit_waypoints, reference_task_space_torque, RefCorkiHead,
 };
+use corki::fleet::FleetComposition;
 use corki_math::Vec3;
 use corki_policy::{
     BaselineFramePolicy, CorkiTrajectoryPolicy, ManipulationPolicy, Observation, PlanRequest,
@@ -17,7 +18,7 @@ use corki_policy::{
 use corki_robot::panda::{panda_model, PANDA_HOME};
 use corki_robot::{JointState, TaskReference};
 use corki_system::fleet::{FleetConfig, FleetSimulator};
-use corki_system::{PipelineConfig, PipelineSimulator, SchedulerKind, Variant};
+use corki_system::{PipelineConfig, PipelineSimulator, RoutingPolicy, SchedulerKind, Variant};
 use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
@@ -25,7 +26,10 @@ use std::time::{Duration, Instant};
 
 /// The schema version stamped into every report; bump when the JSON layout
 /// changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history: 1 — benches + comparisons; 2 — adds the `fleet_rows`
+/// section (deterministic fleet-serving metrics, warm-up-trimmed p99s).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Timing-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +91,36 @@ pub struct Comparison {
     pub speedup: f64,
 }
 
+/// One deterministic fleet-serving metric row recorded alongside the timing
+/// medians: unlike `median_ns`, these numbers are simulation outputs and are
+/// byte-stable across machines and runs, so `--compare` and the committed
+/// `BENCH_fleet.json` can track serving regressions exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetServingRow {
+    /// Configuration name (`fleet_serving/<case>`).
+    pub name: String,
+    /// Robots in the fleet.
+    pub robots: usize,
+    /// Inference servers in the pool.
+    pub servers: usize,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Routing policy name.
+    pub routing: String,
+    /// Device composition label (`offloaded`, or the mixed on-robot mix).
+    pub composition: String,
+    /// Warm-up window trimmed from the latency percentiles (ms).
+    pub warmup_ms: f64,
+    /// Executed control steps per second across the fleet.
+    pub throughput_steps_per_s: f64,
+    /// 99th-percentile end-to-end plan latency (ms, warm-up-trimmed).
+    pub p99_plan_latency_ms: f64,
+    /// 99th-percentile server queueing delay (ms, warm-up-trimmed).
+    pub p99_queue_delay_ms: f64,
+    /// Fraction of the pool's capacity spent busy.
+    pub server_utilization: f64,
+}
+
 /// The canonical report emitted as `BENCH_*.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -100,6 +134,8 @@ pub struct BenchReport {
     pub benches: Vec<BenchResult>,
     /// Fast-vs-reference speedups derived from `benches`.
     pub comparisons: Vec<Comparison>,
+    /// Deterministic fleet-serving metrics (identical in every mode).
+    pub fleet_rows: Vec<FleetServingRow>,
 }
 
 impl BenchReport {
@@ -155,6 +191,20 @@ impl BenchReport {
                 return Err(format!("inconsistent speedup for `{}`", cmp.name));
             }
         }
+        for row in &self.fleet_rows {
+            let finite_latencies = [row.p99_plan_latency_ms, row.p99_queue_delay_ms, row.warmup_ms]
+                .iter()
+                .all(|v| v.is_finite() && *v >= 0.0);
+            let plausible = row.throughput_steps_per_s.is_finite()
+                && row.throughput_steps_per_s > 0.0
+                && row.server_utilization.is_finite()
+                && (0.0..=1.0 + 1e-9).contains(&row.server_utilization)
+                && row.robots > 0
+                && row.servers > 0;
+            if !finite_latencies || !plausible {
+                return Err(format!("degenerate fleet metrics for `{}`", row.name));
+            }
+        }
         Ok(())
     }
 
@@ -172,6 +222,16 @@ impl BenchReport {
                 cmp.speedup,
                 cmp.reference_ns,
                 cmp.fast_ns
+            ));
+        }
+        for row in &self.fleet_rows {
+            out.push_str(&format!(
+                "  {:<44} {:>7.1} st/s  p99 plan {:>7.1} ms  p99 queue {:>7.1} ms  util {:>4.2}\n",
+                format!("metrics: {}", row.name),
+                row.throughput_steps_per_s,
+                row.p99_plan_latency_ms,
+                row.p99_queue_delay_ms,
+                row.server_utilization
             ));
         }
         out
@@ -291,11 +351,13 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
     pipeline_config.num_frames = 120;
 
     // Fleet serving: eight Corki-5 robots sharing one server, FIFO vs
-    // dynamic batching (the BENCH_fleet metrics).
-    let mut fleet_fifo_config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
-    fleet_fifo_config.frames_per_robot = 60;
-    let mut fleet_batch_config = fleet_fifo_config.clone();
-    fleet_batch_config.scheduler = SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 };
+    // dynamic batching, plus the heterogeneous shapes: a routed pool of two
+    // V100s and a mixed fleet with a Jetson board in every second robot
+    // (the BENCH_fleet metrics).
+    let fleet_fifo_config = fleet_case_config(FleetCase::Fifo);
+    let fleet_batch_config = fleet_case_config(FleetCase::Batch4);
+    let fleet_pool_config = fleet_case_config(FleetCase::Pool2);
+    let fleet_mixed_config = fleet_case_config(FleetCase::MixedJetsonV100);
 
     let mut cases: Vec<BenchCase<'_>> = vec![
         BenchCase {
@@ -364,10 +426,31 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
                 black_box(FleetSimulator::new(fleet_batch_config.clone()).run());
             }),
         },
+        BenchCase {
+            name: "fleet_serving/pool2_lqd_8robots_60frames",
+            routine: Box::new(|| {
+                black_box(FleetSimulator::new(fleet_pool_config.clone()).run());
+            }),
+        },
+        BenchCase {
+            name: "fleet_serving/mixed_jetson_v100_8robots_60frames",
+            routine: Box::new(|| {
+                black_box(FleetSimulator::new(fleet_mixed_config.clone()).run());
+            }),
+        },
     ];
     if let Some(prefix) = filter {
         cases.retain(|case| case.name.starts_with(prefix));
     }
+    // The deterministic fleet metric rows only matter when the report
+    // covers fleet benches at all — a `--only trajectory` run should not
+    // pay for four fleet simulations it will not record.
+    let fleet_rows =
+        if filter.is_none_or(|p| FleetCase::ALL.iter().any(|c| c.name().starts_with(p))) {
+            fleet_metric_rows()
+        } else {
+            Vec::new()
+        };
     let benches = measure_interleaved(config, &mut cases);
     drop(cases);
 
@@ -400,7 +483,88 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         mode: mode.to_owned(),
         benches,
         comparisons,
+        fleet_rows,
     }
+}
+
+/// The canonical fleet-serving cases recorded in `BENCH_fleet.json`: the
+/// PR 3 single-server shapes plus the routed pool and the mixed
+/// Jetson+V100 fleet.
+#[derive(Debug, Clone, Copy)]
+enum FleetCase {
+    Fifo,
+    Batch4,
+    Pool2,
+    MixedJetsonV100,
+}
+
+impl FleetCase {
+    const ALL: [FleetCase; 4] =
+        [FleetCase::Fifo, FleetCase::Batch4, FleetCase::Pool2, FleetCase::MixedJetsonV100];
+
+    fn name(self) -> &'static str {
+        match self {
+            FleetCase::Fifo => "fleet_serving/fifo_8robots_60frames",
+            FleetCase::Batch4 => "fleet_serving/batch4_8robots_60frames",
+            FleetCase::Pool2 => "fleet_serving/pool2_lqd_8robots_60frames",
+            FleetCase::MixedJetsonV100 => "fleet_serving/mixed_jetson_v100_8robots_60frames",
+        }
+    }
+
+    /// The composition label, reusing the sweep's canonical definition.
+    fn composition(self) -> FleetComposition {
+        match self {
+            FleetCase::MixedJetsonV100 => FleetComposition::jetson_every_second(),
+            _ => FleetComposition::Homogeneous,
+        }
+    }
+}
+
+/// Builds the configuration of one canonical fleet case (shared by the
+/// timing benches and the metric rows so both measure the same fleet).
+fn fleet_case_config(case: FleetCase) -> FleetConfig {
+    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
+    config.frames_per_robot = 60;
+    config.warmup_ms = 250.0;
+    match case {
+        FleetCase::Fifo => {}
+        FleetCase::Batch4 => {
+            config.set_scheduler(SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 });
+        }
+        FleetCase::Pool2 => {
+            config = config.with_pool(2);
+            config.routing = RoutingPolicy::LeastQueueDepth;
+        }
+        FleetCase::MixedJetsonV100 => {}
+    }
+    case.composition().apply(&mut config);
+    config
+}
+
+/// Runs the canonical fleet cases once and extracts their deterministic
+/// serving metrics (simulation outputs: byte-stable across machines, unlike
+/// the timing medians).
+fn fleet_metric_rows() -> Vec<FleetServingRow> {
+    FleetCase::ALL
+        .iter()
+        .map(|&case| {
+            let config = fleet_case_config(case);
+            let summary = FleetSimulator::new(config).run().summary;
+            FleetServingRow {
+                name: case.name().to_owned(),
+                robots: summary.robots,
+                servers: summary.servers,
+                scheduler: summary.scheduler.clone(),
+                routing: summary.routing.clone(),
+                composition: case.composition().label(),
+                warmup_ms: summary.warmup_ms,
+                throughput_steps_per_s: summary.throughput_steps_per_s,
+                p99_plan_latency_ms: summary.p99_plan_latency_ms,
+                p99_queue_delay_ms: summary.p99_queue_delay_ms,
+                server_utilization: summary.server_utilization,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -415,8 +579,9 @@ mod tests {
         let parsed = BenchReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
         assert_eq!(report.comparisons.len(), 3);
-        assert!(report.benches.len() >= 9);
+        assert!(report.benches.len() >= 11);
         assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
+        assert_eq!(report.fleet_rows.len(), 4);
         assert!(!report.to_table().is_empty());
     }
 
@@ -424,9 +589,35 @@ mod tests {
     fn filtered_suite_keeps_only_the_prefix_and_drops_broken_comparisons() {
         let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("fleet_serving"));
         report.validate().expect("filtered report must validate");
-        assert_eq!(report.benches.len(), 2);
+        assert_eq!(report.benches.len(), 4);
         assert!(report.benches.iter().all(|b| b.name.starts_with("fleet_serving/")));
         assert!(report.comparisons.is_empty());
+        // The deterministic metric rows ride along in every mode.
+        assert_eq!(report.fleet_rows.len(), 4);
+    }
+
+    #[test]
+    fn non_fleet_filters_skip_the_fleet_metric_rows() {
+        let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("trajectory_fit"));
+        report.validate().expect("filtered report must validate");
+        assert!(report.benches.iter().all(|b| b.name.starts_with("trajectory_fit")));
+        assert!(report.fleet_rows.is_empty(), "no fleet benches -> no fleet metric rows");
+    }
+
+    #[test]
+    fn fleet_metric_rows_are_deterministic_and_heterogeneous() {
+        let a = fleet_metric_rows();
+        let b = fleet_metric_rows();
+        assert_eq!(a, b, "fleet metrics are simulation outputs and must be byte-stable");
+        let mixed = a
+            .iter()
+            .find(|r| r.name.contains("mixed_jetson_v100"))
+            .expect("mixed Jetson+V100 row present");
+        assert!(mixed.composition.contains("Jetson"));
+        assert!(mixed.warmup_ms > 0.0, "mixed row must report warm-up-trimmed percentiles");
+        let pool = a.iter().find(|r| r.name.contains("pool2")).expect("pool row present");
+        assert_eq!(pool.servers, 2);
+        assert_eq!(pool.routing, "least-queue-depth");
     }
 
     #[test]
@@ -435,6 +626,9 @@ mod tests {
         report.comparisons[0].speedup *= 2.0;
         assert!(report.validate().is_err());
         report.comparisons.clear();
+        let mut broken_fleet = report.clone();
+        broken_fleet.fleet_rows[0].throughput_steps_per_s = f64::NAN;
+        assert!(broken_fleet.validate().is_err());
         report.benches.clear();
         assert!(report.validate().is_err());
         assert!(BenchReport::from_json("{}").is_err());

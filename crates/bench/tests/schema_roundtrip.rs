@@ -44,7 +44,7 @@ fn bench_fleet_round_trips_through_the_schema() {
 fn fleet_outcome_json_round_trips() {
     let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 4, 7);
     config.frames_per_robot = 40;
-    config.scheduler = SchedulerKind::DynamicBatch { max_batch: 2, timeout_ms: 10.0 };
+    config.set_scheduler(SchedulerKind::DynamicBatch { max_batch: 2, timeout_ms: 10.0 });
     config.record_event_log = true;
     let outcome = FleetSimulator::new(config).run();
     let json = serde_json::to_string_pretty(&outcome).expect("outcome serialises");

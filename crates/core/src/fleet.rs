@@ -1,19 +1,33 @@
 //! Fleet-serving experiments: how many robots can one inference server
-//! sustain, and how do trajectory length and batch scheduling move that
-//! number?
+//! (or a routed pool of servers) sustain, and how do trajectory length,
+//! batch scheduling and device composition move that number?
 //!
 //! This is the experiment layer on top of the discrete-event fleet runtime
 //! in `corki_system::fleet`.  A sweep runs robots-per-server × variant ×
-//! scheduler cells and reports, per cell, fleet throughput, end-to-end plan
-//! latency (mean/p99), server queueing delay (mean/p99) and server
-//! utilisation.  [`robots_within_budget`] then condenses the sweep into the
-//! paper's serving claim: because one Corki inference buys a multi-step
-//! trajectory, longer trajectories lower the per-robot request rate and
-//! raise the number of robots a server sustains within a latency budget.
+//! scheduler × pool-size × device-composition cells and reports, per cell,
+//! fleet throughput, end-to-end plan latency (mean/p99), server queueing
+//! delay (mean/p99) and pool utilisation.  [`robots_within_budget`] then
+//! condenses the sweep into the paper's serving claim: because one Corki
+//! inference buys a multi-step trajectory, longer trajectories lower the
+//! per-robot request rate and raise the number of robots a server sustains
+//! within a latency budget.
+//!
+//! Two additions beyond PR 3:
+//!
+//! * **heterogeneous axes** — [`FleetExperiment::server_counts`] sweeps the
+//!   pool size under a [`RoutingPolicy`], and [`FleetComposition`] mixes
+//!   on-robot devices (Jetson-class boards that bypass the uplink) into an
+//!   otherwise offloaded fleet;
+//! * **steady-state metrics** — sweeps enable the engine's warm-up window
+//!   ([`FleetScale::warmup_ms`]), so the reported p99s measure the
+//!   stationary regime of the closed queueing loop instead of its start-up
+//!   transient.
 
 use corki_sim::evaluation::{parallel_map, run_job, session_seed, EvalConfig};
-use corki_system::fleet::{fleet_robot_seed, FleetConfig, FleetSimulator};
-use corki_system::{SchedulerKind, Variant};
+use corki_system::fleet::{
+    fleet_robot_seed, FleetConfig, FleetSimulator, RobotCompute, SchedulerKind,
+};
+use corki_system::{InferenceModel, RoutingPolicy, Variant};
 use serde::{Deserialize, Serialize};
 
 use crate::variants::VariantSetup;
@@ -21,12 +35,15 @@ use crate::variants::VariantSetup;
 /// Scale of a fleet sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetScale {
-    /// Fleet sizes to sweep (robots per server).
+    /// Fleet sizes to sweep (robots per cell).
     pub robot_counts: Vec<usize>,
     /// Camera frames each robot executes per cell.
     pub frames_per_robot: usize,
     /// Base seed; robots derive their jitter seeds from it.
     pub seed: u64,
+    /// Warm-up window excluded from each cell's plan/queue latency
+    /// statistics (ms), so short sweep runs report steady-state p99s.
+    pub warmup_ms: f64,
 }
 
 impl Default for FleetScale {
@@ -35,6 +52,7 @@ impl Default for FleetScale {
             robot_counts: vec![1, 2, 3, 4, 6, 8, 12, 16],
             frames_per_robot: 240,
             seed: 2024,
+            warmup_ms: 2000.0,
         }
     }
 }
@@ -42,20 +60,79 @@ impl Default for FleetScale {
 impl FleetScale {
     /// A minimal configuration for CI and integration tests.
     pub fn smoke() -> Self {
-        FleetScale { robot_counts: vec![1, 8], frames_per_robot: 60, seed: 2024 }
+        FleetScale { robot_counts: vec![1, 8], frames_per_robot: 60, seed: 2024, warmup_ms: 250.0 }
     }
 }
 
-/// A full fleet experiment: scale × variants × schedulers plus the latency
-/// budget used for the robots-per-server summary.
+/// Device composition of one swept fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FleetComposition {
+    /// Every robot offloads inference to the server pool (the PR 3 shape).
+    Homogeneous,
+    /// Every `period`-th robot (indices where `index % period == period-1`)
+    /// carries its own on-robot inference device and bypasses the uplink
+    /// and the pool; the rest offload.
+    MixedOnRobot {
+        /// Device/precision model of the on-robot boards.
+        on_robot: InferenceModel,
+        /// One robot in `period` runs on-robot (clamped to at least 2).
+        period: usize,
+    },
+}
+
+impl FleetComposition {
+    /// The paper-flavoured mixed fleet: every second robot is a Jetson Orin
+    /// 32GB board running fp16 on-robot, the rest offload to the pool.
+    pub fn jetson_every_second() -> Self {
+        FleetComposition::MixedOnRobot {
+            on_robot: InferenceModel::new(
+                corki_system::InferenceDevice::JetsonOrin32Gb,
+                corki_system::DataRepresentation::Float16,
+            ),
+            period: 2,
+        }
+    }
+
+    /// A stable label used in result tables.
+    pub fn label(&self) -> String {
+        match self {
+            FleetComposition::Homogeneous => "offloaded".to_owned(),
+            FleetComposition::MixedOnRobot { on_robot, period } => {
+                format!("mix({} 1/{})", on_robot.device, period.max(&2))
+            }
+        }
+    }
+
+    /// Applies the composition to a fleet configuration.
+    pub fn apply(&self, config: &mut FleetConfig) {
+        if let FleetComposition::MixedOnRobot { on_robot, period } = self {
+            let period = (*period).max(2);
+            for (index, robot) in config.robots.iter_mut().enumerate() {
+                if index % period == period - 1 {
+                    robot.compute = RobotCompute::OnRobot(*on_robot);
+                }
+            }
+        }
+    }
+}
+
+/// A full fleet experiment: scale × variants × schedulers × pool sizes ×
+/// compositions plus the latency budget used for the robots-per-server
+/// summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetExperiment {
     /// Sweep scale.
     pub scale: FleetScale,
-    /// Variants to sweep (homogeneous fleet per cell).
+    /// Variants to sweep (one fleet-wide variant per cell).
     pub variants: Vec<Variant>,
-    /// Schedulers to sweep.
+    /// Schedulers to sweep (applied to every server of the pool).
     pub schedulers: Vec<SchedulerKind>,
+    /// Pool sizes to sweep (replicas of the default V100 server).
+    pub server_counts: Vec<usize>,
+    /// How offloaded requests are spread over multi-server pools.
+    pub routing: RoutingPolicy,
+    /// Device compositions to sweep.
+    pub compositions: Vec<FleetComposition>,
     /// Executed-length distribution for Corki-ADAP fleets; `None` uses the
     /// pipeline defaults, `Some` typically carries lengths measured by
     /// [`measured_adaptive_lengths`].
@@ -66,7 +143,8 @@ pub struct FleetExperiment {
 
 impl FleetExperiment {
     /// The default sweep: four variants spanning the trajectory-length axis
-    /// and both serving disciplines.
+    /// and both serving disciplines, on the PR 3 single-server homogeneous
+    /// pool.
     pub fn paper_defaults(scale: FleetScale) -> Self {
         FleetExperiment {
             scale,
@@ -80,34 +158,56 @@ impl FleetExperiment {
                 SchedulerKind::Fifo,
                 SchedulerKind::DynamicBatch { max_batch: 8, timeout_ms: 15.0 },
             ],
+            server_counts: vec![1],
+            routing: RoutingPolicy::RoundRobin,
+            compositions: vec![FleetComposition::Homogeneous],
             adaptive_lengths: None,
             latency_budget_ms: 400.0,
         }
+    }
+
+    /// [`paper_defaults`](FleetExperiment::paper_defaults) widened by the
+    /// heterogeneous axes: single server vs a pool of two behind
+    /// least-queue-depth routing, and an all-offloaded fleet vs one with a
+    /// Jetson board in every second robot.
+    pub fn heterogeneous(scale: FleetScale) -> Self {
+        let mut experiment = FleetExperiment::paper_defaults(scale);
+        experiment.server_counts = vec![1, 2];
+        experiment.routing = RoutingPolicy::LeastQueueDepth;
+        experiment.compositions =
+            vec![FleetComposition::Homogeneous, FleetComposition::jetson_every_second()];
+        experiment
     }
 }
 
 /// One cell of the fleet sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetSweepRow {
-    /// Robots sharing the server.
+    /// Robots in the fleet.
     pub robots: usize,
+    /// Inference servers in the pool.
+    pub servers: usize,
     /// Variant name.
     pub variant: String,
     /// Scheduler name.
     pub scheduler: String,
+    /// Routing policy name.
+    pub routing: String,
+    /// Device composition label.
+    pub composition: String,
     /// Executed control steps per second across the fleet.
     pub throughput_steps_per_s: f64,
     /// Effective per-robot step rate (Hz).
     pub per_robot_rate_hz: f64,
     /// Mean end-to-end plan latency: capture → trajectory received (ms).
     pub mean_plan_latency_ms: f64,
-    /// 99th-percentile end-to-end plan latency (ms).
+    /// 99th-percentile end-to-end plan latency (ms, warm-up-trimmed).
     pub p99_plan_latency_ms: f64,
     /// Mean server queueing delay (ms).
     pub mean_queue_delay_ms: f64,
-    /// 99th-percentile server queueing delay (ms).
+    /// 99th-percentile server queueing delay (ms, warm-up-trimmed).
     pub p99_queue_delay_ms: f64,
-    /// Fraction of the run the inference server was busy.
+    /// Fraction of the pool's capacity spent busy.
     pub server_utilization: f64,
     /// Mean formed batch size.
     pub mean_batch_size: f64,
@@ -117,32 +217,39 @@ pub struct FleetSweepRow {
 ///
 /// Results are **byte-identical for every job count** — each cell is an
 /// independent deterministic simulation and rows are assembled in sweep
-/// order (scheduler-major, then variant, then fleet size).
+/// order (pool-size-major, then composition, then scheduler, then variant,
+/// then fleet size).
 pub fn fleet_sweep(experiment: &FleetExperiment) -> Vec<FleetSweepRow> {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     fleet_sweep_with_jobs(experiment, cores)
 }
 
+/// One sweep cell: pool size, composition, scheduler, variant, fleet size.
+type SweepCell = (usize, FleetComposition, SchedulerKind, Variant, usize);
+
 /// [`fleet_sweep`] with an explicit worker count (`1` runs sequentially).
 pub fn fleet_sweep_with_jobs(experiment: &FleetExperiment, jobs: usize) -> Vec<FleetSweepRow> {
-    let cells: Vec<(SchedulerKind, Variant, usize)> = experiment
-        .schedulers
-        .iter()
-        .flat_map(|scheduler| {
-            experiment.variants.iter().flat_map(move |variant| {
-                experiment
-                    .scale
-                    .robot_counts
-                    .iter()
-                    .map(move |&robots| (*scheduler, variant.clone(), robots))
-            })
-        })
-        .collect();
-    let run_cell = |(scheduler, variant, robots): &(SchedulerKind, Variant, usize)| {
+    let mut cells: Vec<SweepCell> = Vec::new();
+    for &servers in &experiment.server_counts {
+        for composition in &experiment.compositions {
+            for scheduler in &experiment.schedulers {
+                for variant in &experiment.variants {
+                    for &robots in &experiment.scale.robot_counts {
+                        cells.push((servers, *composition, *scheduler, variant.clone(), robots));
+                    }
+                }
+            }
+        }
+    }
+    let run_cell = |(servers, composition, scheduler, variant, robots): &SweepCell| {
         let mut config =
-            FleetConfig::paper_defaults(variant.clone(), *robots, experiment.scale.seed);
+            FleetConfig::paper_defaults(variant.clone(), *robots, experiment.scale.seed)
+                .with_pool(*servers);
         config.frames_per_robot = experiment.scale.frames_per_robot;
-        config.scheduler = *scheduler;
+        config.set_scheduler(*scheduler);
+        config.routing = experiment.routing;
+        config.warmup_ms = experiment.scale.warmup_ms;
+        composition.apply(&mut config);
         if let Some(lengths) = &experiment.adaptive_lengths {
             if !lengths.is_empty() {
                 config.adaptive_lengths = lengths.clone();
@@ -151,8 +258,11 @@ pub fn fleet_sweep_with_jobs(experiment: &FleetExperiment, jobs: usize) -> Vec<F
         let summary = FleetSimulator::new(config).run().summary;
         FleetSweepRow {
             robots: *robots,
+            servers: *servers,
             variant: variant.name(),
             scheduler: summary.scheduler.clone(),
+            routing: summary.routing.clone(),
+            composition: composition.label(),
             throughput_steps_per_s: summary.throughput_steps_per_s,
             per_robot_rate_hz: summary.throughput_steps_per_s / *robots as f64,
             mean_plan_latency_ms: summary.mean_plan_latency_ms,
@@ -166,14 +276,19 @@ pub fn fleet_sweep_with_jobs(experiment: &FleetExperiment, jobs: usize) -> Vec<F
     parallel_map(&cells, |_, cell| run_cell(cell), jobs)
 }
 
-/// Robots-per-server at a latency budget: for one variant × scheduler, the
-/// largest swept fleet whose p99 end-to-end plan latency stays within budget.
+/// Robots-per-pool at a latency budget: for one variant × scheduler × pool
+/// shape, the largest swept fleet whose p99 end-to-end plan latency stays
+/// within budget.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BudgetRow {
     /// Variant name.
     pub variant: String,
     /// Scheduler name.
     pub scheduler: String,
+    /// Inference servers in the pool.
+    pub servers: usize,
+    /// Device composition label.
+    pub composition: String,
     /// p99 plan-latency budget applied (ms).
     pub budget_ms: f64,
     /// Largest swept fleet size within budget (0 when even one robot
@@ -182,12 +297,17 @@ pub struct BudgetRow {
 }
 
 /// Condenses sweep rows into the robots-per-server-at-budget table, in the
-/// rows' variant × scheduler order.
+/// rows' variant × scheduler × pool-shape order.
 pub fn robots_within_budget(rows: &[FleetSweepRow], budget_ms: f64) -> Vec<BudgetRow> {
     let mut out: Vec<BudgetRow> = Vec::new();
     for row in rows {
         let within = row.p99_plan_latency_ms <= budget_ms;
-        match out.iter_mut().find(|b| b.variant == row.variant && b.scheduler == row.scheduler) {
+        match out.iter_mut().find(|b| {
+            b.variant == row.variant
+                && b.scheduler == row.scheduler
+                && b.servers == row.servers
+                && b.composition == row.composition
+        }) {
             Some(budget_row) => {
                 if within && row.robots > budget_row.max_robots {
                     budget_row.max_robots = row.robots;
@@ -196,6 +316,8 @@ pub fn robots_within_budget(rows: &[FleetSweepRow], budget_ms: f64) -> Vec<Budge
             None => out.push(BudgetRow {
                 variant: row.variant.clone(),
                 scheduler: row.scheduler.clone(),
+                servers: row.servers,
+                composition: row.composition.clone(),
                 budget_ms,
                 max_robots: if within { row.robots } else { 0 },
             }),
@@ -252,15 +374,19 @@ mod tests {
         let rows = fleet_sweep_with_jobs(&experiment, 1);
         assert_eq!(
             rows.len(),
-            experiment.schedulers.len()
+            experiment.server_counts.len()
+                * experiment.compositions.len()
+                * experiment.schedulers.len()
                 * experiment.variants.len()
                 * experiment.scale.robot_counts.len()
         );
         assert_eq!(rows[0].variant, "RoboFlamingo");
         assert_eq!(rows[0].robots, 1);
+        assert_eq!(rows[0].servers, 1);
+        assert_eq!(rows[0].composition, "offloaded");
         for row in &rows {
             assert!(row.throughput_steps_per_s > 0.0);
-            assert!(row.p99_plan_latency_ms >= row.mean_queue_delay_ms);
+            assert!(row.p99_plan_latency_ms.is_finite() && row.p99_plan_latency_ms >= 0.0);
             assert!(row.server_utilization > 0.0 && row.server_utilization <= 1.0 + 1e-9);
         }
     }
@@ -280,13 +406,67 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_axes_add_pool_and_mixed_rows() {
+        let experiment = FleetExperiment::heterogeneous(FleetScale::smoke());
+        let rows = fleet_sweep_with_jobs(&experiment, 1);
+        assert!(rows.iter().any(|r| r.servers == 2));
+        assert!(rows.iter().any(|r| r.composition.starts_with("mix(")));
+        assert!(rows.iter().all(|r| r.routing == "least-queue-depth"));
+        // A second server must not hurt a saturated single-variant fleet.
+        let single = rows
+            .iter()
+            .find(|r| {
+                r.servers == 1
+                    && r.robots == 8
+                    && r.variant == "Corki-3"
+                    && r.composition == "offloaded"
+                    && r.scheduler == "fifo"
+            })
+            .expect("single-server cell swept");
+        let pooled = rows
+            .iter()
+            .find(|r| {
+                r.servers == 2
+                    && r.robots == 8
+                    && r.variant == "Corki-3"
+                    && r.composition == "offloaded"
+                    && r.scheduler == "fifo"
+            })
+            .expect("two-server cell swept");
+        assert!(pooled.throughput_steps_per_s >= single.throughput_steps_per_s * 0.999);
+        assert!(pooled.mean_queue_delay_ms <= single.mean_queue_delay_ms);
+        // Budget table keys on the pool shape, so both shapes appear.
+        let budget = robots_within_budget(&rows, experiment.latency_budget_ms);
+        assert!(budget.iter().any(|b| b.servers == 2));
+        assert!(budget.iter().any(|b| b.composition.starts_with("mix(")));
+    }
+
+    #[test]
+    fn mixed_composition_marks_every_second_robot_on_robot() {
+        let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 6, 1);
+        FleetComposition::jetson_every_second().apply(&mut config);
+        let on_robot: Vec<usize> = config
+            .robots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.compute, RobotCompute::OnRobot(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(on_robot, vec![1, 3, 5]);
+        assert!(FleetComposition::jetson_every_second().label().contains("Jetson"));
+        assert_eq!(FleetComposition::Homogeneous.label(), "offloaded");
+    }
+
+    #[test]
     fn longer_trajectories_raise_robots_per_server_at_fixed_budget() {
         // Long enough that p99 measures the steady state, not the start-up
-        // transient of the closed queueing loop.
+        // transient of the closed queueing loop (the sweep additionally
+        // trims the warm-up window).
         let mut experiment = FleetExperiment::paper_defaults(FleetScale {
             robot_counts: vec![1, 2, 3, 4, 6, 8],
             frames_per_robot: 240,
             seed: 2024,
+            warmup_ms: 2000.0,
         });
         experiment.variants =
             vec![Variant::RoboFlamingo, Variant::CorkiFixed(3), Variant::CorkiFixed(9)];

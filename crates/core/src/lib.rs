@@ -31,7 +31,9 @@ pub mod experiments;
 pub mod fleet;
 mod variants;
 
-pub use corki_system::{SchedulerKind, Variant};
+pub use corki_system::{
+    DataRepresentation, InferenceDevice, InferenceModel, RoutingPolicy, SchedulerKind, Variant,
+};
 pub use variants::VariantSetup;
 
 // Re-export the sub-crates so downstream users need a single dependency.

@@ -1,7 +1,15 @@
 //! Device latency and energy models: LLM inference hardware, data
 //! representations and the robot↔server communication link.
+//!
+//! [`InferenceDevice`] and [`DataRepresentation`] carry canonical
+//! [`fmt::Display`]/[`FromStr`] implementations (mirroring
+//! [`crate::Variant`]): the display names are the paper's table headers,
+//! parsing is case-insensitive and separator-tolerant, and both round-trip —
+//! so CLI flags and bench labels cannot drift from the enum definitions.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 
 /// The per-frame latency of the baseline RoboFlamingo pipeline measured by
 /// the paper (Fig. 2a), in milliseconds.
@@ -57,7 +65,8 @@ impl InferenceDevice {
         }
     }
 
-    /// Human-readable name matching the paper's table headers.
+    /// Human-readable name matching the paper's table headers (same as
+    /// [`fmt::Display`]).
     pub fn name(self) -> &'static str {
         match self {
             InferenceDevice::V100 => "V100",
@@ -66,6 +75,55 @@ impl InferenceDevice {
             InferenceDevice::Xeon8260 => "Xeon 8260",
         }
     }
+}
+
+impl fmt::Display for InferenceDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error produced when parsing an unknown inference device name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInferenceDeviceError(String);
+
+impl fmt::Display for ParseInferenceDeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown inference device `{}` (expected V100, H100, Jetson Orin 32GB or Xeon 8260)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseInferenceDeviceError {}
+
+impl FromStr for InferenceDevice {
+    type Err = ParseInferenceDeviceError;
+
+    /// Parses the paper's table names case-insensitively; separators (`-`,
+    /// `_`, spaces) are ignored and the short aliases `jetson` and `xeon`
+    /// are accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize(s).as_str() {
+            "v100" => Ok(InferenceDevice::V100),
+            "h100" => Ok(InferenceDevice::H100),
+            "jetsonorin32gb" | "jetson" | "orin" => Ok(InferenceDevice::JetsonOrin32Gb),
+            "xeon8260" | "xeon" => Ok(InferenceDevice::Xeon8260),
+            _ => Err(ParseInferenceDeviceError(s.to_owned())),
+        }
+    }
+}
+
+/// Lower-cases and strips the separators tolerated by this crate's name
+/// parsers (devices, representations and routing policies).
+pub(crate) fn normalize(s: &str) -> String {
+    s.trim()
+        .chars()
+        .filter(|c| !matches!(c, '-' | '_' | ' '))
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
 }
 
 /// The numeric precision of the deployed model (Table 4).
@@ -93,12 +151,50 @@ impl DataRepresentation {
         }
     }
 
-    /// Name used in the result tables.
+    /// Name used in the result tables (same as [`fmt::Display`]).
     pub fn name(self) -> &'static str {
         match self {
             DataRepresentation::Float32 => "32-bit Float",
             DataRepresentation::Float16 => "16-bit Float",
             DataRepresentation::Int8 => "8-bit Int",
+        }
+    }
+}
+
+impl fmt::Display for DataRepresentation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error produced when parsing an unknown data representation name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDataRepresentationError(String);
+
+impl fmt::Display for ParseDataRepresentationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown data representation `{}` (expected 32-bit Float, 16-bit Float or 8-bit Int)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseDataRepresentationError {}
+
+impl FromStr for DataRepresentation {
+    type Err = ParseDataRepresentationError;
+
+    /// Parses the paper's table names case-insensitively; separators are
+    /// ignored and the usual numeric aliases (`fp32`, `float32`, `f32`,
+    /// `fp16`, `float16`, `f16`, `int8`, `i8`) are accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match normalize(s).as_str() {
+            "32bitfloat" | "fp32" | "float32" | "f32" => Ok(DataRepresentation::Float32),
+            "16bitfloat" | "fp16" | "float16" | "f16" => Ok(DataRepresentation::Float16),
+            "8bitint" | "int8" | "i8" => Ok(DataRepresentation::Int8),
+            _ => Err(ParseDataRepresentationError(s.to_owned())),
         }
     }
 }
@@ -226,6 +322,44 @@ mod tests {
         let fp32 = InferenceModel::new(InferenceDevice::V100, DataRepresentation::Float32);
         let int8 = InferenceModel::new(InferenceDevice::V100, DataRepresentation::Int8);
         assert!((int8.action_latency_ms() / fp32.action_latency_ms() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_names_round_trip_through_parsing() {
+        for device in InferenceDevice::ALL {
+            let parsed: InferenceDevice = device.name().parse().expect("table name parses");
+            assert_eq!(parsed, device);
+            assert_eq!(device.to_string(), device.name());
+            // Case-insensitive.
+            let parsed: InferenceDevice =
+                device.name().to_ascii_uppercase().parse().expect("upper-case parses");
+            assert_eq!(parsed, device);
+        }
+        assert_eq!("jetson".parse::<InferenceDevice>().unwrap(), InferenceDevice::JetsonOrin32Gb);
+        assert_eq!(
+            "jetson-orin-32gb".parse::<InferenceDevice>().unwrap(),
+            InferenceDevice::JetsonOrin32Gb
+        );
+        assert_eq!(" xeon ".parse::<InferenceDevice>().unwrap(), InferenceDevice::Xeon8260);
+        let err = "TPUv4".parse::<InferenceDevice>().unwrap_err();
+        assert!(err.to_string().contains("TPUv4"));
+    }
+
+    #[test]
+    fn representation_names_round_trip_through_parsing() {
+        for representation in DataRepresentation::ALL {
+            let parsed: DataRepresentation =
+                representation.name().parse().expect("table name parses");
+            assert_eq!(parsed, representation);
+            assert_eq!(representation.to_string(), representation.name());
+            let parsed: DataRepresentation =
+                representation.name().to_ascii_lowercase().parse().expect("lower-case parses");
+            assert_eq!(parsed, representation);
+        }
+        assert_eq!("fp16".parse::<DataRepresentation>().unwrap(), DataRepresentation::Float16);
+        assert_eq!("INT8".parse::<DataRepresentation>().unwrap(), DataRepresentation::Int8);
+        assert_eq!("f32".parse::<DataRepresentation>().unwrap(), DataRepresentation::Float32);
+        assert!("4-bit Int".parse::<DataRepresentation>().is_err());
     }
 
     #[test]

@@ -1,32 +1,46 @@
 //! The event-driven multi-robot fleet-serving runtime.
 //!
-//! N independent robot sessions share one LLM inference server, one
+//! N independent robot sessions share a *pool* of LLM inference servers, one
 //! communication link and (optionally) one control accelerator; everything is
 //! driven by the deterministic event queue of [`crate::des`].  Each session
 //! cycles through the Corki serving loop:
 //!
 //! 1. **capture** — the robot finishes its current plan and captures a frame;
-//!    the (un-hidden part of the) upload contends for the shared link;
-//! 2. **queue** — the request joins the server's [`BatchScheduler`], which
-//!    decides when to release which requests as one inference batch;
-//! 3. **inference** — the server runs the batch (service time grows mildly
-//!    with batch size) and returns a plan per robot;
+//!    robots that offload inference contend for the shared link, robots that
+//!    carry their own inference device ([`RobotCompute::OnRobot`], e.g. a
+//!    Jetson-class board) bypass the uplink entirely;
+//! 2. **route + queue** — an offloaded request is placed on one server of the
+//!    [`ServerConfig`] pool by the configured
+//!    [`RoutingPolicy`], then joins that
+//!    server's [`BatchScheduler`], which decides when to release which
+//!    requests as one inference batch;
+//! 3. **inference** — the chosen server runs the batch on *its own* device
+//!    model (service time grows mildly with batch size) and returns a plan
+//!    per robot; on-robot sessions run the inference locally instead;
 //! 4. **execute** — the robot executes its trajectory step by step on its
 //!    control back-end ([`ControlBackend::PerRobot`] or a shared,
 //!    arbitrated accelerator), paced by [`FleetConfig::execution_step_ms`].
 //!
 //! The single-robot [`crate::PipelineSimulator`] is the N=1 special case of
-//! this engine (uncontended link, FIFO scheduler, per-robot back-end, no
+//! this engine (uncontended link, one FIFO server, per-robot back-end, no
 //! execution pacing) and reproduces the legacy per-frame traces exactly —
-//! see `tests/des_regression.rs`.  With N>1 the engine turns the paper's
-//! per-robot claim (one inference buys a multi-step trajectory) into a
-//! serving claim: longer trajectories lower the per-robot request rate,
-//! which raises the number of robots one server sustains within a latency
-//! budget.
+//! see `tests/des_regression.rs`.  The homogeneous single-server fleet of
+//! PR 3 is likewise pinned float-for-float by `tests/fleet_golden.rs`.
+//! With N>1 the engine turns the paper's per-robot claim (one inference buys
+//! a multi-step trajectory) into a serving claim: longer trajectories lower
+//! the per-robot request rate, which raises the number of robots one server
+//! sustains within a latency budget — and heterogeneous pools show how many
+//! datacenter GPUs a mixed Jetson/V100 deployment actually needs.
+//!
+//! Steady-state metrics: aggregate latency percentiles optionally exclude a
+//! [`FleetConfig::warmup_ms`] start-up window, because the closed queueing
+//! loop needs a few cycles to reach its stationary regime and short runs
+//! otherwise fold the transient into p99.
 
 use crate::des::{EventQueue, Scheduled};
 use crate::devices::{baseline_control_ms, CommunicationModel, InferenceModel};
 use crate::pipeline::{mean, percentile, FrameKind, FrameTrace, PipelineConfig, StepsTakenModel};
+use crate::routing::{Router, RoutingPolicy, ServerSnapshot};
 use crate::variant::Variant;
 use corki_accel::{AcceleratorModel, Arbiter, CpuControlModel};
 use rand::rngs::StdRng;
@@ -34,7 +48,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// How requests waiting at the inference server are released as batches.
+/// How requests waiting at one inference server are released as batches.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SchedulerKind {
     /// Serve one request at a time, in arrival order.
@@ -78,14 +92,15 @@ impl SchedulerKind {
     }
 }
 
-/// One inference request waiting at (or being served by) the server.
+/// One inference request waiting at (or being served by) a server.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PendingRequest {
     /// Index of the requesting robot.
     pub robot: usize,
     /// When the request reached the server (upload complete), ms.
     pub arrival_ms: f64,
-    /// Unbatched service time of this request, ms.
+    /// Unbatched service time of this request *on the server it was routed
+    /// to*, ms.
     pub service_ms: f64,
     /// Control steps the returned trajectory will execute.
     pub planned_steps: usize,
@@ -225,6 +240,18 @@ pub enum ControlBackend {
     SharedAccelerator,
 }
 
+/// Where a robot's LLM inference runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RobotCompute {
+    /// Offload inference to the shared server pool over the uplink (the
+    /// paper's deployment and the PR 3 default).
+    Offloaded,
+    /// Run inference on the robot itself (e.g. a Jetson Orin board): no
+    /// frame upload, no queueing — but the on-board device is typically an
+    /// order of magnitude slower per inference.
+    OnRobot(InferenceModel),
+}
+
 /// One robot of the fleet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RobotConfig {
@@ -232,17 +259,55 @@ pub struct RobotConfig {
     pub variant: Variant,
     /// Seed of the robot's private jitter stream.
     pub seed: u64,
+    /// Where this robot's inference runs (offloaded to the pool or on an
+    /// on-robot device).
+    pub compute: RobotCompute,
+}
+
+/// One inference server of the pool: its own device/precision model and its
+/// own batching discipline in front of its own queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Device/precision model this server runs inference on.
+    pub inference: InferenceModel,
+    /// How this server batches queued requests.
+    pub scheduler: SchedulerKind,
+}
+
+impl ServerConfig {
+    /// Creates a server.
+    pub fn new(inference: InferenceModel, scheduler: SchedulerKind) -> Self {
+        ServerConfig { inference, scheduler }
+    }
+
+    /// Unbatched service time of one request on this server, ms.
+    pub fn service_ms(&self, wants_trajectory: bool) -> f64 {
+        if wants_trajectory {
+            self.inference.trajectory_latency_ms()
+        } else {
+            self.inference.action_latency_ms()
+        }
+    }
+
+    /// Energy of serving one request on this server, joules.
+    pub fn inference_energy_j(&self, wants_trajectory: bool) -> f64 {
+        if wants_trajectory {
+            self.inference.trajectory_energy_j()
+        } else {
+            self.inference.action_energy_j()
+        }
+    }
 }
 
 /// Configuration of a fleet-serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
-    /// The robots of the fleet (variant + seed each).
+    /// The robots of the fleet (variant + seed + compute placement each).
     pub robots: Vec<RobotConfig>,
-    /// How the shared server batches requests.
-    pub scheduler: SchedulerKind,
-    /// Inference device/precision model of the shared server.
-    pub inference: InferenceModel,
+    /// The inference server pool (device + scheduler per server).
+    pub servers: Vec<ServerConfig>,
+    /// How offloaded requests are spread over the pool.
+    pub routing: RoutingPolicy,
     /// Communication link model (shared uplink).
     pub communication: CommunicationModel,
     /// Accelerator latency model for accelerator-backed variants.
@@ -278,29 +343,37 @@ pub struct FleetConfig {
     /// real uplink occupancy: the frame streamed under robot execution
     /// still consumes shared link bandwidth, delaying other robots'
     /// uploads.  Off in the N=1 compatibility mode, where the legacy model
-    /// attributes only the unhidden fraction.
+    /// attributes only the unhidden fraction.  On-robot sessions never touch
+    /// the uplink.
     pub background_uploads: bool,
     /// Control back-end topology.
     pub control_backend: ControlBackend,
+    /// Start-up window excluded from the aggregate plan/queue/link latency
+    /// statistics (ms).  `0` (the default) keeps every sample — the PR 3
+    /// behaviour; `fleet_sweep` enables a warm-up so short runs report
+    /// steady-state percentiles instead of the closed-loop transient.
+    pub warmup_ms: f64,
     /// Record the full event log (for determinism regression tests).
     pub record_event_log: bool,
 }
 
 impl FleetConfig {
-    /// A fleet with the paper's default devices: `robots` homogeneous robots
-    /// running `variant`, seeded deterministically from `seed`.
+    /// A fleet with the paper's default devices: `robots` homogeneous
+    /// offloaded robots running `variant`, seeded deterministically from
+    /// `seed`, served by a single V100 FIFO server.
     pub fn paper_defaults(variant: Variant, robots: usize, seed: u64) -> Self {
         let base = PipelineConfig::paper_defaults(variant);
         let robots = (0..robots)
             .map(|r| RobotConfig {
                 variant: base.variant.clone(),
                 seed: fleet_robot_seed(seed, r as u64),
+                compute: RobotCompute::Offloaded,
             })
             .collect();
         FleetConfig {
             robots,
-            scheduler: SchedulerKind::Fifo,
-            inference: base.inference,
+            servers: vec![ServerConfig::new(base.inference, SchedulerKind::Fifo)],
+            routing: RoutingPolicy::RoundRobin,
             communication: base.communication,
             accelerator: base.accelerator,
             cpu: base.cpu,
@@ -315,18 +388,23 @@ impl FleetConfig {
             start_stagger_ms: 1000.0 / 30.0,
             background_uploads: true,
             control_backend: ControlBackend::PerRobot,
+            warmup_ms: 0.0,
             record_event_log: false,
         }
     }
 
     /// The N=1 compatibility configuration behind [`crate::PipelineSimulator`]:
-    /// one robot, FIFO service, per-robot control, no execution pacing — the
-    /// exact legacy latency model.
+    /// one robot, one FIFO server, per-robot control, no execution pacing —
+    /// the exact legacy latency model.
     pub fn single_robot(config: &PipelineConfig) -> Self {
         FleetConfig {
-            robots: vec![RobotConfig { variant: config.variant.clone(), seed: config.seed }],
-            scheduler: SchedulerKind::Fifo,
-            inference: config.inference,
+            robots: vec![RobotConfig {
+                variant: config.variant.clone(),
+                seed: config.seed,
+                compute: RobotCompute::Offloaded,
+            }],
+            servers: vec![ServerConfig::new(config.inference, SchedulerKind::Fifo)],
+            routing: RoutingPolicy::RoundRobin,
             communication: config.communication,
             accelerator: config.accelerator,
             cpu: config.cpu,
@@ -341,7 +419,34 @@ impl FleetConfig {
             start_stagger_ms: 0.0,
             background_uploads: false,
             control_backend: ControlBackend::PerRobot,
+            warmup_ms: 0.0,
             record_event_log: false,
+        }
+    }
+
+    /// Grows the pool to `servers` replicas of the first server (device and
+    /// scheduler included).
+    pub fn with_pool(mut self, servers: usize) -> Self {
+        let template = *self.servers.first().expect("the fleet has at least one server");
+        self.servers = vec![template; servers.max(1)];
+        self
+    }
+
+    /// Applies one batching discipline to every server of the pool.
+    pub fn set_scheduler(&mut self, scheduler: SchedulerKind) {
+        for server in &mut self.servers {
+            server.scheduler = scheduler;
+        }
+    }
+
+    /// The scheduler label reported in summaries: the shared name when every
+    /// server agrees, otherwise the `+`-joined per-server names.
+    pub fn scheduler_label(&self) -> String {
+        let names: Vec<String> = self.servers.iter().map(|s| s.scheduler.name()).collect();
+        match names.first() {
+            None => "none".to_owned(),
+            Some(first) if names.iter().all(|n| n == first) => first.clone(),
+            _ => names.join("+"),
         }
     }
 }
@@ -361,10 +466,12 @@ pub struct EventRecord {
     /// Event queue sequence number.
     pub seq: u64,
     /// Event kind (`capture`, `upload_done`, `scheduler_wake`,
-    /// `inference_done`, `step_done`).
+    /// `inference_done`, `local_inference_done`, `step_done`).
     pub kind: String,
     /// The robot concerned, if any.
     pub robot: Option<usize>,
+    /// The server concerned, if any.
+    pub server: Option<usize>,
 }
 
 /// Per-robot results of a fleet run.
@@ -392,10 +499,16 @@ pub struct RobotOutcome {
 pub struct FleetSummary {
     /// Number of robots.
     pub robots: usize,
+    /// Number of inference servers in the pool.
+    pub servers: usize,
     /// Frames executed per robot.
     pub frames_per_robot: usize,
-    /// Scheduler name.
+    /// Scheduler name (per-server names joined when they differ).
     pub scheduler: String,
+    /// Routing policy name.
+    pub routing: String,
+    /// Warm-up window excluded from plan/queue/link statistics (ms).
+    pub warmup_ms: f64,
     /// Time until the last robot finished, ms.
     pub makespan_ms: f64,
     /// Executed control steps per second across the fleet.
@@ -408,18 +521,22 @@ pub struct FleetSummary {
     pub mean_plan_latency_ms: f64,
     /// 99th-percentile end-to-end plan latency (ms).
     pub p99_plan_latency_ms: f64,
-    /// Mean time requests queued at the server (ms).
+    /// Mean time requests queued at their server (ms).
     pub mean_queue_delay_ms: f64,
     /// 99th-percentile server queueing delay (ms).
     pub p99_queue_delay_ms: f64,
     /// Mean wait for the shared uplink (ms).
     pub mean_link_wait_ms: f64,
-    /// Fraction of the makespan the inference server was busy.
+    /// Fraction of the pool's capacity (makespan × servers) spent busy.
     pub server_utilization: f64,
+    /// Busy fraction of each server of the pool over the makespan.
+    pub per_server_utilization: Vec<f64>,
     /// Fraction of the makespan the uplink was busy.
     pub link_utilization: f64,
-    /// Total inference requests served.
+    /// Total inference requests served by the pool.
     pub inferences: usize,
+    /// Inferences run on on-robot devices (bypassing the pool).
+    pub on_robot_inferences: usize,
     /// Mean formed batch size.
     pub mean_batch_size: f64,
 }
@@ -439,8 +556,9 @@ pub struct FleetOutcome {
 enum FleetEvent {
     Capture { robot: usize },
     UploadDone { robot: usize },
-    SchedulerWake,
-    InferenceDone,
+    SchedulerWake { server: usize },
+    InferenceDone { server: usize },
+    LocalInferenceDone { robot: usize },
     StepDone { robot: usize },
 }
 
@@ -454,8 +572,10 @@ struct Session {
     // Calibrated constants.
     control_ms: f64,
     control_energy_j: f64,
-    service_ms: f64,
-    inference_energy_j: f64,
+    comm_energy_j: f64,
+    /// Unbatched local service time and per-inference energy for
+    /// [`RobotCompute::OnRobot`] sessions; `None` when offloaded.
+    local: Option<(f64, f64)>,
     // Progress.
     frame_index: usize,
     inference_count: usize,
@@ -467,6 +587,7 @@ struct Session {
     upload_ms: f64,
     queue_wait_ms: f64,
     batch_service_ms: f64,
+    inference_energy_j: f64,
     ctl_wait_ms: f64,
     // Outputs.
     traces: Vec<FrameTrace>,
@@ -474,7 +595,37 @@ struct Session {
     finished_ms: f64,
 }
 
-/// Simulates a fleet of robots sharing one inference server.
+/// Per-server runtime state.
+struct ServerState {
+    config: ServerConfig,
+    scheduler: Box<dyn BatchScheduler>,
+    busy: bool,
+    batch: Vec<PendingRequest>,
+    busy_since_ms: f64,
+    busy_ms: f64,
+    next_wake_ms: Option<f64>,
+}
+
+impl ServerState {
+    fn new(config: ServerConfig) -> Self {
+        ServerState {
+            config,
+            scheduler: config.scheduler.build(),
+            busy: false,
+            batch: Vec::new(),
+            busy_since_ms: 0.0,
+            busy_ms: 0.0,
+            next_wake_ms: None,
+        }
+    }
+
+    /// Queued plus in-flight requests, as seen by the router.
+    fn depth(&self) -> usize {
+        self.scheduler.pending() + if self.busy { self.batch.len() } else { 0 }
+    }
+}
+
+/// Simulates a fleet of robots sharing an inference server pool.
 #[derive(Debug, Clone)]
 pub struct FleetSimulator {
     config: FleetConfig,
@@ -486,25 +637,28 @@ struct Engine<'a> {
     sessions: Vec<Session>,
     link: Arbiter,
     shared_accelerator: Option<Arbiter>,
-    scheduler: Box<dyn BatchScheduler>,
-    server_busy: bool,
-    server_batch: Vec<PendingRequest>,
-    server_busy_since_ms: f64,
-    server_busy_ms: f64,
-    next_wake_ms: Option<f64>,
+    servers: Vec<ServerState>,
+    router: Router,
     arrival_seq: u64,
-    comm_energy_j: f64,
-    // Aggregate metric samples.
+    // Aggregate metric samples, stamped with their completion time so the
+    // warm-up window can be trimmed at aggregation time.
     batch_sizes: Vec<usize>,
-    queue_waits_ms: Vec<f64>,
-    plan_latencies_ms: Vec<f64>,
-    link_waits_ms: Vec<f64>,
+    queue_waits_ms: Vec<(f64, f64)>,
+    plan_latencies_ms: Vec<(f64, f64)>,
+    link_waits_ms: Vec<(f64, f64)>,
+    on_robot_inferences: usize,
     log: Vec<EventRecord>,
 }
 
 impl FleetSimulator {
     /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no servers (even an all-on-robot
+    /// fleet keeps a pool definition for its labels).
     pub fn new(config: FleetConfig) -> Self {
+        assert!(!config.servers.is_empty(), "a fleet needs at least one inference server");
         FleetSimulator { config }
     }
 
@@ -525,18 +679,14 @@ impl FleetSimulator {
                 ControlBackend::PerRobot => None,
                 ControlBackend::SharedAccelerator => Some(Arbiter::new()),
             },
-            scheduler: cfg.scheduler.build(),
-            server_busy: false,
-            server_batch: Vec::new(),
-            server_busy_since_ms: 0.0,
-            server_busy_ms: 0.0,
-            next_wake_ms: None,
+            servers: cfg.servers.iter().map(|server| ServerState::new(*server)).collect(),
+            router: Router::new(cfg.routing),
             arrival_seq: 0,
-            comm_energy_j: cfg.communication.energy_per_frame_j(),
             batch_sizes: Vec::new(),
             queue_waits_ms: Vec::new(),
             plan_latencies_ms: Vec::new(),
             link_waits_ms: Vec::new(),
+            on_robot_inferences: 0,
             log: Vec::new(),
         };
         for robot in 0..cfg.robots.len() {
@@ -573,13 +723,21 @@ impl Session {
             Variant::RoboFlamingo | Variant::CorkiSoftware => cfg.cpu.power_w,
             _ => cfg.accelerator_power_w,
         };
-        let (service_ms, inference_energy_j) = if is_baseline {
-            (cfg.inference.action_latency_ms(), cfg.inference.action_energy_j())
-        } else {
-            (cfg.inference.trajectory_latency_ms(), cfg.inference.trajectory_energy_j())
-        };
         let uses_shared_accelerator =
             !matches!(variant, Variant::RoboFlamingo | Variant::CorkiSoftware);
+        // On-robot sessions never use the radio: no upload, no per-frame
+        // communication energy.
+        let (local, comm_energy_j) = match &robot.compute {
+            RobotCompute::Offloaded => (None, cfg.communication.energy_per_frame_j()),
+            RobotCompute::OnRobot(model) => {
+                let (service_ms, energy_j) = if is_baseline {
+                    (model.action_latency_ms(), model.action_energy_j())
+                } else {
+                    (model.trajectory_latency_ms(), model.trajectory_energy_j())
+                };
+                (Some((service_ms, energy_j)), 0.0)
+            }
+        };
         Session {
             steps_model,
             rng: StdRng::seed_from_u64(robot.seed),
@@ -588,8 +746,8 @@ impl Session {
             variant_name: variant.name(),
             control_ms,
             control_energy_j: control_ms / 1000.0 * control_power_w,
-            service_ms,
-            inference_energy_j,
+            comm_energy_j,
+            local,
             frame_index: 0,
             inference_count: 0,
             plan_steps: 0,
@@ -599,6 +757,7 @@ impl Session {
             upload_ms: 0.0,
             queue_wait_ms: 0.0,
             batch_service_ms: 0.0,
+            inference_energy_j: 0.0,
             ctl_wait_ms: 0.0,
             traces: Vec::with_capacity(cfg.frames_per_robot),
             plan_latency_sum_ms: 0.0,
@@ -612,18 +771,20 @@ impl Engine<'_> {
         if !self.cfg.record_event_log {
             return;
         }
-        let (kind, robot) = match scheduled.event {
-            FleetEvent::Capture { robot } => ("capture", Some(robot)),
-            FleetEvent::UploadDone { robot } => ("upload_done", Some(robot)),
-            FleetEvent::SchedulerWake => ("scheduler_wake", None),
-            FleetEvent::InferenceDone => ("inference_done", None),
-            FleetEvent::StepDone { robot } => ("step_done", Some(robot)),
+        let (kind, robot, server) = match scheduled.event {
+            FleetEvent::Capture { robot } => ("capture", Some(robot), None),
+            FleetEvent::UploadDone { robot } => ("upload_done", Some(robot), None),
+            FleetEvent::SchedulerWake { server } => ("scheduler_wake", None, Some(server)),
+            FleetEvent::InferenceDone { server } => ("inference_done", None, Some(server)),
+            FleetEvent::LocalInferenceDone { robot } => ("local_inference_done", Some(robot), None),
+            FleetEvent::StepDone { robot } => ("step_done", Some(robot), None),
         };
         self.log.push(EventRecord {
             time_ms: scheduled.time_ms,
             seq: scheduled.seq,
             kind: kind.to_owned(),
             robot,
+            server,
         });
     }
 
@@ -632,11 +793,12 @@ impl Engine<'_> {
         match scheduled.event {
             FleetEvent::Capture { robot } => self.on_capture(robot, now),
             FleetEvent::UploadDone { robot } => self.on_upload_done(robot, now),
-            FleetEvent::SchedulerWake => {
-                self.next_wake_ms = None;
-                self.try_dispatch(now);
+            FleetEvent::SchedulerWake { server } => {
+                self.servers[server].next_wake_ms = None;
+                self.try_dispatch(server, now);
             }
-            FleetEvent::InferenceDone => self.on_inference_done(now),
+            FleetEvent::InferenceDone { server } => self.on_inference_done(server, now),
+            FleetEvent::LocalInferenceDone { robot } => self.on_local_inference_done(robot, now),
             FleetEvent::StepDone { robot } => self.on_step_done(robot, now),
         }
     }
@@ -657,6 +819,14 @@ impl Engine<'_> {
         session.plan_steps = full_steps.min(frames - session.frame_index);
         session.step_in_plan = 0;
         session.capture_ms = now;
+        if let Some((local_service_ms, _)) = session.local {
+            // On-robot inference: no upload, no routing, no queueing — the
+            // robot's own device runs the plan back to back with capture.
+            session.upload_ms = 0.0;
+            session.link_wait_ms = 0.0;
+            self.queue.schedule(now + local_service_ms, FleetEvent::LocalInferenceDone { robot });
+            return;
+        }
         session.upload_ms = if session.is_baseline || full_steps == 1 {
             self.cfg.communication.per_frame_ms
         } else {
@@ -664,37 +834,58 @@ impl Engine<'_> {
         };
         let grant = self.link.acquire(now, session.upload_ms);
         session.link_wait_ms = grant.wait_ms;
-        self.link_waits_ms.push(grant.wait_ms);
+        self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
         self.queue.schedule(grant.end_ms, FleetEvent::UploadDone { robot });
     }
 
     fn on_upload_done(&mut self, robot: usize, now: f64) {
         let session = &self.sessions[robot];
+        let wants_trajectory = !session.is_baseline;
+        // Blind routing (round-robin, or any single-server pool) skips the
+        // per-server snapshots entirely — this is the engine's hot path and
+        // the shape the tracked fleet benches measure.
+        let target = match self.router.try_route_blind(self.servers.len()) {
+            Some(target) => target,
+            None => {
+                let snapshots: Vec<ServerSnapshot> = self
+                    .servers
+                    .iter()
+                    .map(|server| ServerSnapshot {
+                        queue_depth: server.depth(),
+                        service_ms: server.config.service_ms(wants_trajectory),
+                    })
+                    .collect();
+                self.router.route(&snapshots)
+            }
+        };
         let seq = self.arrival_seq;
         self.arrival_seq += 1;
-        self.scheduler.push(PendingRequest {
+        let request = PendingRequest {
             robot,
             arrival_ms: now,
-            service_ms: session.service_ms,
+            service_ms: self.servers[target].config.service_ms(wants_trajectory),
             planned_steps: session.plan_steps,
             seq,
-        });
-        self.try_dispatch(now);
+        };
+        self.servers[target].scheduler.push(request);
+        self.try_dispatch(target, now);
     }
 
-    fn try_dispatch(&mut self, now: f64) {
-        if self.server_busy {
+    fn try_dispatch(&mut self, server_index: usize, now: f64) {
+        let server = &mut self.servers[server_index];
+        if server.busy {
             return;
         }
-        let batch = self.scheduler.pop_batch(now);
+        let batch = server.scheduler.pop_batch(now);
         if batch.is_empty() {
-            if self.scheduler.pending() > 0 {
-                if let Some(release) = self.scheduler.next_release_ms() {
+            if server.scheduler.pending() > 0 {
+                if let Some(release) = server.scheduler.next_release_ms() {
                     let release = if release > now { release } else { now };
-                    let need = self.next_wake_ms.is_none_or(|wake| release < wake);
+                    let need = server.next_wake_ms.is_none_or(|wake| release < wake);
                     if need {
-                        self.queue.schedule(release, FleetEvent::SchedulerWake);
-                        self.next_wake_ms = Some(release);
+                        self.queue
+                            .schedule(release, FleetEvent::SchedulerWake { server: server_index });
+                        server.next_wake_ms = Some(release);
                     }
                 }
             }
@@ -702,32 +893,49 @@ impl Engine<'_> {
         }
         let base = batch.iter().map(|r| r.service_ms).fold(0.0_f64, f64::max);
         let service = base * (1.0 + self.cfg.batch_overhead * (batch.len() as f64 - 1.0));
+        let inference_done = now + service;
         for request in &batch {
             let wait = now - request.arrival_ms;
             let session = &mut self.sessions[request.robot];
             session.queue_wait_ms = wait;
             session.batch_service_ms = service;
-            self.queue_waits_ms.push(wait);
+            session.inference_energy_j = server.config.inference_energy_j(!session.is_baseline);
+            self.queue_waits_ms.push((now, wait));
         }
         self.batch_sizes.push(batch.len());
-        self.server_batch = batch;
-        self.server_busy = true;
-        self.server_busy_since_ms = now;
-        self.queue.schedule(now + service, FleetEvent::InferenceDone);
+        server.batch = batch;
+        server.busy = true;
+        server.busy_since_ms = now;
+        self.queue.schedule(inference_done, FleetEvent::InferenceDone { server: server_index });
     }
 
-    fn on_inference_done(&mut self, now: f64) {
-        self.server_busy_ms += now - self.server_busy_since_ms;
-        self.server_busy = false;
-        let batch = std::mem::take(&mut self.server_batch);
+    fn on_inference_done(&mut self, server_index: usize, now: f64) {
+        let server = &mut self.servers[server_index];
+        server.busy_ms += now - server.busy_since_ms;
+        server.busy = false;
+        let batch = std::mem::take(&mut server.batch);
         for request in &batch {
             let session = &mut self.sessions[request.robot];
             let plan_latency = now - session.capture_ms;
             session.plan_latency_sum_ms += plan_latency;
-            self.plan_latencies_ms.push(plan_latency);
+            self.plan_latencies_ms.push((now, plan_latency));
             self.start_step(request.robot, now);
         }
-        self.try_dispatch(now);
+        self.try_dispatch(server_index, now);
+    }
+
+    fn on_local_inference_done(&mut self, robot: usize, now: f64) {
+        let session = &mut self.sessions[robot];
+        let (local_service_ms, local_energy_j) =
+            session.local.expect("only on-robot sessions schedule local inference");
+        session.queue_wait_ms = 0.0;
+        session.batch_service_ms = local_service_ms;
+        session.inference_energy_j = local_energy_j;
+        let plan_latency = now - session.capture_ms;
+        session.plan_latency_sum_ms += plan_latency;
+        self.plan_latencies_ms.push((now, plan_latency));
+        self.on_robot_inferences += 1;
+        self.start_step(robot, now);
     }
 
     fn start_step(&mut self, robot: usize, now: f64) {
@@ -749,10 +957,10 @@ impl Engine<'_> {
     }
 
     fn on_step_done(&mut self, robot: usize, now: f64) {
-        let comm_energy_j = self.comm_energy_j;
         let frames = self.cfg.frames_per_robot;
         let jitter = self.cfg.jitter;
         let session = &mut self.sessions[robot];
+        let comm_energy_j = session.comm_energy_j;
         // Per-frame latency/energy attribution, term-for-term identical to
         // the legacy single-robot pipeline (fleet-only waits are folded in
         // as exact zeros when uncontended).
@@ -793,8 +1001,13 @@ impl Engine<'_> {
         // background while the robot executes: the hidden portion of that
         // upload still occupies the shared uplink (its energy is charged on
         // the step-1 frame above).  The robot does not block on this grant,
-        // but other robots' uploads queue behind it.
-        if self.cfg.background_uploads && session.step_in_plan == 1 && session.plan_steps > 1 {
+        // but other robots' uploads queue behind it.  On-robot sessions
+        // never touch the uplink.
+        if self.cfg.background_uploads
+            && session.local.is_none()
+            && session.step_in_plan == 1
+            && session.plan_steps > 1
+        {
             let hidden_ms = (self.cfg.communication.per_frame_ms - session.upload_ms).max(0.0);
             self.link.acquire(now, hidden_ms);
         }
@@ -809,15 +1022,23 @@ impl Engine<'_> {
 
     fn finish(self) -> FleetOutcome {
         let cfg = self.cfg;
+        let warmup = cfg.warmup_ms;
         let makespan_ms = self.sessions.iter().map(|s| s.finished_ms).fold(0.0_f64, f64::max);
         let total_frames: usize = self.sessions.iter().map(|s| s.frame_index).sum();
         let frame_latencies: Vec<f64> =
             self.sessions.iter().flat_map(|s| s.traces.iter().map(|t| t.latency_ms)).collect();
+        let plan_latencies = trim_warmup(&self.plan_latencies_ms, warmup);
+        let queue_waits = trim_warmup(&self.queue_waits_ms, warmup);
+        let link_waits = trim_warmup(&self.link_waits_ms, warmup);
         let inferences: usize = self.batch_sizes.iter().sum();
+        let pool_busy_ms: f64 = self.servers.iter().map(|s| s.busy_ms).sum();
         let summary = FleetSummary {
             robots: cfg.robots.len(),
+            servers: cfg.servers.len(),
             frames_per_robot: cfg.frames_per_robot,
-            scheduler: cfg.scheduler.name(),
+            scheduler: cfg.scheduler_label(),
+            routing: cfg.routing.name().to_owned(),
+            warmup_ms: warmup,
             makespan_ms,
             throughput_steps_per_s: if makespan_ms > 0.0 {
                 total_frames as f64 / makespan_ms * 1000.0
@@ -826,18 +1047,24 @@ impl Engine<'_> {
             },
             mean_frame_latency_ms: mean(&frame_latencies),
             p99_frame_latency_ms: percentile(&frame_latencies, 0.99),
-            mean_plan_latency_ms: mean(&self.plan_latencies_ms),
-            p99_plan_latency_ms: percentile(&self.plan_latencies_ms, 0.99),
-            mean_queue_delay_ms: mean(&self.queue_waits_ms),
-            p99_queue_delay_ms: percentile(&self.queue_waits_ms, 0.99),
-            mean_link_wait_ms: mean(&self.link_waits_ms),
+            mean_plan_latency_ms: mean(&plan_latencies),
+            p99_plan_latency_ms: percentile(&plan_latencies, 0.99),
+            mean_queue_delay_ms: mean(&queue_waits),
+            p99_queue_delay_ms: percentile(&queue_waits, 0.99),
+            mean_link_wait_ms: mean(&link_waits),
             server_utilization: if makespan_ms > 0.0 {
-                self.server_busy_ms / makespan_ms
+                pool_busy_ms / (makespan_ms * cfg.servers.len() as f64)
             } else {
                 0.0
             },
+            per_server_utilization: self
+                .servers
+                .iter()
+                .map(|s| if makespan_ms > 0.0 { s.busy_ms / makespan_ms } else { 0.0 })
+                .collect(),
             link_utilization: self.link.utilization(makespan_ms),
             inferences,
+            on_robot_inferences: self.on_robot_inferences,
             mean_batch_size: if self.batch_sizes.is_empty() {
                 0.0
             } else {
@@ -866,14 +1093,20 @@ impl Engine<'_> {
     }
 }
 
+/// Keeps the samples completed at or after the warm-up window.
+fn trim_warmup(samples: &[(f64, f64)], warmup_ms: f64) -> Vec<f64> {
+    samples.iter().filter(|(t, _)| *t >= warmup_ms).map(|(_, v)| *v).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::devices::{DataRepresentation, InferenceDevice};
 
     fn quick_fleet(variant: Variant, robots: usize, scheduler: SchedulerKind) -> FleetConfig {
         let mut cfg = FleetConfig::paper_defaults(variant, robots, 11);
         cfg.frames_per_robot = 60;
-        cfg.scheduler = scheduler;
+        cfg.set_scheduler(scheduler);
         cfg
     }
 
@@ -962,7 +1195,7 @@ mod tests {
             quick_fleet(Variant::CorkiFixed(9), 6, SchedulerKind::ShortestTrajectoryFirst);
         cfg.robots[0].variant = Variant::CorkiFixed(1);
         let stf = FleetSimulator::new(cfg.clone()).run();
-        cfg.scheduler = SchedulerKind::Fifo;
+        cfg.set_scheduler(SchedulerKind::Fifo);
         let fifo = FleetSimulator::new(cfg).run();
         let stf_short = stf.robots[0].mean_plan_latency_ms;
         let fifo_short = fifo.robots[0].mean_plan_latency_ms;
@@ -1009,5 +1242,144 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), seeds.len());
+    }
+
+    // ---- multi-server pool ------------------------------------------------
+
+    #[test]
+    fn a_second_server_relieves_a_saturated_pool() {
+        let base = quick_fleet(Variant::CorkiFixed(1), 8, SchedulerKind::Fifo);
+        let one = FleetSimulator::new(base.clone()).run().summary;
+        let two = FleetSimulator::new(base.with_pool(2)).run().summary;
+        assert_eq!(two.servers, 2);
+        assert_eq!(two.per_server_utilization.len(), 2);
+        assert!(
+            two.mean_queue_delay_ms < one.mean_queue_delay_ms,
+            "a second server must cut queueing: {:.1} vs {:.1}",
+            two.mean_queue_delay_ms,
+            one.mean_queue_delay_ms
+        );
+        assert!(two.throughput_steps_per_s >= one.throughput_steps_per_s);
+        // Pool utilisation is capacity-normalised, so it drops per server.
+        assert!(two.server_utilization < one.server_utilization);
+        // Both servers actually served work under round-robin.
+        assert!(two.per_server_utilization.iter().all(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn routing_policies_spread_load_differently_but_complete_everything() {
+        for routing in RoutingPolicy::ALL {
+            let mut cfg = quick_fleet(Variant::CorkiFixed(3), 8, SchedulerKind::Fifo).with_pool(3);
+            cfg.routing = routing;
+            let outcome = FleetSimulator::new(cfg).run();
+            assert_eq!(outcome.summary.routing, routing.name());
+            for robot in &outcome.robots {
+                assert_eq!(robot.frames, 60, "{}", routing.name());
+            }
+            let issued: usize = outcome.robots.iter().map(|r| r.inferences).sum();
+            assert_eq!(outcome.summary.inferences + outcome.summary.on_robot_inferences, issued);
+        }
+    }
+
+    #[test]
+    fn affinity_routing_keeps_work_on_the_fast_device_of_a_mixed_pool() {
+        // One V100 plus one slow Jetson-class server: affinity routing must
+        // still finish everything, and the fast server should shoulder more
+        // of the served time than the slow one.
+        let mut cfg = quick_fleet(Variant::CorkiFixed(3), 8, SchedulerKind::Fifo).with_pool(2);
+        cfg.servers[1].inference =
+            InferenceModel::new(InferenceDevice::JetsonOrin32Gb, DataRepresentation::Float32);
+        cfg.routing = RoutingPolicy::DeviceAffinity;
+        let outcome = FleetSimulator::new(cfg).run();
+        let util = &outcome.summary.per_server_utilization;
+        assert!(
+            util[0] > util[1],
+            "the V100 must shoulder more load than the Jetson-class server: {util:?}"
+        );
+        for robot in &outcome.robots {
+            assert_eq!(robot.frames, 60);
+        }
+    }
+
+    #[test]
+    fn on_robot_compute_bypasses_link_and_pool() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 4, SchedulerKind::Fifo);
+        for robot in &mut cfg.robots {
+            robot.compute = RobotCompute::OnRobot(InferenceModel::new(
+                InferenceDevice::JetsonOrin32Gb,
+                DataRepresentation::Int8,
+            ));
+        }
+        let outcome = FleetSimulator::new(cfg).run();
+        assert_eq!(outcome.summary.inferences, 0, "pool must stay idle");
+        assert!(outcome.summary.on_robot_inferences > 0);
+        assert_eq!(outcome.summary.link_utilization, 0.0, "uplink must stay idle");
+        assert_eq!(outcome.summary.server_utilization, 0.0);
+        assert_eq!(outcome.summary.mean_queue_delay_ms, 0.0);
+        for robot in &outcome.robots {
+            assert_eq!(robot.frames, 60);
+            // Jetson inference is slow: plan latency is dominated by it.
+            assert!(robot.mean_plan_latency_ms > 300.0);
+        }
+    }
+
+    #[test]
+    fn mixed_jetson_v100_fleet_offloads_only_the_offloaded_half() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 6, SchedulerKind::Fifo);
+        let jetson =
+            InferenceModel::new(InferenceDevice::JetsonOrin32Gb, DataRepresentation::Float16);
+        for (index, robot) in cfg.robots.iter_mut().enumerate() {
+            if index % 2 == 1 {
+                robot.compute = RobotCompute::OnRobot(jetson);
+            }
+        }
+        let outcome = FleetSimulator::new(cfg).run();
+        let offloaded: usize = outcome
+            .robots
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, r)| r.inferences)
+            .sum();
+        let on_robot: usize = outcome
+            .robots
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .map(|(_, r)| r.inferences)
+            .sum();
+        assert_eq!(outcome.summary.inferences, offloaded);
+        assert_eq!(outcome.summary.on_robot_inferences, on_robot);
+        assert!(outcome.summary.link_utilization > 0.0);
+        // On-robot Jetson robots pay latency but no queueing; offloaded
+        // robots enjoy the V100 and a halved queue.
+        for robot in &outcome.robots {
+            assert_eq!(robot.frames, 60);
+        }
+    }
+
+    #[test]
+    fn warmup_trimming_shifts_short_run_percentiles() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(1), 8, SchedulerKind::Fifo);
+        cfg.frames_per_robot = 40;
+        let cold = FleetSimulator::new(cfg.clone()).run().summary;
+        cfg.warmup_ms = cold.makespan_ms * 0.5;
+        let warm = FleetSimulator::new(cfg).run().summary;
+        assert!(warm.warmup_ms > 0.0);
+        // The event timeline is untouched — only the aggregation window
+        // changes — so the traces and makespan agree …
+        assert_eq!(warm.makespan_ms, cold.makespan_ms);
+        // … but the steady-state percentiles move once the start-up
+        // transient is excluded.
+        assert_ne!(warm.p99_plan_latency_ms, cold.p99_plan_latency_ms);
+        assert!(warm.p99_plan_latency_ms.is_finite() && warm.p99_plan_latency_ms >= 0.0);
+    }
+
+    #[test]
+    fn scheduler_label_joins_mixed_disciplines() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 2, SchedulerKind::Fifo).with_pool(2);
+        assert_eq!(cfg.scheduler_label(), "fifo");
+        cfg.servers[1].scheduler = SchedulerKind::ShortestTrajectoryFirst;
+        assert_eq!(cfg.scheduler_label(), "fifo+stf");
     }
 }

@@ -34,17 +34,21 @@ pub mod des;
 mod devices;
 pub mod fleet;
 mod pipeline;
+pub mod routing;
 mod variant;
 
 pub use devices::{
-    CommunicationModel, DataRepresentation, InferenceDevice, InferenceModel, BASELINE_FRAME_MS,
+    CommunicationModel, DataRepresentation, InferenceDevice, InferenceModel,
+    ParseDataRepresentationError, ParseInferenceDeviceError, BASELINE_FRAME_MS,
 };
 pub use fleet::{
     BatchScheduler, ControlBackend, EventRecord, FleetConfig, FleetOutcome, FleetSimulator,
-    FleetSummary, PendingRequest, RobotConfig, RobotOutcome, SchedulerKind,
+    FleetSummary, PendingRequest, RobotCompute, RobotConfig, RobotOutcome, SchedulerKind,
+    ServerConfig,
 };
 pub use pipeline::{
-    ExecutionStats, FrameKind, FrameTrace, PipelineConfig, PipelineSimulator, PipelineSummary,
-    StepsTakenModel,
+    mean, percentile, ExecutionStats, FrameKind, FrameTrace, PipelineConfig, PipelineSimulator,
+    PipelineSummary, StepsTakenModel,
 };
+pub use routing::{ParseRoutingPolicyError, Router, RoutingPolicy, ServerSnapshot};
 pub use variant::{ParseVariantError, Variant};

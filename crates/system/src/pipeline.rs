@@ -233,8 +233,12 @@ impl PipelineSimulator {
     }
 }
 
-/// Mean of a sample set (0 when empty). Shared with the fleet summaries.
-pub(crate) fn mean(values: &[f64]) -> f64 {
+/// Mean of a sample set. Shared with the fleet summaries.
+///
+/// Hardened for the serialisation path: an empty sample set yields `0.0`
+/// (never `NaN` from `0/0`), so summaries built from trimmed or degenerate
+/// runs always survive a JSON round trip.
+pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         0.0
     } else {
@@ -245,12 +249,17 @@ pub(crate) fn mean(values: &[f64]) -> f64 {
 /// Index of the nearest-rank quantile `q` in a sorted sample of `len`
 /// elements — the one estimator shared by pipeline and fleet statistics.
 fn quantile_index(len: usize, q: f64) -> usize {
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     (((len as f64 - 1.0) * q).round() as usize).min(len - 1)
 }
 
-/// Nearest-rank quantile `q` of a sample set (0 when empty). Shared with
-/// the fleet summaries so pipeline and fleet p99s use the same estimator.
-pub(crate) fn percentile(values: &[f64], q: f64) -> f64 {
+/// Nearest-rank quantile `q` of a sample set. Shared with the fleet
+/// summaries so pipeline and fleet p99s use the same estimator.
+///
+/// Edge cases are pinned so no `NaN`/`inf` can leak into serialized
+/// reports: `n = 0` yields `0.0`, `n = 1` yields the single sample for any
+/// `q`, and `q` outside `[0, 1]` (or `NaN`) is clamped.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
@@ -271,7 +280,9 @@ fn stats(latencies: &[f64]) -> ExecutionStats {
         mean_ms: m,
         max_ms: *sorted.last().unwrap(),
         p99_ms: sorted[quantile_index(sorted.len(), 0.99)],
-        relative_variation: variance.sqrt() / m,
+        // An all-zero-latency sample would divide 0 by 0; report zero
+        // variation instead of NaN.
+        relative_variation: if m > 0.0 { variance.sqrt() / m } else { 0.0 },
     }
 }
 
@@ -430,6 +441,45 @@ mod tests {
         assert!((dist.mean() - 5.0).abs() < 1e-12);
         let empty = StepsTakenModel::Distribution(vec![]);
         assert_eq!(empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentile_is_pinned_for_tiny_samples() {
+        // n = 0: finite zero, not NaN — this is what keeps trimmed fleet
+        // summaries serialisable.
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        // n = 1: the single sample, whatever the quantile.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.5], q), 42.5);
+        }
+        assert_eq!(mean(&[42.5]), 42.5);
+        // n = 2: nearest rank rounds (len-1)·q — the lower sample up to
+        // q = 0.5 exclusive of the round-half-up boundary, the upper one
+        // from there on.
+        let two = [10.0, 20.0];
+        assert_eq!(percentile(&two, 0.0), 10.0);
+        assert_eq!(percentile(&two, 0.49), 10.0);
+        assert_eq!(percentile(&two, 0.5), 20.0); // round(0.5) = 1 (half away from zero)
+        assert_eq!(percentile(&two, 0.99), 20.0);
+        assert_eq!(percentile(&two, 1.0), 20.0);
+        assert_eq!(mean(&two), 15.0);
+        // Out-of-range and NaN quantiles clamp instead of panicking or
+        // indexing out of bounds.
+        assert_eq!(percentile(&two, -0.5), 10.0);
+        assert_eq!(percentile(&two, 1.5), 20.0);
+        assert_eq!(percentile(&two, f64::NAN), 10.0);
+        // Unsorted input is handled (the estimator sorts a copy).
+        assert_eq!(percentile(&[30.0, 10.0, 20.0], 1.0), 30.0);
+    }
+
+    #[test]
+    fn stats_of_constant_zero_latencies_stay_finite() {
+        let s = stats(&[0.0, 0.0, 0.0]);
+        assert_eq!(s.mean_ms, 0.0);
+        assert_eq!(s.relative_variation, 0.0);
+        assert!(serde_json::to_string(&s).is_ok());
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Request routing across a pool of inference servers.
+//!
+//! With more than one [`crate::fleet::ServerConfig`] in a fleet, every
+//! offloaded request must be placed on exactly one server the moment its
+//! upload completes.  The [`Router`] makes that decision from a snapshot of
+//! the pool ([`ServerSnapshot`] per server) under one of three policies:
+//!
+//! * [`RoutingPolicy::RoundRobin`] — cycle through the servers in arrival
+//!   order.  Stateless with respect to the pool (the decision depends only
+//!   on how many requests were routed before), so it is trivially
+//!   independent of seeds, queue contents and device mixes.
+//! * [`RoutingPolicy::LeastQueueDepth`] — place the request on the server
+//!   with the fewest queued-or-in-flight requests (ties break towards the
+//!   lower index).  The classic join-shortest-queue heuristic.
+//! * [`RoutingPolicy::DeviceAffinity`] — place the request where its
+//!   *estimated completion cost* is lowest: the request's unbatched service
+//!   time on that server's device, scaled by how much work is already
+//!   stacked there.  Because service times differ per request class
+//!   (single-action baseline vs trajectory inference) and per device,
+//!   request classes develop an affinity to the devices that serve them
+//!   cheapest — a V100 soaks up latency-critical work while a slow Jetson
+//!   class server only attracts requests once the fast queues grow deep.
+//!
+//! Routing is fully deterministic: no randomness, ties broken by server
+//! index, so fleet runs stay byte-identical across repeats and worker
+//! counts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How offloaded inference requests are spread over the server pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Cycle through servers in arrival order.
+    RoundRobin,
+    /// Join the server with the fewest queued-or-in-flight requests.
+    LeastQueueDepth,
+    /// Join the server with the lowest estimated completion cost for this
+    /// request (service time on that device × stacked work).
+    DeviceAffinity,
+}
+
+impl RoutingPolicy {
+    /// Every policy, in documentation order.
+    pub const ALL: [RoutingPolicy; 3] =
+        [RoutingPolicy::RoundRobin, RoutingPolicy::LeastQueueDepth, RoutingPolicy::DeviceAffinity];
+
+    /// A stable short name used in result tables and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastQueueDepth => "least-queue-depth",
+            RoutingPolicy::DeviceAffinity => "device-affinity",
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error produced when parsing an unknown routing policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRoutingPolicyError(String);
+
+impl fmt::Display for ParseRoutingPolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown routing policy `{}` (expected round-robin, least-queue-depth or device-affinity)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseRoutingPolicyError {}
+
+impl FromStr for RoutingPolicy {
+    type Err = ParseRoutingPolicyError;
+
+    /// Parses a policy name case-insensitively; separators (`-`, `_`,
+    /// spaces) are ignored and the short aliases `rr`, `lqd` and `affinity`
+    /// are accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match crate::devices::normalize(s).as_str() {
+            "roundrobin" | "rr" => Ok(RoutingPolicy::RoundRobin),
+            "leastqueuedepth" | "lqd" => Ok(RoutingPolicy::LeastQueueDepth),
+            "deviceaffinity" | "affinity" => Ok(RoutingPolicy::DeviceAffinity),
+            _ => Err(ParseRoutingPolicyError(s.to_owned())),
+        }
+    }
+}
+
+/// What the router sees of one server when placing a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerSnapshot {
+    /// Requests queued at the scheduler plus those in the batch currently
+    /// being served.
+    pub queue_depth: usize,
+    /// Unbatched service time of the request being routed on *this* server's
+    /// device (ms).
+    pub service_ms: f64,
+}
+
+/// The routing decision engine: a policy plus the small amount of state the
+/// policy needs (the round-robin cursor).
+#[derive(Debug, Clone)]
+pub struct Router {
+    policy: RoutingPolicy,
+    round_robin_next: usize,
+}
+
+impl Router {
+    /// Creates a router for the given policy.
+    pub fn new(policy: RoutingPolicy) -> Self {
+        Router { policy, round_robin_next: 0 }
+    }
+
+    /// The policy this router applies.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Routes without looking at the pool, when the policy allows it:
+    /// round-robin depends only on how many requests were routed before,
+    /// and any single-server pool has exactly one answer.  Returns `None`
+    /// when the policy needs [`ServerSnapshot`]s — the engine's hot loop
+    /// uses this to skip building snapshots for the common cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size` is zero.
+    pub fn try_route_blind(&mut self, pool_size: usize) -> Option<usize> {
+        assert!(pool_size > 0, "cannot route across an empty server pool");
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let index = self.round_robin_next % pool_size;
+                self.round_robin_next = (self.round_robin_next + 1) % pool_size;
+                Some(index)
+            }
+            _ if pool_size == 1 => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Picks the server for one request from a snapshot of the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty — a fleet always has at least one
+    /// server.
+    pub fn route(&mut self, servers: &[ServerSnapshot]) -> usize {
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                self.try_route_blind(servers.len()).expect("round-robin routes blind")
+            }
+            RoutingPolicy::LeastQueueDepth => servers
+                .iter()
+                .enumerate()
+                .min_by_key(|(index, s)| (s.queue_depth, *index))
+                .map(|(index, _)| index)
+                .expect("pool is non-empty"),
+            RoutingPolicy::DeviceAffinity => servers
+                .iter()
+                .enumerate()
+                .min_by(|(ia, a), (ib, b)| {
+                    affinity_cost(a).total_cmp(&affinity_cost(b)).then(ia.cmp(ib))
+                })
+                .map(|(index, _)| index)
+                .expect("pool is non-empty"),
+        }
+    }
+}
+
+/// Estimated completion cost of a request on one server: its service time on
+/// that device scaled by the work already stacked there (queue plus the
+/// request itself).
+fn affinity_cost(snapshot: &ServerSnapshot) -> f64 {
+    snapshot.service_ms * (snapshot.queue_depth + 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn snapshot(queue_depth: usize, service_ms: f64) -> ServerSnapshot {
+        ServerSnapshot { queue_depth, service_ms }
+    }
+
+    #[test]
+    fn blind_routing_matches_snapshot_routing() {
+        // Round-robin routes blind and must advance the same cursor either
+        // way; stateful policies route blind only for single-server pools.
+        let pool: Vec<ServerSnapshot> = (0..3).map(|i| snapshot(i, 100.0)).collect();
+        let mut blind = Router::new(RoutingPolicy::RoundRobin);
+        let mut full = Router::new(RoutingPolicy::RoundRobin);
+        for _ in 0..7 {
+            assert_eq!(blind.try_route_blind(pool.len()), Some(full.route(&pool)));
+        }
+        for policy in [RoutingPolicy::LeastQueueDepth, RoutingPolicy::DeviceAffinity] {
+            let mut router = Router::new(policy);
+            assert_eq!(router.try_route_blind(1), Some(0));
+            assert_eq!(router.try_route_blind(2), None);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let mut router = Router::new(RoutingPolicy::RoundRobin);
+        let pool = vec![snapshot(9, 1.0), snapshot(0, 1.0), snapshot(3, 1.0)];
+        let picks: Vec<usize> = (0..7).map(|_| router.route(&pool)).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_queue_depth_prefers_the_shallow_queue_and_low_index_ties() {
+        let mut router = Router::new(RoutingPolicy::LeastQueueDepth);
+        assert_eq!(router.route(&[snapshot(4, 1.0), snapshot(1, 1.0), snapshot(2, 1.0)]), 1);
+        assert_eq!(router.route(&[snapshot(2, 1.0), snapshot(2, 1.0), snapshot(5, 1.0)]), 0);
+    }
+
+    #[test]
+    fn device_affinity_weighs_service_time_against_stacked_work() {
+        let mut router = Router::new(RoutingPolicy::DeviceAffinity);
+        // An idle slow server loses to a lightly loaded fast one …
+        assert_eq!(router.route(&[snapshot(1, 100.0), snapshot(0, 1000.0)]), 0);
+        // … until the fast queue grows deep enough.
+        assert_eq!(router.route(&[snapshot(12, 100.0), snapshot(0, 1000.0)]), 1);
+    }
+
+    #[test]
+    fn policy_names_round_trip_through_parsing() {
+        for policy in RoutingPolicy::ALL {
+            let parsed: RoutingPolicy = policy.name().parse().expect("name parses");
+            assert_eq!(parsed, policy);
+            assert_eq!(policy.to_string(), policy.name());
+        }
+        assert_eq!("RR".parse::<RoutingPolicy>().unwrap(), RoutingPolicy::RoundRobin);
+        assert_eq!(
+            "Least_Queue Depth".parse::<RoutingPolicy>().unwrap(),
+            RoutingPolicy::LeastQueueDepth
+        );
+        assert_eq!("AFFINITY".parse::<RoutingPolicy>().unwrap(), RoutingPolicy::DeviceAffinity);
+        assert!("best-effort".parse::<RoutingPolicy>().is_err());
+    }
+
+    /// Builds an arbitrary pool from fixed-size sampled vectors, keeping the
+    /// first `1 + (len_pick % 8)` servers so pool sizes vary too.
+    fn arbitrary_pool(depths: &[usize], services: &[f64], len_pick: usize) -> Vec<ServerSnapshot> {
+        let n = 1 + len_pick % depths.len().min(services.len());
+        (0..n).map(|i| snapshot(depths[i], services[i])).collect()
+    }
+
+    // Least-queue-depth must never route to a strictly deeper queue than
+    // some other server offers; round-robin must depend on nothing but the
+    // number of requests routed so far; and every policy must return a
+    // valid index for arbitrary pools.
+    proptest! {
+        #[test]
+        fn least_queue_depth_never_picks_a_strictly_deeper_queue(
+            depths in proptest::collection::vec(0usize..64, 8),
+            services in proptest::collection::vec(1.0f64..5000.0, 8),
+            len_pick in 0usize..64
+        ) {
+            let pool = arbitrary_pool(&depths, &services, len_pick);
+            let pick = Router::new(RoutingPolicy::LeastQueueDepth).route(&pool);
+            let best = pool.iter().map(|s| s.queue_depth).min().expect("non-empty");
+            prop_assert_eq!(pool[pick].queue_depth, best);
+        }
+
+        #[test]
+        fn round_robin_is_independent_of_pool_state(
+            depths in proptest::collection::vec(0usize..64, 8),
+            services in proptest::collection::vec(1.0f64..5000.0, 8),
+            len_pick in 0usize..64,
+            requests in 1usize..40
+        ) {
+            let pool = arbitrary_pool(&depths, &services, len_pick);
+            let mut router = Router::new(RoutingPolicy::RoundRobin);
+            for k in 0..requests {
+                prop_assert_eq!(router.route(&pool), k % pool.len());
+            }
+        }
+
+        #[test]
+        fn every_policy_returns_a_valid_index(
+            depths in proptest::collection::vec(0usize..64, 8),
+            services in proptest::collection::vec(1.0f64..5000.0, 8),
+            len_pick in 0usize..64
+        ) {
+            let pool = arbitrary_pool(&depths, &services, len_pick);
+            for policy in RoutingPolicy::ALL {
+                let pick = Router::new(policy).route(&pool);
+                prop_assert!(pick < pool.len());
+            }
+        }
+    }
+}

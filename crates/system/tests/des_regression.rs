@@ -169,7 +169,7 @@ fn n1_des_pipeline_reproduces_legacy_traces_for_odd_configurations() {
 fn fleet_event_log_is_byte_identical_across_runs() {
     let mut cfg = FleetConfig::paper_defaults(Variant::CorkiAdaptive, 6, 2024);
     cfg.frames_per_robot = 90;
-    cfg.scheduler = SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 20.0 };
+    cfg.set_scheduler(SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 20.0 });
     cfg.record_event_log = true;
     let runs: Vec<String> = (0..3)
         .map(|_| serde_json::to_string(&FleetSimulator::new(cfg.clone()).run()).unwrap())
