@@ -1,45 +1,42 @@
 //! Benchmarks of the discrete-event fleet-serving runtime: how fast the
 //! engine simulates fleets of different sizes and scheduling disciplines.
+//!
+//! The canonical shapes come from the committed scenario files under
+//! `crates/bench/scenarios/` (the same specs behind `BENCH_fleet.json`);
+//! a fleet-size scaling series rides along via a scenario with a
+//! `robot_counts` axis.
 
-use corki::fleet::FleetComposition;
-use corki_system::fleet::{FleetConfig, FleetSimulator};
-use corki_system::{RoutingPolicy, SchedulerKind, Variant};
+use corki::scenario::ScenarioBuilder;
+use corki::{SchedulerKind, Variant};
+use corki_bench::micro::fleet_scenario_cells;
+use corki_system::fleet::FleetSimulator;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_fleet(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet_serving");
 
-    for robots in [1usize, 8, 16] {
-        let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), robots, 2024);
-        config.frames_per_robot = 120;
-        let sim = FleetSimulator::new(config);
+    let scaling = ScenarioBuilder::new("scaling")
+        .seed(2024)
+        .frames_per_robot(120)
+        .group(Variant::CorkiFixed(5), 1)
+        .default_servers(1, SchedulerKind::Fifo)
+        .robot_counts(vec![1, 8, 16])
+        .build()
+        .expect("scaling scenario is valid");
+    for cell in scaling.expand().expect("scaling scenario expands") {
+        let robots = cell.robots;
+        let sim = FleetSimulator::new(cell.config);
         group.bench_function(format!("fifo/corki5_{robots}robots_120frames"), |b| {
             b.iter(|| black_box(sim.run()))
         });
     }
 
-    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
-    config.frames_per_robot = 120;
-    config.set_scheduler(SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 });
-    let sim = FleetSimulator::new(config);
-    group.bench_function("batch4/corki5_8robots_120frames", |b| b.iter(|| black_box(sim.run())));
-
-    // The heterogeneous shapes: a routed two-server pool and a mixed fleet
-    // with a Jetson board in every second robot.
-    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024).with_pool(2);
-    config.frames_per_robot = 120;
-    config.routing = RoutingPolicy::LeastQueueDepth;
-    let sim = FleetSimulator::new(config);
-    group.bench_function("pool2_lqd/corki5_8robots_120frames", |b| b.iter(|| black_box(sim.run())));
-
-    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
-    config.frames_per_robot = 120;
-    FleetComposition::jetson_every_second().apply(&mut config);
-    let sim = FleetSimulator::new(config);
-    group.bench_function("mixed_jetson_v100/corki5_8robots_120frames", |b| {
-        b.iter(|| black_box(sim.run()))
-    });
+    for (name, cell) in fleet_scenario_cells() {
+        let case = name.trim_start_matches("fleet_serving/").to_owned();
+        let sim = FleetSimulator::new(cell.config);
+        group.bench_function(case, |b| b.iter(|| black_box(sim.run())));
+    }
 
     group.finish();
 }

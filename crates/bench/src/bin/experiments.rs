@@ -4,24 +4,34 @@
 //!
 //! ```text
 //! experiments [--full | --smoke] [--json <path>] [--servers <n>]
-//!             [--routing <policy>] [only <name> ...]
+//!             [--routing <policy>] [--scenario <file.json>] [name ...]
 //! ```
 //!
 //! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `table3`, `table4`, `resources`, `fig9`, `ablation`, `approx`,
-//! `fig15`, `bottleneck`, `fleet`. With no names, everything runs.
+//! `fig15`, `bottleneck`, `fleet`. With no names, everything runs; the
+//! historical `only` keyword before names is still accepted.
 //!
-//! `--servers <n>` pins the fleet sweep's inference pool to exactly `n`
-//! servers; `--routing <policy>` (round-robin | least-queue-depth |
-//! device-affinity, or the aliases rr/lqd/affinity) picks how requests are
-//! spread over the pool. Without these flags the full-scale fleet sweep
-//! additionally walks the heterogeneous axes (1 vs 2 servers, all-offloaded
-//! vs a Jetson board in every second robot).
+//! The fleet sweep is described by a declarative `ScenarioSpec`
+//! (`corki::scenario`) either way:
+//!
+//! * `--scenario <file.json>` runs a spec file (e.g. one of the committed
+//!   examples under `crates/bench/scenarios/`) — robot groups, server pool,
+//!   routing and sweep axes all come from the file; the flag selects the
+//!   `fleet` experiment by itself when no names are given;
+//! * without it, the legacy flags build the spec: `--servers <n>` pins the
+//!   pool to exactly `n` servers and `--routing <policy>` (round-robin |
+//!   least-queue-depth | device-affinity, or the aliases rr/lqd/affinity)
+//!   picks the routing policy.  Without these flags the full-scale fleet
+//!   sweep additionally walks the heterogeneous axes (1 vs 2 servers,
+//!   all-offloaded vs a Jetson board in every second robot).
 
 use corki::experiments::{self, ExperimentScale};
 use corki::fleet::{
     fleet_sweep, measured_adaptive_lengths, robots_within_budget, FleetExperiment, FleetScale,
+    FleetSweepRow,
 };
+use corki::scenario::ScenarioSpec;
 use corki::RoutingPolicy;
 use corki_system::FrameKind;
 use std::collections::BTreeMap;
@@ -35,6 +45,7 @@ fn main() {
     let mut json_path = None;
     let mut servers_override: Option<usize> = None;
     let mut routing_override: Option<RoutingPolicy> = None;
+    let mut scenario_path: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
@@ -74,11 +85,33 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--scenario" => match raw.next() {
+                Some(path) => scenario_path = Some(path),
+                None => {
+                    eprintln!("error: --scenario requires a path argument");
+                    std::process::exit(2);
+                }
+            },
             _ => positionals.push(arg),
         }
     }
-    let selected: Vec<String> =
-        positionals.iter().skip_while(|a| *a != "only").skip(1).cloned().collect();
+    // Positional arguments select experiments (`experiments fleet …`); the
+    // historical `only` keyword is tolerated and ignored.
+    let mut selected: Vec<String> = positionals.iter().filter(|a| *a != "only").cloned().collect();
+    if scenario_path.is_some() {
+        if servers_override.is_some() || routing_override.is_some() {
+            eprintln!("error: --scenario describes the whole fleet experiment; it cannot be combined with --servers/--routing");
+            std::process::exit(2);
+        }
+        // The flag only means something to the fleet sweep: select it by
+        // default, and refuse a selection that would never consult it.
+        if selected.is_empty() {
+            selected.push("fleet".to_owned());
+        } else if !selected.iter().any(|name| name == "fleet") {
+            eprintln!("error: --scenario only applies to the fleet experiment; add `fleet` to the selected names");
+            std::process::exit(2);
+        }
+    }
     // Keep in sync with the wants() sites below and the doc comment above.
     const KNOWN: [&str; 16] = [
         "fig2",
@@ -357,36 +390,65 @@ fn main() {
 
     if wants("fleet") {
         println!("== Fleet serving: robots × variant × scheduler × pool × composition sweep ==");
-        // Smoke runs keep the fast single-server homogeneous sweep; full
-        // runs walk the heterogeneous pool/composition axes too. The
-        // --servers / --routing flags pin those axes explicitly.
-        let mut experiment = if smoke {
-            FleetExperiment::paper_defaults(fleet_scale)
-        } else {
-            FleetExperiment::heterogeneous(fleet_scale)
-        };
-        if let Some(servers) = servers_override {
-            experiment.server_counts = vec![servers];
-        }
-        if let Some(routing) = routing_override {
-            experiment.routing = routing;
-        }
-        if !smoke {
-            // Feed the serving sweep the executed lengths that Corki-ADAP
-            // actually produced in the simulator rollouts.
-            experiment.adaptive_lengths = Some(measured_adaptive_lengths(3, scale.seed));
-        }
-        println!(
-            "scale: fleets of {:?} robots, {} frames/robot, seed {}, pools of {:?} servers, \
-             {} routing, {:.0} ms warm-up",
-            experiment.scale.robot_counts,
-            experiment.scale.frames_per_robot,
-            experiment.scale.seed,
-            experiment.server_counts,
-            experiment.routing,
-            experiment.scale.warmup_ms
-        );
-        let rows = fleet_sweep(&experiment);
+        let (rows, latency_budget_ms): (Vec<FleetSweepRow>, f64) =
+            if let Some(path) = &scenario_path {
+                // A declarative scenario file fully describes the experiment.
+                let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read scenario {path}: {e}");
+                    std::process::exit(2);
+                });
+                let spec = ScenarioSpec::from_json(&json).unwrap_or_else(|e| {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(2);
+                });
+                let cells = spec.expand().unwrap_or_else(|e| {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(2);
+                });
+                println!(
+                "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {:.0} ms warm-up",
+                spec.name,
+                cells.len(),
+                spec.frames_per_robot,
+                spec.seed,
+                spec.routing,
+                spec.warmup_ms
+            );
+                (corki::fleet::scenario_sweep(&cells), spec.latency_budget_ms)
+            } else {
+                // Legacy flags: build the same experiment shim as before (it
+                // lowers to a ScenarioSpec internally, so both paths run the
+                // identical machinery).  Smoke runs keep the fast single-server
+                // homogeneous sweep; full runs walk the heterogeneous
+                // pool/composition axes too.
+                let mut experiment = if smoke {
+                    FleetExperiment::paper_defaults(fleet_scale)
+                } else {
+                    FleetExperiment::heterogeneous(fleet_scale)
+                };
+                if let Some(servers) = servers_override {
+                    experiment.server_counts = vec![servers];
+                }
+                if let Some(routing) = routing_override {
+                    experiment.routing = routing;
+                }
+                if !smoke {
+                    // Feed the serving sweep the executed lengths that
+                    // Corki-ADAP actually produced in the simulator rollouts.
+                    experiment.adaptive_lengths = Some(measured_adaptive_lengths(3, scale.seed));
+                }
+                println!(
+                "scale: fleets of {:?} robots, {} frames/robot, seed {}, pools of {:?} servers, \
+                 {} routing, {:.0} ms warm-up",
+                experiment.scale.robot_counts,
+                experiment.scale.frames_per_robot,
+                experiment.scale.seed,
+                experiment.server_counts,
+                experiment.routing,
+                experiment.scale.warmup_ms
+            );
+                (fleet_sweep(&experiment), experiment.latency_budget_ms)
+            };
         println!(
             "  {:<12} {:<13} {:<26} {:>4} {:>4} {:>10} {:>9} {:>20} {:>20} {:>6} {:>6}",
             "variant",
@@ -419,10 +481,10 @@ fn main() {
                 row.mean_batch_size,
             );
         }
-        let budget = robots_within_budget(&rows, experiment.latency_budget_ms);
+        let budget = robots_within_budget(&rows, latency_budget_ms);
         println!(
             "\n  robots-per-pool within a {:.0} ms p99 plan-latency budget (warm-up-trimmed):",
-            experiment.latency_budget_ms
+            latency_budget_ms
         );
         println!(
             "  {:<12} {:<13} {:<26} {:>4} {:>11}",

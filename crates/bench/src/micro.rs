@@ -10,15 +10,15 @@
 use crate::reference::{
     bench_controller, bench_rng, reference_fit_waypoints, reference_task_space_torque, RefCorkiHead,
 };
-use corki::fleet::FleetComposition;
+use corki::scenario::{ConcreteScenario, ScenarioSpec};
 use corki_math::Vec3;
 use corki_policy::{
     BaselineFramePolicy, CorkiTrajectoryPolicy, ManipulationPolicy, Observation, PlanRequest,
 };
 use corki_robot::panda::{panda_model, PANDA_HOME};
 use corki_robot::{JointState, TaskReference};
-use corki_system::fleet::{FleetConfig, FleetSimulator};
-use corki_system::{PipelineConfig, PipelineSimulator, RoutingPolicy, SchedulerKind, Variant};
+use corki_system::fleet::FleetSimulator;
+use corki_system::{PipelineConfig, PipelineSimulator, Variant};
 use corki_trajectory::{EePose, GripperState, Trajectory, CONTROL_STEP};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
@@ -28,8 +28,11 @@ use std::time::{Duration, Instant};
 /// changes incompatibly.
 ///
 /// Version history: 1 — benches + comparisons; 2 — adds the `fleet_rows`
-/// section (deterministic fleet-serving metrics, warm-up-trimmed p99s).
-pub const SCHEMA_VERSION: u32 = 2;
+/// section (deterministic fleet-serving metrics, warm-up-trimmed p99s);
+/// 3 — fleet rows carry the canonical variant(-mix) label and the fleet
+/// cases are defined by the committed scenario files under
+/// `crates/bench/scenarios/`.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Timing-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +70,7 @@ impl RunnerConfig {
 
 /// One benchmark's measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct BenchResult {
     /// Benchmark name (`group/case`).
     pub name: String,
@@ -80,6 +84,7 @@ pub struct BenchResult {
 
 /// A fast-vs-reference pairing recorded alongside the raw measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct Comparison {
     /// The hot path being compared.
     pub name: String,
@@ -96,13 +101,17 @@ pub struct Comparison {
 /// byte-stable across machines and runs, so `--compare` and the committed
 /// `BENCH_fleet.json` can track serving regressions exactly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct FleetServingRow {
-    /// Configuration name (`fleet_serving/<case>`).
+    /// Configuration name (`fleet_serving/<scenario>`).
     pub name: String,
     /// Robots in the fleet.
     pub robots: usize,
     /// Inference servers in the pool.
     pub servers: usize,
+    /// Canonical variant(-mix) label of the fleet (`Corki-5`,
+    /// `Corki-3+Corki-9`, …).
+    pub variant: String,
     /// Scheduler name.
     pub scheduler: String,
     /// Routing policy name.
@@ -123,6 +132,7 @@ pub struct FleetServingRow {
 
 /// The canonical report emitted as `BENCH_*.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct BenchReport {
     /// JSON layout version ([`SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -240,7 +250,7 @@ impl BenchReport {
 
 /// One named routine in the suite.
 struct BenchCase<'a> {
-    name: &'static str,
+    name: String,
     routine: Box<dyn FnMut() + 'a>,
 }
 
@@ -279,7 +289,7 @@ fn measure_interleaved(config: &RunnerConfig, cases: &mut [BenchCase<'_>]) -> Ve
         .map(|((case, case_samples), &iters_per_sample)| {
             case_samples.sort_by(f64::total_cmp);
             BenchResult {
-                name: case.name.to_owned(),
+                name: case.name.clone(),
                 median_ns: case_samples[case_samples.len() / 2],
                 samples: config.samples,
                 iters_per_sample,
@@ -350,48 +360,45 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
     let mut pipeline_config = PipelineConfig::paper_defaults(Variant::CorkiFixed(5));
     pipeline_config.num_frames = 120;
 
-    // Fleet serving: eight Corki-5 robots sharing one server, FIFO vs
-    // dynamic batching, plus the heterogeneous shapes: a routed pool of two
-    // V100s and a mixed fleet with a Jetson board in every second robot
-    // (the BENCH_fleet metrics).
-    let fleet_fifo_config = fleet_case_config(FleetCase::Fifo);
-    let fleet_batch_config = fleet_case_config(FleetCase::Batch4);
-    let fleet_pool_config = fleet_case_config(FleetCase::Pool2);
-    let fleet_mixed_config = fleet_case_config(FleetCase::MixedJetsonV100);
+    // Fleet serving: one timing case per committed scenario file under
+    // `crates/bench/scenarios/` — the single-server FIFO/batching shapes,
+    // the routed pools and the mixed-variant/mixed-device fleets all come
+    // from the same declarative specs the metric rows run.
+    let fleet_cases = fleet_scenario_cells();
 
     let mut cases: Vec<BenchCase<'_>> = vec![
         BenchCase {
-            name: "policy_inference/corki_reference_alloc",
+            name: "policy_inference/corki_reference_alloc".to_owned(),
             routine: Box::new(|| {
                 black_box(reference_head.plan(black_box(&observation), HORIZON - 1));
             }),
         },
         BenchCase {
-            name: "policy_inference/corki_fast",
+            name: "policy_inference/corki_fast".to_owned(),
             routine: Box::new(|| {
                 policy.plan_into(black_box(&request), &mut out);
             }),
         },
         BenchCase {
-            name: "policy_inference/baseline_fast",
+            name: "policy_inference/baseline_fast".to_owned(),
             routine: Box::new(|| {
                 black_box(baseline.plan(black_box(&baseline_request)));
             }),
         },
         BenchCase {
-            name: "trajectory_fit/reference_alloc",
+            name: "trajectory_fit/reference_alloc".to_owned(),
             routine: Box::new(|| {
                 black_box(reference_fit_waypoints(black_box(&waypoints), CONTROL_STEP));
             }),
         },
         BenchCase {
-            name: "trajectory_fit/refit_fast",
+            name: "trajectory_fit/refit_fast".to_owned(),
             routine: Box::new(|| {
                 trajectory.refit_waypoints(black_box(&waypoints), CONTROL_STEP).expect("valid fit");
             }),
         },
         BenchCase {
-            name: "control_kernel/reference_refactor",
+            name: "control_kernel/reference_refactor".to_owned(),
             routine: Box::new(|| {
                 black_box(reference_task_space_torque(
                     black_box(&robot),
@@ -403,54 +410,37 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
             }),
         },
         BenchCase {
-            name: "control_kernel/ts_ctc_fast",
+            name: "control_kernel/ts_ctc_fast".to_owned(),
             routine: Box::new(|| {
                 black_box(controller.compute_torque(black_box(&robot), &state, &task_reference));
             }),
         },
         BenchCase {
-            name: "pipeline_sim/corki5_120_frames",
+            name: "pipeline_sim/corki5_120_frames".to_owned(),
             routine: Box::new(|| {
                 black_box(PipelineSimulator::new(pipeline_config.clone()).simulate());
             }),
         },
-        BenchCase {
-            name: "fleet_serving/fifo_8robots_60frames",
-            routine: Box::new(|| {
-                black_box(FleetSimulator::new(fleet_fifo_config.clone()).run());
-            }),
-        },
-        BenchCase {
-            name: "fleet_serving/batch4_8robots_60frames",
-            routine: Box::new(|| {
-                black_box(FleetSimulator::new(fleet_batch_config.clone()).run());
-            }),
-        },
-        BenchCase {
-            name: "fleet_serving/pool2_lqd_8robots_60frames",
-            routine: Box::new(|| {
-                black_box(FleetSimulator::new(fleet_pool_config.clone()).run());
-            }),
-        },
-        BenchCase {
-            name: "fleet_serving/mixed_jetson_v100_8robots_60frames",
-            routine: Box::new(|| {
-                black_box(FleetSimulator::new(fleet_mixed_config.clone()).run());
-            }),
-        },
     ];
+    for (name, cell) in &fleet_cases {
+        cases.push(BenchCase {
+            name: name.clone(),
+            routine: Box::new(move || {
+                black_box(FleetSimulator::new(cell.config.clone()).run());
+            }),
+        });
+    }
     if let Some(prefix) = filter {
         cases.retain(|case| case.name.starts_with(prefix));
     }
     // The deterministic fleet metric rows only matter when the report
     // covers fleet benches at all — a `--only trajectory` run should not
-    // pay for four fleet simulations it will not record.
-    let fleet_rows =
-        if filter.is_none_or(|p| FleetCase::ALL.iter().any(|c| c.name().starts_with(p))) {
-            fleet_metric_rows()
-        } else {
-            Vec::new()
-        };
+    // pay for fleet simulations it will not record.
+    let fleet_rows = if filter.is_none_or(|p| fleet_cases.iter().any(|(n, _)| n.starts_with(p))) {
+        fleet_metric_rows(&fleet_cases)
+    } else {
+        Vec::new()
+    };
     let benches = measure_interleaved(config, &mut cases);
     drop(cases);
 
@@ -487,76 +477,60 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
     }
 }
 
-/// The canonical fleet-serving cases recorded in `BENCH_fleet.json`: the
-/// PR 3 single-server shapes plus the routed pool and the mixed
-/// Jetson+V100 fleet.
-#[derive(Debug, Clone, Copy)]
-enum FleetCase {
-    Fifo,
-    Batch4,
-    Pool2,
-    MixedJetsonV100,
-}
+/// The committed fleet-serving scenario files — the single source of truth
+/// for the canonical bench cases recorded in `BENCH_fleet.json`.  Baked in
+/// at compile time so the `bench` binary works from any directory; a bench
+/// integration test additionally verifies the on-disk files stay canonical.
+pub const FLEET_SCENARIO_SOURCES: [&str; 6] = [
+    include_str!("../scenarios/fifo_8robots_60frames.json"),
+    include_str!("../scenarios/batch4_8robots_60frames.json"),
+    include_str!("../scenarios/pool2_lqd_8robots_60frames.json"),
+    include_str!("../scenarios/mixed_jetson_v100_8robots_60frames.json"),
+    include_str!("../scenarios/mixed_variant_stf_pool2_8robots_60frames.json"),
+    include_str!("../scenarios/adap_onrobot_batch_pool2_8robots_60frames.json"),
+];
 
-impl FleetCase {
-    const ALL: [FleetCase; 4] =
-        [FleetCase::Fifo, FleetCase::Batch4, FleetCase::Pool2, FleetCase::MixedJetsonV100];
-
-    fn name(self) -> &'static str {
-        match self {
-            FleetCase::Fifo => "fleet_serving/fifo_8robots_60frames",
-            FleetCase::Batch4 => "fleet_serving/batch4_8robots_60frames",
-            FleetCase::Pool2 => "fleet_serving/pool2_lqd_8robots_60frames",
-            FleetCase::MixedJetsonV100 => "fleet_serving/mixed_jetson_v100_8robots_60frames",
-        }
-    }
-
-    /// The composition label, reusing the sweep's canonical definition.
-    fn composition(self) -> FleetComposition {
-        match self {
-            FleetCase::MixedJetsonV100 => FleetComposition::jetson_every_second(),
-            _ => FleetComposition::Homogeneous,
-        }
-    }
-}
-
-/// Builds the configuration of one canonical fleet case (shared by the
-/// timing benches and the metric rows so both measure the same fleet).
-fn fleet_case_config(case: FleetCase) -> FleetConfig {
-    let mut config = FleetConfig::paper_defaults(Variant::CorkiFixed(5), 8, 2024);
-    config.frames_per_robot = 60;
-    config.warmup_ms = 250.0;
-    match case {
-        FleetCase::Fifo => {}
-        FleetCase::Batch4 => {
-            config.set_scheduler(SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 });
-        }
-        FleetCase::Pool2 => {
-            config = config.with_pool(2);
-            config.routing = RoutingPolicy::LeastQueueDepth;
-        }
-        FleetCase::MixedJetsonV100 => {}
-    }
-    case.composition().apply(&mut config);
-    config
-}
-
-/// Runs the canonical fleet cases once and extracts their deterministic
-/// serving metrics (simulation outputs: byte-stable across machines, unlike
-/// the timing medians).
-fn fleet_metric_rows() -> Vec<FleetServingRow> {
-    FleetCase::ALL
+/// Parses the committed scenarios and expands each into its bench cells
+/// (`fleet_serving/<scenario>` per cell; multi-cell scenarios get an index
+/// suffix).  Shared by the timing benches and the metric rows so both
+/// measure the same fleets.
+pub fn fleet_scenario_cells() -> Vec<(String, ConcreteScenario)> {
+    FLEET_SCENARIO_SOURCES
         .iter()
-        .map(|&case| {
-            let config = fleet_case_config(case);
-            let summary = FleetSimulator::new(config).run().summary;
+        .flat_map(|json| {
+            let spec = ScenarioSpec::from_json(json)
+                .unwrap_or_else(|e| panic!("committed bench scenario is invalid: {e}"));
+            let cells = spec.expand().expect("validated scenarios expand");
+            let single = cells.len() == 1;
+            cells.into_iter().enumerate().map(move |(index, cell)| {
+                let name = if single {
+                    format!("fleet_serving/{}", cell.scenario)
+                } else {
+                    format!("fleet_serving/{}/{index}", cell.scenario)
+                };
+                (name, cell)
+            })
+        })
+        .collect()
+}
+
+/// Runs the canonical fleet cells once and extracts their deterministic
+/// serving metrics (simulation outputs: byte-stable across machines, unlike
+/// the timing medians).  Takes the cells the timing benches already
+/// expanded so both measure the same fleets by construction.
+fn fleet_metric_rows(cases: &[(String, ConcreteScenario)]) -> Vec<FleetServingRow> {
+    cases
+        .iter()
+        .map(|(name, cell)| {
+            let summary = FleetSimulator::new(cell.config.clone()).run().summary;
             FleetServingRow {
-                name: case.name().to_owned(),
+                name: name.clone(),
                 robots: summary.robots,
                 servers: summary.servers,
-                scheduler: summary.scheduler.clone(),
-                routing: summary.routing.clone(),
-                composition: case.composition().label(),
+                variant: cell.variant_label.clone(),
+                scheduler: cell.scheduler_label.clone(),
+                routing: cell.routing_label.clone(),
+                composition: cell.composition_label.clone(),
                 warmup_ms: summary.warmup_ms,
                 throughput_steps_per_s: summary.throughput_steps_per_s,
                 p99_plan_latency_ms: summary.p99_plan_latency_ms,
@@ -579,9 +553,9 @@ mod tests {
         let parsed = BenchReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
         assert_eq!(report.comparisons.len(), 3);
-        assert!(report.benches.len() >= 11);
+        assert!(report.benches.len() >= 13);
         assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
-        assert_eq!(report.fleet_rows.len(), 4);
+        assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
         assert!(!report.to_table().is_empty());
     }
 
@@ -589,11 +563,11 @@ mod tests {
     fn filtered_suite_keeps_only_the_prefix_and_drops_broken_comparisons() {
         let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("fleet_serving"));
         report.validate().expect("filtered report must validate");
-        assert_eq!(report.benches.len(), 4);
+        assert_eq!(report.benches.len(), FLEET_SCENARIO_SOURCES.len());
         assert!(report.benches.iter().all(|b| b.name.starts_with("fleet_serving/")));
         assert!(report.comparisons.is_empty());
         // The deterministic metric rows ride along in every mode.
-        assert_eq!(report.fleet_rows.len(), 4);
+        assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
     }
 
     #[test]
@@ -606,8 +580,8 @@ mod tests {
 
     #[test]
     fn fleet_metric_rows_are_deterministic_and_heterogeneous() {
-        let a = fleet_metric_rows();
-        let b = fleet_metric_rows();
+        let a = fleet_metric_rows(&fleet_scenario_cells());
+        let b = fleet_metric_rows(&fleet_scenario_cells());
         assert_eq!(a, b, "fleet metrics are simulation outputs and must be byte-stable");
         let mixed = a
             .iter()
@@ -615,9 +589,25 @@ mod tests {
             .expect("mixed Jetson+V100 row present");
         assert!(mixed.composition.contains("Jetson"));
         assert!(mixed.warmup_ms > 0.0, "mixed row must report warm-up-trimmed percentiles");
-        let pool = a.iter().find(|r| r.name.contains("pool2")).expect("pool row present");
+        let pool = a.iter().find(|r| r.name.contains("pool2_lqd")).expect("pool row present");
         assert_eq!(pool.servers, 2);
         assert_eq!(pool.routing, "least-queue-depth");
+        // The scenario-only shapes: a mixed-variant fleet on a heterogeneous
+        // STF pool, and an adaptive fleet with an on-robot Jetson group
+        // behind a batched pool.
+        let stf = a
+            .iter()
+            .find(|r| r.name.contains("mixed_variant_stf"))
+            .expect("mixed-variant row present");
+        assert_eq!(stf.variant, "Corki-3+Corki-9");
+        assert_eq!(stf.scheduler, "stf");
+        assert_eq!((stf.servers, stf.routing.as_str()), (2, "device-affinity"));
+        let adap = a
+            .iter()
+            .find(|r| r.name.contains("adap_onrobot"))
+            .expect("adaptive on-robot row present");
+        assert_eq!(adap.variant, "3xCorki-ADAP+Corki-5");
+        assert!(adap.composition.starts_with("mix("), "{}", adap.composition);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Guard rails for the committed scenario files under
+//! `crates/bench/scenarios/`: every file must parse (strictly), validate,
+//! expand and smoke-run, stay in canonical serialization, and be wired into
+//! the bench suite — so committed specs can never rot.
+
+use corki::scenario::ScenarioSpec;
+use corki_bench::micro::FLEET_SCENARIO_SOURCES;
+use corki_system::fleet::FleetSimulator;
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn committed_scenarios() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios directory exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .map(|path| {
+            let stem = path.file_stem().expect("file stem").to_string_lossy().into_owned();
+            let json = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            (stem, json)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no committed scenarios found");
+    files
+}
+
+#[test]
+fn every_committed_scenario_parses_expands_and_smoke_runs() {
+    for (stem, json) in committed_scenarios() {
+        let spec = ScenarioSpec::from_json(&json).unwrap_or_else(|e| panic!("{stem}.json: {e}"));
+        assert_eq!(spec.name, stem, "scenario name must match its file stem");
+        let cells = spec.expand().unwrap_or_else(|e| panic!("{stem}.json does not expand: {e}"));
+        assert!(!cells.is_empty(), "{stem}.json expands to no cells");
+        for cell in &cells {
+            let outcome = FleetSimulator::new(cell.config.clone()).run();
+            assert_eq!(outcome.summary.robots, cell.robots, "{stem}.json");
+            for robot in &outcome.robots {
+                assert_eq!(robot.frames, spec.frames_per_robot, "{stem}.json");
+            }
+        }
+    }
+}
+
+#[test]
+fn committed_scenarios_are_canonical_json() {
+    for (stem, json) in committed_scenarios() {
+        let spec = ScenarioSpec::from_json(&json).unwrap_or_else(|e| panic!("{stem}.json: {e}"));
+        assert_eq!(
+            spec.to_json().trim_end(),
+            json.trim_end(),
+            "{stem}.json is not in canonical form; rewrite it with ScenarioSpec::to_json"
+        );
+    }
+}
+
+#[test]
+fn every_committed_scenario_is_wired_into_the_bench_suite() {
+    let on_disk: Vec<String> = committed_scenarios()
+        .into_iter()
+        .map(|(_, json)| ScenarioSpec::from_json(&json).expect("valid scenario").name)
+        .collect();
+    let mut baked: Vec<String> = FLEET_SCENARIO_SOURCES
+        .iter()
+        .map(|json| ScenarioSpec::from_json(json).expect("baked-in scenario parses").name)
+        .collect();
+    baked.sort();
+    assert_eq!(
+        on_disk, baked,
+        "crates/bench/scenarios/*.json and micro::FLEET_SCENARIO_SOURCES must list the same \
+         scenarios"
+    );
+}

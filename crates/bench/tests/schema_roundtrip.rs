@@ -53,3 +53,46 @@ fn fleet_outcome_json_round_trips() {
     assert_eq!(parsed.summary.robots, 4);
     assert!(!parsed.event_log.is_empty());
 }
+
+/// Every label in the committed `BENCH_fleet.json` rows must parse back
+/// through the canonical `FromStr` implementation of its axis type and
+/// re-display identically — labels cannot drift from the enum definitions
+/// because they *are* the enum definitions.
+#[test]
+fn bench_fleet_labels_round_trip_through_canonical_parsers() {
+    use corki_system::scenario::CompositionLabel;
+    use corki_system::scenario::VariantMix;
+    use corki_system::{RoutingPolicy, SchedulerKind};
+    let json = std::fs::read_to_string(workspace_file("BENCH_fleet.json")).expect("read report");
+    let report = BenchReport::from_json(&json).expect("BENCH_fleet.json parses");
+    assert!(!report.fleet_rows.is_empty());
+    for row in &report.fleet_rows {
+        let scheduler: SchedulerKind =
+            row.scheduler.parse().unwrap_or_else(|e| panic!("{}: {e}", row.name));
+        assert_eq!(scheduler.to_string(), row.scheduler, "{}", row.name);
+        let routing: RoutingPolicy =
+            row.routing.parse().unwrap_or_else(|e| panic!("{}: {e}", row.name));
+        assert_eq!(routing.to_string(), row.routing, "{}", row.name);
+        let composition: CompositionLabel =
+            row.composition.parse().unwrap_or_else(|e| panic!("{}: {e}", row.name));
+        assert_eq!(composition.to_string(), row.composition, "{}", row.name);
+        let variant: VariantMix =
+            row.variant.parse().unwrap_or_else(|e| panic!("{}: {e}", row.name));
+        assert_eq!(variant.to_string(), row.variant, "{}", row.name);
+    }
+}
+
+/// The report schema parses strictly: a typo'd or extraneous key fails
+/// loudly instead of silently deserialising with defaults.
+#[test]
+fn typod_report_keys_fail_loudly() {
+    let json = std::fs::read_to_string(workspace_file("BENCH_fleet.json")).expect("read report");
+    // A misspelled required key reads as that key missing.
+    let renamed = json.replacen("\"schema_version\"", "\"schema_versionn\"", 1);
+    let err = BenchReport::from_json(&renamed).expect_err("typo'd key must not parse");
+    assert!(err.contains("schema_version") || err.contains("unknown field"), "{err}");
+    // An extra unknown key is rejected even with every real key present.
+    let extended = json.replacen('{', "{\n  \"schema_versionn\": 3,", 1);
+    let err = BenchReport::from_json(&extended).expect_err("extra key must not parse");
+    assert!(err.contains("unknown field `schema_versionn`"), "{err}");
+}

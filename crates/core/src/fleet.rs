@@ -12,6 +12,16 @@
 //! per-robot request rate and raise the number of robots a server sustains
 //! within a latency budget.
 //!
+//! Since the `ScenarioSpec` redesign every sweep path runs through the
+//! declarative scenario layer ([`corki_system::scenario`], re-exported as
+//! [`crate::scenario`]): [`FleetExperiment`] is now a convenience *shim*
+//! that [builds a spec](FleetExperiment::to_scenario), and the sweep itself
+//! runs the spec's expanded cells ([`scenario_sweep`]).  That makes every
+//! shape a spec can describe — mixed-*variant* fleets, per-group on-robot
+//! devices, heterogeneous pools — first-class in [`FleetSweepRow`]s and the
+//! budget table, whether it came from the legacy axis lists, a committed
+//! scenario file or the `--scenario` CLI flag.
+//!
 //! Two additions beyond PR 3:
 //!
 //! * **heterogeneous axes** — [`FleetExperiment::server_counts`] sweeps the
@@ -24,13 +34,16 @@
 //!   transient.
 
 use corki_sim::evaluation::{parallel_map, run_job, session_seed, EvalConfig};
-use corki_system::fleet::{
-    fleet_robot_seed, FleetConfig, FleetSimulator, RobotCompute, SchedulerKind,
-};
-use corki_system::{InferenceModel, RoutingPolicy, Variant};
+use corki_system::fleet::{fleet_robot_seed, FleetSimulator, SchedulerKind, ServerConfig};
+use corki_system::scenario::{ConcreteScenario, ScenarioAxes, ScenarioSpec, VariantMix};
+use corki_system::{ControlBackend, InferenceModel, RoutingPolicy, Variant};
 use serde::{Deserialize, Serialize};
 
 use crate::variants::VariantSetup;
+
+/// The device-composition axis entry, now defined once in the scenario
+/// layer (kept under its historical name for the experiment shim).
+pub use corki_system::scenario::CompositionSpec as FleetComposition;
 
 /// Scale of a fleet sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,58 +74,6 @@ impl FleetScale {
     /// A minimal configuration for CI and integration tests.
     pub fn smoke() -> Self {
         FleetScale { robot_counts: vec![1, 8], frames_per_robot: 60, seed: 2024, warmup_ms: 250.0 }
-    }
-}
-
-/// Device composition of one swept fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum FleetComposition {
-    /// Every robot offloads inference to the server pool (the PR 3 shape).
-    Homogeneous,
-    /// Every `period`-th robot (indices where `index % period == period-1`)
-    /// carries its own on-robot inference device and bypasses the uplink
-    /// and the pool; the rest offload.
-    MixedOnRobot {
-        /// Device/precision model of the on-robot boards.
-        on_robot: InferenceModel,
-        /// One robot in `period` runs on-robot (clamped to at least 2).
-        period: usize,
-    },
-}
-
-impl FleetComposition {
-    /// The paper-flavoured mixed fleet: every second robot is a Jetson Orin
-    /// 32GB board running fp16 on-robot, the rest offload to the pool.
-    pub fn jetson_every_second() -> Self {
-        FleetComposition::MixedOnRobot {
-            on_robot: InferenceModel::new(
-                corki_system::InferenceDevice::JetsonOrin32Gb,
-                corki_system::DataRepresentation::Float16,
-            ),
-            period: 2,
-        }
-    }
-
-    /// A stable label used in result tables.
-    pub fn label(&self) -> String {
-        match self {
-            FleetComposition::Homogeneous => "offloaded".to_owned(),
-            FleetComposition::MixedOnRobot { on_robot, period } => {
-                format!("mix({} 1/{})", on_robot.device, period.max(&2))
-            }
-        }
-    }
-
-    /// Applies the composition to a fleet configuration.
-    pub fn apply(&self, config: &mut FleetConfig) {
-        if let FleetComposition::MixedOnRobot { on_robot, period } = self {
-            let period = (*period).max(2);
-            for (index, robot) in config.robots.iter_mut().enumerate() {
-                if index % period == period - 1 {
-                    robot.compute = RobotCompute::OnRobot(*on_robot);
-                }
-            }
-        }
     }
 }
 
@@ -178,6 +139,33 @@ impl FleetExperiment {
             vec![FleetComposition::Homogeneous, FleetComposition::jetson_every_second()];
         experiment
     }
+
+    /// Lowers the experiment's axis lists into one declarative
+    /// [`ScenarioSpec`] — the shim behind the legacy sweep API and the
+    /// legacy CLI flags.  The spec expands into the exact cells (and the
+    /// exact [`corki_system::FleetConfig`]s) the pre-scenario sweep built,
+    /// so rows are byte-identical to the old code path.
+    pub fn to_scenario(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "fleet-experiment".to_owned(),
+            seed: self.scale.seed,
+            frames_per_robot: self.scale.frames_per_robot,
+            warmup_ms: self.scale.warmup_ms,
+            routing: self.routing,
+            control_backend: ControlBackend::PerRobot,
+            robots: Vec::new(),
+            servers: vec![ServerConfig::new(InferenceModel::default(), SchedulerKind::Fifo)],
+            adaptive_lengths: self.adaptive_lengths.clone().filter(|lengths| !lengths.is_empty()),
+            latency_budget_ms: self.latency_budget_ms,
+            axes: ScenarioAxes {
+                robot_counts: self.scale.robot_counts.clone(),
+                variants: self.variants.iter().cloned().map(VariantMix::uniform).collect(),
+                schedulers: self.schedulers.clone(),
+                server_counts: self.server_counts.clone(),
+                compositions: self.compositions.clone(),
+            },
+        }
+    }
 }
 
 /// One cell of the fleet sweep.
@@ -224,47 +212,53 @@ pub fn fleet_sweep(experiment: &FleetExperiment) -> Vec<FleetSweepRow> {
     fleet_sweep_with_jobs(experiment, cores)
 }
 
-/// One sweep cell: pool size, composition, scheduler, variant, fleet size.
-type SweepCell = (usize, FleetComposition, SchedulerKind, Variant, usize);
-
 /// [`fleet_sweep`] with an explicit worker count (`1` runs sequentially).
+///
+/// The experiment is lowered to a [`ScenarioSpec`] first
+/// ([`FleetExperiment::to_scenario`]) and its expanded cells are run by
+/// [`scenario_sweep_with_jobs`] — the legacy axis lists are a shim over the
+/// declarative scenario layer.
 pub fn fleet_sweep_with_jobs(experiment: &FleetExperiment, jobs: usize) -> Vec<FleetSweepRow> {
-    let mut cells: Vec<SweepCell> = Vec::new();
-    for &servers in &experiment.server_counts {
-        for composition in &experiment.compositions {
-            for scheduler in &experiment.schedulers {
-                for variant in &experiment.variants {
-                    for &robots in &experiment.scale.robot_counts {
-                        cells.push((servers, *composition, *scheduler, variant.clone(), robots));
-                    }
-                }
-            }
-        }
+    // The legacy API multiplies its axis lists, so any empty list means an
+    // empty sweep (a spec would instead fall back to its base value).
+    if experiment.scale.robot_counts.is_empty()
+        || experiment.variants.is_empty()
+        || experiment.schedulers.is_empty()
+        || experiment.server_counts.is_empty()
+        || experiment.compositions.is_empty()
+    {
+        return Vec::new();
     }
-    let run_cell = |(servers, composition, scheduler, variant, robots): &SweepCell| {
-        let mut config =
-            FleetConfig::paper_defaults(variant.clone(), *robots, experiment.scale.seed)
-                .with_pool(*servers);
-        config.frames_per_robot = experiment.scale.frames_per_robot;
-        config.set_scheduler(*scheduler);
-        config.routing = experiment.routing;
-        config.warmup_ms = experiment.scale.warmup_ms;
-        composition.apply(&mut config);
-        if let Some(lengths) = &experiment.adaptive_lengths {
-            if !lengths.is_empty() {
-                config.adaptive_lengths = lengths.clone();
-            }
-        }
-        let summary = FleetSimulator::new(config).run().summary;
+    let cells = experiment
+        .to_scenario()
+        .expand()
+        .expect("FleetExperiment axis lists always lower to a valid scenario");
+    scenario_sweep_with_jobs(&cells, jobs)
+}
+
+/// Runs expanded scenario cells, fanning them out over all cores.
+pub fn scenario_sweep(cells: &[ConcreteScenario]) -> Vec<FleetSweepRow> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    scenario_sweep_with_jobs(cells, cores)
+}
+
+/// [`scenario_sweep`] with an explicit worker count (`1` runs sequentially).
+///
+/// Rows are assembled in cell order and are byte-identical for every job
+/// count; their labels come from the cells, which derive them from the one
+/// canonical `Display` implementation per axis type.
+pub fn scenario_sweep_with_jobs(cells: &[ConcreteScenario], jobs: usize) -> Vec<FleetSweepRow> {
+    let run_cell = |cell: &ConcreteScenario| {
+        let summary = FleetSimulator::new(cell.config.clone()).run().summary;
         FleetSweepRow {
-            robots: *robots,
-            servers: *servers,
-            variant: variant.name(),
-            scheduler: summary.scheduler.clone(),
-            routing: summary.routing.clone(),
-            composition: composition.label(),
+            robots: cell.robots,
+            servers: cell.servers,
+            variant: cell.variant_label.clone(),
+            scheduler: cell.scheduler_label.clone(),
+            routing: cell.routing_label.clone(),
+            composition: cell.composition_label.clone(),
             throughput_steps_per_s: summary.throughput_steps_per_s,
-            per_robot_rate_hz: summary.throughput_steps_per_s / *robots as f64,
+            per_robot_rate_hz: summary.throughput_steps_per_s / cell.robots as f64,
             mean_plan_latency_ms: summary.mean_plan_latency_ms,
             p99_plan_latency_ms: summary.p99_plan_latency_ms,
             mean_queue_delay_ms: summary.mean_queue_delay_ms,
@@ -273,7 +267,7 @@ pub fn fleet_sweep_with_jobs(experiment: &FleetExperiment, jobs: usize) -> Vec<F
             mean_batch_size: summary.mean_batch_size,
         }
     };
-    parallel_map(&cells, |_, cell| run_cell(cell), jobs)
+    parallel_map(cells, |_, cell| run_cell(cell), jobs)
 }
 
 /// Robots-per-pool at a latency budget: for one variant × scheduler × pool
@@ -363,6 +357,8 @@ pub fn robot_seeds(seed: u64, robots: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use corki_system::fleet::{FleetConfig, RobotCompute};
+    use corki_system::ScenarioBuilder;
 
     fn smoke_experiment() -> FleetExperiment {
         FleetExperiment::paper_defaults(FleetScale::smoke())
@@ -504,6 +500,119 @@ mod tests {
         let json = serde_json::to_string(&rows).unwrap();
         let parsed: Vec<FleetSweepRow> = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, rows);
+    }
+
+    /// The scenario shim must reproduce the pre-redesign sweep exactly: this
+    /// re-implements the historical cell construction inline and compares
+    /// the rows byte for byte, heterogeneous axes included.
+    #[test]
+    fn scenario_shim_rows_are_byte_identical_to_the_legacy_sweep() {
+        let experiment = FleetExperiment::heterogeneous(FleetScale::smoke());
+        let mut legacy: Vec<FleetSweepRow> = Vec::new();
+        for &servers in &experiment.server_counts {
+            for composition in &experiment.compositions {
+                for scheduler in &experiment.schedulers {
+                    for variant in &experiment.variants {
+                        for &robots in &experiment.scale.robot_counts {
+                            let mut config = FleetConfig::paper_defaults(
+                                variant.clone(),
+                                robots,
+                                experiment.scale.seed,
+                            )
+                            .with_pool(servers);
+                            config.frames_per_robot = experiment.scale.frames_per_robot;
+                            config.set_scheduler(*scheduler);
+                            config.routing = experiment.routing;
+                            config.warmup_ms = experiment.scale.warmup_ms;
+                            composition.apply(&mut config);
+                            let summary = FleetSimulator::new(config).run().summary;
+                            legacy.push(FleetSweepRow {
+                                robots,
+                                servers,
+                                variant: variant.name(),
+                                scheduler: summary.scheduler.clone(),
+                                routing: summary.routing.clone(),
+                                composition: composition.label(),
+                                throughput_steps_per_s: summary.throughput_steps_per_s,
+                                per_robot_rate_hz: summary.throughput_steps_per_s / robots as f64,
+                                mean_plan_latency_ms: summary.mean_plan_latency_ms,
+                                p99_plan_latency_ms: summary.p99_plan_latency_ms,
+                                mean_queue_delay_ms: summary.mean_queue_delay_ms,
+                                p99_queue_delay_ms: summary.p99_queue_delay_ms,
+                                server_utilization: summary.server_utilization,
+                                mean_batch_size: summary.mean_batch_size,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let rows = fleet_sweep_with_jobs(&experiment, 1);
+        assert_eq!(
+            serde_json::to_string(&rows).unwrap(),
+            serde_json::to_string(&legacy).unwrap(),
+            "the scenario shim changed the sweep"
+        );
+    }
+
+    /// Cell labels are derived once in the scenario layer; the engine's own
+    /// summary labels must agree with them.
+    #[test]
+    fn cell_labels_agree_with_engine_summaries() {
+        let cells = smoke_experiment().to_scenario().expand().expect("valid scenario");
+        for cell in &cells {
+            let summary = FleetSimulator::new(cell.config.clone()).run().summary;
+            assert_eq!(summary.scheduler, cell.scheduler_label);
+            assert_eq!(summary.routing, cell.routing_label);
+            assert_eq!(summary.robots, cell.robots);
+            assert_eq!(summary.servers, cell.servers);
+        }
+    }
+
+    /// The ROADMAP's mixed-variant item: a Corki-3 + Corki-9 fleet expressed
+    /// purely as a scenario appears in sweep rows and the budget table,
+    /// keyed by its own variant-mix label.
+    #[test]
+    fn mixed_variant_scenario_reaches_rows_and_budget_table() {
+        let spec = ScenarioBuilder::new("mixed-variant")
+            .seed(2024)
+            .frames_per_robot(60)
+            .warmup_ms(250.0)
+            .group(Variant::CorkiFixed(3), 1)
+            .group(Variant::CorkiFixed(9), 1)
+            .default_servers(1, SchedulerKind::Fifo)
+            .robot_counts(vec![2, 8])
+            .build()
+            .expect("mixed-variant spec is valid");
+        let cells = spec.expand().expect("expands");
+        let rows = scenario_sweep_with_jobs(&cells, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.variant, "Corki-3+Corki-9");
+            assert!(row.throughput_steps_per_s > 0.0);
+        }
+        // Half the fleet runs each variant.
+        let robots = &cells[1].config.robots;
+        let corki3 = robots.iter().filter(|r| r.variant == Variant::CorkiFixed(3)).count();
+        assert_eq!((corki3, robots.len()), (4, 8));
+        let budget = robots_within_budget(&rows, spec.latency_budget_ms);
+        assert_eq!(budget.len(), 1);
+        assert_eq!(budget[0].variant, "Corki-3+Corki-9");
+        assert!(
+            budget[0].max_robots >= 2,
+            "a small mixed Corki-3/9 fleet must fit a 400 ms p99, got {}",
+            budget[0].max_robots
+        );
+    }
+
+    #[test]
+    fn empty_axis_lists_keep_producing_an_empty_legacy_sweep() {
+        let mut experiment = smoke_experiment();
+        experiment.variants.clear();
+        assert!(fleet_sweep_with_jobs(&experiment, 1).is_empty());
+        let mut experiment = smoke_experiment();
+        experiment.scale.robot_counts.clear();
+        assert!(fleet_sweep_with_jobs(&experiment, 1).is_empty());
     }
 
     #[test]

@@ -31,9 +31,16 @@ pub mod experiments;
 pub mod fleet;
 mod variants;
 
+/// The declarative scenario layer: one serializable [`scenario::ScenarioSpec`]
+/// describes a whole fleet experiment (robot groups, server pool, routing,
+/// sweep axes) and expands into runnable cells.  Defined in `corki_system`
+/// and re-exported here as the facade's experiment-description API.
+pub use corki_system::scenario;
+
 pub use corki_system::{
     DataRepresentation, InferenceDevice, InferenceModel, RoutingPolicy, SchedulerKind, Variant,
 };
+pub use scenario::{ScenarioBuilder, ScenarioError, ScenarioSpec};
 pub use variants::VariantSetup;
 
 // Re-export the sub-crates so downstream users need a single dependency.

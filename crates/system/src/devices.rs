@@ -23,7 +23,11 @@ const CONTROL_SHARE: f64 = 0.099;
 const COMMUNICATION_SHARE: f64 = 0.174;
 
 /// The GPUs/CPUs the paper evaluates LLM inference on (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as its canonical table name (`"Jetson Orin 32GB"`, …) and
+/// deserializes through [`FromStr`], aliases included — scenario files use
+/// the same names the result tables print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InferenceDevice {
     /// NVIDIA V100 — the device used for the main results.
     V100,
@@ -116,6 +120,20 @@ impl FromStr for InferenceDevice {
     }
 }
 
+impl Serialize for InferenceDevice {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for InferenceDevice {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name =
+            value.as_str().ok_or_else(|| serde::Error::custom("expected inference device name"))?;
+        name.parse().map_err(serde::Error::custom)
+    }
+}
+
 /// Lower-cases and strips the separators tolerated by this crate's name
 /// parsers (devices, representations and routing policies).
 pub(crate) fn normalize(s: &str) -> String {
@@ -127,7 +145,11 @@ pub(crate) fn normalize(s: &str) -> String {
 }
 
 /// The numeric precision of the deployed model (Table 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as its canonical table name (`"16-bit Float"`, …) and
+/// deserializes through [`FromStr`], so the usual `fp16`/`int8` aliases are
+/// accepted in scenario files too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataRepresentation {
     /// 32-bit floating point (the paper's default).
     Float32,
@@ -157,6 +179,17 @@ impl DataRepresentation {
             DataRepresentation::Float32 => "32-bit Float",
             DataRepresentation::Float16 => "16-bit Float",
             DataRepresentation::Int8 => "8-bit Int",
+        }
+    }
+
+    /// The canonical short token used inside compact labels (e.g. the fleet
+    /// composition label `mix(Jetson Orin 32GB fp16 1/2)`); every token is
+    /// accepted back by [`FromStr`].
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DataRepresentation::Float32 => "fp32",
+            DataRepresentation::Float16 => "fp16",
+            DataRepresentation::Int8 => "int8",
         }
     }
 }
@@ -199,8 +232,24 @@ impl FromStr for DataRepresentation {
     }
 }
 
+impl Serialize for DataRepresentation {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for DataRepresentation {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name = value
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected data representation name"))?;
+        name.parse().map_err(serde::Error::custom)
+    }
+}
+
 /// The LLM inference latency/energy model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct InferenceModel {
     /// Device the model runs on.
     pub device: InferenceDevice,
@@ -360,6 +409,29 @@ mod tests {
         assert_eq!("INT8".parse::<DataRepresentation>().unwrap(), DataRepresentation::Int8);
         assert_eq!("f32".parse::<DataRepresentation>().unwrap(), DataRepresentation::Float32);
         assert!("4-bit Int".parse::<DataRepresentation>().is_err());
+    }
+
+    #[test]
+    fn device_and_representation_serde_use_canonical_names() {
+        use serde::{Deserialize, Serialize, Value};
+        for device in InferenceDevice::ALL {
+            assert_eq!(device.to_value(), Value::String(device.name().to_owned()));
+            assert_eq!(InferenceDevice::from_value(&device.to_value()).unwrap(), device);
+        }
+        for representation in DataRepresentation::ALL {
+            assert_eq!(representation.to_value(), Value::String(representation.name().to_owned()));
+            assert_eq!(
+                DataRepresentation::from_value(&representation.to_value()).unwrap(),
+                representation
+            );
+            // The compact label token parses back to the same representation.
+            assert_eq!(
+                representation.short_name().parse::<DataRepresentation>().unwrap(),
+                representation
+            );
+        }
+        assert!(InferenceDevice::from_value(&Value::String("TPUv4".into())).is_err());
+        assert!(DataRepresentation::from_value(&Value::Number(8.0)).is_err());
     }
 
     #[test]

@@ -67,15 +67,11 @@ pub enum SchedulerKind {
 }
 
 impl SchedulerKind {
-    /// A stable short name used in result tables.
+    /// A stable short name used in result tables (same as
+    /// [`Display`](std::fmt::Display)): `fifo`, `batch<max>-<timeout>ms` or
+    /// `stf`.
     pub fn name(&self) -> String {
-        match self {
-            SchedulerKind::Fifo => "fifo".to_owned(),
-            SchedulerKind::DynamicBatch { max_batch, timeout_ms } => {
-                format!("batch{max_batch}-{timeout_ms:.0}ms")
-            }
-            SchedulerKind::ShortestTrajectoryFirst => "stf".to_owned(),
-        }
+        self.to_string()
     }
 
     /// Builds the scheduler implementation.
@@ -89,6 +85,67 @@ impl SchedulerKind {
                 Box::new(ShortestTrajectoryFirstScheduler::default())
             }
         }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::Fifo => f.write_str("fifo"),
+            SchedulerKind::DynamicBatch { max_batch, timeout_ms } => {
+                // Integral timeouts keep the historical `batch8-15ms` form;
+                // fractional ones print exactly so two distinct schedulers
+                // never share a label (and the label parses back losslessly).
+                if timeout_ms.fract() == 0.0 {
+                    write!(f, "batch{max_batch}-{timeout_ms:.0}ms")
+                } else {
+                    write!(f, "batch{max_batch}-{timeout_ms}ms")
+                }
+            }
+            SchedulerKind::ShortestTrajectoryFirst => f.write_str("stf"),
+        }
+    }
+}
+
+/// Error produced when parsing an unknown batch-scheduler label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchedulerKindError(String);
+
+impl std::fmt::Display for ParseSchedulerKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown batch scheduler `{}` (expected fifo, stf or batch<max>-<timeout>ms)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSchedulerKindError {}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = ParseSchedulerKindError;
+
+    /// Parses the canonical table labels case-insensitively: `fifo`, `stf`
+    /// (or `shortest-trajectory-first`) and `batch<max>-<timeout>ms`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.trim().to_ascii_lowercase();
+        match normalized.as_str() {
+            "fifo" => return Ok(SchedulerKind::Fifo),
+            "stf" | "shortest-trajectory-first" | "shortesttrajectoryfirst" => {
+                return Ok(SchedulerKind::ShortestTrajectoryFirst)
+            }
+            _ => {}
+        }
+        let parse_batch = || {
+            let body = normalized.strip_prefix("batch")?.strip_suffix("ms")?;
+            let (max_batch, timeout) = body.split_once('-')?;
+            let max_batch: usize = max_batch.parse().ok()?;
+            let timeout_ms: f64 = timeout.parse().ok()?;
+            (max_batch >= 1 && timeout_ms.is_finite() && timeout_ms >= 0.0)
+                .then_some(SchedulerKind::DynamicBatch { max_batch, timeout_ms })
+        };
+        parse_batch().ok_or_else(|| ParseSchedulerKindError(s.to_owned()))
     }
 }
 
@@ -267,6 +324,7 @@ pub struct RobotConfig {
 /// One inference server of the pool: its own device/precision model and its
 /// own batching discipline in front of its own queue.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct ServerConfig {
     /// Device/precision model this server runs inference on.
     pub inference: InferenceModel,
@@ -1373,6 +1431,30 @@ mod tests {
         // transient is excluded.
         assert_ne!(warm.p99_plan_latency_ms, cold.p99_plan_latency_ms);
         assert!(warm.p99_plan_latency_ms.is_finite() && warm.p99_plan_latency_ms >= 0.0);
+    }
+
+    #[test]
+    fn scheduler_labels_round_trip_through_parsing() {
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::ShortestTrajectoryFirst,
+            SchedulerKind::DynamicBatch { max_batch: 8, timeout_ms: 15.0 },
+            SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 30.0 },
+            SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.4 },
+        ] {
+            let label = kind.name();
+            let parsed: SchedulerKind = label.parse().expect("canonical label parses");
+            assert_eq!(parsed, kind, "label `{label}`");
+            assert_eq!(parsed.to_string(), label);
+        }
+        assert_eq!("FIFO".parse::<SchedulerKind>().unwrap(), SchedulerKind::Fifo);
+        assert_eq!(
+            "shortest-trajectory-first".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::ShortestTrajectoryFirst
+        );
+        for broken in ["", "batch-15ms", "batch0-15ms", "batch4-xms", "lifo"] {
+            assert!(broken.parse::<SchedulerKind>().is_err(), "`{broken}` must not parse");
+        }
     }
 
     #[test]

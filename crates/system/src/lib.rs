@@ -35,6 +35,7 @@ mod devices;
 pub mod fleet;
 mod pipeline;
 pub mod routing;
+pub mod scenario;
 mod variant;
 
 pub use devices::{
@@ -43,12 +44,16 @@ pub use devices::{
 };
 pub use fleet::{
     BatchScheduler, ControlBackend, EventRecord, FleetConfig, FleetOutcome, FleetSimulator,
-    FleetSummary, PendingRequest, RobotCompute, RobotConfig, RobotOutcome, SchedulerKind,
-    ServerConfig,
+    FleetSummary, ParseSchedulerKindError, PendingRequest, RobotCompute, RobotConfig, RobotOutcome,
+    SchedulerKind, ServerConfig,
 };
 pub use pipeline::{
     mean, percentile, ExecutionStats, FrameKind, FrameTrace, PipelineConfig, PipelineSimulator,
     PipelineSummary, StepsTakenModel,
 };
 pub use routing::{ParseRoutingPolicyError, Router, RoutingPolicy, ServerSnapshot};
+pub use scenario::{
+    CompositionLabel, CompositionSpec, ConcreteScenario, ScenarioAxes, ScenarioBuilder,
+    ScenarioError, ScenarioSpec,
+};
 pub use variant::{ParseVariantError, Variant};

@@ -30,7 +30,10 @@ use std::fmt;
 use std::str::FromStr;
 
 /// How offloaded inference requests are spread over the server pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializes as its canonical table name (`"round-robin"`, …) and
+/// deserializes through [`FromStr`], aliases included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoutingPolicy {
     /// Cycle through servers in arrival order.
     RoundRobin,
@@ -91,6 +94,20 @@ impl FromStr for RoutingPolicy {
             "deviceaffinity" | "affinity" => Ok(RoutingPolicy::DeviceAffinity),
             _ => Err(ParseRoutingPolicyError(s.to_owned())),
         }
+    }
+}
+
+impl Serialize for RoutingPolicy {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for RoutingPolicy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name =
+            value.as_str().ok_or_else(|| serde::Error::custom("expected routing policy name"))?;
+        name.parse().map_err(serde::Error::custom)
     }
 }
 

@@ -1,13 +1,17 @@
 //! The paper's policy/execution variant lineup — the single canonical
 //! definition shared by the system runtime, the `corki` facade and the
 //! experiments CLI.
+//!
+//! `Variant` serializes as its canonical table name (`"Corki-3"`,
+//! `"Corki-ADAP"`, …) and deserializes through [`FromStr`], so scenario
+//! files, result rows and CLI flags all speak the same label language.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// The policy/execution variants evaluated in the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Variant {
     /// The RoboFlamingo baseline: one inference, one control step and one
     /// frame upload per camera frame.
@@ -100,6 +104,19 @@ impl FromStr for Variant {
     }
 }
 
+impl Serialize for Variant {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name())
+    }
+}
+
+impl Deserialize for Variant {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name = value.as_str().ok_or_else(|| serde::Error::custom("expected variant name"))?;
+        name.parse().map_err(serde::Error::custom)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +162,17 @@ mod tests {
         assert!("".parse::<Variant>().is_err());
         let err = "what".parse::<Variant>().unwrap_err();
         assert!(err.to_string().contains("what"));
+    }
+
+    #[test]
+    fn serde_uses_the_canonical_names() {
+        for variant in Variant::paper_lineup() {
+            let value = variant.to_value();
+            assert_eq!(value, serde::Value::String(variant.name()));
+            assert_eq!(Variant::from_value(&value).unwrap(), variant);
+        }
+        assert!(Variant::from_value(&serde::Value::String("Corki-0".into())).is_err());
+        assert!(Variant::from_value(&serde::Value::Number(3.0)).is_err());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! The derive macros (re-exported from `serde_derive`) understand plain
 //! structs, tuple structs and enums with unit/tuple/struct variants, plus the
 //! `#[serde(skip)]` field attribute (skipped fields are restored with
-//! [`Default`]). That is exactly the surface the workspace relies on.
+//! [`Default`]) and the `#[serde(deny_unknown_fields)]` container attribute
+//! (deserialization rejects undeclared keys). That is exactly the surface
+//! the workspace relies on.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;

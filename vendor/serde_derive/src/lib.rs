@@ -6,7 +6,9 @@
 //! exactly what this workspace derives on:
 //!
 //! * structs with named fields (including `#[serde(skip)]` fields, restored
-//!   via `Default` on deserialization),
+//!   via `Default` on deserialization, and the container-level
+//!   `#[serde(deny_unknown_fields)]` attribute, which makes deserialization
+//!   reject objects carrying keys the struct does not declare),
 //! * tuple structs (newtypes serialize transparently, wider tuples as
 //!   arrays),
 //! * unit structs,
@@ -47,7 +49,7 @@ enum VariantKind {
 /// Derives `serde::Serialize` (the vendored trait) for the annotated item.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let (name, shape) = parse_item(input);
+    let (name, shape, _deny_unknown_fields) = parse_item(input);
     let body = match &shape {
         Shape::Named(fields) => {
             let mut s = String::from("let mut map = ::serde::Map::new();\n");
@@ -132,13 +134,30 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 /// Derives `serde::Deserialize` (the vendored trait) for the annotated item.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, shape) = parse_item(input);
+    let (name, shape, deny_unknown_fields) = parse_item(input);
     let body = match &shape {
         Shape::Named(fields) => {
             let mut s = format!(
                 "let map = value.as_object().ok_or_else(|| \
                  ::serde::Error::custom(\"expected object for struct {name}\"))?;\n"
             );
+            if deny_unknown_fields {
+                // Declared names (skipped fields included) are the only keys
+                // tolerated; anything else is a loud error instead of a
+                // silently ignored typo.
+                let known: Vec<String> = fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+                let arms = if known.is_empty() {
+                    String::new()
+                } else {
+                    format!("{} => {{}}\n", known.join(" | "))
+                };
+                s.push_str(&format!(
+                    "for key in map.keys() {{\n\
+                     match key.as_str() {{\n{arms}\
+                     other => return Err(::serde::Error::custom(format!(\
+                     \"unknown field `{{other}}` of struct {name}\"))),\n}}\n}}\n"
+                ));
+            }
             s.push_str(&format!("Ok({name} {{\n"));
             for f in fields {
                 if f.skip {
@@ -249,14 +268,22 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // Parsing
 // ---------------------------------------------------------------------------
 
-fn parse_item(input: TokenStream) -> (String, Shape) {
+fn parse_item(input: TokenStream) -> (String, Shape, bool) {
     let mut iter = input.into_iter().peekable();
-    // Skip outer attributes and visibility.
+    let mut deny_unknown_fields = false;
+    // Skip outer attributes and visibility, remembering the container-level
+    // serde attributes this derive understands.
     loop {
         match iter.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 iter.next();
-                iter.next(); // the [...] group
+                if let Some(TokenTree::Group(group)) = iter.next() {
+                    if serde_attribute_body(&group)
+                        .is_some_and(|body| body.contains("deny_unknown_fields"))
+                    {
+                        deny_unknown_fields = true;
+                    }
+                }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                 iter.next();
@@ -285,21 +312,41 @@ fn parse_item(input: TokenStream) -> (String, Shape) {
     match kind.as_str() {
         "struct" => match iter.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                (name, Shape::Named(parse_named_fields(g.stream())))
+                (name, Shape::Named(parse_named_fields(g.stream())), deny_unknown_fields)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                (name, Shape::Tuple(parse_tuple_fields(g.stream())))
+                (name, Shape::Tuple(parse_tuple_fields(g.stream())), deny_unknown_fields)
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::Unit),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                (name, Shape::Unit, deny_unknown_fields)
+            }
             other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
         },
         "enum" => match iter.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                (name, Shape::Enum(parse_variants(g.stream())))
+                (name, Shape::Enum(parse_variants(g.stream())), deny_unknown_fields)
             }
             other => panic!("serde_derive: unexpected enum body for `{name}`: {other:?}"),
         },
         other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Returns the whitespace-stripped body of a `serde(...)` attribute, given
+/// the bracket group of `#[...]`, or `None` for any other attribute (doc
+/// comments lower to `#[doc = "..."]`, so mentioning a serde attribute in
+/// documentation must not trigger it).
+fn serde_attribute_body(group: &proc_macro::Group) -> Option<String> {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return None,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            Some(args.stream().to_string().chars().filter(|c| !c.is_whitespace()).collect())
+        }
+        _ => None,
     }
 }
 
@@ -312,8 +359,7 @@ fn eat_attributes(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoI
         }
         iter.next();
         if let Some(TokenTree::Group(g)) = iter.next() {
-            let text: String = g.to_string().chars().filter(|c| !c.is_whitespace()).collect();
-            if text.contains("serde(skip") {
+            if serde_attribute_body(&g).is_some_and(|body| body.starts_with("skip")) {
                 skip = true;
             }
         }
