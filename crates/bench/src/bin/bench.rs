@@ -16,6 +16,10 @@
 //! * `--check <path>` — only validate an existing report against the schema;
 //! * `--compare <baseline>` — after running, print per-benchmark deltas
 //!   against a previously committed report (e.g. `BENCH_baseline.json`).
+//!   Deterministic fleet rows are compared by content: the `scenario_hash`
+//!   provenance fingerprint distinguishes an edited scenario (hashes differ,
+//!   metrics not comparable) from an engine regression (same scenario,
+//!   different metrics).
 
 use corki_bench::micro::{run_suite_filtered, BenchReport, RunnerConfig};
 
@@ -100,6 +104,22 @@ fn main() {
                     100.0 * (bench.median_ns - base.median_ns) / base.median_ns
                 ),
                 None => println!("  {:<44} (not in baseline)", bench.name),
+            }
+        }
+        for row in &report.fleet_rows {
+            match baseline.fleet_rows.iter().find(|b| b.name == row.name) {
+                None => println!("  {:<44} (not in baseline)", row.name),
+                Some(base) if base.scenario_hash != row.scenario_hash => println!(
+                    "  {:<44} scenario edited ({} -> {}); metrics not comparable",
+                    row.name, base.scenario_hash, row.scenario_hash
+                ),
+                Some(base) if base == row => {
+                    println!("  {:<44} deterministic metrics unchanged", row.name);
+                }
+                Some(_) => println!(
+                    "  {:<44} ENGINE REGRESSION: same scenario hash, different metrics",
+                    row.name
+                ),
             }
         }
     }

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! experiments [--full | --smoke] [--json <path>] [--servers <n>]
-//!             [--routing <policy>] [--scenario <file.json>] [name ...]
+//!             [--routing <policy>] [--scenario <file.json>] [--shards <k>]
+//!             [name ...]
 //! ```
 //!
 //! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
@@ -18,7 +19,14 @@
 //! * `--scenario <file.json>` runs a spec file (e.g. one of the committed
 //!   examples under `crates/bench/scenarios/`) — robot groups, server pool,
 //!   routing and sweep axes all come from the file; the flag selects the
-//!   `fleet` experiment by itself when no names are given;
+//!   `fleet` experiment by itself when no names are given.  Combined with
+//!   `--smoke`, the expanded cells are scaled down to a CI footprint (at
+//!   most 64 robots and 30 frames each) while keeping the pool, routing and
+//!   shard knob — so a committed 10k-robot scenario smoke-tests the exact
+//!   code paths of the full run;
+//! * `--shards <k>` overrides the engine shard count of every fleet cell
+//!   (results are shard-count invariant by contract; the knob only changes
+//!   how the work is executed);
 //! * without it, the legacy flags build the spec: `--servers <n>` pins the
 //!   pool to exactly `n` servers and `--routing <policy>` (round-robin |
 //!   least-queue-depth | device-affinity, or the aliases rr/lqd/affinity)
@@ -45,6 +53,7 @@ fn main() {
     let mut json_path = None;
     let mut servers_override: Option<usize> = None;
     let mut routing_override: Option<RoutingPolicy> = None;
+    let mut shards_override: Option<usize> = None;
     let mut scenario_path: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
@@ -89,6 +98,13 @@ fn main() {
                 Some(path) => scenario_path = Some(path),
                 None => {
                     eprintln!("error: --scenario requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--shards" => match raw.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(k)) if k >= 1 => shards_override = Some(k),
+                _ => {
+                    eprintln!("error: --shards requires a positive integer argument");
                     std::process::exit(2);
                 }
             },
@@ -390,54 +406,68 @@ fn main() {
 
     if wants("fleet") {
         println!("== Fleet serving: robots × variant × scheduler × pool × composition sweep ==");
-        let (rows, latency_budget_ms): (Vec<FleetSweepRow>, f64) =
-            if let Some(path) = &scenario_path {
-                // A declarative scenario file fully describes the experiment.
-                let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("error: cannot read scenario {path}: {e}");
-                    std::process::exit(2);
-                });
-                let spec = ScenarioSpec::from_json(&json).unwrap_or_else(|e| {
-                    eprintln!("error: {path}: {e}");
-                    std::process::exit(2);
-                });
-                let cells = spec.expand().unwrap_or_else(|e| {
-                    eprintln!("error: {path}: {e}");
-                    std::process::exit(2);
-                });
-                println!(
-                "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {:.0} ms warm-up",
+        let (rows, latency_budget_ms): (Vec<FleetSweepRow>, f64) = if let Some(path) =
+            &scenario_path
+        {
+            // A declarative scenario file fully describes the experiment.
+            let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read scenario {path}: {e}");
+                std::process::exit(2);
+            });
+            let spec = ScenarioSpec::from_json(&json).unwrap_or_else(|e| {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            });
+            let mut cells = spec.expand().unwrap_or_else(|e| {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            });
+            if smoke {
+                // CI footprint: keep the pool/routing/shard shape of the
+                // committed scenario, shrink the fleet and the horizon.
+                cells = corki::fleet::smoke_scale_cells(cells, 64, 30);
+                println!("(smoke: cells scaled down to at most 64 robots x 30 frames)");
+            }
+            if let Some(shards) = shards_override {
+                for cell in &mut cells {
+                    cell.shards = shards;
+                }
+            }
+            let shards_label = cells.first().map_or(1, |cell| cell.shards);
+            println!(
+                "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {:.0} ms warm-up, {} shard(s)",
                 spec.name,
                 cells.len(),
                 spec.frames_per_robot,
                 spec.seed,
                 spec.routing,
-                spec.warmup_ms
+                spec.warmup_ms,
+                shards_label
             );
-                (corki::fleet::scenario_sweep(&cells), spec.latency_budget_ms)
+            (corki::fleet::scenario_sweep(&cells), spec.latency_budget_ms)
+        } else {
+            // Legacy flags: build the same experiment shim as before (it
+            // lowers to a ScenarioSpec internally, so both paths run the
+            // identical machinery).  Smoke runs keep the fast single-server
+            // homogeneous sweep; full runs walk the heterogeneous
+            // pool/composition axes too.
+            let mut experiment = if smoke {
+                FleetExperiment::paper_defaults(fleet_scale)
             } else {
-                // Legacy flags: build the same experiment shim as before (it
-                // lowers to a ScenarioSpec internally, so both paths run the
-                // identical machinery).  Smoke runs keep the fast single-server
-                // homogeneous sweep; full runs walk the heterogeneous
-                // pool/composition axes too.
-                let mut experiment = if smoke {
-                    FleetExperiment::paper_defaults(fleet_scale)
-                } else {
-                    FleetExperiment::heterogeneous(fleet_scale)
-                };
-                if let Some(servers) = servers_override {
-                    experiment.server_counts = vec![servers];
-                }
-                if let Some(routing) = routing_override {
-                    experiment.routing = routing;
-                }
-                if !smoke {
-                    // Feed the serving sweep the executed lengths that
-                    // Corki-ADAP actually produced in the simulator rollouts.
-                    experiment.adaptive_lengths = Some(measured_adaptive_lengths(3, scale.seed));
-                }
-                println!(
+                FleetExperiment::heterogeneous(fleet_scale)
+            };
+            if let Some(servers) = servers_override {
+                experiment.server_counts = vec![servers];
+            }
+            if let Some(routing) = routing_override {
+                experiment.routing = routing;
+            }
+            if !smoke {
+                // Feed the serving sweep the executed lengths that
+                // Corki-ADAP actually produced in the simulator rollouts.
+                experiment.adaptive_lengths = Some(measured_adaptive_lengths(3, scale.seed));
+            }
+            println!(
                 "scale: fleets of {:?} robots, {} frames/robot, seed {}, pools of {:?} servers, \
                  {} routing, {:.0} ms warm-up",
                 experiment.scale.robot_counts,
@@ -447,8 +477,21 @@ fn main() {
                 experiment.routing,
                 experiment.scale.warmup_ms
             );
-                (fleet_sweep(&experiment), experiment.latency_budget_ms)
+            let rows = match shards_override {
+                // The shim lowers to a spec anyway; threading the shard
+                // knob through it keeps one expansion path.
+                Some(shards) => {
+                    let mut spec = experiment.to_scenario();
+                    spec.shards = shards;
+                    let cells = spec
+                        .expand()
+                        .expect("FleetExperiment axis lists always lower to a valid scenario");
+                    corki::fleet::scenario_sweep(&cells)
+                }
+                None => fleet_sweep(&experiment),
             };
+            (rows, experiment.latency_budget_ms)
+        };
         println!(
             "  {:<12} {:<13} {:<26} {:>4} {:>4} {:>10} {:>9} {:>20} {:>20} {:>6} {:>6}",
             "variant",

@@ -10,7 +10,7 @@
 use crate::reference::{
     bench_controller, bench_rng, reference_fit_waypoints, reference_task_space_torque, RefCorkiHead,
 };
-use corki::scenario::{ConcreteScenario, ScenarioSpec};
+use corki::scenario::{scenario_fingerprint, ConcreteScenario, ScenarioSpec};
 use corki_math::Vec3;
 use corki_policy::{
     BaselineFramePolicy, CorkiTrajectoryPolicy, ManipulationPolicy, Observation, PlanRequest,
@@ -31,8 +31,12 @@ use std::time::{Duration, Instant};
 /// section (deterministic fleet-serving metrics, warm-up-trimmed p99s);
 /// 3 — fleet rows carry the canonical variant(-mix) label and the fleet
 /// cases are defined by the committed scenario files under
-/// `crates/bench/scenarios/`.
-pub const SCHEMA_VERSION: u32 = 3;
+/// `crates/bench/scenarios/`; 4 — fleet rows carry a `scenario_hash`
+/// provenance fingerprint of the expanded cells (so `--compare` can tell
+/// "engine regressed" from "scenario edited"), and scenarios with
+/// `shards > 1` time both the single-shard and the sharded engine plus a
+/// sharding-speedup comparison.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Timing-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +120,11 @@ pub struct FleetServingRow {
     pub scheduler: String,
     /// Routing policy name.
     pub routing: String,
+    /// Content fingerprint of the expanded scenario cell (16 lowercase hex
+    /// chars, shards-normalised): `--compare` uses it to distinguish an
+    /// engine regression (same hash, different metrics) from an edited
+    /// scenario (different hash).
+    pub scenario_hash: String,
     /// Device composition label (`offloaded`, or the mixed on-robot mix).
     pub composition: String,
     /// Warm-up window trimmed from the latency percentiles (ms).
@@ -213,6 +222,14 @@ impl BenchReport {
                 && row.servers > 0;
             if !finite_latencies || !plausible {
                 return Err(format!("degenerate fleet metrics for `{}`", row.name));
+            }
+            let hash_ok = row.scenario_hash.len() == 16
+                && row
+                    .scenario_hash
+                    .bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase());
+            if !hash_ok {
+                return Err(format!("malformed scenario hash for `{}`", row.name));
             }
         }
         Ok(())
@@ -423,12 +440,30 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         },
     ];
     for (name, cell) in &fleet_cases {
-        cases.push(BenchCase {
-            name: name.clone(),
-            routine: Box::new(move || {
-                black_box(FleetSimulator::new(cell.config.clone()).run());
-            }),
-        });
+        if cell.shards > 1 {
+            // Sharded scenarios time both engines so the report records the
+            // single-thread-vs-sharded speedup as a first-class comparison.
+            let shards = cell.shards;
+            cases.push(BenchCase {
+                name: format!("{name}/shards1"),
+                routine: Box::new(move || {
+                    black_box(FleetSimulator::new(cell.config.clone()).run());
+                }),
+            });
+            cases.push(BenchCase {
+                name: format!("{name}/shards{shards}"),
+                routine: Box::new(move || {
+                    black_box(FleetSimulator::new(cell.config.clone()).with_shards(shards).run());
+                }),
+            });
+        } else {
+            cases.push(BenchCase {
+                name: name.clone(),
+                routine: Box::new(move || {
+                    black_box(FleetSimulator::new(cell.config.clone()).run());
+                }),
+            });
+        }
     }
     if let Some(prefix) = filter {
         cases.retain(|case| case.name.starts_with(prefix));
@@ -444,7 +479,7 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
     let benches = measure_interleaved(config, &mut cases);
     drop(cases);
 
-    let comparisons = [
+    let mut comparison_specs: Vec<(String, String, String)> = [
         (
             "policy_inference",
             "policy_inference/corki_reference_alloc",
@@ -454,18 +489,26 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         ("control_kernel", "control_kernel/reference_refactor", "control_kernel/ts_ctc_fast"),
     ]
     .into_iter()
-    .filter_map(|(name, reference, fast)| {
-        let find = |n: &str| benches.iter().find(|b| b.name == n).map(|b| b.median_ns);
-        let reference_ns = find(reference)?;
-        let fast_ns = find(fast)?;
-        Some(Comparison {
-            name: name.to_owned(),
-            reference_ns,
-            fast_ns,
-            speedup: reference_ns / fast_ns,
-        })
-    })
+    .map(|(name, reference, fast)| (name.to_owned(), reference.to_owned(), fast.to_owned()))
     .collect();
+    for (name, cell) in &fleet_cases {
+        if cell.shards > 1 {
+            comparison_specs.push((
+                format!("{name}/sharding"),
+                format!("{name}/shards1"),
+                format!("{name}/shards{}", cell.shards),
+            ));
+        }
+    }
+    let comparisons = comparison_specs
+        .into_iter()
+        .filter_map(|(name, reference, fast)| {
+            let find = |n: &str| benches.iter().find(|b| b.name == n).map(|b| b.median_ns);
+            let reference_ns = find(&reference)?;
+            let fast_ns = find(&fast)?;
+            Some(Comparison { name, reference_ns, fast_ns, speedup: reference_ns / fast_ns })
+        })
+        .collect();
 
     BenchReport {
         schema_version: SCHEMA_VERSION,
@@ -481,13 +524,14 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
 /// for the canonical bench cases recorded in `BENCH_fleet.json`.  Baked in
 /// at compile time so the `bench` binary works from any directory; a bench
 /// integration test additionally verifies the on-disk files stay canonical.
-pub const FLEET_SCENARIO_SOURCES: [&str; 6] = [
+pub const FLEET_SCENARIO_SOURCES: [&str; 7] = [
     include_str!("../scenarios/fifo_8robots_60frames.json"),
     include_str!("../scenarios/batch4_8robots_60frames.json"),
     include_str!("../scenarios/pool2_lqd_8robots_60frames.json"),
     include_str!("../scenarios/mixed_jetson_v100_8robots_60frames.json"),
     include_str!("../scenarios/mixed_variant_stf_pool2_8robots_60frames.json"),
     include_str!("../scenarios/adap_onrobot_batch_pool2_8robots_60frames.json"),
+    include_str!("../scenarios/fleet_10k_pool.json"),
 ];
 
 /// Parses the committed scenarios and expands each into its bench cells
@@ -522,7 +566,8 @@ fn fleet_metric_rows(cases: &[(String, ConcreteScenario)]) -> Vec<FleetServingRo
     cases
         .iter()
         .map(|(name, cell)| {
-            let summary = FleetSimulator::new(cell.config.clone()).run().summary;
+            let summary =
+                FleetSimulator::new(cell.config.clone()).with_shards(cell.shards).run().summary;
             FleetServingRow {
                 name: name.clone(),
                 robots: summary.robots,
@@ -530,6 +575,7 @@ fn fleet_metric_rows(cases: &[(String, ConcreteScenario)]) -> Vec<FleetServingRo
                 variant: cell.variant_label.clone(),
                 scheduler: cell.scheduler_label.clone(),
                 routing: cell.routing_label.clone(),
+                scenario_hash: scenario_fingerprint(std::slice::from_ref(cell)),
                 composition: cell.composition_label.clone(),
                 warmup_ms: summary.warmup_ms,
                 throughput_steps_per_s: summary.throughput_steps_per_s,
@@ -552,20 +598,32 @@ mod tests {
         let json = report.to_json();
         let parsed = BenchReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
-        assert_eq!(report.comparisons.len(), 3);
+        assert_eq!(report.comparisons.len(), 4, "3 fast-path + 1 sharding comparison");
         assert!(report.benches.len() >= 13);
         assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
         assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
         assert!(!report.to_table().is_empty());
+        // The sharded 10k scenario times both engines and records a speedup.
+        assert!(report.benches.iter().any(|b| b.name == "fleet_serving/fleet_10k_pool/shards1"));
+        assert!(report.benches.iter().any(|b| b.name == "fleet_serving/fleet_10k_pool/shards4"));
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.name == "fleet_serving/fleet_10k_pool/sharding"));
     }
 
     #[test]
     fn filtered_suite_keeps_only_the_prefix_and_drops_broken_comparisons() {
         let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("fleet_serving"));
         report.validate().expect("filtered report must validate");
-        assert_eq!(report.benches.len(), FLEET_SCENARIO_SOURCES.len());
+        // Six single-shard scenarios plus the two engine cases of the
+        // sharded 10k scenario.
+        assert_eq!(report.benches.len(), FLEET_SCENARIO_SOURCES.len() + 1);
         assert!(report.benches.iter().all(|b| b.name.starts_with("fleet_serving/")));
-        assert!(report.comparisons.is_empty());
+        // The fast-path comparisons lose their members to the filter; the
+        // sharding comparison keeps both of its benches and survives.
+        assert_eq!(report.comparisons.len(), 1);
+        assert!(report.comparisons[0].name.ends_with("/sharding"));
         // The deterministic metric rows ride along in every mode.
         assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
     }
@@ -608,6 +666,17 @@ mod tests {
             .expect("adaptive on-robot row present");
         assert_eq!(adap.variant, "3xCorki-ADAP+Corki-5");
         assert!(adap.composition.starts_with("mix("), "{}", adap.composition);
+        // The 10k-robot sharded scenario rides along as a metric row too.
+        let big = a.iter().find(|r| r.name.contains("fleet_10k_pool")).expect("10k row present");
+        assert_eq!((big.robots, big.servers), (10_000, 32));
+        // Every row carries a well-formed, content-keyed provenance hash.
+        for row in &a {
+            assert_eq!(row.scenario_hash.len(), 16, "{}", row.name);
+            assert!(row.scenario_hash.bytes().all(|b| b.is_ascii_hexdigit()), "{}", row.name);
+        }
+        let distinct: std::collections::BTreeSet<&str> =
+            a.iter().map(|r| r.scenario_hash.as_str()).collect();
+        assert_eq!(distinct.len(), a.len(), "distinct scenarios hash distinctly");
     }
 
     #[test]
@@ -619,6 +688,9 @@ mod tests {
         let mut broken_fleet = report.clone();
         broken_fleet.fleet_rows[0].throughput_steps_per_s = f64::NAN;
         assert!(broken_fleet.validate().is_err());
+        let mut broken_hash = report.clone();
+        broken_hash.fleet_rows[0].scenario_hash = "NOT-A-FNV1A-HASH".to_owned();
+        assert!(broken_hash.validate().is_err());
         report.benches.clear();
         assert!(report.validate().is_err());
         assert!(BenchReport::from_json("{}").is_err());

@@ -60,14 +60,18 @@ fn fleet_outcome_json_round_trips() {
 /// because they *are* the enum definitions.
 #[test]
 fn bench_fleet_labels_round_trip_through_canonical_parsers() {
+    use corki_system::fleet::PoolSchedule;
     use corki_system::scenario::CompositionLabel;
     use corki_system::scenario::VariantMix;
-    use corki_system::{RoutingPolicy, SchedulerKind};
+    use corki_system::RoutingPolicy;
     let json = std::fs::read_to_string(workspace_file("BENCH_fleet.json")).expect("read report");
     let report = BenchReport::from_json(&json).expect("BENCH_fleet.json parses");
     assert!(!report.fleet_rows.is_empty());
     for row in &report.fleet_rows {
-        let scheduler: SchedulerKind =
+        // `PoolSchedule` covers uniform pools ("fifo") and mixed pools
+        // ("fifo+stf") with one grammar, so every label the engine can
+        // print reparses here.
+        let scheduler: PoolSchedule =
             row.scheduler.parse().unwrap_or_else(|e| panic!("{}: {e}", row.name));
         assert_eq!(scheduler.to_string(), row.scheduler, "{}", row.name);
         let routing: RoutingPolicy =

@@ -157,6 +157,7 @@ impl FleetExperiment {
             servers: vec![ServerConfig::new(InferenceModel::default(), SchedulerKind::Fifo)],
             adaptive_lengths: self.adaptive_lengths.clone().filter(|lengths| !lengths.is_empty()),
             latency_budget_ms: self.latency_budget_ms,
+            shards: 1,
             axes: ScenarioAxes {
                 robot_counts: self.scale.robot_counts.clone(),
                 variants: self.variants.iter().cloned().map(VariantMix::uniform).collect(),
@@ -249,7 +250,10 @@ pub fn scenario_sweep(cells: &[ConcreteScenario]) -> Vec<FleetSweepRow> {
 /// canonical `Display` implementation per axis type.
 pub fn scenario_sweep_with_jobs(cells: &[ConcreteScenario], jobs: usize) -> Vec<FleetSweepRow> {
     let run_cell = |cell: &ConcreteScenario| {
-        let summary = FleetSimulator::new(cell.config.clone()).run().summary;
+        // Honour the cell's shard knob; results are shard-count invariant,
+        // so the rows stay byte-identical whatever the spec requested.
+        let summary =
+            FleetSimulator::new(cell.config.clone()).with_shards(cell.shards).run().summary;
         FleetSweepRow {
             robots: cell.robots,
             servers: cell.servers,
@@ -268,6 +272,28 @@ pub fn scenario_sweep_with_jobs(cells: &[ConcreteScenario], jobs: usize) -> Vec<
         }
     };
     parallel_map(cells, |_, cell| run_cell(cell), jobs)
+}
+
+/// Scales expanded cells down to a smoke footprint (the CI path for
+/// full-scale committed scenarios): each fleet keeps at most `max_robots`
+/// robots — the leading ones, preserving group order and derived seeds —
+/// and runs at most `max_frames` frames per robot.  The pool, routing,
+/// labels and shard knob are untouched, so a smoke run exercises exactly
+/// the code paths of the full-scale scenario, just smaller.
+pub fn smoke_scale_cells(
+    cells: Vec<ConcreteScenario>,
+    max_robots: usize,
+    max_frames: usize,
+) -> Vec<ConcreteScenario> {
+    cells
+        .into_iter()
+        .map(|mut cell| {
+            cell.config.robots.truncate(max_robots.max(1));
+            cell.robots = cell.config.robots.len();
+            cell.config.frames_per_robot = cell.config.frames_per_robot.min(max_frames.max(1));
+            cell
+        })
+        .collect()
 }
 
 /// Robots-per-pool at a latency budget: for one variant × scheduler × pool

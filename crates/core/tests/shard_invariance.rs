@@ -1,0 +1,110 @@
+//! Vendored-proptest suite: shard-count invariance of the sharded fleet
+//! engine.
+//!
+//! The contract under test is the acceptance bar of the sharded refactor —
+//! for shards ∈ {1, 2, 3, 8} a run must be **byte-identical** to the
+//! single-shard engine: identical `FleetSweepRow`s out of the sweep layer
+//! and identical full outcomes (event timeline, jittered robot traces and
+//! aggregate metrics) out of the engine itself, across random small
+//! scenarios spanning every variant family, scheduler discipline, routing
+//! policy and pool size.
+
+use corki::fleet::scenario_sweep_with_jobs;
+use corki_system::fleet::{FleetSimulator, SchedulerKind};
+use corki_system::{RoutingPolicy, ScenarioBuilder, ScenarioSpec, Variant};
+use proptest::prelude::*;
+
+fn variant(index: usize) -> Variant {
+    match index % 5 {
+        0 => Variant::RoboFlamingo,
+        1 => Variant::CorkiFixed(1),
+        2 => Variant::CorkiFixed(5),
+        3 => Variant::CorkiFixed(9),
+        _ => Variant::CorkiAdaptive,
+    }
+}
+
+fn scheduler(index: usize) -> SchedulerKind {
+    match index % 3 {
+        0 => SchedulerKind::Fifo,
+        1 => SchedulerKind::DynamicBatch { max_batch: 3, timeout_ms: 15.0 },
+        _ => SchedulerKind::ShortestTrajectoryFirst,
+    }
+}
+
+fn routing(index: usize) -> RoutingPolicy {
+    match index % 3 {
+        0 => RoutingPolicy::RoundRobin,
+        1 => RoutingPolicy::LeastQueueDepth,
+        _ => RoutingPolicy::DeviceAffinity,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn random_spec(
+    seed: u64,
+    frames: usize,
+    robots: usize,
+    extra_robots: usize,
+    v_index: usize,
+    s_index: usize,
+    servers: usize,
+    r_index: usize,
+) -> ScenarioSpec {
+    ScenarioBuilder::new("shard-invariance")
+        .seed(seed)
+        .frames_per_robot(frames)
+        .routing(routing(r_index))
+        .group(variant(v_index), robots)
+        .group(variant(v_index + 1), extra_robots)
+        .default_servers(servers, scheduler(s_index))
+        .build()
+        .expect("random small scenarios are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sweep_rows_and_event_timelines_are_shard_count_invariant(
+        seed in 0u64..1_000_000,
+        frames in 8usize..40,
+        robots in 1usize..6,
+        extra_robots in 1usize..4,
+        v_index in 0usize..5,
+        s_index in 0usize..3,
+        servers in 1usize..4,
+        r_index in 0usize..3,
+    ) {
+        let base =
+            random_spec(seed, frames, robots, extra_robots, v_index, s_index, servers, r_index);
+        let mut reference: Option<(String, String)> = None;
+        for shards in [1usize, 2, 3, 8] {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            let cells = spec.expand().expect("spec expands");
+            prop_assert_eq!(cells.len(), 1);
+            prop_assert_eq!(cells[0].shards, shards);
+            let rows = serde_json::to_string(&scenario_sweep_with_jobs(&cells, 1))
+                .expect("rows serialise");
+            let mut config = cells[0].config.clone();
+            config.record_event_log = true;
+            let outcome = FleetSimulator::new(config).with_shards(shards).run();
+            prop_assert!(!outcome.event_log.is_empty());
+            let run = serde_json::to_string(&outcome).expect("outcome serialises");
+            match &reference {
+                None => reference = Some((rows, run)),
+                Some((reference_rows, reference_run)) => {
+                    prop_assert!(
+                        &rows == reference_rows,
+                        "FleetSweepRows must be shard-count invariant ({shards} shards)"
+                    );
+                    prop_assert!(
+                        &run == reference_run,
+                        "event timeline + traces must be shard-count invariant ({shards} shards)"
+                    );
+                }
+            }
+        }
+    }
+}

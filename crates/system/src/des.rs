@@ -7,6 +7,21 @@
 //! instant fire in scheduling order and every run of the same configuration
 //! pops events in exactly the same order — determinism is structural, not
 //! accidental.
+//!
+//! # Cross-shard determinism contract
+//!
+//! The sharded fleet engine partitions its future-event set across K
+//! per-shard queues ([`ShardedEventQueue`]) but keeps **one** global
+//! sequence counter: every scheduled event — whichever shard it lands on —
+//! draws its `seq` from the same monotone stream, in scheduling order.
+//! Because `seq` is shard-canonical (globally unique and globally ordered),
+//! the total order on `(time, seq)` is independent of the partitioning:
+//! popping the globally earliest head across all shards replays *exactly*
+//! the pop order of an unsharded [`EventQueue`] fed the same schedule
+//! calls.  A K-shard run is therefore byte-identical to K = 1 by
+//! construction, including ties at window barriers: two events at the same
+//! instant on different shards still fire in scheduling order, never in
+//! shard order (see `window_boundary_ties_break_on_global_seq_not_shard`).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -17,6 +32,11 @@ use std::collections::BinaryHeap;
 /// seq)` only — `seq` is unique per queue, so two distinct events of one
 /// queue never compare equal, and the `PartialEq`/`PartialOrd` contract
 /// (`a == b ⟺ partial_cmp(a, b) == Some(Equal)`) holds by construction.
+///
+/// Under the sharded engine the same key defines the *cross-shard* total
+/// order: `seq` is drawn from one global counter shared by every shard, so
+/// `(time_ms, seq)` orders events of different shards exactly as it orders
+/// events of one queue (see the module-level determinism contract).
 #[derive(Debug, Clone, Copy)]
 pub struct Scheduled<E> {
     /// Absolute simulated time of the event, in milliseconds.
@@ -122,6 +142,186 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// A deterministic future-event queue partitioned across K shards.
+///
+/// Each shard owns a private heap, but all shards share **one** sequence
+/// counter and one clock.  `pop` returns the globally earliest event by the
+/// `(time_ms, seq)` key, scanning the K shard heads — so the pop order is
+/// byte-identical to a single [`EventQueue`] given the same `schedule`
+/// calls, for any K (the cross-shard determinism contract in the module
+/// docs).  The partitioning exists so a coordinator can drain or hand off
+/// per-shard work (e.g. per-robot trace decoration) in parallel between
+/// synchronization windows without perturbing the event order.
+#[derive(Debug, Clone)]
+pub struct ShardedEventQueue<E> {
+    shards: Vec<BinaryHeap<Scheduled<E>>>,
+    /// Cached `(time_ms, seq)` key of each shard's head (`None` when the
+    /// shard is empty), kept in sync by `schedule`/`pop`.  The global-min
+    /// scan reads this contiguous array instead of peeking K heap
+    /// allocations, which keeps the per-pop cost of sharding below the
+    /// sift savings of the K-times-smaller heaps.
+    heads: Vec<Option<(f64, u64)>>,
+    next_seq: u64,
+    now_ms: f64,
+}
+
+/// `(time_ms, seq)` ordering identical to [`Scheduled`]'s event order
+/// (earliest first): `total_cmp` on time, lower sequence number first.
+fn key_before(a: (f64, u64), b: (f64, u64)) -> bool {
+    a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)) == Ordering::Less
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// An empty K-shard queue with its clock at time zero.  `shards` is
+    /// clamped to at least 1.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedEventQueue {
+            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            heads: vec![None; shards],
+            next_seq: 0,
+            now_ms: 0.0,
+        }
+    }
+
+    /// Number of shards (always ≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Schedules `event` on `shard` at absolute time `time_ms` and returns
+    /// its globally unique sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ms` is NaN or `shard` is out of range, and (in debug
+    /// builds) if `time_ms` lies before the current clock.
+    pub fn schedule(&mut self, shard: usize, time_ms: f64, event: E) -> u64 {
+        assert!(!time_ms.is_nan(), "cannot schedule an event at NaN");
+        debug_assert!(
+            time_ms >= self.now_ms,
+            "scheduling into the past: {time_ms} < {}",
+            self.now_ms
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.shards[shard].push(Scheduled { time_ms, seq, event });
+        // A fresh event carries the highest seq so far, so it only becomes
+        // the shard head when it is strictly earlier in time.
+        let key = (time_ms, seq);
+        if self.heads[shard].is_none_or(|head| key_before(key, head)) {
+            self.heads[shard] = Some(key);
+        }
+        seq
+    }
+
+    /// Index of the shard holding the globally earliest event, if any.
+    fn earliest_shard(&self) -> Option<usize> {
+        let mut best: Option<(usize, (f64, u64))> = None;
+        for (index, head) in self.heads.iter().enumerate() {
+            if let Some(key) = *head {
+                let earlier = match best {
+                    Some((_, incumbent)) => key_before(key, incumbent),
+                    None => true,
+                };
+                if earlier {
+                    best = Some((index, key));
+                }
+            }
+        }
+        best.map(|(index, _)| index)
+    }
+
+    /// Pops the globally earliest event (minimum `(time_ms, seq)` across all
+    /// shard heads) and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let shard = self.earliest_shard()?;
+        let scheduled = self.shards[shard].pop()?;
+        self.heads[shard] = self.shards[shard].peek().map(|next| (next.time_ms, next.seq));
+        self.now_ms = scheduled.time_ms;
+        Some(scheduled)
+    }
+
+    /// The timestamp of the globally next event, if any.
+    pub fn peek_time_ms(&self) -> Option<f64> {
+        self.earliest_shard().and_then(|s| self.heads[s]).map(|(time_ms, _)| time_ms)
+    }
+
+    /// Total number of pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BinaryHeap::len).sum()
+    }
+
+    /// Whether no events are pending on any shard.
+    pub fn is_empty(&self) -> bool {
+        self.heads.iter().all(Option::is_none)
+    }
+}
+
+/// Tracks the conservative synchronization windows of a sharded run.
+///
+/// Simulated time is cut into fixed-width windows `[n·w, (n+1)·w)`.  All
+/// events strictly inside a window are causally safe to decorate in
+/// parallel per shard once the window closes; the coordinator reports when
+/// the event about to be processed has crossed into a later window so the
+/// engine can run its barrier (flush deferred per-shard work) *before*
+/// handling the event.  The window width only sets the flush cadence — it
+/// never influences event order or any simulated result.
+#[derive(Debug, Clone)]
+pub struct WindowCoordinator {
+    window_ms: f64,
+    window_end_ms: f64,
+}
+
+impl WindowCoordinator {
+    /// A coordinator whose first window ends at `window_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window_ms` is finite and positive.
+    pub fn new(window_ms: f64) -> Self {
+        assert!(
+            window_ms.is_finite() && window_ms > 0.0,
+            "window width must be finite and positive, got {window_ms}"
+        );
+        WindowCoordinator { window_ms, window_end_ms: window_ms }
+    }
+
+    /// The fixed window width, in milliseconds.
+    pub fn window_ms(&self) -> f64 {
+        self.window_ms
+    }
+
+    /// The exclusive end of the current window, in milliseconds.
+    pub fn window_end_ms(&self) -> f64 {
+        self.window_end_ms
+    }
+
+    /// Reports whether `time_ms` falls at or beyond the current window's
+    /// end — i.e. whether a barrier is due before processing an event at
+    /// `time_ms` — and, if so, advances to the window containing `time_ms`.
+    ///
+    /// An event exactly *at* the boundary belongs to the next window (the
+    /// windows are half-open), so it triggers the barrier first.
+    pub fn crossed(&mut self, time_ms: f64) -> bool {
+        if time_ms < self.window_end_ms {
+            return false;
+        }
+        let windows_past = ((time_ms - self.window_end_ms) / self.window_ms).floor() + 1.0;
+        self.window_end_ms += windows_past * self.window_ms;
+        // Guard against f64 rounding leaving the boundary at/below `time_ms`.
+        while self.window_end_ms <= time_ms {
+            self.window_end_ms += self.window_ms;
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +383,100 @@ mod tests {
     fn nan_times_are_rejected() {
         let mut q = EventQueue::new();
         q.schedule(f64::NAN, ());
+    }
+
+    /// Replays the same schedule calls into an unsharded queue and a K-shard
+    /// queue (events dealt round-robin across shards) and asserts identical
+    /// pop order — the cross-shard determinism contract.
+    #[test]
+    fn sharded_pop_order_matches_the_unsharded_queue_for_any_shard_count() {
+        let schedule: Vec<(f64, u32)> = vec![
+            (5.0, 0),
+            (1.0, 1),
+            (5.0, 2),
+            (3.0, 3),
+            (1.0, 4),
+            (8.0, 5),
+            (3.0, 6),
+            (3.0, 7),
+            (0.0, 8),
+        ];
+        let mut reference = EventQueue::new();
+        for &(t, e) in &schedule {
+            reference.schedule(t, e);
+        }
+        let mut expected = Vec::new();
+        while let Some(s) = reference.pop() {
+            expected.push((s.time_ms.to_bits(), s.seq, s.event));
+        }
+        for shards in [1, 2, 3, 8] {
+            let mut q = ShardedEventQueue::new(shards);
+            for (i, &(t, e)) in schedule.iter().enumerate() {
+                q.schedule(i % shards, t, e);
+            }
+            let mut got = Vec::new();
+            while let Some(s) = q.pop() {
+                got.push((s.time_ms.to_bits(), s.seq, s.event));
+            }
+            assert_eq!(got, expected, "{shards} shards must replay the unsharded pop order");
+        }
+    }
+
+    /// Satellite: ties exactly at a window boundary break on the global
+    /// sequence number, never on shard index, and the barrier fires before
+    /// the boundary events are processed.
+    #[test]
+    fn window_boundary_ties_break_on_global_seq_not_shard() {
+        let mut q = ShardedEventQueue::new(3);
+        let mut windows = WindowCoordinator::new(10.0);
+        // Scheduling order deliberately walks the shards backwards so a
+        // shard-ordered (wrong) merge would differ from seq order.
+        q.schedule(2, 10.0, "seq0-shard2");
+        q.schedule(1, 10.0, "seq1-shard1");
+        q.schedule(0, 10.0, "seq2-shard0");
+        q.schedule(0, 9.5, "seq3-shard0");
+
+        let first = q.pop().expect("pre-boundary event");
+        assert_eq!(first.event, "seq3-shard0");
+        assert!(!windows.crossed(first.time_ms), "9.5 is inside the first window");
+
+        let mut order = Vec::new();
+        let mut barriers = 0;
+        while let Some(s) = q.pop() {
+            if windows.crossed(s.time_ms) {
+                barriers += 1;
+            }
+            order.push((s.seq, s.event));
+        }
+        // The boundary instant (10.0 — half-open windows) triggers exactly
+        // one barrier, before the first tied event is handled.
+        assert_eq!(barriers, 1);
+        assert_eq!(windows.window_end_ms(), 20.0);
+        assert_eq!(order, [(0, "seq0-shard2"), (1, "seq1-shard1"), (2, "seq2-shard0")]);
+    }
+
+    #[test]
+    fn window_coordinator_skips_over_empty_windows() {
+        let mut windows = WindowCoordinator::new(5.0);
+        assert!(!windows.crossed(4.999));
+        assert!(windows.crossed(23.0), "23.0 lies four windows past the first");
+        assert_eq!(windows.window_end_ms(), 25.0);
+        assert!(!windows.crossed(24.0));
+    }
+
+    #[test]
+    fn sharded_queue_tracks_len_clock_and_peek() {
+        let mut q = ShardedEventQueue::new(2);
+        assert!(q.is_empty());
+        assert_eq!(q.shard_count(), 2);
+        q.schedule(0, 4.0, "late");
+        q.schedule(1, 2.0, "early");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time_ms(), Some(2.0));
+        assert_eq!(q.pop().map(|s| s.event), Some("early"));
+        assert_eq!(q.now_ms(), 2.0);
+        assert_eq!(q.pop().map(|s| s.event), Some("late"));
+        assert_eq!(q.now_ms(), 4.0);
+        assert!(q.is_empty());
     }
 }

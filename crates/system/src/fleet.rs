@@ -36,8 +36,25 @@
 //! [`FleetConfig::warmup_ms`] start-up window, because the closed queueing
 //! loop needs a few cycles to reach its stationary regime and short runs
 //! otherwise fold the transient into p99.
+//!
+//! # The sharded engine
+//!
+//! [`FleetSimulator::with_shards`] partitions the run across K shards:
+//! robot-addressed events live on shard `robot % K`, server-addressed
+//! events on shard `server % K`, all drawn from one global sequence counter
+//! ([`crate::des::ShardedEventQueue`]).  The uplink, the router and the
+//! server pool are the *only* cross-shard edges — every other interaction
+//! is robot-local — so they stay with the coordinator, which processes
+//! events sequentially in global `(time, seq)` order; shard-local work
+//! (per-robot jitter decoration of frame traces) is deferred and executed
+//! in parallel per shard at conservative window barriers
+//! ([`crate::des::WindowCoordinator`]), and the final metric aggregation
+//! fans out across threads.  Because the event order, every float
+//! expression and every per-robot RNG stream are independent of K, a
+//! K-shard run is **byte-identical** to K = 1 (regression-proven by the
+//! shard-invariance suites and the unchanged `fleet_golden` fixtures).
 
-use crate::des::{EventQueue, Scheduled};
+use crate::des::{Scheduled, ShardedEventQueue, WindowCoordinator};
 use crate::devices::{baseline_control_ms, CommunicationModel, InferenceModel};
 use crate::pipeline::{mean, percentile, FrameKind, FrameTrace, PipelineConfig, StepsTakenModel};
 use crate::routing::{Router, RoutingPolicy, ServerSnapshot};
@@ -146,6 +163,92 @@ impl std::str::FromStr for SchedulerKind {
                 .then_some(SchedulerKind::DynamicBatch { max_batch, timeout_ms })
         };
         parse_batch().ok_or_else(|| ParseSchedulerKindError(s.to_owned()))
+    }
+}
+
+/// The batching disciplines of a whole server pool, with the canonical
+/// label grammar used by every summary/bench table: a uniform pool prints
+/// the single shared [`SchedulerKind`] name, a mixed pool prints the
+/// `+`-joined per-server names (`fifo+stf`) — and **both** forms reparse
+/// via [`FromStr`](std::str::FromStr), closing the historical gap where
+/// `SchedulerKind::from_str` rejected the joined labels.
+///
+/// Parsing a single name yields a uniform one-entry schedule (the label
+/// does not encode the pool width); parsing `a+b+…` yields exactly one
+/// entry per `+`-separated name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSchedule(Vec<SchedulerKind>);
+
+impl PoolSchedule {
+    /// Wraps per-server disciplines into a pool schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list — a pool always has at least one server.
+    pub fn new(schedulers: Vec<SchedulerKind>) -> Self {
+        assert!(!schedulers.is_empty(), "a pool schedule needs at least one scheduler");
+        PoolSchedule(schedulers)
+    }
+
+    /// The schedule of an existing server pool.
+    pub fn of_servers(servers: &[ServerConfig]) -> Self {
+        PoolSchedule::new(servers.iter().map(|s| s.scheduler).collect())
+    }
+
+    /// The per-server disciplines, in pool order.
+    pub fn schedulers(&self) -> &[SchedulerKind] {
+        &self.0
+    }
+
+    /// Whether every server runs the same discipline.
+    pub fn is_uniform(&self) -> bool {
+        self.0.iter().all(|s| *s == self.0[0])
+    }
+}
+
+impl std::fmt::Display for PoolSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_uniform() {
+            return write!(f, "{}", self.0[0]);
+        }
+        for (index, scheduler) in self.0.iter().enumerate() {
+            if index > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{scheduler}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing an unknown pool-schedule label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePoolScheduleError(String);
+
+impl std::fmt::Display for ParsePoolScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown pool schedule `{}` (expected `+`-joined scheduler names, e.g. fifo+stf)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePoolScheduleError {}
+
+impl std::str::FromStr for PoolSchedule {
+    type Err = ParsePoolScheduleError;
+
+    /// Parses `+`-joined [`SchedulerKind`] labels (each parsed by the
+    /// scheduler grammar, so `fifo`, `stf+batch4-15ms` etc. all work).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let schedulers: Result<Vec<SchedulerKind>, _> =
+            s.split('+').map(str::parse::<SchedulerKind>).collect();
+        match schedulers {
+            Ok(list) if !list.is_empty() => Ok(PoolSchedule(list)),
+            _ => Err(ParsePoolScheduleError(s.to_owned())),
+        }
     }
 }
 
@@ -498,14 +601,14 @@ impl FleetConfig {
     }
 
     /// The scheduler label reported in summaries: the shared name when every
-    /// server agrees, otherwise the `+`-joined per-server names.
+    /// server agrees, otherwise the `+`-joined per-server names.  This is
+    /// exactly the [`PoolSchedule`] display form, so every emitted label
+    /// reparses via `PoolSchedule::from_str`.
     pub fn scheduler_label(&self) -> String {
-        let names: Vec<String> = self.servers.iter().map(|s| s.scheduler.name()).collect();
-        match names.first() {
-            None => "none".to_owned(),
-            Some(first) if names.iter().all(|n| n == first) => first.clone(),
-            _ => names.join("+"),
+        if self.servers.is_empty() {
+            return "none".to_owned();
         }
+        PoolSchedule::of_servers(&self.servers).to_string()
     }
 }
 
@@ -620,6 +723,20 @@ enum FleetEvent {
     StepDone { robot: usize },
 }
 
+/// One undecorated frame observation, deferred until the next window
+/// barrier.  The engine records the exact latency/energy attribution at
+/// event time; the per-robot jitter draw and `FrameTrace` construction run
+/// later, shard-parallel, without changing any float expression or the
+/// order of the session's RNG stream (frames are appended — and therefore
+/// decorated — strictly in frame order).
+#[derive(Debug, Clone, Copy)]
+struct FrameTask {
+    index: usize,
+    kind: FrameKind,
+    latency_ms: f64,
+    energy_j: f64,
+}
+
 /// Per-robot runtime state.
 struct Session {
     steps_model: StepsTakenModel,
@@ -648,6 +765,7 @@ struct Session {
     inference_energy_j: f64,
     ctl_wait_ms: f64,
     // Outputs.
+    pending: Vec<FrameTask>,
     traces: Vec<FrameTrace>,
     plan_latency_sum_ms: f64,
     finished_ms: f64,
@@ -684,14 +802,35 @@ impl ServerState {
 }
 
 /// Simulates a fleet of robots sharing an inference server pool.
+///
+/// By default the run is single-sharded; [`with_shards`](Self::with_shards)
+/// enables the sharded engine, which is byte-identical for every shard
+/// count (see the module docs).
 #[derive(Debug, Clone)]
 pub struct FleetSimulator {
     config: FleetConfig,
+    shards: usize,
 }
+
+/// Width of the conservative synchronization windows, ms.  Purely a flush
+/// cadence for deferred shard-local work — it never influences event order
+/// or any simulated value, so it is not a configuration knob.
+const WINDOW_MS: f64 = 1000.0;
+
+/// Minimum number of deferred decorations before a window barrier fans the
+/// flush out over threads (sharded runs only).  Spawning scoped threads
+/// costs on the order of a hundred microseconds, so small batches stay
+/// deferred until a later window — or the final drain — has accumulated
+/// enough work to amortize the spawns.  Purely a scheduling threshold:
+/// per-session decoration order (and so every simulated value) is
+/// independent of the flush cadence.
+const DECORATION_FLUSH_TASKS: usize = 1 << 17;
 
 struct Engine<'a> {
     cfg: &'a FleetConfig,
-    queue: EventQueue<FleetEvent>,
+    shards: usize,
+    queue: ShardedEventQueue<FleetEvent>,
+    windows: WindowCoordinator,
     sessions: Vec<Session>,
     link: Arbiter,
     shared_accelerator: Option<Arbiter>,
@@ -705,6 +844,9 @@ struct Engine<'a> {
     plan_latencies_ms: Vec<(f64, f64)>,
     link_waits_ms: Vec<(f64, f64)>,
     on_robot_inferences: usize,
+    /// Frames pushed onto session `pending` queues since the last
+    /// decoration flush (drives the [`DECORATION_FLUSH_TASKS`] threshold).
+    deferred_tasks: usize,
     log: Vec<EventRecord>,
 }
 
@@ -717,7 +859,15 @@ impl FleetSimulator {
     /// fleet keeps a pool definition for its labels).
     pub fn new(config: FleetConfig) -> Self {
         assert!(!config.servers.is_empty(), "a fleet needs at least one inference server");
-        FleetSimulator { config }
+        FleetSimulator { config, shards: 1 }
+    }
+
+    /// Runs the engine with `shards` worker shards (clamped to ≥ 1).
+    /// Results are byte-identical for every shard count; shards > 1 spread
+    /// the deferred per-robot work and the final aggregation across threads.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// The configuration in use.
@@ -725,12 +875,19 @@ impl FleetSimulator {
         &self.config
     }
 
+    /// Number of worker shards the run will use.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// Runs the fleet to completion and aggregates the serving metrics.
     pub fn run(&self) -> FleetOutcome {
         let cfg = &self.config;
         let mut engine = Engine {
             cfg,
-            queue: EventQueue::new(),
+            shards: self.shards,
+            queue: ShardedEventQueue::new(self.shards),
+            windows: WindowCoordinator::new(WINDOW_MS),
             sessions: cfg.robots.iter().map(|robot| Session::new(robot, cfg)).collect(),
             link: Arbiter::new(),
             shared_accelerator: match cfg.control_backend {
@@ -745,17 +902,28 @@ impl FleetSimulator {
             plan_latencies_ms: Vec::new(),
             link_waits_ms: Vec::new(),
             on_robot_inferences: 0,
+            deferred_tasks: 0,
             log: Vec::new(),
         };
         for robot in 0..cfg.robots.len() {
-            engine
-                .queue
-                .schedule(robot as f64 * cfg.start_stagger_ms, FleetEvent::Capture { robot });
+            engine.queue.schedule(
+                robot % self.shards,
+                robot as f64 * cfg.start_stagger_ms,
+                FleetEvent::Capture { robot },
+            );
         }
         while let Some(scheduled) = engine.queue.pop() {
+            // Conservative barrier: the first event at/beyond the current
+            // window's end closes the window, so all frames observed inside
+            // it are final and can be decorated shard-parallel before the
+            // event is handled.
+            if engine.windows.crossed(scheduled.time_ms) {
+                engine.flush_decorations(false);
+            }
             engine.record(&scheduled);
             engine.handle(scheduled);
         }
+        engine.flush_decorations(true);
         engine.finish()
     }
 }
@@ -817,9 +985,25 @@ impl Session {
             batch_service_ms: 0.0,
             inference_energy_j: 0.0,
             ctl_wait_ms: 0.0,
+            pending: Vec::new(),
             traces: Vec::with_capacity(cfg.frames_per_robot),
             plan_latency_sum_ms: 0.0,
             finished_ms: 0.0,
+        }
+    }
+
+    /// Decorates and appends every deferred frame: one jitter draw per
+    /// frame, in frame order — the same RNG stream and the same float
+    /// expressions as immediate decoration, whatever the flush cadence.
+    fn flush_pending(&mut self, jitter: f64) {
+        for task in self.pending.drain(..) {
+            let scale = 1.0 + self.rng.gen_range(-jitter..=jitter);
+            self.traces.push(FrameTrace {
+                index: task.index,
+                kind: task.kind,
+                latency_ms: task.latency_ms * scale,
+                energy_j: task.energy_j * scale,
+            });
         }
     }
 }
@@ -882,7 +1066,11 @@ impl Engine<'_> {
             // robot's own device runs the plan back to back with capture.
             session.upload_ms = 0.0;
             session.link_wait_ms = 0.0;
-            self.queue.schedule(now + local_service_ms, FleetEvent::LocalInferenceDone { robot });
+            self.queue.schedule(
+                robot % self.shards,
+                now + local_service_ms,
+                FleetEvent::LocalInferenceDone { robot },
+            );
             return;
         }
         session.upload_ms = if session.is_baseline || full_steps == 1 {
@@ -893,7 +1081,7 @@ impl Engine<'_> {
         let grant = self.link.acquire(now, session.upload_ms);
         session.link_wait_ms = grant.wait_ms;
         self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
-        self.queue.schedule(grant.end_ms, FleetEvent::UploadDone { robot });
+        self.queue.schedule(robot % self.shards, grant.end_ms, FleetEvent::UploadDone { robot });
     }
 
     fn on_upload_done(&mut self, robot: usize, now: f64) {
@@ -941,8 +1129,11 @@ impl Engine<'_> {
                     let release = if release > now { release } else { now };
                     let need = server.next_wake_ms.is_none_or(|wake| release < wake);
                     if need {
-                        self.queue
-                            .schedule(release, FleetEvent::SchedulerWake { server: server_index });
+                        self.queue.schedule(
+                            server_index % self.shards,
+                            release,
+                            FleetEvent::SchedulerWake { server: server_index },
+                        );
                         server.next_wake_ms = Some(release);
                     }
                 }
@@ -964,7 +1155,11 @@ impl Engine<'_> {
         server.batch = batch;
         server.busy = true;
         server.busy_since_ms = now;
-        self.queue.schedule(inference_done, FleetEvent::InferenceDone { server: server_index });
+        self.queue.schedule(
+            server_index % self.shards,
+            inference_done,
+            FleetEvent::InferenceDone { server: server_index },
+        );
     }
 
     fn on_inference_done(&mut self, server_index: usize, now: f64) {
@@ -1011,12 +1206,11 @@ impl Engine<'_> {
         // the step period or it becomes the bottleneck.
         let paced_end = now + self.cfg.execution_step_ms;
         let step_end = if compute_end > paced_end { compute_end } else { paced_end };
-        self.queue.schedule(step_end, FleetEvent::StepDone { robot });
+        self.queue.schedule(robot % self.shards, step_end, FleetEvent::StepDone { robot });
     }
 
     fn on_step_done(&mut self, robot: usize, now: f64) {
         let frames = self.cfg.frames_per_robot;
-        let jitter = self.cfg.jitter;
         let session = &mut self.sessions[robot];
         let comm_energy_j = session.comm_energy_j;
         // Per-frame latency/energy attribution, term-for-term identical to
@@ -1046,13 +1240,15 @@ impl Engine<'_> {
         };
         let latency = latency.max(0.0);
         let energy = energy.max(0.0);
-        let scale = 1.0 + session.rng.gen_range(-jitter..=jitter);
-        session.traces.push(FrameTrace {
+        // Decoration (the jitter draw + trace construction) is deferred to
+        // the next window barrier, where it runs shard-parallel.
+        session.pending.push(FrameTask {
             index: session.frame_index,
             kind,
-            latency_ms: latency * scale,
-            energy_j: energy * scale,
+            latency_ms: latency,
+            energy_j: energy,
         });
+        self.deferred_tasks += 1;
         session.frame_index += 1;
         session.step_in_plan += 1;
         // The frame that will trigger the next plan streams in the
@@ -1074,8 +1270,63 @@ impl Engine<'_> {
         } else if session.step_in_plan < session.plan_steps {
             self.start_step(robot, now);
         } else {
-            self.queue.schedule(now, FleetEvent::Capture { robot });
+            self.queue.schedule(robot % self.shards, now, FleetEvent::Capture { robot });
         }
+    }
+
+    /// Window barrier: decorates every deferred frame, bucketed by shard
+    /// (`robot % shards`) and — when the engine is actually sharded and the
+    /// batch is large enough to amortize the spawns — fanned out over scoped
+    /// threads.  Per-session decoration order is identical whatever the
+    /// cadence or fan-out, so the flush strategy never shows up in the
+    /// results.
+    ///
+    /// Sharded runs skip barriers that have accumulated fewer than
+    /// [`DECORATION_FLUSH_TASKS`] frames (unless `force`d, at the end of the
+    /// run): threading a tiny batch costs more in thread spawns than the
+    /// decoration itself.
+    fn flush_decorations(&mut self, force: bool) {
+        let jitter = self.cfg.jitter;
+        if self.shards == 1 {
+            // Single shard: decorate inline at every barrier, keeping the
+            // deferred queues (and their memory) window-bounded.
+            for session in &mut self.sessions {
+                session.flush_pending(jitter);
+            }
+            self.deferred_tasks = 0;
+            return;
+        }
+        if self.deferred_tasks == 0 || (!force && self.deferred_tasks < DECORATION_FLUSH_TASKS) {
+            return;
+        }
+        if self.deferred_tasks < DECORATION_FLUSH_TASKS {
+            // Forced final drain of a small remainder: not worth threading.
+            for session in &mut self.sessions {
+                session.flush_pending(jitter);
+            }
+            self.deferred_tasks = 0;
+            return;
+        }
+        let shards = self.shards;
+        let mut buckets: Vec<Vec<&mut Session>> = (0..shards).map(|_| Vec::new()).collect();
+        for (robot, session) in self.sessions.iter_mut().enumerate() {
+            if !session.pending.is_empty() {
+                buckets[robot % shards].push(session);
+            }
+        }
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                if bucket.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for session in bucket {
+                        session.flush_pending(jitter);
+                    }
+                });
+            }
+        });
+        self.deferred_tasks = 0;
     }
 
     fn finish(self) -> FleetOutcome {
@@ -1088,6 +1339,27 @@ impl Engine<'_> {
         let plan_latencies = trim_warmup(&self.plan_latencies_ms, warmup);
         let queue_waits = trim_warmup(&self.queue_waits_ms, warmup);
         let link_waits = trim_warmup(&self.link_waits_ms, warmup);
+        // Each statistic family is a pure function of its sample vector, so
+        // fanning the four aggregations over threads (sharded runs only)
+        // yields bit-identical numbers to the sequential path.
+        let mut frame_stats = (0.0, 0.0);
+        let mut plan_stats = (0.0, 0.0);
+        let mut queue_stats = (0.0, 0.0);
+        let mut link_mean = 0.0;
+        let mean_p99 = |values: &[f64]| (mean(values), percentile(values, 0.99));
+        if self.shards > 1 {
+            std::thread::scope(|scope| {
+                scope.spawn(|| frame_stats = mean_p99(&frame_latencies));
+                scope.spawn(|| plan_stats = mean_p99(&plan_latencies));
+                scope.spawn(|| queue_stats = mean_p99(&queue_waits));
+                scope.spawn(|| link_mean = mean(&link_waits));
+            });
+        } else {
+            frame_stats = mean_p99(&frame_latencies);
+            plan_stats = mean_p99(&plan_latencies);
+            queue_stats = mean_p99(&queue_waits);
+            link_mean = mean(&link_waits);
+        }
         let inferences: usize = self.batch_sizes.iter().sum();
         let pool_busy_ms: f64 = self.servers.iter().map(|s| s.busy_ms).sum();
         let summary = FleetSummary {
@@ -1103,13 +1375,13 @@ impl Engine<'_> {
             } else {
                 0.0
             },
-            mean_frame_latency_ms: mean(&frame_latencies),
-            p99_frame_latency_ms: percentile(&frame_latencies, 0.99),
-            mean_plan_latency_ms: mean(&plan_latencies),
-            p99_plan_latency_ms: percentile(&plan_latencies, 0.99),
-            mean_queue_delay_ms: mean(&queue_waits),
-            p99_queue_delay_ms: percentile(&queue_waits, 0.99),
-            mean_link_wait_ms: mean(&link_waits),
+            mean_frame_latency_ms: frame_stats.0,
+            p99_frame_latency_ms: frame_stats.1,
+            mean_plan_latency_ms: plan_stats.0,
+            p99_plan_latency_ms: plan_stats.1,
+            mean_queue_delay_ms: queue_stats.0,
+            p99_queue_delay_ms: queue_stats.1,
+            mean_link_wait_ms: link_mean,
             server_utilization: if makespan_ms > 0.0 {
                 pool_busy_ms / (makespan_ms * cfg.servers.len() as f64)
             } else {
@@ -1463,5 +1735,56 @@ mod tests {
         assert_eq!(cfg.scheduler_label(), "fifo");
         cfg.servers[1].scheduler = SchedulerKind::ShortestTrajectoryFirst;
         assert_eq!(cfg.scheduler_label(), "fifo+stf");
+    }
+
+    #[test]
+    fn mixed_pool_labels_round_trip_through_pool_schedule() {
+        // The historical gap: `fifo+stf` printed but never reparsed.
+        let parsed: PoolSchedule = "fifo+stf".parse().expect("mixed label parses");
+        assert_eq!(
+            parsed.schedulers(),
+            [SchedulerKind::Fifo, SchedulerKind::ShortestTrajectoryFirst]
+        );
+        assert!(!parsed.is_uniform());
+        assert_eq!(parsed.to_string(), "fifo+stf");
+
+        // Every label the engine can emit reparses, uniform or mixed.
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 2, SchedulerKind::Fifo).with_pool(3);
+        cfg.servers[1].scheduler = SchedulerKind::ShortestTrajectoryFirst;
+        cfg.servers[2].scheduler = SchedulerKind::DynamicBatch { max_batch: 4, timeout_ms: 15.0 };
+        for label in [cfg.scheduler_label(), "fifo".to_owned(), "stf+batch4-15.5ms".to_owned()] {
+            let schedule: PoolSchedule = label.parse().expect("emitted labels reparse");
+            assert_eq!(schedule.to_string(), label, "round trip of `{label}`");
+        }
+
+        // A uniform pool collapses to the single shared name.
+        assert_eq!(
+            PoolSchedule::new(vec![SchedulerKind::Fifo; 3]).to_string(),
+            "fifo",
+            "uniform pools print one name"
+        );
+        for broken in ["", "fifo+", "+stf", "fifo+lifo"] {
+            assert!(broken.parse::<PoolSchedule>().is_err(), "`{broken}` must not parse");
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_single_shard() {
+        let mut cfg = quick_fleet(
+            Variant::CorkiAdaptive,
+            7,
+            SchedulerKind::DynamicBatch { max_batch: 3, timeout_ms: 15.0 },
+        )
+        .with_pool(2);
+        cfg.robots[2].variant = Variant::CorkiFixed(1);
+        cfg.record_event_log = true;
+        let reference =
+            serde_json::to_string(&FleetSimulator::new(cfg.clone()).run()).expect("serialises");
+        for shards in [2, 3, 8, 64] {
+            let sharded = FleetSimulator::new(cfg.clone()).with_shards(shards);
+            assert_eq!(sharded.shards(), shards);
+            let run = serde_json::to_string(&sharded.run()).expect("serialises");
+            assert_eq!(run, reference, "{shards} shards must replay the single-shard run");
+        }
     }
 }

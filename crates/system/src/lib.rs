@@ -44,8 +44,8 @@ pub use devices::{
 };
 pub use fleet::{
     BatchScheduler, ControlBackend, EventRecord, FleetConfig, FleetOutcome, FleetSimulator,
-    FleetSummary, ParseSchedulerKindError, PendingRequest, RobotCompute, RobotConfig, RobotOutcome,
-    SchedulerKind, ServerConfig,
+    FleetSummary, ParsePoolScheduleError, ParseSchedulerKindError, PendingRequest, PoolSchedule,
+    RobotCompute, RobotConfig, RobotOutcome, SchedulerKind, ServerConfig,
 };
 pub use pipeline::{
     mean, percentile, ExecutionStats, FrameKind, FrameTrace, PipelineConfig, PipelineSimulator,
@@ -53,7 +53,7 @@ pub use pipeline::{
 };
 pub use routing::{ParseRoutingPolicyError, Router, RoutingPolicy, ServerSnapshot};
 pub use scenario::{
-    CompositionLabel, CompositionSpec, ConcreteScenario, ScenarioAxes, ScenarioBuilder,
-    ScenarioError, ScenarioSpec,
+    scenario_fingerprint, CompositionLabel, CompositionSpec, ConcreteScenario, ScenarioAxes,
+    ScenarioBuilder, ScenarioError, ScenarioSpec,
 };
 pub use variant::{ParseVariantError, Variant};

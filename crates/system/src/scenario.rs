@@ -332,6 +332,11 @@ pub struct ScenarioSpec {
     /// End-to-end p99 plan-latency budget of the robots-per-server summary
     /// (ms).
     pub latency_budget_ms: f64,
+    /// Worker shards of the sharded engine (1 = single-threaded).  Purely a
+    /// performance knob: any shard count produces byte-identical results,
+    /// so it does not enter the engine configuration (or the provenance
+    /// fingerprint) — only how the run is executed.
+    pub shards: usize,
     /// Sweep axes.
     pub axes: ScenarioAxes,
 }
@@ -398,6 +403,8 @@ pub enum ScenarioError {
     },
     /// An adaptive-length override is present but empty.
     EmptyAdaptiveLengths,
+    /// The shard count is zero (use 1 for a single-threaded run).
+    ZeroShards,
 }
 
 impl fmt::Display for ScenarioError {
@@ -438,6 +445,9 @@ impl fmt::Display for ScenarioError {
             ),
             ScenarioError::EmptyAdaptiveLengths => {
                 write!(f, "adaptive_lengths override must not be empty (use null to keep defaults)")
+            }
+            ScenarioError::ZeroShards => {
+                write!(f, "shards must be at least 1 (1 = single-threaded)")
             }
         }
     }
@@ -505,6 +515,9 @@ impl ScenarioSpec {
         if matches!(&self.adaptive_lengths, Some(lengths) if lengths.is_empty()) {
             return Err(ScenarioError::EmptyAdaptiveLengths);
         }
+        if self.shards == 0 {
+            return Err(ScenarioError::ZeroShards);
+        }
         Ok(())
     }
 
@@ -552,6 +565,9 @@ pub struct ConcreteScenario {
     pub servers: usize,
     /// p99 plan-latency budget inherited from the spec (ms).
     pub latency_budget_ms: f64,
+    /// Worker shards to run this cell with (inherited from the spec; purely
+    /// a performance knob — results are shard-count invariant).
+    pub shards: usize,
     /// The fully resolved engine configuration.
     pub config: FleetConfig,
 }
@@ -718,9 +734,38 @@ impl ScenarioSpec {
             robots: total,
             servers: config.servers.len(),
             latency_budget_ms: self.latency_budget_ms,
+            shards: self.shards,
             config,
         }
     }
+}
+
+/// A 64-bit FNV-1a content fingerprint of expanded cells, rendered as 16
+/// lowercase hex characters — the provenance hash stamped into `BENCH_fleet`
+/// rows so `bench --compare` can tell "scenario edited" from "engine
+/// regressed".
+///
+/// The fingerprint hashes the canonical serialization of each cell with its
+/// `shards` knob normalized to 1: the shard count never changes results, so
+/// it must not change the provenance either.
+pub fn scenario_fingerprint(cells: &[ConcreteScenario]) -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for cell in cells {
+        let mut normalized = cell.clone();
+        normalized.shards = 1;
+        let canonical =
+            serde_json::to_string(&normalized).expect("concrete scenarios are serialisable");
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        // Separate cells so concatenation ambiguities cannot collide.
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    format!("{hash:016x}")
 }
 
 /// `None` (keep the spec's base value) when the axis is empty, `Some(entry)`
@@ -903,6 +948,7 @@ impl ScenarioBuilder {
                 servers: Vec::new(),
                 adaptive_lengths: None,
                 latency_budget_ms: 400.0,
+                shards: 1,
                 axes: ScenarioAxes::none(),
             },
         }
@@ -984,6 +1030,13 @@ impl ScenarioBuilder {
     /// Sets the p99 plan-latency budget (ms).
     pub fn latency_budget_ms(mut self, budget_ms: f64) -> Self {
         self.spec.latency_budget_ms = budget_ms;
+        self
+    }
+
+    /// Sets the worker-shard count of the sharded engine (results are
+    /// byte-identical for every value; 1 = single-threaded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.spec.shards = shards;
         self
     }
 
@@ -1312,12 +1365,43 @@ mod tests {
                 s.adaptive_lengths = Some(Vec::new());
                 s
             }),
+            (ScenarioError::ZeroShards, {
+                let mut s = valid().build().unwrap();
+                s.shards = 0;
+                s
+            }),
         ];
         for (expected, spec) in cases {
             assert_eq!(spec.validate(), Err(expected.clone()), "{expected:?}");
             assert_eq!(spec.expand(), Err(expected.clone()), "expand must validate: {expected:?}");
             assert!(!expected.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn scenario_fingerprints_track_content_not_shards() {
+        let cells = smoke_spec().expand().expect("smoke spec expands");
+        let base = scenario_fingerprint(&cells);
+        assert_eq!(base.len(), 16);
+        assert!(base.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(scenario_fingerprint(&smoke_spec().expand().unwrap()), base, "deterministic");
+
+        // The shard knob never changes results, so it must not change the
+        // provenance fingerprint either.
+        let mut sharded = smoke_spec();
+        sharded.shards = 4;
+        let sharded_cells = sharded.expand().expect("sharded spec expands");
+        assert!(sharded_cells.iter().all(|cell| cell.shards == 4));
+        assert_eq!(scenario_fingerprint(&sharded_cells), base);
+
+        // Any real content edit moves the fingerprint.
+        let mut edited = smoke_spec();
+        edited.frames_per_robot += 1;
+        assert_ne!(scenario_fingerprint(&edited.expand().unwrap()), base);
+        let mut edited = smoke_spec();
+        edited.seed += 1;
+        assert_ne!(scenario_fingerprint(&edited.expand().unwrap()), base);
+        assert_ne!(scenario_fingerprint(&[]), base);
     }
 
     #[test]
