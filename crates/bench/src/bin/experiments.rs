@@ -435,7 +435,7 @@ fn main() {
             }
             let shards_label = cells.first().map_or(1, |cell| cell.shards);
             println!(
-                "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {:.0} ms warm-up, {} shard(s)",
+                "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {} warm-up, {} shard(s)",
                 spec.name,
                 cells.len(),
                 spec.frames_per_robot,
@@ -523,6 +523,44 @@ fn main() {
                 row.server_utilization,
                 row.mean_batch_size,
             );
+        }
+        // Fault-injected cells get a second table with the robustness
+        // counters; fault-free sweeps keep the historical output shape.
+        let any_faults = rows.iter().any(|row| {
+            row.timed_out_requests > 0
+                || row.retries > 0
+                || row.dropped_requests > 0
+                || row.fallback_inferences > 0
+                || row.mean_recovery_ms > 0.0
+        });
+        if any_faults {
+            println!("\n  fault injection (per cell, warm-up included):");
+            println!(
+                "  {:<12} {:<13} {:<26} {:>8} {:>7} {:>7} {:>9} {:>13} {:>9}",
+                "variant",
+                "scheduler",
+                "composition",
+                "timeout",
+                "retry",
+                "drop",
+                "fallback",
+                "recovery[ms]",
+                "SLO-viol"
+            );
+            for row in &rows {
+                println!(
+                    "  {:<12} {:<13} {:<26} {:>8} {:>7} {:>7} {:>9} {:>13.1} {:>8.1}%",
+                    row.variant,
+                    row.scheduler,
+                    row.composition,
+                    row.timed_out_requests,
+                    row.retries,
+                    row.dropped_requests,
+                    row.fallback_inferences,
+                    row.mean_recovery_ms,
+                    row.slo_violation_fraction * 100.0,
+                );
+            }
         }
         let budget = robots_within_budget(&rows, latency_budget_ms);
         println!(

@@ -35,8 +35,11 @@ use std::time::{Duration, Instant};
 /// provenance fingerprint of the expanded cells (so `--compare` can tell
 /// "engine regressed" from "scenario edited"), and scenarios with
 /// `shards > 1` time both the single-shard and the sharded engine plus a
-/// sharding-speedup comparison.
-pub const SCHEMA_VERSION: u32 = 4;
+/// sharding-speedup comparison; 5 — fleet rows carry the fault-injection
+/// columns (SLO-violation fraction, timed-out/retry/dropped/fallback
+/// counters, mean recovery time) and the suite includes the committed
+/// fault scenarios (server crashes, degraded uplinks, churn).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Timing-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +140,19 @@ pub struct FleetServingRow {
     pub p99_queue_delay_ms: f64,
     /// Fraction of the pool's capacity spent busy.
     pub server_utilization: f64,
+    /// Fraction of warm-up-trimmed plans over the scenario's latency budget.
+    pub slo_violation_fraction: f64,
+    /// Requests whose reply missed the fault plan's timeout.
+    pub timed_out_requests: usize,
+    /// Re-uploads after a timeout (bounded by the plan's retry policy).
+    pub retries: usize,
+    /// Plans abandoned after exhausting retries with no fallback model.
+    pub dropped_requests: usize,
+    /// Plans served by the degraded-mode on-robot fallback model.
+    pub fallback_inferences: usize,
+    /// Mean time from a crashed server's recovery to its next completed
+    /// batch (ms; 0 when no crash recovered in-run).
+    pub mean_recovery_ms: f64,
 }
 
 /// The canonical report emitted as `BENCH_*.json`.
@@ -230,6 +246,13 @@ impl BenchReport {
                     .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase());
             if !hash_ok {
                 return Err(format!("malformed scenario hash for `{}`", row.name));
+            }
+            let faults_ok = row.slo_violation_fraction.is_finite()
+                && (0.0..=1.0).contains(&row.slo_violation_fraction)
+                && row.mean_recovery_ms.is_finite()
+                && row.mean_recovery_ms >= 0.0;
+            if !faults_ok {
+                return Err(format!("degenerate fault metrics for `{}`", row.name));
             }
         }
         Ok(())
@@ -524,7 +547,7 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
 /// for the canonical bench cases recorded in `BENCH_fleet.json`.  Baked in
 /// at compile time so the `bench` binary works from any directory; a bench
 /// integration test additionally verifies the on-disk files stay canonical.
-pub const FLEET_SCENARIO_SOURCES: [&str; 7] = [
+pub const FLEET_SCENARIO_SOURCES: [&str; 10] = [
     include_str!("../scenarios/fifo_8robots_60frames.json"),
     include_str!("../scenarios/batch4_8robots_60frames.json"),
     include_str!("../scenarios/pool2_lqd_8robots_60frames.json"),
@@ -532,6 +555,9 @@ pub const FLEET_SCENARIO_SOURCES: [&str; 7] = [
     include_str!("../scenarios/mixed_variant_stf_pool2_8robots_60frames.json"),
     include_str!("../scenarios/adap_onrobot_batch_pool2_8robots_60frames.json"),
     include_str!("../scenarios/fleet_10k_pool.json"),
+    include_str!("../scenarios/crash_pool2_lqd_8robots_60frames.json"),
+    include_str!("../scenarios/degraded_uplink_retry_8robots_60frames.json"),
+    include_str!("../scenarios/churn_fallback_8robots_60frames.json"),
 ];
 
 /// Parses the committed scenarios and expands each into its bench cells
@@ -582,6 +608,12 @@ fn fleet_metric_rows(cases: &[(String, ConcreteScenario)]) -> Vec<FleetServingRo
                 p99_plan_latency_ms: summary.p99_plan_latency_ms,
                 p99_queue_delay_ms: summary.p99_queue_delay_ms,
                 server_utilization: summary.server_utilization,
+                slo_violation_fraction: summary.slo_violation_fraction,
+                timed_out_requests: summary.timed_out_requests,
+                retries: summary.retries,
+                dropped_requests: summary.dropped_requests,
+                fallback_inferences: summary.fallback_inferences,
+                mean_recovery_ms: summary.mean_recovery_ms,
             }
         })
         .collect()
@@ -599,7 +631,7 @@ mod tests {
         let parsed = BenchReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
         assert_eq!(report.comparisons.len(), 4, "3 fast-path + 1 sharding comparison");
-        assert!(report.benches.len() >= 13);
+        assert!(report.benches.len() >= 16);
         assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
         assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
         assert!(!report.to_table().is_empty());
@@ -616,7 +648,7 @@ mod tests {
     fn filtered_suite_keeps_only_the_prefix_and_drops_broken_comparisons() {
         let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("fleet_serving"));
         report.validate().expect("filtered report must validate");
-        // Six single-shard scenarios plus the two engine cases of the
+        // Nine single-shard scenarios plus the two engine cases of the
         // sharded 10k scenario.
         assert_eq!(report.benches.len(), FLEET_SCENARIO_SOURCES.len() + 1);
         assert!(report.benches.iter().all(|b| b.name.starts_with("fleet_serving/")));
@@ -669,6 +701,39 @@ mod tests {
         // The 10k-robot sharded scenario rides along as a metric row too.
         let big = a.iter().find(|r| r.name.contains("fleet_10k_pool")).expect("10k row present");
         assert_eq!((big.robots, big.servers), (10_000, 32));
+        // Fault-free scenarios report all-zero fault counters.
+        assert!(
+            (pool.timed_out_requests, pool.retries, pool.fallback_inferences) == (0, 0, 0)
+                && pool.dropped_requests == 0
+                && pool.mean_recovery_ms == 0.0,
+            "fault-free rows must not report fault activity"
+        );
+        // The committed server-crash scenario exercises the whole fault
+        // stack: timeouts fire while the pool is down, the bounded retries
+        // fail too, the fallback model serves the stranded plans, and each
+        // server's recovery time is finite.
+        let crash = a.iter().find(|r| r.name.contains("crash_pool2")).expect("crash row present");
+        assert!(crash.timed_out_requests > 0, "crash scenario must time requests out");
+        assert!(crash.retries > 0, "crash scenario must retry");
+        assert!(crash.fallback_inferences > 0, "crash scenario must fall back on-robot");
+        assert_eq!(crash.dropped_requests, 0, "the fallback model catches exhausted retries");
+        assert!(
+            crash.mean_recovery_ms > 0.0 && crash.mean_recovery_ms.is_finite(),
+            "both crashed servers recover in-run"
+        );
+        // The degraded-uplink scenario loses uploads and retries them; its
+        // warm-up window is MSER-5-detected rather than hand-picked.
+        let lossy = a
+            .iter()
+            .find(|r| r.name.contains("degraded_uplink"))
+            .expect("degraded-uplink row present");
+        assert!(lossy.timed_out_requests > 0 && lossy.retries > 0);
+        assert_eq!(lossy.fallback_inferences, 0, "no fallback model configured");
+        // The churn scenario joins one robot late, leaves one early, and
+        // serves the crash window with the on-robot fallback.
+        let churn =
+            a.iter().find(|r| r.name.contains("churn_fallback")).expect("churn row present");
+        assert!(churn.fallback_inferences > 0);
         // Every row carries a well-formed, content-keyed provenance hash.
         for row in &a {
             assert_eq!(row.scenario_hash.len(), 16, "{}", row.name);

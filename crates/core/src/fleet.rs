@@ -35,7 +35,9 @@
 
 use corki_sim::evaluation::{parallel_map, run_job, session_seed, EvalConfig};
 use corki_system::fleet::{fleet_robot_seed, FleetSimulator, SchedulerKind, ServerConfig};
-use corki_system::scenario::{ConcreteScenario, ScenarioAxes, ScenarioSpec, VariantMix};
+use corki_system::scenario::{
+    ConcreteScenario, ScenarioAxes, ScenarioSpec, VariantMix, WarmupSpec,
+};
 use corki_system::{ControlBackend, InferenceModel, RoutingPolicy, Variant};
 use serde::{Deserialize, Serialize};
 
@@ -150,7 +152,7 @@ impl FleetExperiment {
             name: "fleet-experiment".to_owned(),
             seed: self.scale.seed,
             frames_per_robot: self.scale.frames_per_robot,
-            warmup_ms: self.scale.warmup_ms,
+            warmup_ms: WarmupSpec::Fixed(self.scale.warmup_ms),
             routing: self.routing,
             control_backend: ControlBackend::PerRobot,
             robots: Vec::new(),
@@ -165,6 +167,7 @@ impl FleetExperiment {
                 server_counts: self.server_counts.clone(),
                 compositions: self.compositions.clone(),
             },
+            faults: None,
         }
     }
 }
@@ -200,6 +203,20 @@ pub struct FleetSweepRow {
     pub server_utilization: f64,
     /// Mean formed batch size.
     pub mean_batch_size: f64,
+    /// Fraction of warm-up-trimmed plans whose end-to-end latency exceeded
+    /// the scenario's latency budget.
+    pub slo_violation_fraction: f64,
+    /// Requests whose reply missed the fault plan's timeout.
+    pub timed_out_requests: usize,
+    /// Re-uploads after a timeout (bounded by the plan's retry policy).
+    pub retries: usize,
+    /// Plans abandoned after exhausting retries with no fallback model.
+    pub dropped_requests: usize,
+    /// Plans served by the degraded-mode on-robot fallback model.
+    pub fallback_inferences: usize,
+    /// Mean time from a crashed server's recovery to its next completed
+    /// batch (ms; 0 when no crash recovered in-run).
+    pub mean_recovery_ms: f64,
 }
 
 /// Runs the fleet sweep, fanning independent cells out over all cores.
@@ -269,6 +286,12 @@ pub fn scenario_sweep_with_jobs(cells: &[ConcreteScenario], jobs: usize) -> Vec<
             p99_queue_delay_ms: summary.p99_queue_delay_ms,
             server_utilization: summary.server_utilization,
             mean_batch_size: summary.mean_batch_size,
+            slo_violation_fraction: summary.slo_violation_fraction,
+            timed_out_requests: summary.timed_out_requests,
+            retries: summary.retries,
+            dropped_requests: summary.dropped_requests,
+            fallback_inferences: summary.fallback_inferences,
+            mean_recovery_ms: summary.mean_recovery_ms,
         }
     };
     parallel_map(cells, |_, cell| run_cell(cell), jobs)
@@ -567,6 +590,12 @@ mod tests {
                                 p99_queue_delay_ms: summary.p99_queue_delay_ms,
                                 server_utilization: summary.server_utilization,
                                 mean_batch_size: summary.mean_batch_size,
+                                slo_violation_fraction: summary.slo_violation_fraction,
+                                timed_out_requests: summary.timed_out_requests,
+                                retries: summary.retries,
+                                dropped_requests: summary.dropped_requests,
+                                fallback_inferences: summary.fallback_inferences,
+                                mean_recovery_ms: summary.mean_recovery_ms,
                             });
                         }
                     }

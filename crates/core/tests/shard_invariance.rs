@@ -11,8 +11,12 @@
 
 use corki::fleet::scenario_sweep_with_jobs;
 use corki_system::fleet::{FleetSimulator, SchedulerKind};
-use corki_system::{RoutingPolicy, ScenarioBuilder, ScenarioSpec, Variant};
+use corki_system::{
+    CrashSpec, DataRepresentation, FaultPlan, InferenceDevice, InferenceModel, LinkDegradationSpec,
+    RoutingPolicy, ScenarioBuilder, ScenarioSpec, TimeoutSpec, Variant,
+};
 use proptest::prelude::*;
+use std::path::PathBuf;
 
 fn variant(index: usize) -> Variant {
     match index % 5 {
@@ -60,6 +64,115 @@ fn random_spec(
         .default_servers(servers, scheduler(s_index))
         .build()
         .expect("random small scenarios are valid")
+}
+
+/// Fault events (crashes, loss draws, timeouts, retries, fallbacks) must obey
+/// the same invariance bar as the fault-free engine: identical sweep rows and
+/// event timelines whatever the shard count.
+#[test]
+fn crash_and_retry_runs_are_shard_count_invariant() {
+    let base = ScenarioBuilder::new("shard-invariance-faults")
+        .seed(99)
+        .frames_per_robot(40)
+        .routing(RoutingPolicy::LeastQueueDepth)
+        .group(Variant::CorkiFixed(5), 6)
+        .default_servers(2, SchedulerKind::Fifo)
+        .faults(FaultPlan {
+            crashes: vec![
+                CrashSpec { server: 0, at_ms: 300.0, down_ms: 1500.0 },
+                CrashSpec { server: 1, at_ms: 400.0, down_ms: 1500.0 },
+            ],
+            link_degradations: vec![LinkDegradationSpec {
+                from_ms: 100.0,
+                until_ms: 900.0,
+                latency_factor: 2.0,
+                loss: 0.25,
+            }],
+            timeout: Some(TimeoutSpec { timeout_ms: 800.0, max_retries: 2, backoff_ms: 50.0 }),
+            fallback: Some(InferenceModel::new(
+                InferenceDevice::JetsonOrin32Gb,
+                DataRepresentation::Float16,
+            )),
+            ..FaultPlan::none()
+        })
+        .build()
+        .expect("the fault scenario is valid");
+    let mut reference: Option<(String, String)> = None;
+    for shards in [1usize, 2, 8] {
+        let mut spec = base.clone();
+        spec.shards = shards;
+        let cells = spec.expand().expect("spec expands");
+        assert_eq!(cells.len(), 1);
+        let rows = scenario_sweep_with_jobs(&cells, 1);
+        assert!(rows[0].timed_out_requests > 0, "the crash windows must force timeouts");
+        assert!(rows[0].retries > 0, "timeouts must trigger retries");
+        let rows = serde_json::to_string(&rows).expect("rows serialise");
+        let mut config = cells[0].config.clone();
+        config.record_event_log = true;
+        let outcome = FleetSimulator::new(config).with_shards(shards).run();
+        assert!(!outcome.event_log.is_empty());
+        let run = serde_json::to_string(&outcome).expect("outcome serialises");
+        match &reference {
+            None => reference = Some((rows, run)),
+            Some((reference_rows, reference_run)) => {
+                assert_eq!(
+                    &rows, reference_rows,
+                    "fault-injected FleetSweepRows must be shard-count invariant ({shards} shards)"
+                );
+                assert_eq!(
+                    &run, reference_run,
+                    "fault-injected event timelines must be shard-count invariant ({shards} shards)"
+                );
+            }
+        }
+    }
+}
+
+/// Golden pin for a committed fault scenario: the server-crash scenario under
+/// `crates/bench/scenarios/` must reproduce its sweep rows byte-for-byte,
+/// across reruns and for shards ∈ {1, 4} — the acceptance bar of the fault
+/// layer.  Regenerate with `FLEET_FAULT_GOLDEN_REGEN=1 cargo test -p corki
+/// --test shard_invariance` — only ever alongside a reviewed engine change.
+#[test]
+fn committed_crash_scenario_matches_golden_rows() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let scenario = manifest.join("../bench/scenarios/crash_pool2_lqd_8robots_60frames.json");
+    let json = std::fs::read_to_string(&scenario)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", scenario.display()));
+    let spec = ScenarioSpec::from_json(&json).expect("the committed crash scenario parses");
+    let mut rows_by_shards = Vec::new();
+    for shards in [1usize, 4, 1] {
+        let mut spec = spec.clone();
+        spec.shards = shards;
+        let cells = spec.expand().expect("the committed crash scenario expands");
+        let rows = scenario_sweep_with_jobs(&cells, 1);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.fallback_inferences > 0, "the full-pool outage must force fallbacks");
+        assert!(row.retries > 0, "the crash windows must force retries");
+        assert!(
+            row.mean_recovery_ms.is_finite() && row.mean_recovery_ms > 0.0,
+            "both servers must recover within the horizon: {}",
+            row.mean_recovery_ms
+        );
+        rows_by_shards.push(serde_json::to_string_pretty(&rows).expect("rows serialise"));
+    }
+    assert_eq!(rows_by_shards[0], rows_by_shards[1], "rows must be identical for shards 1 and 4");
+    assert_eq!(rows_by_shards[0], rows_by_shards[2], "rows must be identical across reruns");
+    let fixture = manifest.join("tests/fixtures/fault_crash_pool2_rows.json");
+    if std::env::var_os("FLEET_FAULT_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(fixture.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&fixture, &rows_by_shards[0]).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&fixture).unwrap_or_else(|e| {
+        panic!("cannot read {} ({e}); regenerate on purpose only", fixture.display())
+    });
+    assert_eq!(
+        rows_by_shards[0].trim_end(),
+        expected.trim_end(),
+        "the fault engine no longer reproduces the committed crash scenario's sweep rows"
+    );
 }
 
 proptest! {

@@ -266,6 +266,10 @@ pub struct PendingRequest {
     pub planned_steps: usize,
     /// Arrival sequence number (deterministic tie-breaker).
     pub seq: u64,
+    /// The robot-local attempt that produced this request.  A robot that
+    /// times out abandons the attempt; a response carrying a stale attempt
+    /// id is ignored (the server still paid the service time).
+    pub attempt: u64,
 }
 
 /// Decides when queued inference requests are released as a batch.
@@ -286,6 +290,9 @@ pub trait BatchScheduler: std::fmt::Debug {
     fn next_release_ms(&self) -> Option<f64>;
     /// Number of queued requests.
     fn pending(&self) -> usize;
+    /// Removes and returns every queued request (a crashed server drops its
+    /// queue; the abandoned robots recover via their timeouts).
+    fn drain(&mut self) -> Vec<PendingRequest>;
 }
 
 /// One-at-a-time FIFO service.
@@ -309,6 +316,10 @@ impl BatchScheduler for FifoScheduler {
 
     fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<PendingRequest> {
+        self.queue.drain(..).collect()
     }
 }
 
@@ -354,6 +365,10 @@ impl BatchScheduler for DynamicBatchScheduler {
     fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    fn drain(&mut self) -> Vec<PendingRequest> {
+        self.queue.drain(..).collect()
+    }
 }
 
 /// Shortest-trajectory-first arbitration: requests whose plans cover fewer
@@ -388,6 +403,10 @@ impl BatchScheduler for ShortestTrajectoryFirstScheduler {
 
     fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<PendingRequest> {
+        std::mem::take(&mut self.queue)
     }
 }
 
@@ -460,6 +479,156 @@ impl ServerConfig {
     }
 }
 
+/// Real-time duration of one executed control step under the paper's 30 Hz
+/// camera rate, ms — the [`FleetConfig::execution_step_ms`] default and the
+/// lower bound on a robot's per-frame pacing (used by scenario validation to
+/// bound the run horizon from below).
+pub const DEFAULT_EXECUTION_STEP_MS: f64 = 1000.0 / 30.0;
+
+/// One injected server outage: the server goes down at `at_ms` (its
+/// in-flight batch is aborted and its queue dropped) and comes back
+/// `down_ms` later.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CrashSpec {
+    /// Index of the crashing server in the pool.
+    pub server: usize,
+    /// Crash onset, ms.
+    pub at_ms: f64,
+    /// Outage duration, ms (the server recovers at `at_ms + down_ms`).
+    pub down_ms: f64,
+}
+
+/// One shared-link degradation window `[from_ms, until_ms)`: uploads that
+/// start inside the window take `latency_factor` times longer, and each
+/// completed upload is lost with probability `loss` (drawn from a dedicated
+/// per-robot fault RNG, so jitter streams — and fault-free runs — are
+/// untouched).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LinkDegradationSpec {
+    /// Window start, ms (inclusive).
+    pub from_ms: f64,
+    /// Window end, ms (exclusive).
+    pub until_ms: f64,
+    /// Multiplier on upload durations started inside the window (≥ 1).
+    pub latency_factor: f64,
+    /// Probability that an upload completing inside the window is lost
+    /// (`[0, 1]`; a lost upload never reaches a server and the robot
+    /// recovers via its timeout).
+    pub loss: f64,
+}
+
+/// Per-request timeout and bounded-retry policy of offloaded robots.
+///
+/// The timeout clock starts when an upload completes (the robot has sent
+/// the frame and waits for a plan); a request that has not been answered
+/// `timeout_ms` later is abandoned and retried — re-uploading after an
+/// exponential backoff of `backoff_ms · 2^(retry-1)` — at most
+/// `max_retries` times before the robot gives up on the plan (falling back
+/// to its on-robot model when the fault plan provides one, or dropping the
+/// plan and executing one blind step otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TimeoutSpec {
+    /// How long a robot waits for a plan after its upload completes, ms.
+    pub timeout_ms: f64,
+    /// Upload retries before the robot gives up on the plan.
+    pub max_retries: usize,
+    /// Base backoff before a retry upload, ms (doubled per retry).
+    pub backoff_ms: f64,
+}
+
+/// One churn entry: a robot that joins the fleet late and/or leaves early.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ChurnSpec {
+    /// Index of the churning robot.
+    pub robot: usize,
+    /// When the robot captures its first frame, ms (`0` = from the start;
+    /// the deterministic start stagger still applies if it is later).
+    pub join_at_ms: f64,
+    /// When the robot leaves, ms (`null` = never): it stops at the first
+    /// capture at or after this instant, leaving its remaining frames
+    /// unexecuted.
+    pub leave_at_ms: Option<f64>,
+}
+
+/// A deterministic fault-injection plan: server crash/recovery windows,
+/// uplink degradation, per-request timeout/retry, robot churn and
+/// degraded-mode on-robot fallback.
+///
+/// Faults are ordinary DES events (crash/recover pairs are scheduled
+/// upfront in plan order; timeouts and retries are scheduled by the
+/// handlers that need them), so injected runs stay byte-identical across
+/// reruns and shard counts.  A config without a fault plan schedules no
+/// fault events and draws nothing from the fault RNGs — the fault-free
+/// golden traces are bit-for-bit unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FaultPlan {
+    /// Server outage windows, applied in order.
+    pub crashes: Vec<CrashSpec>,
+    /// Shared-uplink degradation windows (first matching window wins).
+    pub link_degradations: Vec<LinkDegradationSpec>,
+    /// Timeout/retry policy.  Required (by scenario validation) whenever
+    /// crashes or lossy link windows are present — without it a lost
+    /// request would strand its robot forever.
+    pub timeout: Option<TimeoutSpec>,
+    /// Robots that join late or leave early (at most one entry per robot).
+    pub churn: Vec<ChurnSpec>,
+    /// On-robot model an offloaded robot falls back to once its retries are
+    /// exhausted (e.g. while every server is down).  `null` drops the plan
+    /// instead: the robot executes one blind step and recaptures.
+    pub fallback: Option<InferenceModel>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).  Useful as a starting point for builders.
+    pub fn none() -> Self {
+        FaultPlan {
+            crashes: Vec::new(),
+            link_degradations: Vec::new(),
+            timeout: None,
+            churn: Vec::new(),
+            fallback: None,
+        }
+    }
+
+    /// Whether any crash window is declared.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// Whether any link window can lose uploads.
+    pub fn has_loss(&self) -> bool {
+        self.link_degradations.iter().any(|w| w.loss > 0.0)
+    }
+
+    /// Upload latency multiplier in effect at `t_ms` (first matching
+    /// window wins; `1.0` outside every window).
+    pub fn link_factor_at(&self, t_ms: f64) -> f64 {
+        self.link_degradations
+            .iter()
+            .find(|w| w.from_ms <= t_ms && t_ms < w.until_ms)
+            .map_or(1.0, |w| w.latency_factor)
+    }
+
+    /// Upload loss probability in effect at `t_ms` (first matching window
+    /// wins; `0.0` outside every window).
+    pub fn link_loss_at(&self, t_ms: f64) -> f64 {
+        self.link_degradations
+            .iter()
+            .find(|w| w.from_ms <= t_ms && t_ms < w.until_ms)
+            .map_or(0.0, |w| w.loss)
+    }
+
+    /// The churn entry of `robot`, if any.
+    pub fn churn_of(&self, robot: usize) -> Option<&ChurnSpec> {
+        self.churn.iter().find(|c| c.robot == robot)
+    }
+}
+
 /// Configuration of a fleet-serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -514,6 +683,18 @@ pub struct FleetConfig {
     /// behaviour; `fleet_sweep` enables a warm-up so short runs report
     /// steady-state percentiles instead of the closed-loop transient.
     pub warmup_ms: f64,
+    /// Replace the fixed [`warmup_ms`](Self::warmup_ms) with adaptive
+    /// steady-state detection: MSER-5 over the pool queue-depth time
+    /// series picks the truncation point, and the reported
+    /// [`FleetSummary::warmup_ms`] is the detected value.
+    pub auto_warmup: bool,
+    /// Per-plan latency budget behind
+    /// [`FleetSummary::slo_violation_fraction`], ms.
+    pub slo_budget_ms: f64,
+    /// Optional deterministic fault-injection plan.  `None` (the default)
+    /// injects nothing and leaves the fault-free event stream — and every
+    /// golden trace — bit-for-bit unchanged.
+    pub faults: Option<FaultPlan>,
     /// Record the full event log (for determinism regression tests).
     pub record_event_log: bool,
 }
@@ -545,11 +726,14 @@ impl FleetConfig {
             jitter: base.jitter,
             accelerator_power_w: base.accelerator_power_w,
             batch_overhead: 0.15,
-            execution_step_ms: 1000.0 / 30.0,
-            start_stagger_ms: 1000.0 / 30.0,
+            execution_step_ms: DEFAULT_EXECUTION_STEP_MS,
+            start_stagger_ms: DEFAULT_EXECUTION_STEP_MS,
             background_uploads: true,
             control_backend: ControlBackend::PerRobot,
             warmup_ms: 0.0,
+            auto_warmup: false,
+            slo_budget_ms: 400.0,
+            faults: None,
             record_event_log: false,
         }
     }
@@ -581,6 +765,9 @@ impl FleetConfig {
             background_uploads: false,
             control_backend: ControlBackend::PerRobot,
             warmup_ms: 0.0,
+            auto_warmup: false,
+            slo_budget_ms: 400.0,
+            faults: None,
             record_event_log: false,
         }
     }
@@ -627,7 +814,9 @@ pub struct EventRecord {
     /// Event queue sequence number.
     pub seq: u64,
     /// Event kind (`capture`, `upload_done`, `scheduler_wake`,
-    /// `inference_done`, `local_inference_done`, `step_done`).
+    /// `inference_done`, `local_inference_done`, `step_done`,
+    /// `request_timeout`, `retry_upload`, `server_crash`,
+    /// `server_recover`).
     pub kind: String,
     /// The robot concerned, if any.
     pub robot: Option<usize>,
@@ -700,6 +889,25 @@ pub struct FleetSummary {
     pub on_robot_inferences: usize,
     /// Mean formed batch size.
     pub mean_batch_size: f64,
+    /// Fraction of steady-state plan latencies exceeding
+    /// [`FleetConfig::slo_budget_ms`] (0 when no plan completed after the
+    /// warm-up window).
+    pub slo_violation_fraction: f64,
+    /// Requests abandoned by their robot after waiting past the fault
+    /// plan's timeout.
+    pub timed_out_requests: usize,
+    /// Upload retries issued after timeouts.
+    pub retries: usize,
+    /// Plans given up entirely after exhausting retries with no fallback
+    /// model configured (the robot executed one blind step instead).
+    pub dropped_requests: usize,
+    /// Plans served by the degraded-mode on-robot fallback model after
+    /// retries were exhausted.
+    pub fallback_inferences: usize,
+    /// Mean time from a crashed server's scheduled recovery instant to its
+    /// first completed inference afterwards, ms (0 when no crash window
+    /// recovered within the run).
+    pub mean_recovery_ms: f64,
 }
 
 /// Everything a fleet run produces.
@@ -715,12 +923,45 @@ pub struct FleetOutcome {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum FleetEvent {
-    Capture { robot: usize },
-    UploadDone { robot: usize },
-    SchedulerWake { server: usize },
-    InferenceDone { server: usize },
-    LocalInferenceDone { robot: usize },
-    StepDone { robot: usize },
+    Capture {
+        robot: usize,
+    },
+    UploadDone {
+        robot: usize,
+    },
+    SchedulerWake {
+        server: usize,
+    },
+    /// `epoch` pins the server incarnation that dispatched the batch: a
+    /// crash bumps the epoch, so the completion of an aborted batch is
+    /// recognised as stale and ignored.
+    InferenceDone {
+        server: usize,
+        epoch: u64,
+    },
+    LocalInferenceDone {
+        robot: usize,
+    },
+    StepDone {
+        robot: usize,
+    },
+    /// The robot abandons `attempt` unless a plan arrived in the meantime
+    /// (stale timeouts carry a superseded attempt id and are no-ops).
+    RequestTimeout {
+        robot: usize,
+        attempt: u64,
+    },
+    /// A backed-off re-upload of the frame for a fresh attempt.
+    RetryUpload {
+        robot: usize,
+        attempt: u64,
+    },
+    ServerCrash {
+        server: usize,
+    },
+    ServerRecover {
+        server: usize,
+    },
 }
 
 /// One undecorated frame observation, deferred until the next window
@@ -760,10 +1001,28 @@ struct Session {
     capture_ms: f64,
     link_wait_ms: f64,
     upload_ms: f64,
+    /// Undegraded duration of this plan's frame upload (the quantity a
+    /// retry re-sends; `upload_ms` accumulates what was actually paid).
+    base_upload_ms: f64,
     queue_wait_ms: f64,
     batch_service_ms: f64,
     inference_energy_j: f64,
     ctl_wait_ms: f64,
+    // Fault state.
+    /// Monotone attempt counter; each capture (and each retry) claims a
+    /// fresh id so stale deliveries and timeouts can be recognised.
+    attempt: u64,
+    /// The attempt currently awaiting a plan (None once answered, dropped
+    /// or handed to the fallback model).
+    active_attempt: Option<u64>,
+    retries_this_plan: usize,
+    /// When the robot leaves the fleet (from the churn plan).
+    leave_at_ms: Option<f64>,
+    /// Dedicated loss-draw RNG (only built when a fault plan exists), kept
+    /// apart from the jitter stream so fault-free traces never move.
+    fault_rng: Option<StdRng>,
+    /// Service time and energy of a fallback inference in flight.
+    fallback_pending: Option<(f64, f64)>,
     // Outputs.
     pending: Vec<FrameTask>,
     traces: Vec<FrameTrace>,
@@ -779,7 +1038,16 @@ struct ServerState {
     batch: Vec<PendingRequest>,
     busy_since_ms: f64,
     busy_ms: f64,
+    /// Timestamp of the latest busy-time accrual.  Under a timeout storm the
+    /// pool keeps burning abandoned requests after the last robot finishes,
+    /// so the utilization denominator must extend past the robot makespan.
+    busy_until_ms: f64,
     next_wake_ms: Option<f64>,
+    /// Health flag: crashed servers take no arrivals and dispatch nothing.
+    up: bool,
+    /// Incarnation counter, bumped on every crash; in-flight completions
+    /// from an earlier incarnation are discarded.
+    epoch: u64,
 }
 
 impl ServerState {
@@ -791,7 +1059,10 @@ impl ServerState {
             batch: Vec::new(),
             busy_since_ms: 0.0,
             busy_ms: 0.0,
+            busy_until_ms: 0.0,
             next_wake_ms: None,
+            up: true,
+            epoch: 0,
         }
     }
 
@@ -844,10 +1115,27 @@ struct Engine<'a> {
     plan_latencies_ms: Vec<(f64, f64)>,
     link_waits_ms: Vec<(f64, f64)>,
     on_robot_inferences: usize,
+    // Fault bookkeeping (all zero / empty on fault-free runs).
+    fallback_inferences: usize,
+    timed_out_requests: usize,
+    retries: usize,
+    dropped_requests: usize,
+    recovery: Vec<RecoveryTracker>,
+    /// `(time, total pool queue depth)` samples for MSER-5 warm-up
+    /// detection; only recorded when [`FleetConfig::auto_warmup`] is set.
+    queue_depth_series: Vec<(f64, f64)>,
     /// Frames pushed onto session `pending` queues since the last
     /// decoration flush (drives the [`DECORATION_FLUSH_TASKS`] threshold).
     deferred_tasks: usize,
     log: Vec<EventRecord>,
+}
+
+/// How long a crashed server took to complete its first inference after
+/// its scheduled recovery instant (one tracker per crash window).
+struct RecoveryTracker {
+    server: usize,
+    recover_at_ms: f64,
+    first_done_ms: Option<f64>,
 }
 
 impl FleetSimulator {
@@ -888,7 +1176,12 @@ impl FleetSimulator {
             shards: self.shards,
             queue: ShardedEventQueue::new(self.shards),
             windows: WindowCoordinator::new(WINDOW_MS),
-            sessions: cfg.robots.iter().map(|robot| Session::new(robot, cfg)).collect(),
+            sessions: cfg
+                .robots
+                .iter()
+                .enumerate()
+                .map(|(index, robot)| Session::new(index, robot, cfg))
+                .collect(),
             link: Arbiter::new(),
             shared_accelerator: match cfg.control_backend {
                 ControlBackend::PerRobot => None,
@@ -902,15 +1195,46 @@ impl FleetSimulator {
             plan_latencies_ms: Vec::new(),
             link_waits_ms: Vec::new(),
             on_robot_inferences: 0,
+            fallback_inferences: 0,
+            timed_out_requests: 0,
+            retries: 0,
+            dropped_requests: 0,
+            recovery: Vec::new(),
+            queue_depth_series: Vec::new(),
             deferred_tasks: 0,
             log: Vec::new(),
         };
         for robot in 0..cfg.robots.len() {
-            engine.queue.schedule(
-                robot % self.shards,
-                robot as f64 * cfg.start_stagger_ms,
-                FleetEvent::Capture { robot },
-            );
+            let mut start = robot as f64 * cfg.start_stagger_ms;
+            // Churned robots join late: their first capture waits for the
+            // later of the deterministic stagger and the join instant.
+            if let Some(churn) = cfg.faults.as_ref().and_then(|f| f.churn_of(robot)) {
+                start = start.max(churn.join_at_ms);
+            }
+            engine.queue.schedule(robot % self.shards, start, FleetEvent::Capture { robot });
+        }
+        // Crash/recovery pairs are ordinary events scheduled upfront, after
+        // the capture loop — a fault-free run schedules nothing here, so its
+        // sequence-number stream (and every golden trace) is unchanged.
+        if let Some(faults) = cfg.faults.as_ref() {
+            for crash in &faults.crashes {
+                let recover_at_ms = crash.at_ms + crash.down_ms;
+                engine.queue.schedule(
+                    crash.server % self.shards,
+                    crash.at_ms,
+                    FleetEvent::ServerCrash { server: crash.server },
+                );
+                engine.queue.schedule(
+                    crash.server % self.shards,
+                    recover_at_ms,
+                    FleetEvent::ServerRecover { server: crash.server },
+                );
+                engine.recovery.push(RecoveryTracker {
+                    server: crash.server,
+                    recover_at_ms,
+                    first_done_ms: None,
+                });
+            }
         }
         while let Some(scheduled) = engine.queue.pop() {
             // Conservative barrier: the first event at/beyond the current
@@ -928,8 +1252,12 @@ impl FleetSimulator {
     }
 }
 
+/// Salt xored into a robot's seed for its loss-draw fault RNG, keeping the
+/// stream decorrelated from the jitter stream seeded by the raw seed.
+const FAULT_RNG_SALT: u64 = 0xFA17_C0DE_D15C_0BE5;
+
 impl Session {
-    fn new(robot: &RobotConfig, cfg: &FleetConfig) -> Self {
+    fn new(index: usize, robot: &RobotConfig, cfg: &FleetConfig) -> Self {
         let variant = &robot.variant;
         let is_baseline = *variant == Variant::RoboFlamingo;
         let steps_model = match variant {
@@ -981,10 +1309,24 @@ impl Session {
             capture_ms: 0.0,
             link_wait_ms: 0.0,
             upload_ms: 0.0,
+            base_upload_ms: 0.0,
             queue_wait_ms: 0.0,
             batch_service_ms: 0.0,
             inference_energy_j: 0.0,
             ctl_wait_ms: 0.0,
+            attempt: 0,
+            active_attempt: None,
+            retries_this_plan: 0,
+            leave_at_ms: cfg
+                .faults
+                .as_ref()
+                .and_then(|f| f.churn_of(index))
+                .and_then(|c| c.leave_at_ms),
+            fault_rng: cfg
+                .faults
+                .as_ref()
+                .map(|_| StdRng::seed_from_u64(robot.seed ^ FAULT_RNG_SALT)),
+            fallback_pending: None,
             pending: Vec::new(),
             traces: Vec::with_capacity(cfg.frames_per_robot),
             plan_latency_sum_ms: 0.0,
@@ -1017,9 +1359,13 @@ impl Engine<'_> {
             FleetEvent::Capture { robot } => ("capture", Some(robot), None),
             FleetEvent::UploadDone { robot } => ("upload_done", Some(robot), None),
             FleetEvent::SchedulerWake { server } => ("scheduler_wake", None, Some(server)),
-            FleetEvent::InferenceDone { server } => ("inference_done", None, Some(server)),
+            FleetEvent::InferenceDone { server, .. } => ("inference_done", None, Some(server)),
             FleetEvent::LocalInferenceDone { robot } => ("local_inference_done", Some(robot), None),
             FleetEvent::StepDone { robot } => ("step_done", Some(robot), None),
+            FleetEvent::RequestTimeout { robot, .. } => ("request_timeout", Some(robot), None),
+            FleetEvent::RetryUpload { robot, .. } => ("retry_upload", Some(robot), None),
+            FleetEvent::ServerCrash { server } => ("server_crash", None, Some(server)),
+            FleetEvent::ServerRecover { server } => ("server_recover", None, Some(server)),
         };
         self.log.push(EventRecord {
             time_ms: scheduled.time_ms,
@@ -1039,9 +1385,17 @@ impl Engine<'_> {
                 self.servers[server].next_wake_ms = None;
                 self.try_dispatch(server, now);
             }
-            FleetEvent::InferenceDone { server } => self.on_inference_done(server, now),
+            FleetEvent::InferenceDone { server, epoch } => {
+                self.on_inference_done(server, epoch, now)
+            }
             FleetEvent::LocalInferenceDone { robot } => self.on_local_inference_done(robot, now),
             FleetEvent::StepDone { robot } => self.on_step_done(robot, now),
+            FleetEvent::RequestTimeout { robot, attempt } => {
+                self.on_request_timeout(robot, attempt, now)
+            }
+            FleetEvent::RetryUpload { robot, attempt } => self.on_retry_upload(robot, attempt, now),
+            FleetEvent::ServerCrash { server } => self.on_server_crash(server, now),
+            FleetEvent::ServerRecover { server } => self.on_server_recover(server, now),
         }
     }
 
@@ -1049,6 +1403,12 @@ impl Engine<'_> {
         let frames = self.cfg.frames_per_robot;
         let session = &mut self.sessions[robot];
         if session.frame_index >= frames {
+            session.finished_ms = now;
+            return;
+        }
+        if session.leave_at_ms.is_some_and(|leave| now >= leave) {
+            // The robot churns out of the fleet: its remaining frames stay
+            // unexecuted and it never captures again.
             session.finished_ms = now;
             return;
         }
@@ -1073,11 +1433,19 @@ impl Engine<'_> {
             );
             return;
         }
-        session.upload_ms = if session.is_baseline || full_steps == 1 {
+        session.base_upload_ms = if session.is_baseline || full_steps == 1 {
             self.cfg.communication.per_frame_ms
         } else {
             self.cfg.communication.per_frame_ms * self.cfg.unhidden_comm_fraction
         };
+        session.upload_ms = match self.cfg.faults.as_ref() {
+            Some(faults) => session.base_upload_ms * faults.link_factor_at(now),
+            None => session.base_upload_ms,
+        };
+        // Each plan opens a fresh attempt; retries claim further ids.
+        session.attempt += 1;
+        session.active_attempt = Some(session.attempt);
+        session.retries_this_plan = 0;
         let grant = self.link.acquire(now, session.upload_ms);
         session.link_wait_ms = grant.wait_ms;
         self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
@@ -1085,25 +1453,63 @@ impl Engine<'_> {
     }
 
     fn on_upload_done(&mut self, robot: usize, now: f64) {
+        let cfg = self.cfg;
+        // Fault layer: the timeout clock starts the moment the upload
+        // completes, and a lossy link window may eat the frame outright.
+        let mut has_crashes = false;
+        if let Some(faults) = cfg.faults.as_ref() {
+            has_crashes = faults.has_crashes();
+            let attempt = self.sessions[robot]
+                .active_attempt
+                .expect("an upload in flight always has an active attempt");
+            if let Some(policy) = faults.timeout {
+                self.queue.schedule(
+                    robot % self.shards,
+                    now + policy.timeout_ms,
+                    FleetEvent::RequestTimeout { robot, attempt },
+                );
+            }
+            let loss = faults.link_loss_at(now);
+            if loss > 0.0 {
+                let rng = self.sessions[robot]
+                    .fault_rng
+                    .as_mut()
+                    .expect("fault RNGs exist whenever a fault plan is set");
+                if rng.gen_bool(loss) {
+                    // The frame never reaches a server; the robot recovers
+                    // via its timeout.
+                    return;
+                }
+            }
+        }
         let session = &self.sessions[robot];
         let wants_trajectory = !session.is_baseline;
         // Blind routing (round-robin, or any single-server pool) skips the
         // per-server snapshots entirely — this is the engine's hot path and
-        // the shape the tracked fleet benches measure.
-        let target = match self.router.try_route_blind(self.servers.len()) {
-            Some(target) => target,
-            None => {
-                let snapshots: Vec<ServerSnapshot> = self
-                    .servers
-                    .iter()
-                    .map(|server| ServerSnapshot {
-                        queue_depth: server.depth(),
-                        service_ms: server.config.service_ms(wants_trajectory),
-                    })
-                    .collect();
-                self.router.route(&snapshots)
-            }
-        };
+        // the shape the tracked fleet benches measure.  Crash plans force
+        // the snapshot path so every policy can route around dead servers.
+        let target =
+            match (!has_crashes).then(|| self.router.try_route_blind(self.servers.len())).flatten()
+            {
+                Some(target) => target,
+                None => {
+                    if has_crashes && !self.servers.iter().any(|s| s.up) {
+                        // The whole pool is down: the request is lost in flight
+                        // and the robot recovers via its timeout.
+                        return;
+                    }
+                    let snapshots: Vec<ServerSnapshot> = self
+                        .servers
+                        .iter()
+                        .map(|server| ServerSnapshot {
+                            queue_depth: server.depth(),
+                            service_ms: server.config.service_ms(wants_trajectory),
+                            up: server.up,
+                        })
+                        .collect();
+                    self.router.route(&snapshots)
+                }
+            };
         let seq = self.arrival_seq;
         self.arrival_seq += 1;
         let request = PendingRequest {
@@ -1112,14 +1518,110 @@ impl Engine<'_> {
             service_ms: self.servers[target].config.service_ms(wants_trajectory),
             planned_steps: session.plan_steps,
             seq,
+            attempt: session.attempt,
         };
         self.servers[target].scheduler.push(request);
+        if cfg.auto_warmup {
+            let depth: usize = self.servers.iter().map(ServerState::depth).sum();
+            self.queue_depth_series.push((now, depth as f64));
+        }
         self.try_dispatch(target, now);
+    }
+
+    /// A timed-out attempt: retry with backoff while the budget lasts, then
+    /// degrade (fallback model or a dropped plan with one blind step).
+    fn on_request_timeout(&mut self, robot: usize, attempt: u64, now: f64) {
+        if self.sessions[robot].active_attempt != Some(attempt) {
+            return; // The plan arrived (or a retry superseded the attempt).
+        }
+        let cfg = self.cfg;
+        let faults = cfg.faults.as_ref().expect("timeouts only fire with a fault plan");
+        let policy = faults.timeout.expect("a scheduled timeout implies a timeout policy");
+        self.timed_out_requests += 1;
+        let session = &mut self.sessions[robot];
+        if session.retries_this_plan < policy.max_retries {
+            session.retries_this_plan += 1;
+            self.retries += 1;
+            session.attempt += 1;
+            session.active_attempt = Some(session.attempt);
+            let backoff = policy.backoff_ms * 2.0_f64.powi(session.retries_this_plan as i32 - 1);
+            self.queue.schedule(
+                robot % self.shards,
+                now + backoff,
+                FleetEvent::RetryUpload { robot, attempt: session.attempt },
+            );
+            return;
+        }
+        // Retries exhausted: the robot gives up on the pool for this plan.
+        session.active_attempt = None;
+        if let Some(model) = faults.fallback.as_ref() {
+            let (service_ms, energy_j) = if session.is_baseline {
+                (model.action_latency_ms(), model.action_energy_j())
+            } else {
+                (model.trajectory_latency_ms(), model.trajectory_energy_j())
+            };
+            session.fallback_pending = Some((service_ms, energy_j));
+            self.queue.schedule(
+                robot % self.shards,
+                now + service_ms,
+                FleetEvent::LocalInferenceDone { robot },
+            );
+        } else {
+            // No fallback model: drop the plan and execute one blind step so
+            // the robot keeps making (degraded) progress.
+            self.dropped_requests += 1;
+            session.plan_steps = 1;
+            session.step_in_plan = 0;
+            session.queue_wait_ms = 0.0;
+            session.batch_service_ms = 0.0;
+            session.inference_energy_j = 0.0;
+            self.start_step(robot, now);
+        }
+    }
+
+    /// Re-uploads the frame for a fresh attempt after its backoff expired.
+    fn on_retry_upload(&mut self, robot: usize, attempt: u64, now: f64) {
+        let session = &mut self.sessions[robot];
+        if session.active_attempt != Some(attempt) {
+            return;
+        }
+        let retry_upload_ms = match self.cfg.faults.as_ref() {
+            Some(faults) => session.base_upload_ms * faults.link_factor_at(now),
+            None => session.base_upload_ms,
+        };
+        // The re-send pays the uplink again: the plan's totals accumulate.
+        session.upload_ms += retry_upload_ms;
+        let grant = self.link.acquire(now, retry_upload_ms);
+        session.link_wait_ms += grant.wait_ms;
+        self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
+        self.queue.schedule(robot % self.shards, grant.end_ms, FleetEvent::UploadDone { robot });
+    }
+
+    /// An injected crash: the in-flight batch is aborted, the queue dropped
+    /// and the epoch bumped so stale completions are discarded.  Abandoned
+    /// robots recover via their timeouts.
+    fn on_server_crash(&mut self, server_index: usize, now: f64) {
+        let server = &mut self.servers[server_index];
+        server.up = false;
+        server.epoch += 1;
+        if server.busy {
+            server.busy_ms += now - server.busy_since_ms;
+            server.busy_until_ms = now;
+            server.busy = false;
+            server.batch.clear();
+        }
+        drop(server.scheduler.drain());
+    }
+
+    /// The crashed server comes back empty and healthy.
+    fn on_server_recover(&mut self, server_index: usize, now: f64) {
+        self.servers[server_index].up = true;
+        self.try_dispatch(server_index, now);
     }
 
     fn try_dispatch(&mut self, server_index: usize, now: f64) {
         let server = &mut self.servers[server_index];
-        if server.busy {
+        if server.busy || !server.up {
             return;
         }
         let batch = server.scheduler.pop_batch(now);
@@ -1144,8 +1646,14 @@ impl Engine<'_> {
         let service = base * (1.0 + self.cfg.batch_overhead * (batch.len() as f64 - 1.0));
         let inference_done = now + service;
         for request in &batch {
-            let wait = now - request.arrival_ms;
             let session = &mut self.sessions[request.robot];
+            if session.active_attempt != Some(request.attempt) {
+                // The robot abandoned this attempt: the server still burns
+                // the service time, but the robot's bookkeeping is not
+                // touched and the wait is not a delivered-work sample.
+                continue;
+            }
+            let wait = now - request.arrival_ms;
             session.queue_wait_ms = wait;
             session.batch_service_ms = service;
             session.inference_energy_j = server.config.inference_energy_j(!session.is_baseline);
@@ -1158,36 +1666,62 @@ impl Engine<'_> {
         self.queue.schedule(
             server_index % self.shards,
             inference_done,
-            FleetEvent::InferenceDone { server: server_index },
+            FleetEvent::InferenceDone { server: server_index, epoch: server.epoch },
         );
     }
 
-    fn on_inference_done(&mut self, server_index: usize, now: f64) {
+    fn on_inference_done(&mut self, server_index: usize, epoch: u64, now: f64) {
         let server = &mut self.servers[server_index];
+        if server.epoch != epoch {
+            // The batch was aborted by a crash between dispatch and
+            // completion; its robots recover via their timeouts.
+            return;
+        }
         server.busy_ms += now - server.busy_since_ms;
+        server.busy_until_ms = now;
         server.busy = false;
         let batch = std::mem::take(&mut server.batch);
         for request in &batch {
             let session = &mut self.sessions[request.robot];
+            if session.active_attempt != Some(request.attempt) {
+                continue; // The robot gave up on this request meanwhile.
+            }
+            session.active_attempt = None;
             let plan_latency = now - session.capture_ms;
             session.plan_latency_sum_ms += plan_latency;
             self.plan_latencies_ms.push((now, plan_latency));
             self.start_step(request.robot, now);
+        }
+        // A completion at/after a crash window's recovery instant marks the
+        // server as back in service for the recovery-time metric.
+        for tracker in &mut self.recovery {
+            if tracker.server == server_index
+                && tracker.first_done_ms.is_none()
+                && now >= tracker.recover_at_ms
+            {
+                tracker.first_done_ms = Some(now);
+            }
         }
         self.try_dispatch(server_index, now);
     }
 
     fn on_local_inference_done(&mut self, robot: usize, now: f64) {
         let session = &mut self.sessions[robot];
-        let (local_service_ms, local_energy_j) =
-            session.local.expect("only on-robot sessions schedule local inference");
+        let fallback = session.fallback_pending.take();
+        let (local_service_ms, local_energy_j) = fallback
+            .or(session.local)
+            .expect("local inference implies an on-robot device or a fallback inference in flight");
         session.queue_wait_ms = 0.0;
         session.batch_service_ms = local_service_ms;
         session.inference_energy_j = local_energy_j;
         let plan_latency = now - session.capture_ms;
         session.plan_latency_sum_ms += plan_latency;
         self.plan_latencies_ms.push((now, plan_latency));
-        self.on_robot_inferences += 1;
+        if fallback.is_some() {
+            self.fallback_inferences += 1;
+        } else {
+            self.on_robot_inferences += 1;
+        }
         self.start_step(robot, now);
     }
 
@@ -1331,7 +1865,8 @@ impl Engine<'_> {
 
     fn finish(self) -> FleetOutcome {
         let cfg = self.cfg;
-        let warmup = cfg.warmup_ms;
+        let warmup =
+            if cfg.auto_warmup { mser5_warmup(&self.queue_depth_series) } else { cfg.warmup_ms };
         let makespan_ms = self.sessions.iter().map(|s| s.finished_ms).fold(0.0_f64, f64::max);
         let total_frames: usize = self.sessions.iter().map(|s| s.frame_index).sum();
         let frame_latencies: Vec<f64> =
@@ -1362,6 +1897,13 @@ impl Engine<'_> {
         }
         let inferences: usize = self.batch_sizes.iter().sum();
         let pool_busy_ms: f64 = self.servers.iter().map(|s| s.busy_ms).sum();
+        // Fault plans let the pool burn abandoned requests after the last
+        // robot finishes; utilization is measured over the longer of the two
+        // horizons so it stays a fraction.  Fault-free runs always complete
+        // their last inference before the last robot finishes, so there this
+        // is exactly the makespan.
+        let busy_horizon_ms =
+            self.servers.iter().map(|s| s.busy_until_ms).fold(makespan_ms, f64::max);
         let summary = FleetSummary {
             robots: cfg.robots.len(),
             servers: cfg.servers.len(),
@@ -1382,15 +1924,15 @@ impl Engine<'_> {
             mean_queue_delay_ms: queue_stats.0,
             p99_queue_delay_ms: queue_stats.1,
             mean_link_wait_ms: link_mean,
-            server_utilization: if makespan_ms > 0.0 {
-                pool_busy_ms / (makespan_ms * cfg.servers.len() as f64)
+            server_utilization: if busy_horizon_ms > 0.0 {
+                pool_busy_ms / (busy_horizon_ms * cfg.servers.len() as f64)
             } else {
                 0.0
             },
             per_server_utilization: self
                 .servers
                 .iter()
-                .map(|s| if makespan_ms > 0.0 { s.busy_ms / makespan_ms } else { 0.0 })
+                .map(|s| if busy_horizon_ms > 0.0 { s.busy_ms / busy_horizon_ms } else { 0.0 })
                 .collect(),
             link_utilization: self.link.utilization(makespan_ms),
             inferences,
@@ -1400,6 +1942,23 @@ impl Engine<'_> {
             } else {
                 inferences as f64 / self.batch_sizes.len() as f64
             },
+            slo_violation_fraction: if plan_latencies.is_empty() {
+                0.0
+            } else {
+                plan_latencies.iter().filter(|&&latency| latency > cfg.slo_budget_ms).count() as f64
+                    / plan_latencies.len() as f64
+            },
+            timed_out_requests: self.timed_out_requests,
+            retries: self.retries,
+            dropped_requests: self.dropped_requests,
+            fallback_inferences: self.fallback_inferences,
+            mean_recovery_ms: mean(
+                &self
+                    .recovery
+                    .iter()
+                    .filter_map(|t| t.first_done_ms.map(|done| done - t.recover_at_ms))
+                    .collect::<Vec<f64>>(),
+            ),
         };
         let robots = self
             .sessions
@@ -1426,6 +1985,38 @@ impl Engine<'_> {
 /// Keeps the samples completed at or after the warm-up window.
 fn trim_warmup(samples: &[(f64, f64)], warmup_ms: f64) -> Vec<f64> {
     samples.iter().filter(|(t, _)| *t >= warmup_ms).map(|(_, v)| *v).collect()
+}
+
+/// MSER-5 steady-state detection over a `(time, value)` series.
+///
+/// The series is condensed into batch means of five consecutive samples;
+/// for every truncation point `d` up to half the batches, the MSER
+/// statistic — the variance of the retained batch means divided by the
+/// square of their count — is evaluated, and the earliest minimiser wins.
+/// The returned warm-up is the timestamp of the first retained sample
+/// (`0` when the series is too short to batch meaningfully, so short runs
+/// degrade to the keep-everything behaviour instead of guessing).
+fn mser5_warmup(series: &[(f64, f64)]) -> f64 {
+    const BATCH: usize = 5;
+    let batches: Vec<f64> = series
+        .chunks_exact(BATCH)
+        .map(|chunk| chunk.iter().map(|(_, value)| value).sum::<f64>() / BATCH as f64)
+        .collect();
+    if batches.len() < 4 {
+        return 0.0;
+    }
+    let mut best = (0_usize, f64::INFINITY);
+    for d in 0..=batches.len() / 2 {
+        let kept = &batches[d..];
+        let n = kept.len() as f64;
+        let mean_kept = kept.iter().sum::<f64>() / n;
+        let statistic =
+            kept.iter().map(|b| (b - mean_kept) * (b - mean_kept)).sum::<f64>() / (n * n);
+        if statistic < best.1 {
+            best = (d, statistic);
+        }
+    }
+    series[best.0 * BATCH].0
 }
 
 #[cfg(test)]
@@ -1766,6 +2357,197 @@ mod tests {
         for broken in ["", "fifo+", "+stf", "fifo+lifo"] {
             assert!(broken.parse::<PoolSchedule>().is_err(), "`{broken}` must not parse");
         }
+    }
+
+    // ---- fault injection --------------------------------------------------
+
+    fn jetson_fp16() -> InferenceModel {
+        InferenceModel::new(InferenceDevice::JetsonOrin32Gb, DataRepresentation::Float16)
+    }
+
+    #[test]
+    fn fault_free_runs_report_zero_fault_counters() {
+        let summary =
+            FleetSimulator::new(quick_fleet(Variant::CorkiFixed(5), 4, SchedulerKind::Fifo))
+                .run()
+                .summary;
+        assert_eq!(summary.timed_out_requests, 0);
+        assert_eq!(summary.retries, 0);
+        assert_eq!(summary.dropped_requests, 0);
+        assert_eq!(summary.fallback_inferences, 0);
+        assert_eq!(summary.mean_recovery_ms, 0.0);
+        assert!((0.0..=1.0).contains(&summary.slo_violation_fraction));
+    }
+
+    #[test]
+    fn a_mid_run_crash_recovers_and_forces_timeouts_and_retries() {
+        // Overlapping crashes take the whole 2-server LQD pool down for
+        // 650–1150 ms: requests in flight are abandoned, retried and served
+        // once the pool recovers.
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 8, SchedulerKind::Fifo).with_pool(2);
+        cfg.routing = RoutingPolicy::LeastQueueDepth;
+        cfg.faults = Some(FaultPlan {
+            crashes: vec![
+                CrashSpec { server: 0, at_ms: 600.0, down_ms: 900.0 },
+                CrashSpec { server: 1, at_ms: 650.0, down_ms: 500.0 },
+            ],
+            link_degradations: Vec::new(),
+            timeout: Some(TimeoutSpec { timeout_ms: 250.0, max_retries: 2, backoff_ms: 50.0 }),
+            churn: Vec::new(),
+            fallback: None,
+        });
+        let outcome = FleetSimulator::new(cfg).run();
+        for robot in &outcome.robots {
+            assert_eq!(robot.frames, 60, "faulted robots still complete all frames");
+        }
+        let summary = &outcome.summary;
+        assert!(summary.timed_out_requests > 0, "the all-down window must strand requests");
+        assert!(summary.retries > 0);
+        assert!(
+            summary.mean_recovery_ms > 0.0 && summary.mean_recovery_ms.is_finite(),
+            "a recovered pool reports a finite recovery time: {}",
+            summary.mean_recovery_ms
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_the_on_robot_model() {
+        // The only server dies early and never comes back within the run:
+        // every later plan is served by the degraded-mode fallback model.
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 4, SchedulerKind::Fifo);
+        cfg.faults = Some(FaultPlan {
+            crashes: vec![CrashSpec { server: 0, at_ms: 300.0, down_ms: 100_000.0 }],
+            link_degradations: Vec::new(),
+            timeout: Some(TimeoutSpec { timeout_ms: 100.0, max_retries: 1, backoff_ms: 50.0 }),
+            churn: Vec::new(),
+            fallback: Some(jetson_fp16()),
+        });
+        let outcome = FleetSimulator::new(cfg).run();
+        for robot in &outcome.robots {
+            assert_eq!(robot.frames, 60);
+        }
+        assert!(outcome.summary.inferences > 0, "pre-crash requests were pool-served");
+        assert!(outcome.summary.fallback_inferences > 0);
+        assert_eq!(outcome.summary.on_robot_inferences, 0);
+        assert_eq!(outcome.summary.dropped_requests, 0, "a fallback model never drops plans");
+    }
+
+    #[test]
+    fn exhausted_retries_without_a_fallback_drop_the_plan() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 4, SchedulerKind::Fifo);
+        cfg.faults = Some(FaultPlan {
+            crashes: vec![CrashSpec { server: 0, at_ms: 300.0, down_ms: 100_000.0 }],
+            link_degradations: Vec::new(),
+            timeout: Some(TimeoutSpec { timeout_ms: 100.0, max_retries: 1, backoff_ms: 50.0 }),
+            churn: Vec::new(),
+            fallback: None,
+        });
+        let outcome = FleetSimulator::new(cfg).run();
+        for robot in &outcome.robots {
+            assert_eq!(robot.frames, 60, "dropped plans degrade to blind steps, not deadlock");
+        }
+        assert!(outcome.summary.dropped_requests > 0);
+        assert_eq!(outcome.summary.fallback_inferences, 0);
+    }
+
+    #[test]
+    fn a_fully_lossy_link_window_starves_the_pool() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 3, SchedulerKind::Fifo);
+        cfg.faults = Some(FaultPlan {
+            crashes: Vec::new(),
+            link_degradations: vec![LinkDegradationSpec {
+                from_ms: 0.0,
+                until_ms: 1e12,
+                latency_factor: 2.0,
+                loss: 1.0,
+            }],
+            timeout: Some(TimeoutSpec { timeout_ms: 100.0, max_retries: 1, backoff_ms: 10.0 }),
+            churn: Vec::new(),
+            fallback: None,
+        });
+        let outcome = FleetSimulator::new(cfg).run();
+        for robot in &outcome.robots {
+            assert_eq!(robot.frames, 60);
+        }
+        assert_eq!(outcome.summary.inferences, 0, "no upload ever reaches the pool");
+        assert!(outcome.summary.timed_out_requests > 0);
+        assert!(outcome.summary.retries > 0);
+        assert!(outcome.summary.dropped_requests > 0);
+    }
+
+    #[test]
+    fn churned_robots_join_late_and_leave_early() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(5), 3, SchedulerKind::Fifo);
+        cfg.faults = Some(FaultPlan {
+            crashes: Vec::new(),
+            link_degradations: Vec::new(),
+            timeout: None,
+            churn: vec![
+                ChurnSpec { robot: 1, join_at_ms: 500.0, leave_at_ms: None },
+                ChurnSpec { robot: 2, join_at_ms: 0.0, leave_at_ms: Some(300.0) },
+            ],
+            fallback: None,
+        });
+        let outcome = FleetSimulator::new(cfg).run();
+        assert_eq!(outcome.robots[0].frames, 60, "unchurned robots are untouched");
+        assert_eq!(outcome.robots[1].frames, 60, "a late joiner still runs to completion");
+        assert!(outcome.robots[1].completed_ms > 500.0, "robot 1 cannot finish before it joined");
+        assert!(
+            outcome.robots[2].frames < 60,
+            "a leaver abandons its remaining frames: {}",
+            outcome.robots[2].frames
+        );
+    }
+
+    #[test]
+    fn fault_injected_runs_are_byte_identical_across_shards_and_reruns() {
+        let mut cfg = quick_fleet(Variant::CorkiAdaptive, 6, SchedulerKind::Fifo).with_pool(2);
+        cfg.routing = RoutingPolicy::LeastQueueDepth;
+        cfg.record_event_log = true;
+        cfg.faults = Some(FaultPlan {
+            crashes: vec![CrashSpec { server: 0, at_ms: 400.0, down_ms: 700.0 }],
+            link_degradations: vec![LinkDegradationSpec {
+                from_ms: 200.0,
+                until_ms: 900.0,
+                latency_factor: 3.0,
+                loss: 0.4,
+            }],
+            timeout: Some(TimeoutSpec { timeout_ms: 150.0, max_retries: 2, backoff_ms: 40.0 }),
+            churn: vec![ChurnSpec { robot: 5, join_at_ms: 350.0, leave_at_ms: Some(1500.0) }],
+            fallback: Some(jetson_fp16()),
+        });
+        let reference =
+            serde_json::to_string(&FleetSimulator::new(cfg.clone()).run()).expect("serialises");
+        let rerun =
+            serde_json::to_string(&FleetSimulator::new(cfg.clone()).run()).expect("serialises");
+        assert_eq!(rerun, reference, "fault runs must be rerun-deterministic");
+        for shards in [2, 4, 8] {
+            let sharded =
+                serde_json::to_string(&FleetSimulator::new(cfg.clone()).with_shards(shards).run())
+                    .expect("serialises");
+            assert_eq!(sharded, reference, "{shards}-shard fault run must match 1 shard");
+        }
+    }
+
+    #[test]
+    fn auto_warmup_detects_a_deterministic_truncation() {
+        let mut cfg = quick_fleet(Variant::CorkiFixed(1), 8, SchedulerKind::Fifo);
+        cfg.auto_warmup = true;
+        let first = FleetSimulator::new(cfg.clone()).run().summary;
+        let second = FleetSimulator::new(cfg).run().summary;
+        assert!(first.warmup_ms.is_finite() && first.warmup_ms >= 0.0);
+        assert!(first.warmup_ms < first.makespan_ms);
+        assert_eq!(first.warmup_ms, second.warmup_ms, "detection must be deterministic");
+    }
+
+    #[test]
+    fn mser5_cuts_an_obvious_transient() {
+        // 20 samples of a loaded start-up transient, then 80 stationary
+        // samples: the detected warm-up must land at the regime change.
+        let series: Vec<(f64, f64)> =
+            (0..100).map(|i| (i as f64, if i < 20 { 10.0 } else { 1.0 })).collect();
+        assert_eq!(mser5_warmup(&series), 20.0);
+        assert_eq!(mser5_warmup(&series[..12]), 0.0, "short series keep everything");
     }
 
     #[test]

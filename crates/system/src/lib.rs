@@ -43,9 +43,10 @@ pub use devices::{
     ParseDataRepresentationError, ParseInferenceDeviceError, BASELINE_FRAME_MS,
 };
 pub use fleet::{
-    BatchScheduler, ControlBackend, EventRecord, FleetConfig, FleetOutcome, FleetSimulator,
-    FleetSummary, ParsePoolScheduleError, ParseSchedulerKindError, PendingRequest, PoolSchedule,
-    RobotCompute, RobotConfig, RobotOutcome, SchedulerKind, ServerConfig,
+    BatchScheduler, ChurnSpec, ControlBackend, CrashSpec, EventRecord, FaultPlan, FleetConfig,
+    FleetOutcome, FleetSimulator, FleetSummary, LinkDegradationSpec, ParsePoolScheduleError,
+    ParseSchedulerKindError, PendingRequest, PoolSchedule, RobotCompute, RobotConfig, RobotOutcome,
+    SchedulerKind, ServerConfig, TimeoutSpec, DEFAULT_EXECUTION_STEP_MS,
 };
 pub use pipeline::{
     mean, percentile, ExecutionStats, FrameKind, FrameTrace, PipelineConfig, PipelineSimulator,
@@ -54,6 +55,6 @@ pub use pipeline::{
 pub use routing::{ParseRoutingPolicyError, Router, RoutingPolicy, ServerSnapshot};
 pub use scenario::{
     scenario_fingerprint, CompositionLabel, CompositionSpec, ConcreteScenario, ScenarioAxes,
-    ScenarioBuilder, ScenarioError, ScenarioSpec,
+    ScenarioBuilder, ScenarioError, ScenarioSpec, WarmupSpec,
 };
 pub use variant::{ParseVariantError, Variant};

@@ -120,6 +120,10 @@ pub struct ServerSnapshot {
     /// Unbatched service time of the request being routed on *this* server's
     /// device (ms).
     pub service_ms: f64,
+    /// Whether the server is currently up.  Crashed servers (injected by a
+    /// [`crate::fleet::FaultPlan`]) advertise `up: false` and every policy
+    /// routes around them as long as at least one healthy server remains.
+    pub up: bool,
 }
 
 /// The routing decision engine: a policy plus the small amount of state the
@@ -165,28 +169,41 @@ impl Router {
 
     /// Picks the server for one request from a snapshot of the pool.
     ///
+    /// Crashed servers (`up: false`) are excluded from the decision as long
+    /// as at least one healthy server remains; an all-down pool falls back
+    /// to ignoring health (the engine never routes into an all-down pool —
+    /// it lets the request time out instead — but the function stays total).
+    /// Round-robin advances its cursor over the *healthy* subset, which
+    /// degenerates to the classic full-pool cycle when nothing is down.
+    ///
     /// # Panics
     ///
     /// Panics if `servers` is empty — a fleet always has at least one
     /// server.
     pub fn route(&mut self, servers: &[ServerSnapshot]) -> usize {
+        assert!(!servers.is_empty(), "cannot route across an empty server pool");
+        let healthy: Vec<usize> = (0..servers.len()).filter(|&i| servers[i].up).collect();
+        let candidates: Vec<usize> =
+            if healthy.is_empty() { (0..servers.len()).collect() } else { healthy };
         match self.policy {
             RoutingPolicy::RoundRobin => {
-                self.try_route_blind(servers.len()).expect("round-robin routes blind")
+                let pick = candidates[self.round_robin_next % candidates.len()];
+                self.round_robin_next = (self.round_robin_next + 1) % candidates.len();
+                pick
             }
-            RoutingPolicy::LeastQueueDepth => servers
+            RoutingPolicy::LeastQueueDepth => candidates
                 .iter()
-                .enumerate()
-                .min_by_key(|(index, s)| (s.queue_depth, *index))
-                .map(|(index, _)| index)
+                .copied()
+                .min_by_key(|&index| (servers[index].queue_depth, index))
                 .expect("pool is non-empty"),
-            RoutingPolicy::DeviceAffinity => servers
+            RoutingPolicy::DeviceAffinity => candidates
                 .iter()
-                .enumerate()
-                .min_by(|(ia, a), (ib, b)| {
-                    affinity_cost(a).total_cmp(&affinity_cost(b)).then(ia.cmp(ib))
+                .copied()
+                .min_by(|&ia, &ib| {
+                    affinity_cost(&servers[ia])
+                        .total_cmp(&affinity_cost(&servers[ib]))
+                        .then(ia.cmp(&ib))
                 })
-                .map(|(index, _)| index)
                 .expect("pool is non-empty"),
         }
     }
@@ -205,7 +222,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn snapshot(queue_depth: usize, service_ms: f64) -> ServerSnapshot {
-        ServerSnapshot { queue_depth, service_ms }
+        ServerSnapshot { queue_depth, service_ms, up: true }
+    }
+
+    fn down(queue_depth: usize, service_ms: f64) -> ServerSnapshot {
+        ServerSnapshot { queue_depth, service_ms, up: false }
     }
 
     #[test]
@@ -247,6 +268,29 @@ mod tests {
         assert_eq!(router.route(&[snapshot(1, 100.0), snapshot(0, 1000.0)]), 0);
         // … until the fast queue grows deep enough.
         assert_eq!(router.route(&[snapshot(12, 100.0), snapshot(0, 1000.0)]), 1);
+    }
+
+    #[test]
+    fn every_policy_routes_around_down_servers() {
+        // LQD: the shallowest queue is on a dead server — skip it.
+        let mut lqd = Router::new(RoutingPolicy::LeastQueueDepth);
+        assert_eq!(lqd.route(&[down(0, 1.0), snapshot(5, 1.0), snapshot(2, 1.0)]), 2);
+        // Affinity: the cheapest device is down — pay for the live one.
+        let mut affinity = Router::new(RoutingPolicy::DeviceAffinity);
+        assert_eq!(affinity.route(&[down(0, 100.0), snapshot(0, 1000.0)]), 1);
+        // Round-robin cycles over the healthy subset only.
+        let mut rr = Router::new(RoutingPolicy::RoundRobin);
+        let pool = vec![snapshot(0, 1.0), down(0, 1.0), snapshot(0, 1.0)];
+        let picks: Vec<usize> = (0..4).map(|_| rr.route(&pool)).collect();
+        assert_eq!(picks, [0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn an_all_down_pool_falls_back_to_health_blind_routing() {
+        // The engine never routes into an all-down pool, but the router
+        // itself stays total rather than panicking.
+        let mut router = Router::new(RoutingPolicy::LeastQueueDepth);
+        assert_eq!(router.route(&[down(4, 1.0), down(1, 1.0)]), 1);
     }
 
     #[test]
@@ -313,6 +357,25 @@ mod tests {
             for policy in RoutingPolicy::ALL {
                 let pick = Router::new(policy).route(&pool);
                 prop_assert!(pick < pool.len());
+            }
+        }
+
+        #[test]
+        fn no_policy_picks_a_down_server_while_any_is_up(
+            depths in proptest::collection::vec(0usize..64, 8),
+            services in proptest::collection::vec(1.0f64..5000.0, 8),
+            up_picks in proptest::collection::vec(0usize..2, 8),
+            len_pick in 0usize..64
+        ) {
+            let mut pool = arbitrary_pool(&depths, &services, len_pick);
+            for (index, server) in pool.iter_mut().enumerate() {
+                server.up = up_picks[index] == 1;
+            }
+            if pool.iter().any(|s| s.up) {
+                for policy in RoutingPolicy::ALL {
+                    let pick = Router::new(policy).route(&pool);
+                    prop_assert!(pool[pick].up, "{policy:?} routed to a down server");
+                }
             }
         }
     }

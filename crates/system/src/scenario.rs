@@ -33,7 +33,10 @@
 //! [`RoutingPolicy`], [`CompositionLabel`]).
 
 use crate::devices::{DataRepresentation, InferenceDevice, InferenceModel};
-use crate::fleet::{ControlBackend, FleetConfig, RobotCompute, SchedulerKind, ServerConfig};
+use crate::fleet::{
+    ControlBackend, FaultPlan, FleetConfig, RobotCompute, SchedulerKind, ServerConfig,
+    DEFAULT_EXECUTION_STEP_MS,
+};
 use crate::routing::RoutingPolicy;
 use crate::variant::Variant;
 use serde::{Deserialize, Serialize};
@@ -299,6 +302,71 @@ impl ScenarioAxes {
     }
 }
 
+/// The warm-up handling of a scenario: either a fixed start-up window in
+/// milliseconds, or adaptive MSER-5 steady-state detection.
+///
+/// In spec JSON a fixed window is spelled as a plain number
+/// (`"warmup_ms": 250`) and adaptive detection as the string
+/// `"warmup_ms": "auto"`, which lowers to
+/// [`FleetConfig::auto_warmup`](crate::fleet::FleetConfig::auto_warmup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmupSpec {
+    /// Exclude a fixed start-up window (ms) from the aggregate latency
+    /// statistics.
+    Fixed(f64),
+    /// Detect the truncation point adaptively with MSER-5 over the pool's
+    /// queue-depth time series.
+    Auto,
+}
+
+impl WarmupSpec {
+    /// The fixed window in milliseconds, or `None` for adaptive detection.
+    pub fn fixed_ms(&self) -> Option<f64> {
+        match self {
+            WarmupSpec::Fixed(ms) => Some(*ms),
+            WarmupSpec::Auto => None,
+        }
+    }
+
+    /// Whether adaptive MSER-5 detection is requested.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, WarmupSpec::Auto)
+    }
+}
+
+impl fmt::Display for WarmupSpec {
+    /// `auto (MSER-5)` for adaptive detection, otherwise the fixed window
+    /// with its unit (`250 ms`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmupSpec::Fixed(ms) => write!(f, "{ms} ms"),
+            WarmupSpec::Auto => f.write_str("auto (MSER-5)"),
+        }
+    }
+}
+
+impl Serialize for WarmupSpec {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            WarmupSpec::Fixed(ms) => serde::Value::Number(*ms),
+            WarmupSpec::Auto => serde::Value::String("auto".to_owned()),
+        }
+    }
+}
+
+impl Deserialize for WarmupSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Number(ms) => Ok(WarmupSpec::Fixed(*ms)),
+            serde::Value::String(s) if s == "auto" => Ok(WarmupSpec::Auto),
+            other => Err(serde::Error::custom(format!(
+                "warmup_ms must be a number of milliseconds or the string \"auto\", \
+                 found {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A full, serializable description of one fleet experiment.
 ///
 /// Build one with [`ScenarioBuilder`], parse one from JSON with
@@ -315,8 +383,9 @@ pub struct ScenarioSpec {
     /// Camera frames (control steps) each robot executes — the scenario's
     /// duration.
     pub frames_per_robot: usize,
-    /// Start-up window excluded from the aggregate latency statistics (ms).
-    pub warmup_ms: f64,
+    /// Start-up handling: a fixed window excluded from the aggregate
+    /// latency statistics (ms), or `"auto"` for adaptive MSER-5 detection.
+    pub warmup_ms: WarmupSpec,
     /// How offloaded requests are spread over the pool.
     pub routing: RoutingPolicy,
     /// Control back-end topology.
@@ -339,6 +408,11 @@ pub struct ScenarioSpec {
     pub shards: usize,
     /// Sweep axes.
     pub axes: ScenarioAxes,
+    /// Deterministic fault plan (server crashes, link degradation, timeouts
+    /// and retries, robot churn, degraded-mode fallback).  Fault plans pin
+    /// concrete robot and server indices, so they cannot be combined with
+    /// sweep axes.
+    pub faults: Option<FaultPlan>,
 }
 
 // ---------------------------------------------------------------------------
@@ -401,10 +475,53 @@ pub enum ScenarioError {
         /// Index of the offending group.
         group: usize,
     },
+    /// A fixed warm-up window exceeds the scenario horizon, which would
+    /// silently trim every steady-state sample.
+    WarmupExceedsHorizon {
+        /// The configured warm-up window (ms).
+        warmup_ms: f64,
+        /// The scenario horizon: `frames_per_robot` camera frames (ms).
+        horizon_ms: f64,
+    },
     /// An adaptive-length override is present but empty.
     EmptyAdaptiveLengths,
     /// The shard count is zero (use 1 for a single-threaded run).
     ZeroShards,
+    /// A fault plan is combined with sweep axes (fault plans pin concrete
+    /// robot and server indices, which axes rescale).
+    FaultsWithAxes,
+    /// A crash entry names a server outside the pool.
+    CrashServerOutOfRange {
+        /// Index of the offending crash entry.
+        crash: usize,
+        /// The named server.
+        server: usize,
+        /// Servers in the pool.
+        servers: usize,
+    },
+    /// A crash entry has a non-finite or negative start time, or a
+    /// non-positive outage duration.
+    InvalidCrashWindow {
+        /// Index of the offending crash entry.
+        crash: usize,
+    },
+    /// A link-degradation window is malformed: a bad interval, a latency
+    /// factor below 1, or a loss probability outside `[0, 1]`.
+    InvalidLinkDegradation {
+        /// Index of the offending degradation window.
+        window: usize,
+    },
+    /// The timeout policy has a non-positive timeout or a negative backoff.
+    InvalidTimeoutPolicy,
+    /// A churn entry is malformed: a negative join time, a leave time at or
+    /// before the join, a robot outside the fleet, or a robot churned twice.
+    InvalidChurnEvent {
+        /// Index of the offending churn entry.
+        event: usize,
+    },
+    /// The fault plan injects crashes or upload loss without a timeout
+    /// policy, so affected requests would hang forever.
+    FaultNeedsTimeout,
 }
 
 impl fmt::Display for ScenarioError {
@@ -443,12 +560,50 @@ impl fmt::Display for ScenarioError {
                 "robot group {group} pins explicit seeds or on-robot compute, which a variant \
                  axis would silently discard (the axis replaces the base groups)"
             ),
+            ScenarioError::WarmupExceedsHorizon { warmup_ms, horizon_ms } => write!(
+                f,
+                "warmup_ms of {warmup_ms} exceeds the scenario horizon of {horizon_ms} ms, \
+                 which would trim every steady-state sample"
+            ),
             ScenarioError::EmptyAdaptiveLengths => {
                 write!(f, "adaptive_lengths override must not be empty (use null to keep defaults)")
             }
             ScenarioError::ZeroShards => {
                 write!(f, "shards must be at least 1 (1 = single-threaded)")
             }
+            ScenarioError::FaultsWithAxes => write!(
+                f,
+                "a fault plan pins concrete robot and server indices, which cannot be \
+                 combined with sweep axes"
+            ),
+            ScenarioError::CrashServerOutOfRange { crash, server, servers } => write!(
+                f,
+                "crash entry {crash} names server {server}, but the pool has {servers} servers"
+            ),
+            ScenarioError::InvalidCrashWindow { crash } => write!(
+                f,
+                "crash entry {crash} needs a finite non-negative start and a positive duration"
+            ),
+            ScenarioError::InvalidLinkDegradation { window } => write!(
+                f,
+                "link-degradation window {window} needs from_ms < until_ms (both finite and \
+                 non-negative), a latency factor of at least 1, and a loss probability in [0, 1]"
+            ),
+            ScenarioError::InvalidTimeoutPolicy => write!(
+                f,
+                "the timeout policy needs a finite positive timeout_ms and a finite \
+                 non-negative backoff_ms"
+            ),
+            ScenarioError::InvalidChurnEvent { event } => write!(
+                f,
+                "churn entry {event} needs a finite non-negative join time, a leave time after \
+                 the join, a robot inside the fleet, and at most one entry per robot"
+            ),
+            ScenarioError::FaultNeedsTimeout => write!(
+                f,
+                "the fault plan injects crashes or upload loss, which requires a timeout \
+                 policy so affected requests can recover"
+            ),
         }
     }
 }
@@ -495,8 +650,14 @@ impl ScenarioSpec {
         if self.frames_per_robot == 0 {
             return Err(ScenarioError::ZeroFrames);
         }
-        if !self.warmup_ms.is_finite() || self.warmup_ms < 0.0 {
-            return Err(ScenarioError::InvalidWarmup { value: self.warmup_ms });
+        if let Some(warmup) = self.warmup_ms.fixed_ms() {
+            if !warmup.is_finite() || warmup < 0.0 {
+                return Err(ScenarioError::InvalidWarmup { value: warmup });
+            }
+            let horizon_ms = self.frames_per_robot as f64 * DEFAULT_EXECUTION_STEP_MS;
+            if warmup > horizon_ms {
+                return Err(ScenarioError::WarmupExceedsHorizon { warmup_ms: warmup, horizon_ms });
+            }
         }
         if !self.latency_budget_ms.is_finite() || self.latency_budget_ms <= 0.0 {
             return Err(ScenarioError::InvalidBudget { value: self.latency_budget_ms });
@@ -517,6 +678,76 @@ impl ScenarioSpec {
         }
         if self.shards == 0 {
             return Err(ScenarioError::ZeroShards);
+        }
+        if let Some(faults) = &self.faults {
+            self.validate_faults(faults)?;
+        }
+        Ok(())
+    }
+
+    /// Checks the structural invariants of a fault plan against the spec's
+    /// concrete fleet and pool.
+    fn validate_faults(&self, faults: &FaultPlan) -> Result<(), ScenarioError> {
+        let no_axes = self.axes.robot_counts.is_empty()
+            && self.axes.variants.is_empty()
+            && self.axes.schedulers.is_empty()
+            && self.axes.server_counts.is_empty()
+            && self.axes.compositions.is_empty();
+        if !no_axes {
+            return Err(ScenarioError::FaultsWithAxes);
+        }
+        for (index, crash) in faults.crashes.iter().enumerate() {
+            if crash.server >= self.servers.len() {
+                return Err(ScenarioError::CrashServerOutOfRange {
+                    crash: index,
+                    server: crash.server,
+                    servers: self.servers.len(),
+                });
+            }
+            if !crash.at_ms.is_finite()
+                || crash.at_ms < 0.0
+                || !crash.down_ms.is_finite()
+                || crash.down_ms <= 0.0
+            {
+                return Err(ScenarioError::InvalidCrashWindow { crash: index });
+            }
+        }
+        for (index, window) in faults.link_degradations.iter().enumerate() {
+            if !window.from_ms.is_finite()
+                || window.from_ms < 0.0
+                || !window.until_ms.is_finite()
+                || window.until_ms <= window.from_ms
+                || !window.latency_factor.is_finite()
+                || window.latency_factor < 1.0
+                || !window.loss.is_finite()
+                || !(0.0..=1.0).contains(&window.loss)
+            {
+                return Err(ScenarioError::InvalidLinkDegradation { window: index });
+            }
+        }
+        if let Some(timeout) = &faults.timeout {
+            if !timeout.timeout_ms.is_finite()
+                || timeout.timeout_ms <= 0.0
+                || !timeout.backoff_ms.is_finite()
+                || timeout.backoff_ms < 0.0
+            {
+                return Err(ScenarioError::InvalidTimeoutPolicy);
+            }
+        }
+        let fleet: usize = self.robots.iter().map(|group| group.count).sum();
+        for (index, churn) in faults.churn.iter().enumerate() {
+            let bad_window = !churn.join_at_ms.is_finite()
+                || churn.join_at_ms < 0.0
+                || churn
+                    .leave_at_ms
+                    .is_some_and(|leave| !leave.is_finite() || leave <= churn.join_at_ms);
+            let duplicate = faults.churn[..index].iter().any(|prior| prior.robot == churn.robot);
+            if bad_window || churn.robot >= fleet || duplicate {
+                return Err(ScenarioError::InvalidChurnEvent { event: index });
+            }
+        }
+        if (faults.has_crashes() || faults.has_loss()) && faults.timeout.is_none() {
+            return Err(ScenarioError::FaultNeedsTimeout);
         }
         Ok(())
     }
@@ -715,7 +946,10 @@ impl ScenarioSpec {
         }
         config.routing = self.routing;
         config.frames_per_robot = self.frames_per_robot;
-        config.warmup_ms = self.warmup_ms;
+        config.warmup_ms = self.warmup_ms.fixed_ms().unwrap_or(0.0);
+        config.auto_warmup = self.warmup_ms.is_auto();
+        config.slo_budget_ms = self.latency_budget_ms;
+        config.faults = self.faults.clone();
         config.control_backend = self.control_backend;
         composition.apply(&mut config);
         if let Some(lengths) = &self.adaptive_lengths {
@@ -941,7 +1175,7 @@ impl ScenarioBuilder {
                 name: name.into(),
                 seed: 2024,
                 frames_per_robot: 240,
-                warmup_ms: 0.0,
+                warmup_ms: WarmupSpec::Fixed(0.0),
                 routing: RoutingPolicy::RoundRobin,
                 control_backend: ControlBackend::PerRobot,
                 robots: Vec::new(),
@@ -950,6 +1184,7 @@ impl ScenarioBuilder {
                 latency_budget_ms: 400.0,
                 shards: 1,
                 axes: ScenarioAxes::none(),
+                faults: None,
             },
         }
     }
@@ -966,9 +1201,21 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the warm-up window (ms).
+    /// Sets a fixed warm-up window (ms).
     pub fn warmup_ms(mut self, warmup_ms: f64) -> Self {
-        self.spec.warmup_ms = warmup_ms;
+        self.spec.warmup_ms = WarmupSpec::Fixed(warmup_ms);
+        self
+    }
+
+    /// Requests adaptive MSER-5 warm-up detection instead of a fixed window.
+    pub fn auto_warmup(mut self) -> Self {
+        self.spec.warmup_ms = WarmupSpec::Auto;
+        self
+    }
+
+    /// Sets the deterministic fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.spec.faults = Some(faults);
         self
     }
 
@@ -1084,6 +1331,11 @@ impl ScenarioBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::{ChurnSpec, CrashSpec, LinkDegradationSpec, TimeoutSpec};
+
+    fn test_timeout() -> TimeoutSpec {
+        TimeoutSpec { timeout_ms: 250.0, max_retries: 2, backoff_ms: 50.0 }
+    }
 
     fn smoke_spec() -> ScenarioSpec {
         ScenarioBuilder::new("smoke")
@@ -1320,9 +1572,20 @@ mod tests {
             }),
             (ScenarioError::InvalidWarmup { value: -1.0 }, {
                 let mut s = valid().build().unwrap();
-                s.warmup_ms = -1.0;
+                s.warmup_ms = WarmupSpec::Fixed(-1.0);
                 s
             }),
+            (
+                ScenarioError::WarmupExceedsHorizon {
+                    warmup_ms: 5000.0,
+                    horizon_ms: 30.0 * DEFAULT_EXECUTION_STEP_MS,
+                },
+                {
+                    let mut s = valid().build().unwrap();
+                    s.warmup_ms = WarmupSpec::Fixed(5000.0);
+                    s
+                },
+            ),
             (ScenarioError::InvalidBudget { value: 0.0 }, {
                 let mut s = valid().build().unwrap();
                 s.latency_budget_ms = 0.0;
@@ -1370,12 +1633,177 @@ mod tests {
                 s.shards = 0;
                 s
             }),
+            (ScenarioError::FaultsWithAxes, {
+                let mut s = valid().robot_counts(vec![4]).build().unwrap();
+                s.faults = Some(FaultPlan::none());
+                s
+            }),
+            (ScenarioError::CrashServerOutOfRange { crash: 0, server: 3, servers: 1 }, {
+                let mut s = valid().build().unwrap();
+                s.faults = Some(FaultPlan {
+                    crashes: vec![CrashSpec { server: 3, at_ms: 100.0, down_ms: 100.0 }],
+                    timeout: Some(test_timeout()),
+                    ..FaultPlan::none()
+                });
+                s
+            }),
+            (ScenarioError::InvalidCrashWindow { crash: 0 }, {
+                let mut s = valid().build().unwrap();
+                s.faults = Some(FaultPlan {
+                    crashes: vec![CrashSpec { server: 0, at_ms: 100.0, down_ms: 0.0 }],
+                    timeout: Some(test_timeout()),
+                    ..FaultPlan::none()
+                });
+                s
+            }),
+            (ScenarioError::InvalidLinkDegradation { window: 0 }, {
+                let mut s = valid().build().unwrap();
+                s.faults = Some(FaultPlan {
+                    link_degradations: vec![LinkDegradationSpec {
+                        from_ms: 200.0,
+                        until_ms: 100.0,
+                        latency_factor: 2.0,
+                        loss: 0.0,
+                    }],
+                    ..FaultPlan::none()
+                });
+                s
+            }),
+            (ScenarioError::InvalidTimeoutPolicy, {
+                let mut s = valid().build().unwrap();
+                s.faults = Some(FaultPlan {
+                    timeout: Some(TimeoutSpec { timeout_ms: 0.0, max_retries: 1, backoff_ms: 0.0 }),
+                    ..FaultPlan::none()
+                });
+                s
+            }),
+            (ScenarioError::InvalidChurnEvent { event: 1 }, {
+                let mut s = valid().build().unwrap();
+                s.faults = Some(FaultPlan {
+                    churn: vec![
+                        ChurnSpec { robot: 0, join_at_ms: 0.0, leave_at_ms: None },
+                        ChurnSpec { robot: 0, join_at_ms: 100.0, leave_at_ms: None },
+                    ],
+                    ..FaultPlan::none()
+                });
+                s
+            }),
+            (ScenarioError::FaultNeedsTimeout, {
+                let mut s = valid().build().unwrap();
+                s.faults = Some(FaultPlan {
+                    crashes: vec![CrashSpec { server: 0, at_ms: 100.0, down_ms: 100.0 }],
+                    ..FaultPlan::none()
+                });
+                s
+            }),
         ];
         for (expected, spec) in cases {
             assert_eq!(spec.validate(), Err(expected.clone()), "{expected:?}");
             assert_eq!(spec.expand(), Err(expected.clone()), "expand must validate: {expected:?}");
             assert!(!expected.to_string().is_empty());
         }
+    }
+
+    /// Satellite: `expand()` used to accept a warm-up window longer than the
+    /// scenario itself, silently producing empty steady-state sample sets.
+    #[test]
+    fn warmup_longer_than_the_horizon_is_rejected() {
+        // 60 frames at the paper's 30 Hz control rate span 2000 ms.
+        let err = ScenarioBuilder::new("overlong-warmup")
+            .frames_per_robot(60)
+            .warmup_ms(2500.0)
+            .group(Variant::CorkiFixed(5), 2)
+            .default_servers(1, SchedulerKind::Fifo)
+            .build()
+            .expect_err("a warm-up longer than the run must not validate");
+        assert_eq!(
+            err,
+            ScenarioError::WarmupExceedsHorizon {
+                warmup_ms: 2500.0,
+                horizon_ms: 60.0 * DEFAULT_EXECUTION_STEP_MS,
+            }
+        );
+        // The full horizon itself is still allowed (a degenerate but
+        // explicit request), as is anything below it.
+        let ok = ScenarioBuilder::new("exact-warmup")
+            .frames_per_robot(60)
+            .warmup_ms(60.0 * DEFAULT_EXECUTION_STEP_MS)
+            .group(Variant::CorkiFixed(5), 2)
+            .default_servers(1, SchedulerKind::Fifo)
+            .build();
+        assert!(ok.is_ok());
+        // Adaptive detection has no fixed window to range-check.
+        let auto = ScenarioBuilder::new("auto-warmup")
+            .frames_per_robot(60)
+            .auto_warmup()
+            .group(Variant::CorkiFixed(5), 2)
+            .default_servers(1, SchedulerKind::Fifo)
+            .build()
+            .expect("auto warm-up validates");
+        assert!(auto.warmup_ms.is_auto());
+    }
+
+    #[test]
+    fn auto_warmup_spells_itself_as_the_string_auto_in_json() {
+        let spec = ScenarioBuilder::new("auto")
+            .frames_per_robot(60)
+            .auto_warmup()
+            .group(Variant::CorkiFixed(5), 2)
+            .default_servers(1, SchedulerKind::Fifo)
+            .build()
+            .expect("auto warm-up spec is valid");
+        let json = spec.to_json();
+        assert!(json.contains("\"warmup_ms\": \"auto\""), "{json}");
+        let parsed = ScenarioSpec::from_json(&json).expect("auto spelling parses");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_json(), json, "re-serialisation must be byte-stable");
+        // The lowered cell asks the engine for adaptive detection.
+        let cells = spec.expand().expect("expands");
+        assert!(cells[0].config.auto_warmup);
+        assert_eq!(cells[0].config.warmup_ms, 0.0);
+        // Anything other than a number or "auto" is rejected loudly.
+        let broken = json.replace("\"auto\"", "\"adaptive\"");
+        let err = ScenarioSpec::from_json(&broken).expect_err("unknown spelling must not parse");
+        assert!(err.contains("warmup_ms"), "{err}");
+    }
+
+    #[test]
+    fn fault_plans_round_trip_and_lower_into_the_engine_config() {
+        let plan = FaultPlan {
+            crashes: vec![CrashSpec { server: 0, at_ms: 600.0, down_ms: 900.0 }],
+            link_degradations: vec![LinkDegradationSpec {
+                from_ms: 500.0,
+                until_ms: 1500.0,
+                latency_factor: 3.0,
+                loss: 0.25,
+            }],
+            timeout: Some(test_timeout()),
+            churn: vec![ChurnSpec { robot: 1, join_at_ms: 500.0, leave_at_ms: Some(1500.0) }],
+            fallback: Some(InferenceModel::new(
+                InferenceDevice::JetsonOrin32Gb,
+                DataRepresentation::Float16,
+            )),
+        };
+        let spec = ScenarioBuilder::new("faulty")
+            .frames_per_robot(60)
+            .routing(RoutingPolicy::LeastQueueDepth)
+            .group(Variant::CorkiFixed(5), 4)
+            .default_servers(2, SchedulerKind::Fifo)
+            .faults(plan.clone())
+            .build()
+            .expect("fault spec is valid");
+        let json = spec.to_json();
+        let parsed = ScenarioSpec::from_json(&json).expect("fault spec parses");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_json(), json, "re-serialisation must be byte-stable");
+        let cells = spec.expand().expect("expands");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].config.faults.as_ref(), Some(&plan));
+        assert_eq!(cells[0].config.slo_budget_ms, 400.0);
+        // Unknown keys inside the nested fault plan are rejected loudly.
+        let broken = json.replace("\"crashes\"", "\"crashs\"");
+        let err = ScenarioSpec::from_json(&broken).expect_err("typo'd fault key must not parse");
+        assert!(err.contains("unknown field") || err.contains("missing field"), "{err}");
     }
 
     #[test]
