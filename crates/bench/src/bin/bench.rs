@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! bench [--quick] [--only <prefix>] [--json <path>] [--check <path>]
-//!       [--compare <baseline>]
+//!       [--compare <baseline>] [--threshold-pct <p>]
 //! ```
 //!
 //! * default — run the full suite and print the report table;
@@ -19,7 +19,13 @@
 //!   Deterministic fleet rows are compared by content: the `scenario_hash`
 //!   provenance fingerprint distinguishes an edited scenario (hashes differ,
 //!   metrics not comparable) from an engine regression (same scenario,
-//!   different metrics).
+//!   different metrics);
+//! * `--threshold-pct <p>` — turn `--compare` into a regression gate: exit
+//!   non-zero when any timing case regresses past `p` percent against a
+//!   baseline entry whose scenario content (by `scenario_hash`, for fleet
+//!   and e2e rows) still matches, or when a deterministic fleet row changed
+//!   under an unchanged hash (an engine regression at any threshold).
+//!   Edited scenarios (hash moved) are reported but never gate.
 
 use corki_bench::micro::{run_suite_filtered, BenchReport, RunnerConfig};
 
@@ -40,6 +46,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
+    let mut threshold_pct: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,8 +67,15 @@ fn main() {
                 Some(path) => compare_path = Some(path),
                 None => fail("--compare requires a path argument"),
             },
+            "--threshold-pct" => match args.next().map(|p| p.parse::<f64>()) {
+                Some(Ok(p)) if p.is_finite() && p >= 0.0 => threshold_pct = Some(p),
+                _ => fail("--threshold-pct requires a non-negative number"),
+            },
             other => fail(&format!("unknown argument `{other}`")),
         }
+    }
+    if threshold_pct.is_some() && compare_path.is_none() {
+        fail("--threshold-pct only gates a --compare run; add --compare <baseline>");
     }
 
     if let Some(path) = check_path {
@@ -93,16 +107,48 @@ fn main() {
 
     if let Some(path) = compare_path {
         let baseline = load_report(&path);
+        // With --threshold-pct the comparison is a gate: collect every
+        // violation instead of stopping at the first so CI logs show the
+        // full regression picture in one run.
+        let mut violations: Vec<String> = Vec::new();
+        // A timing case only gates when the scenario content behind it is
+        // unchanged; map `fleet_serving/<scenario>[/case]` bench names to
+        // their metric row's provenance hash to decide.
+        let scenario_unchanged = |bench_name: &str| {
+            report
+                .fleet_rows
+                .iter()
+                .find(|row| {
+                    bench_name == row.name || bench_name.starts_with(&format!("{}/", row.name))
+                })
+                .is_none_or(|row| {
+                    baseline
+                        .fleet_rows
+                        .iter()
+                        .find(|base| base.name == row.name)
+                        .is_some_and(|base| base.scenario_hash == row.scenario_hash)
+                })
+        };
         println!("comparison against {path}:");
         for bench in &report.benches {
             match baseline.benches.iter().find(|b| b.name == bench.name) {
-                Some(base) => println!(
-                    "  {:<44} {:>10.1} ns/op vs {:>10.1} ns/op  ({:+.1} %)",
-                    bench.name,
-                    bench.median_ns,
-                    base.median_ns,
-                    100.0 * (bench.median_ns - base.median_ns) / base.median_ns
-                ),
+                Some(base) => {
+                    let delta_pct = 100.0 * (bench.median_ns - base.median_ns) / base.median_ns;
+                    println!(
+                        "  {:<44} {:>10.1} ns/op vs {:>10.1} ns/op  ({:+.1} %)",
+                        bench.name, bench.median_ns, base.median_ns, delta_pct
+                    );
+                    if threshold_pct.is_some_and(|p| delta_pct > p)
+                        && scenario_unchanged(&bench.name)
+                    {
+                        violations.push(format!(
+                            "{}: {:+.1} % past the {:.1} % threshold",
+                            bench.name,
+                            delta_pct,
+                            threshold_pct.unwrap_or_default()
+                        ));
+                    }
+                }
                 None => println!("  {:<44} (not in baseline)", bench.name),
             }
         }
@@ -116,10 +162,58 @@ fn main() {
                 Some(base) if base == row => {
                     println!("  {:<44} deterministic metrics unchanged", row.name);
                 }
-                Some(_) => println!(
-                    "  {:<44} ENGINE REGRESSION: same scenario hash, different metrics",
-                    row.name
+                Some(_) => {
+                    println!(
+                        "  {:<44} ENGINE REGRESSION: same scenario hash, different metrics",
+                        row.name
+                    );
+                    // Deterministic outputs moving under an unchanged
+                    // scenario is a correctness break, not noise — it gates
+                    // at every threshold.
+                    if threshold_pct.is_some() {
+                        violations.push(format!(
+                            "{}: deterministic metrics changed under an unchanged scenario hash",
+                            row.name
+                        ));
+                    }
+                }
+            }
+        }
+        for row in &report.e2e {
+            match baseline.e2e.iter().find(|b| b.name == row.name) {
+                None => println!("  {:<44} (not in baseline)", row.name),
+                Some(base) if base.scenario_hash != row.scenario_hash => println!(
+                    "  {:<44} scenario edited ({} -> {}); wall-clock not comparable",
+                    row.name, base.scenario_hash, row.scenario_hash
                 ),
+                Some(base) => {
+                    let delta_pct = 100.0 * (row.min_s - base.min_s) / base.min_s;
+                    println!(
+                        "  {:<44} min {:>7.3} s vs {:>7.3} s  ({:+.1} %)",
+                        row.name, row.min_s, base.min_s, delta_pct
+                    );
+                    if threshold_pct.is_some_and(|p| delta_pct > p) {
+                        violations.push(format!(
+                            "{}: {:+.1} % past the {:.1} % threshold",
+                            row.name,
+                            delta_pct,
+                            threshold_pct.unwrap_or_default()
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(p) = threshold_pct {
+            if violations.is_empty() {
+                println!("regression gate passed ({p:.1} % threshold)");
+            } else {
+                for violation in &violations {
+                    eprintln!("regression: {violation}");
+                }
+                fail(&format!(
+                    "{} case(s) regressed past the {p:.1} % threshold",
+                    violations.len()
+                ));
             }
         }
     }

@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [--full | --smoke] [--json <path>] [--servers <n>]
 //!             [--routing <policy>] [--scenario <file.json>] [--shards <k>]
-//!             [name ...]
+//!             [--threads <t|auto>] [name ...]
 //! ```
 //!
 //! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
@@ -27,6 +27,10 @@
 //! * `--shards <k>` overrides the engine shard count of every fleet cell
 //!   (results are shard-count invariant by contract; the knob only changes
 //!   how the work is executed);
+//! * `--threads <t|auto>` overrides the worker-thread count driving the
+//!   shards (`auto` = available cores).  Thread counts are capped by the
+//!   cell's shard count — surplus threads would never receive a shard —
+//!   and results are thread-count invariant by the same contract;
 //! * without it, the legacy flags build the spec: `--servers <n>` pins the
 //!   pool to exactly `n` servers and `--routing <policy>` (round-robin |
 //!   least-queue-depth | device-affinity, or the aliases rr/lqd/affinity)
@@ -39,7 +43,7 @@ use corki::fleet::{
     fleet_sweep, measured_adaptive_lengths, robots_within_budget, FleetExperiment, FleetScale,
     FleetSweepRow,
 };
-use corki::scenario::ScenarioSpec;
+use corki::scenario::{ScenarioSpec, ThreadSpec};
 use corki::RoutingPolicy;
 use corki_system::FrameKind;
 use std::collections::BTreeMap;
@@ -54,6 +58,7 @@ fn main() {
     let mut servers_override: Option<usize> = None;
     let mut routing_override: Option<RoutingPolicy> = None;
     let mut shards_override: Option<usize> = None;
+    let mut threads_override: Option<ThreadSpec> = None;
     let mut scenario_path: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
@@ -105,6 +110,22 @@ fn main() {
                 Some(Ok(k)) if k >= 1 => shards_override = Some(k),
                 _ => {
                     eprintln!("error: --shards requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match raw.next().as_deref() {
+                Some("auto") => threads_override = Some(ThreadSpec::Auto),
+                Some(raw_threads) => match raw_threads.parse::<usize>() {
+                    Ok(t) if t >= 1 => threads_override = Some(ThreadSpec::Fixed(t)),
+                    _ => {
+                        eprintln!(
+                            "error: --threads requires a positive integer or `auto` argument"
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("error: --threads requires a positive integer or `auto` argument");
                     std::process::exit(2);
                 }
             },
@@ -433,16 +454,25 @@ fn main() {
                     cell.shards = shards;
                 }
             }
+            if let Some(threads) = threads_override {
+                // Cap at the cell's shard count — surplus worker threads
+                // would never receive a shard to drain.
+                for cell in &mut cells {
+                    cell.threads = threads.resolve(cell.shards).min(cell.shards);
+                }
+            }
             let shards_label = cells.first().map_or(1, |cell| cell.shards);
+            let threads_label = cells.first().map_or(1, |cell| cell.threads);
             println!(
-                "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {} warm-up, {} shard(s)",
+                "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {} warm-up, {} shard(s), {} thread(s)",
                 spec.name,
                 cells.len(),
                 spec.frames_per_robot,
                 spec.seed,
                 spec.routing,
                 spec.warmup_ms,
-                shards_label
+                shards_label,
+                threads_label
             );
             (corki::fleet::scenario_sweep(&cells), spec.latency_budget_ms)
         } else {
@@ -477,18 +507,22 @@ fn main() {
                 experiment.routing,
                 experiment.scale.warmup_ms
             );
-            let rows = match shards_override {
-                // The shim lowers to a spec anyway; threading the shard
-                // knob through it keeps one expansion path.
-                Some(shards) => {
-                    let mut spec = experiment.to_scenario();
+            let rows = if shards_override.is_some() || threads_override.is_some() {
+                // The shim lowers to a spec anyway; threading the shard and
+                // thread knobs through it keeps one expansion path.
+                let mut spec = experiment.to_scenario();
+                if let Some(shards) = shards_override {
                     spec.shards = shards;
-                    let cells = spec
-                        .expand()
-                        .expect("FleetExperiment axis lists always lower to a valid scenario");
-                    corki::fleet::scenario_sweep(&cells)
                 }
-                None => fleet_sweep(&experiment),
+                if let Some(threads) = threads_override {
+                    spec.threads = ThreadSpec::Fixed(threads.resolve(spec.shards).min(spec.shards));
+                }
+                let cells = spec
+                    .expand()
+                    .expect("FleetExperiment axis lists always lower to a valid scenario");
+                corki::fleet::scenario_sweep(&cells)
+            } else {
+                fleet_sweep(&experiment)
             };
             (rows, experiment.latency_budget_ms)
         };

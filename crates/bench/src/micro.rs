@@ -38,8 +38,14 @@ use std::time::{Duration, Instant};
 /// sharding-speedup comparison; 5 — fleet rows carry the fault-injection
 /// columns (SLO-violation fraction, timed-out/retry/dropped/fallback
 /// counters, mean recovery time) and the suite includes the committed
-/// fault scenarios (server crashes, degraded uplinks, churn).
-pub const SCHEMA_VERSION: u32 = 5;
+/// fault scenarios (server crashes, degraded uplinks, churn); 6 — threaded
+/// scenarios time a worker-thread sweep (`/threads{t}` cases plus a
+/// `/threading` comparison), the report carries an `e2e` section of
+/// hyperfine-style wall-clock rows (min/mean seconds over N full
+/// `experiments fleet --scenario` runs; full mode only), and the
+/// `des_queue` group pins K=1 sharded-queue parity with the plain event
+/// queue.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Timing-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +161,29 @@ pub struct FleetServingRow {
     pub mean_recovery_ms: f64,
 }
 
+/// One end-to-end wall-clock measurement: the full `experiments fleet
+/// --scenario <file>` process (spawn, parse, expand, simulate, print) timed
+/// hyperfine-style over several runs.  Unlike the in-process `median_ns`
+/// benches these include process start-up and I/O, so they answer "what
+/// does a user actually wait for"; only the **minimum** is robust across
+/// machines, the mean is recorded for context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct E2eWallClockRow {
+    /// Row name (`e2e/<scenario>`).
+    pub name: String,
+    /// Content fingerprint of the expanded scenario cells (16 lowercase hex
+    /// chars, shards/threads-normalised) — lets `--compare` pair rows with
+    /// their baseline by content.
+    pub scenario_hash: String,
+    /// Number of timed process runs folded into the row.
+    pub runs: usize,
+    /// Fastest run (seconds) — the robust statistic.
+    pub min_s: f64,
+    /// Mean across the runs (seconds).
+    pub mean_s: f64,
+}
+
 /// The canonical report emitted as `BENCH_*.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
@@ -171,6 +200,9 @@ pub struct BenchReport {
     pub comparisons: Vec<Comparison>,
     /// Deterministic fleet-serving metrics (identical in every mode).
     pub fleet_rows: Vec<FleetServingRow>,
+    /// End-to-end wall-clock rows (full mode only; empty when the
+    /// `experiments` binary is not built alongside the runner).
+    pub e2e: Vec<E2eWallClockRow>,
 }
 
 impl BenchReport {
@@ -255,6 +287,24 @@ impl BenchReport {
                 return Err(format!("degenerate fault metrics for `{}`", row.name));
             }
         }
+        for row in &self.e2e {
+            let timings_ok = row.runs >= 1
+                && row.min_s.is_finite()
+                && row.min_s > 0.0
+                && row.mean_s.is_finite()
+                && row.mean_s >= row.min_s;
+            if !timings_ok {
+                return Err(format!("degenerate e2e wall-clock row `{}`", row.name));
+            }
+            let hash_ok = row.scenario_hash.len() == 16
+                && row
+                    .scenario_hash
+                    .bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase());
+            if !hash_ok {
+                return Err(format!("malformed scenario hash for `{}`", row.name));
+            }
+        }
         Ok(())
     }
 
@@ -282,6 +332,15 @@ impl BenchReport {
                 row.p99_plan_latency_ms,
                 row.p99_queue_delay_ms,
                 row.server_utilization
+            ));
+        }
+        for row in &self.e2e {
+            out.push_str(&format!(
+                "  {:<44} min {:>7.3} s  mean {:>7.3} s  ({} runs)\n",
+                format!("wall-clock: {}", row.name),
+                row.min_s,
+                row.mean_s,
+                row.runs
             ));
         }
         out
@@ -487,7 +546,66 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
                 }),
             });
         }
+        if cell.threads > 1 {
+            // Threaded scenarios sweep the worker-thread axis.  Thread
+            // counts beyond the committed shard count raise the shard count
+            // with them (threads are capped by shards), so the sweep stays
+            // runnable on any spec.
+            for threads in THREAD_SWEEP {
+                let shards = cell.shards.max(threads);
+                cases.push(BenchCase {
+                    name: format!("{name}/threads{threads}"),
+                    routine: Box::new(move || {
+                        black_box(
+                            FleetSimulator::new(cell.config.clone())
+                                .with_shards(shards)
+                                .with_threads(threads)
+                                .run(),
+                        );
+                    }),
+                });
+            }
+        }
     }
+
+    // K=1 parity: the sharded queue specializes a single shard down to a
+    // plain heap (no cached heads, no tournament tree), so steady-state
+    // schedule/pop traffic through it must cost the same as the unsharded
+    // queue it generalises — the committed `k1_parity` speedup hovering
+    // around 1.0 is the proof.
+    let mut parity_plain = corki_system::des::EventQueue::new();
+    let mut parity_sharded = corki_system::des::ShardedEventQueue::new(1);
+    let mut plain_state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut sharded_state = plain_state;
+    for _ in 0..512 {
+        plain_state = lcg(plain_state);
+        parity_plain.schedule(1.0 + (plain_state >> 40) as f64 / 64.0, plain_state);
+        sharded_state = lcg(sharded_state);
+        parity_sharded.schedule(0, 1.0 + (sharded_state >> 40) as f64 / 64.0, sharded_state);
+    }
+    cases.push(BenchCase {
+        name: "des_queue/event_queue".to_owned(),
+        routine: Box::new(move || {
+            plain_state = lcg(plain_state);
+            parity_plain.schedule(
+                parity_plain.now_ms() + 1.0 + (plain_state >> 40) as f64 / 64.0,
+                plain_state,
+            );
+            black_box(parity_plain.pop());
+        }),
+    });
+    cases.push(BenchCase {
+        name: "des_queue/sharded_k1".to_owned(),
+        routine: Box::new(move || {
+            sharded_state = lcg(sharded_state);
+            parity_sharded.schedule(
+                0,
+                parity_sharded.now_ms() + 1.0 + (sharded_state >> 40) as f64 / 64.0,
+                sharded_state,
+            );
+            black_box(parity_sharded.pop());
+        }),
+    });
     if let Some(prefix) = filter {
         cases.retain(|case| case.name.starts_with(prefix));
     }
@@ -499,6 +617,15 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
     } else {
         Vec::new()
     };
+    // End-to-end wall-clock rows are full-mode only (a quick CI run should
+    // not spawn multi-second child processes) and need the sibling
+    // `experiments` binary.
+    let e2e =
+        if mode == "full" && filter.is_none_or(|p| "e2e".starts_with(p) || p.starts_with("e2e")) {
+            e2e_wall_clock_rows(E2E_RUNS)
+        } else {
+            Vec::new()
+        };
     let benches = measure_interleaved(config, &mut cases);
     drop(cases);
 
@@ -522,7 +649,19 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
                 format!("{name}/shards{}", cell.shards),
             ));
         }
+        if cell.threads > 1 {
+            comparison_specs.push((
+                format!("{name}/threading"),
+                format!("{name}/threads1"),
+                format!("{name}/threads{}", cell.threads),
+            ));
+        }
     }
+    comparison_specs.push((
+        "des_queue/k1_parity".to_owned(),
+        "des_queue/sharded_k1".to_owned(),
+        "des_queue/event_queue".to_owned(),
+    ));
     let comparisons = comparison_specs
         .into_iter()
         .filter_map(|(name, reference, fast)| {
@@ -540,7 +679,24 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         benches,
         comparisons,
         fleet_rows,
+        e2e,
     }
+}
+
+/// The worker-thread axis swept for every threaded scenario.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed process runs folded into each e2e wall-clock row.
+const E2E_RUNS: usize = 5;
+
+/// The committed scenarios timed end-to-end: the 10k-robot pool (the scale
+/// story) and a small routed pool (the latency floor of a short run).
+const E2E_SCENARIO_FILES: [&str; 2] = ["fleet_10k_pool.json", "pool2_lqd_8robots_60frames.json"];
+
+/// A splitmix-flavoured LCG step shared by the queue-parity benches.
+#[inline]
+fn lcg(state: u64) -> u64 {
+    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
 }
 
 /// The committed fleet-serving scenario files — the single source of truth
@@ -592,8 +748,11 @@ fn fleet_metric_rows(cases: &[(String, ConcreteScenario)]) -> Vec<FleetServingRo
     cases
         .iter()
         .map(|(name, cell)| {
-            let summary =
-                FleetSimulator::new(cell.config.clone()).with_shards(cell.shards).run().summary;
+            let summary = FleetSimulator::new(cell.config.clone())
+                .with_shards(cell.shards)
+                .with_threads(cell.threads)
+                .run()
+                .summary;
             FleetServingRow {
                 name: name.clone(),
                 robots: summary.robots,
@@ -619,6 +778,59 @@ fn fleet_metric_rows(cases: &[(String, ConcreteScenario)]) -> Vec<FleetServingRo
         .collect()
 }
 
+/// Times `experiments fleet --scenario <file>` end-to-end, hyperfine-style:
+/// one warm-up run, then `runs` timed process invocations per committed
+/// scenario in [`E2E_SCENARIO_FILES`], recording the minimum (robust) and
+/// the mean (context).  Returns no rows when the sibling `experiments`
+/// binary is missing (e.g. under `cargo test`, where `current_exe` is a
+/// test harness deep in `target/*/deps`).
+fn e2e_wall_clock_rows(runs: usize) -> Vec<E2eWallClockRow> {
+    let Some(experiments) = sibling_experiments_binary() else {
+        return Vec::new();
+    };
+    let scenario_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    E2E_SCENARIO_FILES
+        .iter()
+        .filter_map(|file| {
+            let path = scenario_dir.join(file);
+            let json = std::fs::read_to_string(&path).ok()?;
+            let spec = ScenarioSpec::from_json(&json).ok()?;
+            let cells = spec.expand().ok()?;
+            let time_one = || -> Option<f64> {
+                let start = Instant::now();
+                let status = std::process::Command::new(&experiments)
+                    .arg("fleet")
+                    .arg("--scenario")
+                    .arg(&path)
+                    .stdout(std::process::Stdio::null())
+                    .stderr(std::process::Stdio::null())
+                    .status()
+                    .ok()?;
+                status.success().then(|| start.elapsed().as_secs_f64())
+            };
+            time_one()?; // warm-up (page cache, frequency governor)
+            let timings: Vec<f64> = (0..runs).map(|_| time_one()).collect::<Option<_>>()?;
+            let min_s = timings.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean_s = timings.iter().sum::<f64>() / timings.len() as f64;
+            Some(E2eWallClockRow {
+                name: format!("e2e/{}", spec.name),
+                scenario_hash: scenario_fingerprint(&cells),
+                runs,
+                min_s,
+                mean_s,
+            })
+        })
+        .collect()
+}
+
+/// Locates the `experiments` binary next to the running one, if any.
+fn sibling_experiments_binary() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("experiments{}", std::env::consts::EXE_SUFFIX);
+    let sibling = exe.parent()?.join(&name);
+    sibling.is_file().then_some(sibling)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,10 +842,15 @@ mod tests {
         let json = report.to_json();
         let parsed = BenchReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
-        assert_eq!(report.comparisons.len(), 4, "3 fast-path + 1 sharding comparison");
+        assert_eq!(
+            report.comparisons.len(),
+            6,
+            "3 fast-path + sharding + threading + k1-parity comparisons"
+        );
         assert!(report.benches.len() >= 16);
         assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
         assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
+        assert!(report.e2e.is_empty(), "e2e wall-clock rows are full-mode only");
         assert!(!report.to_table().is_empty());
         // The sharded 10k scenario times both engines and records a speedup.
         assert!(report.benches.iter().any(|b| b.name == "fleet_serving/fleet_10k_pool/shards1"));
@@ -642,20 +859,37 @@ mod tests {
             .comparisons
             .iter()
             .any(|c| c.name == "fleet_serving/fleet_10k_pool/sharding"));
+        // The threaded 10k scenario sweeps the worker-thread axis.
+        for threads in THREAD_SWEEP {
+            assert!(report
+                .benches
+                .iter()
+                .any(|b| b.name == format!("fleet_serving/fleet_10k_pool/threads{threads}")));
+        }
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.name == "fleet_serving/fleet_10k_pool/threading"));
+        // The K=1 parity pair pins zero single-shard overhead.
+        assert!(report.benches.iter().any(|b| b.name == "des_queue/event_queue"));
+        assert!(report.benches.iter().any(|b| b.name == "des_queue/sharded_k1"));
+        assert!(report.comparisons.iter().any(|c| c.name == "des_queue/k1_parity"));
     }
 
     #[test]
     fn filtered_suite_keeps_only_the_prefix_and_drops_broken_comparisons() {
         let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("fleet_serving"));
         report.validate().expect("filtered report must validate");
-        // Nine single-shard scenarios plus the two engine cases of the
-        // sharded 10k scenario.
-        assert_eq!(report.benches.len(), FLEET_SCENARIO_SOURCES.len() + 1);
+        // Nine single-shard scenarios, the two engine cases of the sharded
+        // 10k scenario, and its four worker-thread sweep cases.
+        assert_eq!(report.benches.len(), FLEET_SCENARIO_SOURCES.len() + 1 + THREAD_SWEEP.len());
         assert!(report.benches.iter().all(|b| b.name.starts_with("fleet_serving/")));
-        // The fast-path comparisons lose their members to the filter; the
-        // sharding comparison keeps both of its benches and survives.
-        assert_eq!(report.comparisons.len(), 1);
-        assert!(report.comparisons[0].name.ends_with("/sharding"));
+        // The fast-path and k1-parity comparisons lose their members to the
+        // filter; the sharding and threading comparisons keep both of their
+        // benches and survive.
+        assert_eq!(report.comparisons.len(), 2);
+        assert!(report.comparisons.iter().any(|c| c.name.ends_with("/sharding")));
+        assert!(report.comparisons.iter().any(|c| c.name.ends_with("/threading")));
         // The deterministic metric rows ride along in every mode.
         assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
     }
@@ -760,5 +994,30 @@ mod tests {
         assert!(report.validate().is_err());
         assert!(BenchReport::from_json("{}").is_err());
         assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn validation_bounds_the_e2e_wall_clock_rows() {
+        let mut report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("des_queue"));
+        let good = E2eWallClockRow {
+            name: "e2e/fleet_10k_pool".to_owned(),
+            scenario_hash: "0123456789abcdef".to_owned(),
+            runs: 5,
+            min_s: 0.25,
+            mean_s: 0.30,
+        };
+        report.e2e = vec![good.clone()];
+        report.validate().expect("well-formed e2e rows validate");
+        let broken = |mutate: fn(&mut E2eWallClockRow)| {
+            let mut row = good.clone();
+            mutate(&mut row);
+            let mut report = report.clone();
+            report.e2e = vec![row];
+            report.validate()
+        };
+        assert!(broken(|r| r.runs = 0).is_err(), "zero runs");
+        assert!(broken(|r| r.min_s = 0.0).is_err(), "non-positive minimum");
+        assert!(broken(|r| r.mean_s = 0.1).is_err(), "mean below minimum");
+        assert!(broken(|r| r.scenario_hash = "XYZ".to_owned()).is_err(), "malformed hash");
     }
 }

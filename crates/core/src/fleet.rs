@@ -36,7 +36,7 @@
 use corki_sim::evaluation::{parallel_map, run_job, session_seed, EvalConfig};
 use corki_system::fleet::{fleet_robot_seed, FleetSimulator, SchedulerKind, ServerConfig};
 use corki_system::scenario::{
-    ConcreteScenario, ScenarioAxes, ScenarioSpec, VariantMix, WarmupSpec,
+    ConcreteScenario, ScenarioAxes, ScenarioSpec, ThreadSpec, VariantMix, WarmupSpec,
 };
 use corki_system::{ControlBackend, InferenceModel, RoutingPolicy, Variant};
 use serde::{Deserialize, Serialize};
@@ -160,6 +160,7 @@ impl FleetExperiment {
             adaptive_lengths: self.adaptive_lengths.clone().filter(|lengths| !lengths.is_empty()),
             latency_budget_ms: self.latency_budget_ms,
             shards: 1,
+            threads: ThreadSpec::Fixed(1),
             axes: ScenarioAxes {
                 robot_counts: self.scale.robot_counts.clone(),
                 variants: self.variants.iter().cloned().map(VariantMix::uniform).collect(),
@@ -267,10 +268,14 @@ pub fn scenario_sweep(cells: &[ConcreteScenario]) -> Vec<FleetSweepRow> {
 /// canonical `Display` implementation per axis type.
 pub fn scenario_sweep_with_jobs(cells: &[ConcreteScenario], jobs: usize) -> Vec<FleetSweepRow> {
     let run_cell = |cell: &ConcreteScenario| {
-        // Honour the cell's shard knob; results are shard-count invariant,
-        // so the rows stay byte-identical whatever the spec requested.
-        let summary =
-            FleetSimulator::new(cell.config.clone()).with_shards(cell.shards).run().summary;
+        // Honour the cell's shard and thread knobs; results are invariant
+        // in both, so the rows stay byte-identical whatever the spec
+        // requested.
+        let summary = FleetSimulator::new(cell.config.clone())
+            .with_shards(cell.shards)
+            .with_threads(cell.threads)
+            .run()
+            .summary;
         FleetSweepRow {
             robots: cell.robots,
             servers: cell.servers,

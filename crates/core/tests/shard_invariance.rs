@@ -2,18 +2,18 @@
 //! engine.
 //!
 //! The contract under test is the acceptance bar of the sharded refactor —
-//! for shards ∈ {1, 2, 3, 8} a run must be **byte-identical** to the
-//! single-shard engine: identical `FleetSweepRow`s out of the sweep layer
-//! and identical full outcomes (event timeline, jittered robot traces and
-//! aggregate metrics) out of the engine itself, across random small
-//! scenarios spanning every variant family, scheduler discipline, routing
-//! policy and pool size.
+//! for shards ∈ {1, 2, 3, 8} crossed with worker threads ∈ {1, 2, 4} a run
+//! must be **byte-identical** to the single-shard single-thread engine:
+//! identical `FleetSweepRow`s out of the sweep layer and identical full
+//! outcomes (event timeline, jittered robot traces and aggregate metrics)
+//! out of the engine itself, across random small scenarios spanning every
+//! variant family, scheduler discipline, routing policy and pool size.
 
 use corki::fleet::scenario_sweep_with_jobs;
 use corki_system::fleet::{FleetSimulator, SchedulerKind};
 use corki_system::{
     CrashSpec, DataRepresentation, FaultPlan, InferenceDevice, InferenceModel, LinkDegradationSpec,
-    RoutingPolicy, ScenarioBuilder, ScenarioSpec, TimeoutSpec, Variant,
+    RoutingPolicy, ScenarioBuilder, ScenarioSpec, ThreadSpec, TimeoutSpec, Variant,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -98,18 +98,22 @@ fn crash_and_retry_runs_are_shard_count_invariant() {
         .build()
         .expect("the fault scenario is valid");
     let mut reference: Option<(String, String)> = None;
-    for shards in [1usize, 2, 8] {
+    for (shards, threads) in
+        [(1usize, 1usize), (2, 1), (2, 2), (4, 2), (4, 4), (8, 1), (8, 2), (8, 4)]
+    {
         let mut spec = base.clone();
         spec.shards = shards;
+        spec.threads = ThreadSpec::Fixed(threads);
         let cells = spec.expand().expect("spec expands");
         assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].threads, threads);
         let rows = scenario_sweep_with_jobs(&cells, 1);
         assert!(rows[0].timed_out_requests > 0, "the crash windows must force timeouts");
         assert!(rows[0].retries > 0, "timeouts must trigger retries");
         let rows = serde_json::to_string(&rows).expect("rows serialise");
         let mut config = cells[0].config.clone();
         config.record_event_log = true;
-        let outcome = FleetSimulator::new(config).with_shards(shards).run();
+        let outcome = FleetSimulator::new(config).with_shards(shards).with_threads(threads).run();
         assert!(!outcome.event_log.is_empty());
         let run = serde_json::to_string(&outcome).expect("outcome serialises");
         match &reference {
@@ -117,11 +121,13 @@ fn crash_and_retry_runs_are_shard_count_invariant() {
             Some((reference_rows, reference_run)) => {
                 assert_eq!(
                     &rows, reference_rows,
-                    "fault-injected FleetSweepRows must be shard-count invariant ({shards} shards)"
+                    "fault-injected FleetSweepRows must be shard- and thread-count invariant \
+                     ({shards} shards x {threads} threads)"
                 );
                 assert_eq!(
                     &run, reference_run,
-                    "fault-injected event timelines must be shard-count invariant ({shards} shards)"
+                    "fault-injected event timelines must be shard- and thread-count invariant \
+                     ({shards} shards x {threads} threads)"
                 );
             }
         }
@@ -141,9 +147,10 @@ fn committed_crash_scenario_matches_golden_rows() {
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", scenario.display()));
     let spec = ScenarioSpec::from_json(&json).expect("the committed crash scenario parses");
     let mut rows_by_shards = Vec::new();
-    for shards in [1usize, 4, 1] {
+    for (shards, threads) in [(1usize, 1usize), (4, 4), (1, 1)] {
         let mut spec = spec.clone();
         spec.shards = shards;
+        spec.threads = ThreadSpec::Fixed(threads);
         let cells = spec.expand().expect("the committed crash scenario expands");
         let rows = scenario_sweep_with_jobs(&cells, 1);
         assert_eq!(rows.len(), 1);
@@ -157,7 +164,10 @@ fn committed_crash_scenario_matches_golden_rows() {
         );
         rows_by_shards.push(serde_json::to_string_pretty(&rows).expect("rows serialise"));
     }
-    assert_eq!(rows_by_shards[0], rows_by_shards[1], "rows must be identical for shards 1 and 4");
+    assert_eq!(
+        rows_by_shards[0], rows_by_shards[1],
+        "rows must be identical for shards 1 / threads 1 and shards 4 / threads 4"
+    );
     assert_eq!(rows_by_shards[0], rows_by_shards[2], "rows must be identical across reruns");
     let fixture = manifest.join("tests/fixtures/fault_crash_pool2_rows.json");
     if std::env::var_os("FLEET_FAULT_GOLDEN_REGEN").is_some() {
@@ -192,17 +202,20 @@ proptest! {
         let base =
             random_spec(seed, frames, robots, extra_robots, v_index, s_index, servers, r_index);
         let mut reference: Option<(String, String)> = None;
-        for shards in [1usize, 2, 3, 8] {
+        for (shards, threads) in [(1usize, 1usize), (2, 2), (3, 2), (8, 4)] {
             let mut spec = base.clone();
             spec.shards = shards;
+            spec.threads = ThreadSpec::Fixed(threads);
             let cells = spec.expand().expect("spec expands");
             prop_assert_eq!(cells.len(), 1);
             prop_assert_eq!(cells[0].shards, shards);
+            prop_assert_eq!(cells[0].threads, threads);
             let rows = serde_json::to_string(&scenario_sweep_with_jobs(&cells, 1))
                 .expect("rows serialise");
             let mut config = cells[0].config.clone();
             config.record_event_log = true;
-            let outcome = FleetSimulator::new(config).with_shards(shards).run();
+            let outcome =
+                FleetSimulator::new(config).with_shards(shards).with_threads(threads).run();
             prop_assert!(!outcome.event_log.is_empty());
             let run = serde_json::to_string(&outcome).expect("outcome serialises");
             match &reference {
@@ -210,11 +223,13 @@ proptest! {
                 Some((reference_rows, reference_run)) => {
                     prop_assert!(
                         &rows == reference_rows,
-                        "FleetSweepRows must be shard-count invariant ({shards} shards)"
+                        "FleetSweepRows must be shard- and thread-count invariant \
+                         ({shards} shards x {threads} threads)"
                     );
                     prop_assert!(
                         &run == reference_run,
-                        "event timeline + traces must be shard-count invariant ({shards} shards)"
+                        "event timeline + traces must be shard- and thread-count invariant \
+                         ({shards} shards x {threads} threads)"
                     );
                 }
             }

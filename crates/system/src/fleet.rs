@@ -285,6 +285,15 @@ pub trait BatchScheduler: std::fmt::Debug {
     fn push(&mut self, request: PendingRequest);
     /// Releases the batch to serve now, or an empty vector to keep waiting.
     fn pop_batch(&mut self, now_ms: f64) -> Vec<PendingRequest>;
+    /// Like [`pop_batch`](BatchScheduler::pop_batch), but fills a
+    /// caller-provided buffer (cleared first) so the engine's dispatch loop
+    /// can recycle batch allocations.  The default delegates to
+    /// `pop_batch`; the built-in schedulers override it to fill `out`
+    /// directly.
+    fn pop_batch_into(&mut self, now_ms: f64, out: &mut Vec<PendingRequest>) {
+        out.clear();
+        out.append(&mut self.pop_batch(now_ms));
+    }
     /// The earliest time a held-back batch would be released without new
     /// arrivals (None when the scheduler never holds requests back).
     fn next_release_ms(&self) -> Option<f64>;
@@ -308,6 +317,11 @@ impl BatchScheduler for FifoScheduler {
 
     fn pop_batch(&mut self, _now_ms: f64) -> Vec<PendingRequest> {
         self.queue.pop_front().into_iter().collect()
+    }
+
+    fn pop_batch_into(&mut self, _now_ms: f64, out: &mut Vec<PendingRequest>) {
+        out.clear();
+        out.extend(self.queue.pop_front());
     }
 
     fn next_release_ms(&self) -> Option<f64> {
@@ -358,6 +372,17 @@ impl BatchScheduler for DynamicBatchScheduler {
         }
     }
 
+    fn pop_batch_into(&mut self, now_ms: f64, out: &mut Vec<PendingRequest>) {
+        out.clear();
+        let ready_by_size = self.queue.len() >= self.max_batch;
+        let ready_by_timeout =
+            self.queue.front().is_some_and(|oldest| oldest.arrival_ms + self.timeout_ms <= now_ms);
+        if ready_by_size || ready_by_timeout {
+            let take = self.queue.len().min(self.max_batch);
+            out.extend(self.queue.drain(..take));
+        }
+    }
+
     fn next_release_ms(&self) -> Option<f64> {
         self.queue.front().map(|oldest| oldest.arrival_ms + self.timeout_ms)
     }
@@ -395,6 +420,19 @@ impl BatchScheduler for ShortestTrajectoryFirstScheduler {
             .map(|(i, _)| i)
             .expect("queue is non-empty");
         vec![self.queue.remove(best)]
+    }
+
+    fn pop_batch_into(&mut self, _now_ms: f64, out: &mut Vec<PendingRequest>) {
+        out.clear();
+        if let Some(best) = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (r.planned_steps, r.seq))
+            .map(|(i, _)| i)
+        {
+            out.push(self.queue.remove(best));
+        }
     }
 
     fn next_release_ms(&self) -> Option<f64> {
@@ -1081,6 +1119,7 @@ impl ServerState {
 pub struct FleetSimulator {
     config: FleetConfig,
     shards: usize,
+    threads: usize,
 }
 
 /// Width of the conservative synchronization windows, ms.  Purely a flush
@@ -1100,6 +1139,12 @@ const DECORATION_FLUSH_TASKS: usize = 1 << 17;
 struct Engine<'a> {
     cfg: &'a FleetConfig,
     shards: usize,
+    /// `shards - 1` when the shard count is a power of two (the common
+    /// case: 1, 2, 4, 8), letting [`Engine::shard_of`] mask instead of
+    /// paying an integer division on every scheduled event.
+    shard_mask: Option<usize>,
+    /// Worker-thread cap for barrier fan-out, clamped to `[1, shards]`.
+    threads: usize,
     queue: ShardedEventQueue<FleetEvent>,
     windows: WindowCoordinator,
     sessions: Vec<Session>,
@@ -1127,6 +1172,11 @@ struct Engine<'a> {
     /// Frames pushed onto session `pending` queues since the last
     /// decoration flush (drives the [`DECORATION_FLUSH_TASKS`] threshold).
     deferred_tasks: usize,
+    /// Recycled dispatch-batch buffers (at most one per server): the event
+    /// loop's steady state moves batches between this pool and
+    /// [`ServerState::batch`] without allocating (see the `event_arena`
+    /// allocation-counting test).
+    batch_pool: Vec<Vec<PendingRequest>>,
     log: Vec<EventRecord>,
 }
 
@@ -1147,7 +1197,7 @@ impl FleetSimulator {
     /// fleet keeps a pool definition for its labels).
     pub fn new(config: FleetConfig) -> Self {
         assert!(!config.servers.is_empty(), "a fleet needs at least one inference server");
-        FleetSimulator { config, shards: 1 }
+        FleetSimulator { config, shards: 1, threads: 1 }
     }
 
     /// Runs the engine with `shards` worker shards (clamped to ≥ 1).
@@ -1155,6 +1205,18 @@ impl FleetSimulator {
     /// the deferred per-robot work and the final aggregation across threads.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Caps the worker threads the window barriers fan deferred shard work
+    /// (frame decoration, final aggregation) over — clamped to `[1,
+    /// shards]` at run time.  Results are byte-identical for every thread
+    /// count: the control-plane event loop stays sequential (the shared
+    /// uplink and router have zero lookahead, see the module docs), and the
+    /// threaded data plane only runs per-session work whose order is fixed
+    /// per session.  `threads = 1` spawns no threads at all.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -1168,12 +1230,20 @@ impl FleetSimulator {
         self.shards
     }
 
+    /// Worker-thread cap for the window barriers (before the run-time clamp
+    /// to the shard count).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Runs the fleet to completion and aggregates the serving metrics.
     pub fn run(&self) -> FleetOutcome {
         let cfg = &self.config;
         let mut engine = Engine {
             cfg,
             shards: self.shards,
+            shard_mask: self.shards.is_power_of_two().then(|| self.shards - 1),
+            threads: self.threads.clamp(1, self.shards),
             queue: ShardedEventQueue::new(self.shards),
             windows: WindowCoordinator::new(WINDOW_MS),
             sessions: cfg
@@ -1202,6 +1272,7 @@ impl FleetSimulator {
             recovery: Vec::new(),
             queue_depth_series: Vec::new(),
             deferred_tasks: 0,
+            batch_pool: Vec::new(),
             log: Vec::new(),
         };
         for robot in 0..cfg.robots.len() {
@@ -1211,7 +1282,7 @@ impl FleetSimulator {
             if let Some(churn) = cfg.faults.as_ref().and_then(|f| f.churn_of(robot)) {
                 start = start.max(churn.join_at_ms);
             }
-            engine.queue.schedule(robot % self.shards, start, FleetEvent::Capture { robot });
+            engine.queue.schedule(engine.shard_of(robot), start, FleetEvent::Capture { robot });
         }
         // Crash/recovery pairs are ordinary events scheduled upfront, after
         // the capture loop — a fault-free run schedules nothing here, so its
@@ -1351,6 +1422,18 @@ impl Session {
 }
 
 impl Engine<'_> {
+    /// The shard owning robot/server `index` (`index % shards`), computed
+    /// with a mask when the shard count is a power of two — this runs on
+    /// every scheduled event, where a general integer division is
+    /// measurable.
+    #[inline]
+    fn shard_of(&self, index: usize) -> usize {
+        match self.shard_mask {
+            Some(mask) => index & mask,
+            None => index % self.shards,
+        }
+    }
+
     fn record(&mut self, scheduled: &Scheduled<FleetEvent>) {
         if !self.cfg.record_event_log {
             return;
@@ -1427,7 +1510,7 @@ impl Engine<'_> {
             session.upload_ms = 0.0;
             session.link_wait_ms = 0.0;
             self.queue.schedule(
-                robot % self.shards,
+                self.shard_of(robot),
                 now + local_service_ms,
                 FleetEvent::LocalInferenceDone { robot },
             );
@@ -1449,7 +1532,7 @@ impl Engine<'_> {
         let grant = self.link.acquire(now, session.upload_ms);
         session.link_wait_ms = grant.wait_ms;
         self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
-        self.queue.schedule(robot % self.shards, grant.end_ms, FleetEvent::UploadDone { robot });
+        self.queue.schedule(self.shard_of(robot), grant.end_ms, FleetEvent::UploadDone { robot });
     }
 
     fn on_upload_done(&mut self, robot: usize, now: f64) {
@@ -1464,7 +1547,7 @@ impl Engine<'_> {
                 .expect("an upload in flight always has an active attempt");
             if let Some(policy) = faults.timeout {
                 self.queue.schedule(
-                    robot % self.shards,
+                    self.shard_of(robot),
                     now + policy.timeout_ms,
                     FleetEvent::RequestTimeout { robot, attempt },
                 );
@@ -1538,6 +1621,7 @@ impl Engine<'_> {
         let faults = cfg.faults.as_ref().expect("timeouts only fire with a fault plan");
         let policy = faults.timeout.expect("a scheduled timeout implies a timeout policy");
         self.timed_out_requests += 1;
+        let shard = self.shard_of(robot);
         let session = &mut self.sessions[robot];
         if session.retries_this_plan < policy.max_retries {
             session.retries_this_plan += 1;
@@ -1546,7 +1630,7 @@ impl Engine<'_> {
             session.active_attempt = Some(session.attempt);
             let backoff = policy.backoff_ms * 2.0_f64.powi(session.retries_this_plan as i32 - 1);
             self.queue.schedule(
-                robot % self.shards,
+                shard,
                 now + backoff,
                 FleetEvent::RetryUpload { robot, attempt: session.attempt },
             );
@@ -1561,11 +1645,7 @@ impl Engine<'_> {
                 (model.trajectory_latency_ms(), model.trajectory_energy_j())
             };
             session.fallback_pending = Some((service_ms, energy_j));
-            self.queue.schedule(
-                robot % self.shards,
-                now + service_ms,
-                FleetEvent::LocalInferenceDone { robot },
-            );
+            self.queue.schedule(shard, now + service_ms, FleetEvent::LocalInferenceDone { robot });
         } else {
             // No fallback model: drop the plan and execute one blind step so
             // the robot keeps making (degraded) progress.
@@ -1594,7 +1674,7 @@ impl Engine<'_> {
         let grant = self.link.acquire(now, retry_upload_ms);
         session.link_wait_ms += grant.wait_ms;
         self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
-        self.queue.schedule(robot % self.shards, grant.end_ms, FleetEvent::UploadDone { robot });
+        self.queue.schedule(self.shard_of(robot), grant.end_ms, FleetEvent::UploadDone { robot });
     }
 
     /// An injected crash: the in-flight batch is aborted, the queue dropped
@@ -1620,19 +1700,22 @@ impl Engine<'_> {
     }
 
     fn try_dispatch(&mut self, server_index: usize, now: f64) {
+        let shard = self.shard_of(server_index);
         let server = &mut self.servers[server_index];
         if server.busy || !server.up {
             return;
         }
-        let batch = server.scheduler.pop_batch(now);
+        let mut batch = self.batch_pool.pop().unwrap_or_default();
+        server.scheduler.pop_batch_into(now, &mut batch);
         if batch.is_empty() {
+            self.batch_pool.push(batch);
             if server.scheduler.pending() > 0 {
                 if let Some(release) = server.scheduler.next_release_ms() {
                     let release = if release > now { release } else { now };
                     let need = server.next_wake_ms.is_none_or(|wake| release < wake);
                     if need {
                         self.queue.schedule(
-                            server_index % self.shards,
+                            shard,
                             release,
                             FleetEvent::SchedulerWake { server: server_index },
                         );
@@ -1664,7 +1747,7 @@ impl Engine<'_> {
         server.busy = true;
         server.busy_since_ms = now;
         self.queue.schedule(
-            server_index % self.shards,
+            shard,
             inference_done,
             FleetEvent::InferenceDone { server: server_index, epoch: server.epoch },
         );
@@ -1680,7 +1763,7 @@ impl Engine<'_> {
         server.busy_ms += now - server.busy_since_ms;
         server.busy_until_ms = now;
         server.busy = false;
-        let batch = std::mem::take(&mut server.batch);
+        let mut batch = std::mem::take(&mut server.batch);
         for request in &batch {
             let session = &mut self.sessions[request.robot];
             if session.active_attempt != Some(request.attempt) {
@@ -1692,6 +1775,8 @@ impl Engine<'_> {
             self.plan_latencies_ms.push((now, plan_latency));
             self.start_step(request.robot, now);
         }
+        batch.clear();
+        self.batch_pool.push(batch);
         // A completion at/after a crash window's recovery instant marks the
         // server as back in service for the recovery-time metric.
         for tracker in &mut self.recovery {
@@ -1740,7 +1825,7 @@ impl Engine<'_> {
         // the step period or it becomes the bottleneck.
         let paced_end = now + self.cfg.execution_step_ms;
         let step_end = if compute_end > paced_end { compute_end } else { paced_end };
-        self.queue.schedule(robot % self.shards, step_end, FleetEvent::StepDone { robot });
+        self.queue.schedule(self.shard_of(robot), step_end, FleetEvent::StepDone { robot });
     }
 
     fn on_step_done(&mut self, robot: usize, now: f64) {
@@ -1804,57 +1889,41 @@ impl Engine<'_> {
         } else if session.step_in_plan < session.plan_steps {
             self.start_step(robot, now);
         } else {
-            self.queue.schedule(robot % self.shards, now, FleetEvent::Capture { robot });
+            self.queue.schedule(self.shard_of(robot), now, FleetEvent::Capture { robot });
         }
     }
 
-    /// Window barrier: decorates every deferred frame, bucketed by shard
-    /// (`robot % shards`) and — when the engine is actually sharded and the
-    /// batch is large enough to amortize the spawns — fanned out over scoped
-    /// threads.  Per-session decoration order is identical whatever the
-    /// cadence or fan-out, so the flush strategy never shows up in the
-    /// results.
+    /// Window barrier: decorates every deferred frame.  Per-session
+    /// decoration order is fixed (frame order), and sessions are mutually
+    /// independent, so neither the flush cadence nor the fan-out strategy
+    /// ever shows up in the results.
     ///
-    /// Sharded runs skip barriers that have accumulated fewer than
-    /// [`DECORATION_FLUSH_TASKS`] frames (unless `force`d, at the end of the
-    /// run): threading a tiny batch costs more in thread spawns than the
-    /// decoration itself.
+    /// Barriers that have accumulated fewer than [`DECORATION_FLUSH_TASKS`]
+    /// frames are skipped (unless `force`d, at the end of the run): visiting
+    /// every session at every window costs more in cache traffic than the
+    /// decoration itself, and a threaded flush of a tiny batch costs more
+    /// in thread spawns.  When the batch is large and the engine has
+    /// `threads > 1`, the sessions are split into contiguous chunks, one
+    /// scoped thread each; `threads = 1` decorates inline with no spawns.
     fn flush_decorations(&mut self, force: bool) {
-        let jitter = self.cfg.jitter;
-        if self.shards == 1 {
-            // Single shard: decorate inline at every barrier, keeping the
-            // deferred queues (and their memory) window-bounded.
-            for session in &mut self.sessions {
-                session.flush_pending(jitter);
-            }
-            self.deferred_tasks = 0;
-            return;
-        }
         if self.deferred_tasks == 0 || (!force && self.deferred_tasks < DECORATION_FLUSH_TASKS) {
             return;
         }
-        if self.deferred_tasks < DECORATION_FLUSH_TASKS {
-            // Forced final drain of a small remainder: not worth threading.
+        let jitter = self.cfg.jitter;
+        if self.threads <= 1 || self.deferred_tasks < DECORATION_FLUSH_TASKS {
+            // Single-threaded runs — and forced final drains of a small
+            // remainder — decorate inline: no spawns.
             for session in &mut self.sessions {
                 session.flush_pending(jitter);
             }
             self.deferred_tasks = 0;
             return;
         }
-        let shards = self.shards;
-        let mut buckets: Vec<Vec<&mut Session>> = (0..shards).map(|_| Vec::new()).collect();
-        for (robot, session) in self.sessions.iter_mut().enumerate() {
-            if !session.pending.is_empty() {
-                buckets[robot % shards].push(session);
-            }
-        }
+        let chunk_len = self.sessions.len().div_ceil(self.threads);
         std::thread::scope(|scope| {
-            for bucket in buckets {
-                if bucket.is_empty() {
-                    continue;
-                }
+            for chunk in self.sessions.chunks_mut(chunk_len) {
                 scope.spawn(move || {
-                    for session in bucket {
+                    for session in chunk {
                         session.flush_pending(jitter);
                     }
                 });
@@ -1875,14 +1944,14 @@ impl Engine<'_> {
         let queue_waits = trim_warmup(&self.queue_waits_ms, warmup);
         let link_waits = trim_warmup(&self.link_waits_ms, warmup);
         // Each statistic family is a pure function of its sample vector, so
-        // fanning the four aggregations over threads (sharded runs only)
-        // yields bit-identical numbers to the sequential path.
+        // fanning the four aggregations over threads (`threads > 1` runs
+        // only) yields bit-identical numbers to the sequential path.
         let mut frame_stats = (0.0, 0.0);
         let mut plan_stats = (0.0, 0.0);
         let mut queue_stats = (0.0, 0.0);
         let mut link_mean = 0.0;
         let mean_p99 = |values: &[f64]| (mean(values), percentile(values, 0.99));
-        if self.shards > 1 {
+        if self.threads > 1 {
             std::thread::scope(|scope| {
                 scope.spawn(|| frame_stats = mean_p99(&frame_latencies));
                 scope.spawn(|| plan_stats = mean_p99(&plan_latencies));

@@ -367,6 +367,77 @@ impl Deserialize for WarmupSpec {
     }
 }
 
+/// Worker threads driving the sharded engine: a pinned count, or `"auto"`
+/// for "as many as the machine offers, capped by the shard count".
+///
+/// Like [`WarmupSpec`], the JSON form is either a number (`4`) or the
+/// string `"auto"`.  Threads are purely an execution knob — every thread
+/// count produces byte-identical results — so, like `shards`, they never
+/// enter the engine configuration or the provenance fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThreadSpec {
+    /// A pinned worker-thread count (1 = drain shards inline).
+    Fixed(usize),
+    /// Resolve to `min(available cores, shards)` at expansion time.
+    Auto,
+}
+
+impl ThreadSpec {
+    /// Resolves the spec against a shard count: a fixed value is returned
+    /// as-is, `"auto"` becomes the machine's available parallelism capped
+    /// by `shards` (threads beyond the shard count would idle).
+    pub fn resolve(&self, shards: usize) -> usize {
+        match self {
+            ThreadSpec::Fixed(threads) => *threads,
+            ThreadSpec::Auto => {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                cores.min(shards).max(1)
+            }
+        }
+    }
+
+    /// Whether machine-sized resolution is requested.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, ThreadSpec::Auto)
+    }
+}
+
+impl fmt::Display for ThreadSpec {
+    /// `auto (available cores)` for adaptive sizing, otherwise the pinned
+    /// count.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadSpec::Fixed(threads) => write!(f, "{threads}"),
+            ThreadSpec::Auto => f.write_str("auto (available cores)"),
+        }
+    }
+}
+
+impl Serialize for ThreadSpec {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            ThreadSpec::Fixed(threads) => serde::Value::Number(*threads as f64),
+            ThreadSpec::Auto => serde::Value::String("auto".to_owned()),
+        }
+    }
+}
+
+impl Deserialize for ThreadSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Number(threads)
+                if threads.fract() == 0.0 && *threads >= 0.0 && *threads <= u32::MAX as f64 =>
+            {
+                Ok(ThreadSpec::Fixed(*threads as usize))
+            }
+            serde::Value::String(s) if s == "auto" => Ok(ThreadSpec::Auto),
+            other => Err(serde::Error::custom(format!(
+                "threads must be a non-negative integer or the string \"auto\", found {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A full, serializable description of one fleet experiment.
 ///
 /// Build one with [`ScenarioBuilder`], parse one from JSON with
@@ -406,6 +477,12 @@ pub struct ScenarioSpec {
     /// so it does not enter the engine configuration (or the provenance
     /// fingerprint) — only how the run is executed.
     pub shards: usize,
+    /// Worker threads driving the shards within each conservative window
+    /// (`"auto"` = available cores, capped by `shards`).  Like `shards`,
+    /// purely a performance knob: a T-thread run is byte-identical to
+    /// T = 1, so threads stay out of the engine configuration and the
+    /// provenance fingerprint.
+    pub threads: ThreadSpec,
     /// Sweep axes.
     pub axes: ScenarioAxes,
     /// Deterministic fault plan (server crashes, link degradation, timeouts
@@ -487,6 +564,16 @@ pub enum ScenarioError {
     EmptyAdaptiveLengths,
     /// The shard count is zero (use 1 for a single-threaded run).
     ZeroShards,
+    /// The thread count is zero (use 1 to drain shards inline).
+    ZeroThreads,
+    /// More worker threads than shards — the surplus threads would never
+    /// receive a shard to drain.
+    ThreadsExceedShards {
+        /// The configured thread count.
+        threads: usize,
+        /// The configured shard count.
+        shards: usize,
+    },
     /// A fault plan is combined with sweep axes (fault plans pin concrete
     /// robot and server indices, which axes rescale).
     FaultsWithAxes,
@@ -571,6 +658,14 @@ impl fmt::Display for ScenarioError {
             ScenarioError::ZeroShards => {
                 write!(f, "shards must be at least 1 (1 = single-threaded)")
             }
+            ScenarioError::ZeroThreads => {
+                write!(f, "threads must be at least 1 (1 = drain shards inline)")
+            }
+            ScenarioError::ThreadsExceedShards { threads, shards } => write!(
+                f,
+                "{threads} worker threads exceed the {shards} shard(s) — surplus threads would \
+                 never receive a shard to drain"
+            ),
             ScenarioError::FaultsWithAxes => write!(
                 f,
                 "a fault plan pins concrete robot and server indices, which cannot be \
@@ -678,6 +773,14 @@ impl ScenarioSpec {
         }
         if self.shards == 0 {
             return Err(ScenarioError::ZeroShards);
+        }
+        if let ThreadSpec::Fixed(threads) = self.threads {
+            if threads == 0 {
+                return Err(ScenarioError::ZeroThreads);
+            }
+            if threads > self.shards {
+                return Err(ScenarioError::ThreadsExceedShards { threads, shards: self.shards });
+            }
         }
         if let Some(faults) = &self.faults {
             self.validate_faults(faults)?;
@@ -799,6 +902,10 @@ pub struct ConcreteScenario {
     /// Worker shards to run this cell with (inherited from the spec; purely
     /// a performance knob — results are shard-count invariant).
     pub shards: usize,
+    /// Worker threads to drive the shards with (resolved from the spec's
+    /// [`ThreadSpec`]; like `shards`, purely a performance knob — results
+    /// are thread-count invariant).
+    pub threads: usize,
     /// The fully resolved engine configuration.
     pub config: FleetConfig,
 }
@@ -969,6 +1076,7 @@ impl ScenarioSpec {
             servers: config.servers.len(),
             latency_budget_ms: self.latency_budget_ms,
             shards: self.shards,
+            threads: self.threads.resolve(self.shards),
             config,
         }
     }
@@ -980,8 +1088,8 @@ impl ScenarioSpec {
 /// regressed".
 ///
 /// The fingerprint hashes the canonical serialization of each cell with its
-/// `shards` knob normalized to 1: the shard count never changes results, so
-/// it must not change the provenance either.
+/// `shards` and `threads` knobs normalized to 1: neither ever changes
+/// results, so neither must change the provenance either.
 pub fn scenario_fingerprint(cells: &[ConcreteScenario]) -> String {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -989,6 +1097,7 @@ pub fn scenario_fingerprint(cells: &[ConcreteScenario]) -> String {
     for cell in cells {
         let mut normalized = cell.clone();
         normalized.shards = 1;
+        normalized.threads = 1;
         let canonical =
             serde_json::to_string(&normalized).expect("concrete scenarios are serialisable");
         for byte in canonical.as_bytes() {
@@ -1183,6 +1292,7 @@ impl ScenarioBuilder {
                 adaptive_lengths: None,
                 latency_budget_ms: 400.0,
                 shards: 1,
+                threads: ThreadSpec::Fixed(1),
                 axes: ScenarioAxes::none(),
                 faults: None,
             },
@@ -1284,6 +1394,19 @@ impl ScenarioBuilder {
     /// byte-identical for every value; 1 = single-threaded).
     pub fn shards(mut self, shards: usize) -> Self {
         self.spec.shards = shards;
+        self
+    }
+
+    /// Pins the worker-thread count driving the shards (results are
+    /// byte-identical for every value; 1 = drain shards inline).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.spec.threads = ThreadSpec::Fixed(threads);
+        self
+    }
+
+    /// Requests machine-sized threading: `min(available cores, shards)`.
+    pub fn auto_threads(mut self) -> Self {
+        self.spec.threads = ThreadSpec::Auto;
         self
     }
 
@@ -1633,6 +1756,17 @@ mod tests {
                 s.shards = 0;
                 s
             }),
+            (ScenarioError::ZeroThreads, {
+                let mut s = valid().build().unwrap();
+                s.threads = ThreadSpec::Fixed(0);
+                s
+            }),
+            (ScenarioError::ThreadsExceedShards { threads: 4, shards: 2 }, {
+                let mut s = valid().build().unwrap();
+                s.shards = 2;
+                s.threads = ThreadSpec::Fixed(4);
+                s
+            }),
             (ScenarioError::FaultsWithAxes, {
                 let mut s = valid().robot_counts(vec![4]).build().unwrap();
                 s.faults = Some(FaultPlan::none());
@@ -1768,6 +1902,53 @@ mod tests {
     }
 
     #[test]
+    fn thread_spec_spells_itself_as_a_number_or_the_string_auto_in_json() {
+        let spec = ScenarioBuilder::new("threaded")
+            .frames_per_robot(60)
+            .group(Variant::CorkiFixed(5), 2)
+            .default_servers(1, SchedulerKind::Fifo)
+            .shards(4)
+            .threads(4)
+            .build()
+            .expect("threaded spec is valid");
+        let json = spec.to_json();
+        assert!(json.contains("\"threads\": 4"), "{json}");
+        let parsed = ScenarioSpec::from_json(&json).expect("numeric threads parse");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.to_json(), json, "re-serialisation must be byte-stable");
+        // The lowered cell carries the resolved count.
+        let cells = spec.expand().expect("expands");
+        assert_eq!(cells[0].threads, 4);
+
+        // `"auto"` resolves to the machine's cores, capped by the shard
+        // count, and always at least 1.
+        let auto = ScenarioBuilder::new("auto-threads")
+            .frames_per_robot(60)
+            .group(Variant::CorkiFixed(5), 2)
+            .default_servers(1, SchedulerKind::Fifo)
+            .shards(2)
+            .auto_threads()
+            .build()
+            .expect("auto-threaded spec is valid");
+        assert!(auto.threads.is_auto());
+        let json = auto.to_json();
+        assert!(json.contains("\"threads\": \"auto\""), "{json}");
+        let parsed = ScenarioSpec::from_json(&json).expect("auto spelling parses");
+        assert_eq!(parsed, auto);
+        assert_eq!(parsed.to_json(), json, "re-serialisation must be byte-stable");
+        let cells = auto.expand().expect("expands");
+        assert!((1..=2).contains(&cells[0].threads), "resolved {}", cells[0].threads);
+
+        // Anything other than a non-negative integer or "auto" is rejected.
+        let broken = json.replace("\"auto\"", "\"all\"");
+        let err = ScenarioSpec::from_json(&broken).expect_err("unknown spelling must not parse");
+        assert!(err.contains("threads"), "{err}");
+        let broken = json.replace("\"auto\"", "2.5");
+        let err = ScenarioSpec::from_json(&broken).expect_err("fractions must not parse");
+        assert!(err.contains("threads"), "{err}");
+    }
+
+    #[test]
     fn fault_plans_round_trip_and_lower_into_the_engine_config() {
         let plan = FaultPlan {
             crashes: vec![CrashSpec { server: 0, at_ms: 600.0, down_ms: 900.0 }],
@@ -1821,6 +2002,15 @@ mod tests {
         let sharded_cells = sharded.expand().expect("sharded spec expands");
         assert!(sharded_cells.iter().all(|cell| cell.shards == 4));
         assert_eq!(scenario_fingerprint(&sharded_cells), base);
+
+        // Neither does the thread knob: a T-thread run is byte-identical
+        // to T = 1, so provenance must stay put too.
+        let mut threaded = smoke_spec();
+        threaded.shards = 4;
+        threaded.threads = ThreadSpec::Fixed(4);
+        let threaded_cells = threaded.expand().expect("threaded spec expands");
+        assert!(threaded_cells.iter().all(|cell| cell.threads == 4));
+        assert_eq!(scenario_fingerprint(&threaded_cells), base);
 
         // Any real content edit moves the fingerprint.
         let mut edited = smoke_spec();
