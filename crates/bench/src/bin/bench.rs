@@ -9,8 +9,9 @@
 //!
 //! * default — run the full suite and print the report table;
 //! * `--quick` — tiny iteration counts (CI smoke runs);
-//! * `--only <prefix>` — run only benchmarks whose name starts with the
-//!   prefix (e.g. `fleet_serving` for the `BENCH_fleet.json` metrics);
+//! * `--only <prefixes>` — run only benchmarks whose name starts with one
+//!   of the comma-separated prefixes (e.g. `fleet_serving` for the
+//!   `BENCH_fleet.json` metrics, or `ipc_transit,des_queue`);
 //! * `--json <path>` — additionally write the canonical `BENCH_*.json`
 //!   report (the file is parsed back and schema-validated after writing);
 //! * `--check <path>` — only validate an existing report against the schema;
@@ -22,10 +23,13 @@
 //!   different metrics);
 //! * `--threshold-pct <p>` — turn `--compare` into a regression gate: exit
 //!   non-zero when any timing case regresses past `p` percent against a
-//!   baseline entry whose scenario content (by `scenario_hash`, for fleet
-//!   and e2e rows) still matches, or when a deterministic fleet row changed
-//!   under an unchanged hash (an engine regression at any threshold).
-//!   Edited scenarios (hash moved) are reported but never gate.
+//!   baseline entry whose scenario content (by `scenario_hash`, for fleet,
+//!   e2e and live rows) still matches, or when a deterministic fleet row
+//!   changed under an unchanged hash (an engine regression at any
+//!   threshold).  Live rows gate on their p99 plan latency — dominated by
+//!   modelled sleeps, so it moves with real serving regressions, not with
+//!   machine speed.  Edited scenarios (hash moved) are reported but never
+//!   gate.
 
 use corki_bench::micro::{run_suite_filtered, BenchReport, RunnerConfig};
 
@@ -191,6 +195,31 @@ fn main() {
                     println!(
                         "  {:<44} min {:>7.3} s vs {:>7.3} s  ({:+.1} %)",
                         row.name, row.min_s, base.min_s, delta_pct
+                    );
+                    if threshold_pct.is_some_and(|p| delta_pct > p) {
+                        violations.push(format!(
+                            "{}: {:+.1} % past the {:.1} % threshold",
+                            row.name,
+                            delta_pct,
+                            threshold_pct.unwrap_or_default()
+                        ));
+                    }
+                }
+            }
+        }
+        for row in &report.live {
+            match baseline.live.iter().find(|b| b.name == row.name) {
+                None => println!("  {:<44} (not in baseline)", row.name),
+                Some(base) if base.scenario_hash != row.scenario_hash => println!(
+                    "  {:<44} scenario edited ({} -> {}); live metrics not comparable",
+                    row.name, base.scenario_hash, row.scenario_hash
+                ),
+                Some(base) => {
+                    let delta_pct = 100.0 * (row.p99_plan_latency_ms - base.p99_plan_latency_ms)
+                        / base.p99_plan_latency_ms;
+                    println!(
+                        "  {:<44} p99 plan {:>7.1} ms vs {:>7.1} ms  ({:+.1} %)",
+                        row.name, row.p99_plan_latency_ms, base.p99_plan_latency_ms, delta_pct
                     );
                     if threshold_pct.is_some_and(|p| delta_pct > p) {
                         violations.push(format!(

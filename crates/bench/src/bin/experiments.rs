@@ -5,13 +5,26 @@
 //! ```text
 //! experiments [--full | --smoke] [--json <path>] [--servers <n>]
 //!             [--routing <policy>] [--scenario <file.json>] [--shards <k>]
-//!             [--threads <t|auto>] [name ...]
+//!             [--threads <t|auto>] [--robots <n>] [--frames <n>] [name ...]
 //! ```
 //!
 //! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `table3`, `table4`, `resources`, `fig9`, `ablation`, `approx`,
-//! `fig15`, `bottleneck`, `fleet`. With no names, everything runs; the
-//! historical `only` keyword before names is still accepted.
+//! `fig15`, `bottleneck`, `fleet`, `serve`. With no names, everything except
+//! `serve` runs; the historical `only` keyword before names is still
+//! accepted.
+//!
+//! `serve` is the live counterpart of `fleet`: it lowers the `--scenario`
+//! cells into real processes — one robot client per robot, one inference
+//! worker per server, a coordinator hosting the simulator's router and
+//! batch scheduler — communicating over a shared-memory segment, and prints
+//! the same sweep-row shape plus the measured IPC transit breakdown
+//! (`corki_serve`).  It must be selected explicitly, always needs
+//! `--scenario`, and honours `--robots <n>` / `--frames <n>` clamps (and
+//! `--smoke`, which clamps to 8 robots x 24 frames) so committed scenarios
+//! can be shrunk to a CI footprint.  The binary also hosts the hidden
+//! `__live-robot` / `__live-worker` child roles the live coordinator
+//! re-executes itself with.
 //!
 //! The fleet sweep is described by a declarative `ScenarioSpec`
 //! (`corki::scenario`) either way:
@@ -48,7 +61,62 @@ use corki::RoutingPolicy;
 use corki_system::FrameKind;
 use std::collections::BTreeMap;
 
+/// Parses and runs one hidden live-fleet child role (`__live-robot` /
+/// `__live-worker`), returning the process exit code.  The coordinator
+/// re-executes this very binary with these argument shapes; they are not
+/// part of the public CLI.
+fn live_child_role(args: &[String]) -> i32 {
+    let role = args[1].as_str();
+    let mut shm = None;
+    let mut robot = None;
+    let mut server = None;
+    let mut config = None;
+    let mut robots = None;
+    let mut servers = None;
+    let mut it = args[2..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shm" => shm = it.next().cloned(),
+            "--robot" => robot = it.next().and_then(|n| n.parse::<usize>().ok()),
+            "--server" => server = it.next().and_then(|n| n.parse::<usize>().ok()),
+            "--config" => config = it.next().cloned(),
+            "--robots" => robots = it.next().and_then(|n| n.parse::<usize>().ok()),
+            "--servers" => servers = it.next().and_then(|n| n.parse::<usize>().ok()),
+            _ => {}
+        }
+    }
+    let result = match role {
+        "__live-robot" => match (&shm, robot, &config) {
+            (Some(shm), Some(robot), Some(config)) => corki_serve::run_robot(shm, robot, config),
+            _ => Err(corki_serve::LiveError::Protocol(
+                "__live-robot needs --shm, --robot and --config".into(),
+            )),
+        },
+        _ => match (&shm, server, robots, servers) {
+            (Some(shm), Some(server), Some(robots), Some(servers)) => {
+                corki_serve::run_worker(shm, server, robots, servers)
+            }
+            _ => Err(corki_serve::LiveError::Protocol(
+                "__live-worker needs --shm, --server, --robots and --servers".into(),
+            )),
+        },
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("{role}: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
+    // The live coordinator re-executes this binary as its robot and worker
+    // processes; those hidden roles bypass the experiment CLI entirely.
+    let raw_args: Vec<String> = std::env::args().collect();
+    if raw_args.len() > 1 && (raw_args[1] == "__live-robot" || raw_args[1] == "__live-worker") {
+        std::process::exit(live_child_role(&raw_args));
+    }
     // Flags may appear anywhere, including after `only`; strip them first so
     // only experiment names remain as positionals.
     let mut scale = ExperimentScale::default();
@@ -60,8 +128,10 @@ fn main() {
     let mut shards_override: Option<usize> = None;
     let mut threads_override: Option<ThreadSpec> = None;
     let mut scenario_path: Option<String> = None;
+    let mut robots_clamp: Option<usize> = None;
+    let mut frames_clamp: Option<usize> = None;
     let mut positionals: Vec<String> = Vec::new();
-    let mut raw = std::env::args().skip(1);
+    let mut raw = raw_args.into_iter().skip(1);
     while let Some(arg) = raw.next() {
         match arg.as_str() {
             "--full" => {
@@ -106,6 +176,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--robots" => match raw.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => robots_clamp = Some(n),
+                _ => {
+                    eprintln!("error: --robots requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--frames" => match raw.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => frames_clamp = Some(n),
+                _ => {
+                    eprintln!("error: --frames requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
             "--shards" => match raw.next().map(|n| n.parse::<usize>()) {
                 Some(Ok(k)) if k >= 1 => shards_override = Some(k),
                 _ => {
@@ -140,17 +224,27 @@ fn main() {
             eprintln!("error: --scenario describes the whole fleet experiment; it cannot be combined with --servers/--routing");
             std::process::exit(2);
         }
-        // The flag only means something to the fleet sweep: select it by
-        // default, and refuse a selection that would never consult it.
+        // The flag only means something to the fleet sweep and its live
+        // counterpart: select the simulator by default, and refuse a
+        // selection that would never consult it.
         if selected.is_empty() {
             selected.push("fleet".to_owned());
-        } else if !selected.iter().any(|name| name == "fleet") {
-            eprintln!("error: --scenario only applies to the fleet experiment; add `fleet` to the selected names");
+        } else if !selected.iter().any(|name| name == "fleet" || name == "serve") {
+            eprintln!("error: --scenario only applies to the fleet/serve experiments; add `fleet` or `serve` to the selected names");
             std::process::exit(2);
         }
     }
+    let serve_selected = selected.iter().any(|name| name == "serve");
+    if serve_selected && scenario_path.is_none() {
+        eprintln!("error: the serve experiment needs a --scenario file to lower into a live run");
+        std::process::exit(2);
+    }
+    if (robots_clamp.is_some() || frames_clamp.is_some()) && !serve_selected {
+        eprintln!("error: --robots/--frames clamp the live serve experiment; add `serve` to the selected names");
+        std::process::exit(2);
+    }
     // Keep in sync with the wants() sites below and the doc comment above.
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "fig2",
         "table1",
         "table2",
@@ -167,6 +261,7 @@ fn main() {
         "fig15",
         "bottleneck",
         "fleet",
+        "serve",
     ];
     for name in &selected {
         if !KNOWN.contains(&name.as_str()) {
@@ -614,6 +709,126 @@ fn main() {
         println!();
         json.insert("fleet".to_owned(), serde_json::to_value(&rows).unwrap());
         json.insert("fleet_budget".to_owned(), serde_json::to_value(&budget).unwrap());
+    }
+
+    if serve_selected {
+        println!("== Live fleet serving: scenario cells lowered onto real processes over shared memory ==");
+        let path = scenario_path.as_ref().expect("serve always carries --scenario");
+        let raw_spec = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read scenario {path}: {e}");
+            std::process::exit(2);
+        });
+        let spec = ScenarioSpec::from_json(&raw_spec).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut cells = spec.expand().unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        });
+        if smoke {
+            cells = corki::fleet::smoke_scale_cells(cells, 8, 24);
+            println!("(smoke: live cells scaled down to at most 8 robots x 24 frames)");
+        }
+        if robots_clamp.is_some() || frames_clamp.is_some() {
+            cells = corki::fleet::smoke_scale_cells(
+                cells,
+                robots_clamp.unwrap_or(usize::MAX),
+                frames_clamp.unwrap_or(usize::MAX),
+            );
+        }
+        let exe = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("error: cannot locate the experiments binary for child roles: {e}");
+            std::process::exit(1);
+        });
+        let frames_label =
+            cells.first().map_or(spec.frames_per_robot, |c| c.config.frames_per_robot);
+        println!(
+            "scenario `{}`: {} cell(s), {} frames/robot, seed {}, {} routing, {} warm-up",
+            spec.name,
+            cells.len(),
+            frames_label,
+            spec.seed,
+            spec.routing,
+            spec.warmup_ms,
+        );
+        let mut reports = Vec::new();
+        for cell in &cells {
+            match corki_serve::run_live(cell, &exe) {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    eprintln!(
+                        "error: live run of `{}` ({} x{}, {} srv) failed: {e}",
+                        cell.scenario, cell.variant_label, cell.robots, cell.servers
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "  {:<12} {:<13} {:<26} {:>4} {:>4} {:>10} {:>9} {:>20} {:>20} {:>6} {:>6}",
+            "variant",
+            "scheduler",
+            "composition",
+            "N",
+            "srv",
+            "thr[st/s]",
+            "Hz/robot",
+            "plan mean/p99 [ms]",
+            "queue mean/p99 [ms]",
+            "util",
+            "batch"
+        );
+        for report in &reports {
+            let row = &report.row;
+            println!(
+                "  {:<12} {:<13} {:<26} {:>4} {:>4} {:>10.1} {:>9.1} {:>9.1} /{:>9.1} {:>9.1} /{:>9.1} {:>6.2} {:>6.2}",
+                row.variant,
+                row.scheduler,
+                row.composition,
+                row.robots,
+                row.servers,
+                row.throughput_steps_per_s,
+                row.per_robot_rate_hz,
+                row.mean_plan_latency_ms,
+                row.p99_plan_latency_ms,
+                row.mean_queue_delay_ms,
+                row.p99_queue_delay_ms,
+                row.server_utilization,
+                row.mean_batch_size,
+            );
+        }
+        println!("\n  measured shared-memory transit per offloaded plan (mean / p99, µs):");
+        for report in &reports {
+            let t = &report.transit;
+            let us = |ns: f64| ns / 1_000.0;
+            println!(
+                "  {:<12} request {:>7.1} /{:>8.1}   dispatch {:>7.1} /{:>8.1}   completion {:>7.1} /{:>8.1}   response {:>7.1} /{:>8.1}   round-trip {:>7.1}",
+                report.row.variant,
+                us(t.request.mean_ns),
+                us(t.request.p99_ns),
+                us(t.dispatch.mean_ns),
+                us(t.dispatch.p99_ns),
+                us(t.completion.mean_ns),
+                us(t.completion.p99_ns),
+                us(t.response.mean_ns),
+                us(t.response.p99_ns),
+                us(t.round_trip.mean_ns),
+            );
+            println!(
+                "  {:<12} wall {:>6.2} s   {} robots done, {} frames, {} offloaded plans   link wait {:>6.2} ms   stage total {:>7.2} ms   IPC residual {:>6.2} ms",
+                "",
+                report.wall_s,
+                report.robots_completed,
+                report.total_frames,
+                report.offloaded_plans,
+                report.mean_link_wait_ms,
+                report.mean_stage_total_ms,
+                report.ipc_overhead_ms,
+            );
+        }
+        println!();
+        json.insert("serve".to_owned(), serde_json::to_value(&reports).unwrap());
     }
 
     if let Some(path) = json_path {

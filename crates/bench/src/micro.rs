@@ -44,8 +44,16 @@ use std::time::{Duration, Instant};
 /// hyperfine-style wall-clock rows (min/mean seconds over N full
 /// `experiments fleet --scenario` runs; full mode only), and the
 /// `des_queue` group pins K=1 sharded-queue parity with the plain event
-/// queue.
-pub const SCHEMA_VERSION: u32 = 6;
+/// queue; 7 — adds the `ipc_transit` group (shared-memory SPSC ring
+/// push+pop, seqlock publish+read, cross-thread ring round-trip, with a
+/// `scheduling_overhead` comparison of the cross-thread RTT against the
+/// same-thread hop cost), the committed live scenario joins the fleet
+/// suite, the report carries a `live` section of live fleet-serving rows
+/// (full mode only: the sibling `experiments serve` binary lowers the
+/// committed live scenario onto real processes over shared memory and the
+/// row records its throughput, plan/queue latencies and measured IPC
+/// transit), and `--only` accepts comma-separated prefixes.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Timing-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,6 +192,44 @@ pub struct E2eWallClockRow {
     pub mean_s: f64,
 }
 
+/// One live fleet-serving measurement: the committed live scenario lowered
+/// onto real processes over a shared-memory segment by `experiments serve`
+/// (full mode only).  The latency columns are dominated by modelled sleeps
+/// and agree with the DES oracle within host-scheduling tolerance; the
+/// transit columns are live-only measurements of the shared-memory hops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LiveServingRow {
+    /// Row name (`live_e2e/<scenario>`).
+    pub name: String,
+    /// Content fingerprint of the executed cell (16 lowercase hex chars,
+    /// shards/threads-normalised) — pairs the live row with its baseline
+    /// and with the simulator's `fleet_serving` row for the same cell.
+    pub scenario_hash: String,
+    /// Robots in the live fleet (one client process each).
+    pub robots: usize,
+    /// Inference servers (one worker process each).
+    pub servers: usize,
+    /// Executed control steps per second across the fleet.
+    pub throughput_steps_per_s: f64,
+    /// Mean end-to-end plan latency (ms, warm-up-trimmed).
+    pub mean_plan_latency_ms: f64,
+    /// 99th-percentile end-to-end plan latency (ms, warm-up-trimmed).
+    pub p99_plan_latency_ms: f64,
+    /// 99th-percentile server queueing delay (ms, warm-up-trimmed).
+    pub p99_queue_delay_ms: f64,
+    /// Median measured per-plan shared-memory round trip (request +
+    /// dispatch + completion + response hops), nanoseconds.
+    pub transit_round_trip_p50_ns: f64,
+    /// 99th-percentile measured per-plan round trip, nanoseconds.
+    pub transit_round_trip_p99_ns: f64,
+    /// Lithos-style residual: mean offloaded e2e latency minus the summed
+    /// modelled stage totals (ms) — the overhead the live transport adds.
+    pub ipc_overhead_ms: f64,
+    /// Wall-clock duration of the serving phase, seconds.
+    pub wall_s: f64,
+}
+
 /// The canonical report emitted as `BENCH_*.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
@@ -203,6 +249,9 @@ pub struct BenchReport {
     /// End-to-end wall-clock rows (full mode only; empty when the
     /// `experiments` binary is not built alongside the runner).
     pub e2e: Vec<E2eWallClockRow>,
+    /// Live fleet-serving rows over shared memory (full mode only; empty
+    /// when the `experiments` binary is not built alongside the runner).
+    pub live: Vec<LiveServingRow>,
 }
 
 impl BenchReport {
@@ -305,6 +354,35 @@ impl BenchReport {
                 return Err(format!("malformed scenario hash for `{}`", row.name));
             }
         }
+        for row in &self.live {
+            let finite_latencies = [
+                row.mean_plan_latency_ms,
+                row.p99_plan_latency_ms,
+                row.p99_queue_delay_ms,
+                row.transit_round_trip_p50_ns,
+                row.transit_round_trip_p99_ns,
+            ]
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0);
+            let plausible = row.throughput_steps_per_s.is_finite()
+                && row.throughput_steps_per_s > 0.0
+                && row.wall_s.is_finite()
+                && row.wall_s > 0.0
+                && row.ipc_overhead_ms.is_finite()
+                && row.robots > 0
+                && row.servers > 0;
+            if !finite_latencies || !plausible {
+                return Err(format!("degenerate live serving row `{}`", row.name));
+            }
+            let hash_ok = row.scenario_hash.len() == 16
+                && row
+                    .scenario_hash
+                    .bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase());
+            if !hash_ok {
+                return Err(format!("malformed scenario hash for `{}`", row.name));
+            }
+        }
         Ok(())
     }
 
@@ -343,6 +421,16 @@ impl BenchReport {
                 row.runs
             ));
         }
+        for row in &self.live {
+            out.push_str(&format!(
+                "  {:<44} {:>7.1} st/s  p99 plan {:>7.1} ms  transit p50 {:>8.1} us  wall {:>6.2} s\n",
+                format!("live: {}", row.name),
+                row.throughput_steps_per_s,
+                row.p99_plan_latency_ms,
+                row.transit_round_trip_p50_ns / 1_000.0,
+                row.wall_s
+            ));
+        }
         out
     }
 }
@@ -351,6 +439,98 @@ impl BenchReport {
 struct BenchCase<'a> {
     name: String,
     routine: Box<dyn FnMut() + 'a>,
+}
+
+/// Whether a benchmark name survives the `--only` filter: `None` keeps
+/// everything, otherwise a comma-separated list of name prefixes.
+fn filter_keeps(filter: Option<&str>, name: &str) -> bool {
+    filter.is_none_or(|f| f.split(',').any(|prefix| name.starts_with(prefix.trim())))
+}
+
+/// Whether a report section (`e2e`, `live_e2e`, `ipc_transit`, …) should
+/// run at all under the filter — matched prefix-against-prefix in both
+/// directions so `--only live` and `--only live_e2e/live_fifo` both keep
+/// the live section.
+fn filter_wants_section(filter: Option<&str>, section: &str) -> bool {
+    filter.is_none_or(|f| {
+        f.split(',').any(|prefix| {
+            let prefix = prefix.trim();
+            section.starts_with(prefix) || prefix.starts_with(section)
+        })
+    })
+}
+
+/// Shared-memory fixtures behind the `ipc_transit` bench group: a loopback
+/// ring and a seqlock slot exercised on one thread, plus an echo thread
+/// bouncing messages back over a request/response ring pair for the
+/// cross-thread round trip.  The segment is leaked (a few kilobytes, once
+/// per suite run) so the handles and the echo thread can borrow it
+/// `'static`; the echo thread parks while idle — instead of stealing the
+/// timing loops' cycles — and is stopped and joined on drop.
+struct IpcTransitFixture {
+    local_ring: corki_ipc::SpscRing<'static>,
+    slot: corki_ipc::SeqlockSlot<'static>,
+    req: corki_ipc::SpscRing<'static>,
+    resp: corki_ipc::SpscRing<'static>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    echo: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IpcTransitFixture {
+    /// Slot payload: one live-protocol message (64 bytes).
+    const MSG: usize = 64;
+
+    fn new() -> Self {
+        let seg: &'static corki_ipc::ShmSegment = Box::leak(Box::new(
+            corki_ipc::ShmSegment::anonymous(16 * 1024).expect("anonymous ipc bench segment"),
+        ));
+        let local_ring = seg.init_ring(0, 8, Self::MSG);
+        let slot = seg.init_seqlock(1024, Self::MSG);
+        let req = seg.init_ring(2048, 8, Self::MSG);
+        let resp = seg.init_ring(4096, 8, Self::MSG);
+        let echo_req = seg.ring(2048).expect("attach echo request ring");
+        let echo_resp = seg.ring(4096).expect("attach echo response ring");
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let echo_stop = std::sync::Arc::clone(&stop);
+        let echo = std::thread::spawn(move || {
+            let mut buf = [0_u8; Self::MSG];
+            loop {
+                if echo_req.try_pop(&mut buf) {
+                    while !echo_resp.try_push(&buf) {
+                        std::thread::yield_now();
+                    }
+                } else if echo_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    return;
+                } else {
+                    std::thread::park_timeout(Duration::from_micros(200));
+                }
+            }
+        });
+        IpcTransitFixture { local_ring, slot, req, resp, stop, echo: Some(echo) }
+    }
+
+    /// One cross-thread round trip: push a request, wake the echo thread,
+    /// spin-pop the response (yielding, so a single-core host can run the
+    /// echo thread at all).
+    fn round_trip(&self, msg: &[u8; Self::MSG], out: &mut [u8; Self::MSG]) {
+        assert!(self.req.try_push(msg), "echo thread drains every request");
+        if let Some(echo) = &self.echo {
+            echo.thread().unpark();
+        }
+        while !self.resp.try_pop(out) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for IpcTransitFixture {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(echo) = self.echo.take() {
+            echo.thread().unpark();
+            let _ = echo.join();
+        }
+    }
 }
 
 /// Warm a routine up and pick the iteration count that fills one sample.
@@ -423,10 +603,13 @@ pub fn run_suite(config: &RunnerConfig, mode: &str) -> BenchReport {
     run_suite_filtered(config, mode, None)
 }
 
-/// [`run_suite`] restricted to benchmarks whose name starts with `filter`
-/// (e.g. `fleet_serving`); comparisons whose members were filtered out are
-/// dropped.
+/// [`run_suite`] restricted to benchmarks whose name starts with one of
+/// the comma-separated prefixes in `filter` (e.g. `fleet_serving` or
+/// `ipc_transit,des_queue`); comparisons whose members were filtered out
+/// are dropped.
 pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str>) -> BenchReport {
+    // The echo thread only exists when the ipc_transit group runs at all.
+    let ipc = filter_wants_section(filter, "ipc_transit").then(IpcTransitFixture::new);
     let observation = bench_observation();
 
     // Policy inference: pre-optimisation allocating path vs the live
@@ -606,13 +789,46 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
             black_box(parity_sharded.pop());
         }),
     });
-    if let Some(prefix) = filter {
-        cases.retain(|case| case.name.starts_with(prefix));
+    // Shared-memory transit: the per-hop costs of the live serving path —
+    // one SPSC ring hop and one seqlock publish/snapshot on a single
+    // thread, and the cross-thread ring round trip whose ratio against the
+    // same-thread hop is the scheduling/wakeup overhead a live process
+    // pays on top of the copy itself.
+    if let Some(ipc) = ipc.as_ref() {
+        let mut ring_buf = [0_u8; IpcTransitFixture::MSG];
+        cases.push(BenchCase {
+            name: "ipc_transit/ring_push_pop".to_owned(),
+            routine: Box::new(move || {
+                black_box(ipc.local_ring.try_push(&[0x5A; IpcTransitFixture::MSG]));
+                black_box(ipc.local_ring.try_pop(&mut ring_buf));
+            }),
+        });
+        let mut seq_out = [0_u8; IpcTransitFixture::MSG];
+        let mut seq_payload = [0_u8; IpcTransitFixture::MSG];
+        let mut seq_counter = 0_u64;
+        cases.push(BenchCase {
+            name: "ipc_transit/seqlock_publish_read".to_owned(),
+            routine: Box::new(move || {
+                seq_counter = seq_counter.wrapping_add(1);
+                seq_payload[..8].copy_from_slice(&seq_counter.to_le_bytes());
+                ipc.slot.write(&seq_payload);
+                black_box(ipc.slot.read(&mut seq_out));
+            }),
+        });
+        let mut rtt_out = [0_u8; IpcTransitFixture::MSG];
+        cases.push(BenchCase {
+            name: "ipc_transit/cross_thread_rtt".to_owned(),
+            routine: Box::new(move || {
+                ipc.round_trip(&[0x7E; IpcTransitFixture::MSG], &mut rtt_out);
+                black_box(&rtt_out);
+            }),
+        });
     }
+    cases.retain(|case| filter_keeps(filter, &case.name));
     // The deterministic fleet metric rows only matter when the report
     // covers fleet benches at all — a `--only trajectory` run should not
     // pay for fleet simulations it will not record.
-    let fleet_rows = if filter.is_none_or(|p| fleet_cases.iter().any(|(n, _)| n.starts_with(p))) {
+    let fleet_rows = if fleet_cases.iter().any(|(n, _)| filter_keeps(filter, n)) {
         fleet_metric_rows(&fleet_cases)
     } else {
         Vec::new()
@@ -620,12 +836,18 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
     // End-to-end wall-clock rows are full-mode only (a quick CI run should
     // not spawn multi-second child processes) and need the sibling
     // `experiments` binary.
-    let e2e =
-        if mode == "full" && filter.is_none_or(|p| "e2e".starts_with(p) || p.starts_with("e2e")) {
-            e2e_wall_clock_rows(E2E_RUNS)
-        } else {
-            Vec::new()
-        };
+    let e2e = if mode == "full" && filter_wants_section(filter, "e2e") {
+        e2e_wall_clock_rows(E2E_RUNS)
+    } else {
+        Vec::new()
+    };
+    // Live fleet-serving rows are full-mode only too: each one spawns a
+    // whole robot/worker/coordinator process fleet over shared memory.
+    let live = if mode == "full" && filter_wants_section(filter, "live_e2e") {
+        live_serving_rows()
+    } else {
+        Vec::new()
+    };
     let benches = measure_interleaved(config, &mut cases);
     drop(cases);
 
@@ -662,6 +884,14 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         "des_queue/sharded_k1".to_owned(),
         "des_queue/event_queue".to_owned(),
     ));
+    // Cross-thread RTT over the same-thread hop: how much the wakeup and
+    // scheduling cost on top of the shared-memory copy itself (the live
+    // path's per-hop floor).
+    comparison_specs.push((
+        "ipc_transit/scheduling_overhead".to_owned(),
+        "ipc_transit/cross_thread_rtt".to_owned(),
+        "ipc_transit/ring_push_pop".to_owned(),
+    ));
     let comparisons = comparison_specs
         .into_iter()
         .filter_map(|(name, reference, fast)| {
@@ -680,6 +910,7 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         comparisons,
         fleet_rows,
         e2e,
+        live,
     }
 }
 
@@ -703,7 +934,7 @@ fn lcg(state: u64) -> u64 {
 /// for the canonical bench cases recorded in `BENCH_fleet.json`.  Baked in
 /// at compile time so the `bench` binary works from any directory; a bench
 /// integration test additionally verifies the on-disk files stay canonical.
-pub const FLEET_SCENARIO_SOURCES: [&str; 10] = [
+pub const FLEET_SCENARIO_SOURCES: [&str; 11] = [
     include_str!("../scenarios/fifo_8robots_60frames.json"),
     include_str!("../scenarios/batch4_8robots_60frames.json"),
     include_str!("../scenarios/pool2_lqd_8robots_60frames.json"),
@@ -714,7 +945,14 @@ pub const FLEET_SCENARIO_SOURCES: [&str; 10] = [
     include_str!("../scenarios/crash_pool2_lqd_8robots_60frames.json"),
     include_str!("../scenarios/degraded_uplink_retry_8robots_60frames.json"),
     include_str!("../scenarios/churn_fallback_8robots_60frames.json"),
+    include_str!("../scenarios/live_fifo_8robots_48frames.json"),
 ];
+
+/// The committed scenarios additionally lowered onto real processes for
+/// the `live` report section (full mode only): the DES runs them as
+/// ordinary `fleet_serving` rows — the oracle — and `experiments serve`
+/// runs them over shared memory, fingerprint-matched by `scenario_hash`.
+const LIVE_SCENARIO_FILES: [&str; 1] = ["live_fifo_8robots_48frames.json"];
 
 /// Parses the committed scenarios and expands each into its bench cells
 /// (`fleet_serving/<scenario>` per cell; multi-cell scenarios get an index
@@ -823,6 +1061,68 @@ fn e2e_wall_clock_rows(runs: usize) -> Vec<E2eWallClockRow> {
         .collect()
 }
 
+/// Lowers each committed live scenario onto real processes via the sibling
+/// `experiments serve` binary and extracts one [`LiveServingRow`] per cell
+/// from its JSON report.  Returns no rows when the binary is missing
+/// (e.g. under `cargo test`) or a live run fails — the `live` section is
+/// best-effort context, not a gate on the machine's process budget.
+fn live_serving_rows() -> Vec<LiveServingRow> {
+    let Some(experiments) = sibling_experiments_binary() else {
+        return Vec::new();
+    };
+    let scenario_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    LIVE_SCENARIO_FILES
+        .iter()
+        .filter_map(|file| {
+            let path = scenario_dir.join(file);
+            let json_out = std::env::temp_dir()
+                .join(format!("corki-live-bench-{}-{file}", std::process::id()));
+            let status = std::process::Command::new(&experiments)
+                .arg("serve")
+                .arg("--scenario")
+                .arg(&path)
+                .arg("--json")
+                .arg(&json_out)
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .status()
+                .ok()?;
+            let raw = std::fs::read_to_string(&json_out).ok();
+            let _ = std::fs::remove_file(&json_out);
+            if !status.success() {
+                return None;
+            }
+            let value: serde_json::Value = serde_json::from_str(&raw?).ok()?;
+            let reports =
+                Vec::<corki_serve::LiveReport>::from_value(value.as_object()?.get("serve")?)
+                    .ok()?;
+            let single = reports.len() == 1;
+            Some(reports.into_iter().enumerate().map(move |(index, report)| {
+                let name = if single {
+                    format!("live_e2e/{}", report.scenario)
+                } else {
+                    format!("live_e2e/{}/{index}", report.scenario)
+                };
+                LiveServingRow {
+                    name,
+                    scenario_hash: report.fingerprint,
+                    robots: report.row.robots,
+                    servers: report.row.servers,
+                    throughput_steps_per_s: report.row.throughput_steps_per_s,
+                    mean_plan_latency_ms: report.row.mean_plan_latency_ms,
+                    p99_plan_latency_ms: report.row.p99_plan_latency_ms,
+                    p99_queue_delay_ms: report.row.p99_queue_delay_ms,
+                    transit_round_trip_p50_ns: report.transit.round_trip.p50_ns,
+                    transit_round_trip_p99_ns: report.transit.round_trip.p99_ns,
+                    ipc_overhead_ms: report.ipc_overhead_ms,
+                    wall_s: report.wall_s,
+                }
+            }))
+        })
+        .flatten()
+        .collect()
+}
+
 /// Locates the `experiments` binary next to the running one, if any.
 fn sibling_experiments_binary() -> Option<std::path::PathBuf> {
     let exe = std::env::current_exe().ok()?;
@@ -844,8 +1144,8 @@ mod tests {
         assert_eq!(parsed, report);
         assert_eq!(
             report.comparisons.len(),
-            6,
-            "3 fast-path + sharding + threading + k1-parity comparisons"
+            7,
+            "3 fast-path + sharding + threading + k1-parity + ipc-transit comparisons"
         );
         assert!(report.benches.len() >= 16);
         assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
@@ -874,13 +1174,36 @@ mod tests {
         assert!(report.benches.iter().any(|b| b.name == "des_queue/event_queue"));
         assert!(report.benches.iter().any(|b| b.name == "des_queue/sharded_k1"));
         assert!(report.comparisons.iter().any(|c| c.name == "des_queue/k1_parity"));
+        // The shared-memory transit group and its scheduling comparison.
+        assert!(report.benches.iter().any(|b| b.name == "ipc_transit/ring_push_pop"));
+        assert!(report.benches.iter().any(|b| b.name == "ipc_transit/seqlock_publish_read"));
+        assert!(report.benches.iter().any(|b| b.name == "ipc_transit/cross_thread_rtt"));
+        assert!(report.comparisons.iter().any(|c| c.name == "ipc_transit/scheduling_overhead"));
+        assert!(report.live.is_empty(), "live serving rows are full-mode only");
+    }
+
+    #[test]
+    fn the_only_filter_accepts_comma_separated_prefixes() {
+        let report = run_suite_filtered(
+            &RunnerConfig::quick(),
+            "quick",
+            Some("ipc_transit,des_queue/event"),
+        );
+        report.validate().expect("filtered report must validate");
+        assert_eq!(report.benches.len(), 4, "3 ipc_transit cases + des_queue/event_queue");
+        assert!(report
+            .benches
+            .iter()
+            .all(|b| b.name.starts_with("ipc_transit") || b.name == "des_queue/event_queue"));
+        assert_eq!(report.comparisons.len(), 1, "only the ipc pair survives whole");
+        assert!(report.fleet_rows.is_empty(), "no fleet benches -> no fleet metric rows");
     }
 
     #[test]
     fn filtered_suite_keeps_only_the_prefix_and_drops_broken_comparisons() {
         let report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("fleet_serving"));
         report.validate().expect("filtered report must validate");
-        // Nine single-shard scenarios, the two engine cases of the sharded
+        // Ten single-shard scenarios, the two engine cases of the sharded
         // 10k scenario, and its four worker-thread sweep cases.
         assert_eq!(report.benches.len(), FLEET_SCENARIO_SOURCES.len() + 1 + THREAD_SWEEP.len());
         assert!(report.benches.iter().all(|b| b.name.starts_with("fleet_serving/")));
@@ -994,6 +1317,39 @@ mod tests {
         assert!(report.validate().is_err());
         assert!(BenchReport::from_json("{}").is_err());
         assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn validation_bounds_the_live_serving_rows() {
+        let mut report = run_suite_filtered(&RunnerConfig::quick(), "quick", Some("des_queue"));
+        let good = LiveServingRow {
+            name: "live_e2e/live_fifo_8robots_48frames".to_owned(),
+            scenario_hash: "0123456789abcdef".to_owned(),
+            robots: 8,
+            servers: 2,
+            throughput_steps_per_s: 109.0,
+            mean_plan_latency_ms: 170.0,
+            p99_plan_latency_ms: 180.8,
+            p99_queue_delay_ms: 0.0,
+            transit_round_trip_p50_ns: 650_000.0,
+            transit_round_trip_p99_ns: 900_000.0,
+            ipc_overhead_ms: 0.8,
+            wall_s: 3.5,
+        };
+        report.live = vec![good.clone()];
+        report.validate().expect("well-formed live rows validate");
+        let broken = |mutate: fn(&mut LiveServingRow)| {
+            let mut row = good.clone();
+            mutate(&mut row);
+            let mut report = report.clone();
+            report.live = vec![row];
+            report.validate()
+        };
+        assert!(broken(|r| r.robots = 0).is_err(), "an empty fleet");
+        assert!(broken(|r| r.throughput_steps_per_s = 0.0).is_err(), "zero throughput");
+        assert!(broken(|r| r.p99_plan_latency_ms = f64::NAN).is_err(), "non-finite latency");
+        assert!(broken(|r| r.wall_s = 0.0).is_err(), "zero wall clock");
+        assert!(broken(|r| r.scenario_hash = "XYZ".to_owned()).is_err(), "malformed hash");
     }
 
     #[test]

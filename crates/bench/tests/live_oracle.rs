@@ -1,0 +1,129 @@
+//! The DES is the oracle for the live path: running the committed live
+//! scenario over real processes and shared memory must agree with
+//! simulating the very same cells.
+//!
+//! The live robots sleep out exactly the durations the simulator
+//! schedules (control pacing, modelled uplink, batched service), so the
+//! latency columns are dominated by modelled time and the two paths agree
+//! far tighter than the tolerance below on an idle machine.  The
+//! tolerance is generous — ±30 % — because CI hosts time-slice the whole
+//! robot/worker/coordinator fleet onto one or two cores and every
+//! scheduling delay lands on top of the modelled sleeps, always in the
+//! slower/later direction.
+
+use corki::scenario::{scenario_fingerprint, ScenarioSpec};
+use corki_serve::LiveReport;
+use serde::Deserialize;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Relative disagreement allowed between the live run and the simulator.
+const TOLERANCE: f64 = 0.30;
+
+/// CI-footprint clamps applied to the committed 8-robot scenario: fewer
+/// processes and a shorter horizon, the exact same code paths.
+const LIVE_ROBOTS: usize = 4;
+const LIVE_FRAMES: usize = 24;
+
+fn live_scenario_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("live_fifo_8robots_48frames.json")
+}
+
+fn relative_gap(live: f64, sim: f64) -> f64 {
+    (live - sim).abs() / sim.abs().max(1e-9)
+}
+
+#[test]
+fn live_run_agrees_with_the_des_oracle_within_tolerance() {
+    let path = live_scenario_path();
+    let json_out =
+        std::env::temp_dir().join(format!("corki-live-oracle-{}.json", std::process::id()));
+
+    // Live: lower the clamped scenario onto real processes over shared
+    // memory via the experiments binary (which hosts the child roles).
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("serve")
+        .arg("--scenario")
+        .arg(&path)
+        .arg("--robots")
+        .arg(LIVE_ROBOTS.to_string())
+        .arg("--frames")
+        .arg(LIVE_FRAMES.to_string())
+        .arg("--json")
+        .arg(&json_out)
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        output.status.success(),
+        "live run failed:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let raw = std::fs::read_to_string(&json_out).expect("live JSON report written");
+    let _ = std::fs::remove_file(&json_out);
+    let value: serde_json::Value = serde_json::from_str(&raw).expect("live JSON parses");
+    let reports = Vec::<LiveReport>::from_value(
+        value.as_object().expect("JSON object").get("serve").expect("serve section"),
+    )
+    .expect("live reports deserialize");
+    assert_eq!(reports.len(), 1, "the live scenario expands to one cell");
+    let live = &reports[0];
+
+    // Oracle: simulate the very same clamped cells in-process.
+    let spec =
+        ScenarioSpec::from_json(&std::fs::read_to_string(&path).expect("committed scenario"))
+            .expect("committed scenario parses");
+    let cells = corki::fleet::smoke_scale_cells(
+        spec.expand().expect("committed scenario expands"),
+        LIVE_ROBOTS,
+        LIVE_FRAMES,
+    );
+    assert_eq!(cells.len(), 1);
+    let sim = &corki::fleet::scenario_sweep(&cells)[0];
+
+    // Provenance: the live row must fingerprint-match the simulated cell,
+    // so bench history can pair the two by content.
+    assert_eq!(live.fingerprint, scenario_fingerprint(&cells));
+
+    // Completeness: every robot finished every frame, and the offloaded
+    // plan count is a live-vs-sim exact match (it is structural: frames /
+    // plan length, no timing involved).
+    assert_eq!(live.robots_completed, LIVE_ROBOTS);
+    assert_eq!(live.total_frames, LIVE_ROBOTS * LIVE_FRAMES);
+    assert_eq!((live.row.robots, live.row.servers), (sim.robots, sim.servers));
+
+    // Agreement: throughput and the warm-up-trimmed plan latencies.
+    assert!(
+        relative_gap(live.row.throughput_steps_per_s, sim.throughput_steps_per_s) < TOLERANCE,
+        "throughput disagrees: live {} vs DES {}",
+        live.row.throughput_steps_per_s,
+        sim.throughput_steps_per_s,
+    );
+    assert!(
+        relative_gap(live.row.mean_plan_latency_ms, sim.mean_plan_latency_ms) < TOLERANCE,
+        "mean plan latency disagrees: live {} vs DES {}",
+        live.row.mean_plan_latency_ms,
+        sim.mean_plan_latency_ms,
+    );
+    assert!(
+        relative_gap(live.row.p99_plan_latency_ms, sim.p99_plan_latency_ms) < TOLERANCE,
+        "p99 plan latency disagrees: live {} vs DES {}",
+        live.row.p99_plan_latency_ms,
+        sim.p99_plan_latency_ms,
+    );
+
+    // The live-only measurements are sane: the transit hops were actually
+    // sampled, and the Lithos residual (e2e minus modelled stage totals)
+    // is small next to the plan latency itself.
+    assert!(live.offloaded_plans > 0);
+    assert!(live.transit.round_trip.samples > 0, "transit hops must be measured");
+    assert!(live.transit.round_trip.mean_ns > 0.0);
+    assert!(
+        live.ipc_overhead_ms.abs() < TOLERANCE * sim.mean_plan_latency_ms,
+        "IPC residual {} ms is implausibly large next to a {} ms mean plan latency",
+        live.ipc_overhead_ms,
+        sim.mean_plan_latency_ms,
+    );
+}

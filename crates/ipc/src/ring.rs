@@ -1,0 +1,264 @@
+//! Lock-free single-producer/single-consumer rings of fixed-size slots
+//! over shared memory.
+//!
+//! Head and tail are free-running 64-bit counters on their own cache lines
+//! (no false sharing between producer and consumer); `tail − head` is the
+//! occupancy, the slot index is the counter modulo the capacity.  The
+//! producer publishes a slot with a release store of `tail + 1`; the
+//! consumer acquires it before reading, so each slot's bytes are written
+//! and read by exactly one side at a time — no seqlock needed, and a full
+//! ring simply refuses the push (backpressure, never overwrite).
+
+use std::io;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies an initialised ring header in shared memory.
+const RING_MAGIC: u64 = 0x434f_524b_4952_4e47; // "CORKIRNG"
+
+#[repr(C)]
+struct RingHeader {
+    /// Consumer counter: slots `[0, head)` have been consumed.
+    head: AtomicU64,
+    _pad0: [u8; 56],
+    /// Producer counter: slots `[0, tail)` have been published.
+    tail: AtomicU64,
+    _pad1: [u8; 56],
+    magic: AtomicU64,
+    capacity: AtomicU64,
+    slot_size: AtomicU64,
+    _pad2: [u8; 40],
+}
+
+/// A single-producer/single-consumer ring of fixed-size slots laid out in
+/// a [`ShmSegment`](crate::ShmSegment).  Obtain one with
+/// [`ShmSegment::init_ring`](crate::ShmSegment::init_ring) (creator) or
+/// [`ShmSegment::ring`](crate::ShmSegment::ring) (attacher); the borrow
+/// keeps the mapping alive for the ring's lifetime.
+///
+/// The SPSC contract is per *role*: at most one process pushes and at most
+/// one pops.  Both handles are `Send`/`Sync` because pushes and pops are
+/// individually atomic — but two concurrent pushers (or poppers) would
+/// race for the same slot, so the live path dedicates one ring per
+/// direction per peer.
+pub struct SpscRing<'a> {
+    hdr: &'a RingHeader,
+    slots: *mut u8,
+    capacity: u64,
+    slot_size: usize,
+    _segment: PhantomData<&'a ()>,
+}
+
+unsafe impl Send for SpscRing<'_> {}
+unsafe impl Sync for SpscRing<'_> {}
+
+impl<'a> SpscRing<'a> {
+    /// Bytes of the ring header (three padded cache lines).
+    pub const HEADER_SIZE: usize = std::mem::size_of::<RingHeader>();
+
+    /// Total bytes a ring of `capacity` slots of `slot_size` bytes needs,
+    /// rounded up to whole cache lines so consecutive rings never share
+    /// one.
+    pub fn required_size(capacity: usize, slot_size: usize) -> usize {
+        let raw = Self::HEADER_SIZE + capacity * slot_size;
+        raw.div_ceil(64) * 64
+    }
+
+    pub(crate) fn init(mem: *mut u8, capacity: usize, slot_size: usize) -> SpscRing<'a> {
+        assert!(capacity > 0, "a ring needs at least one slot");
+        assert!(
+            slot_size > 0 && slot_size.is_multiple_of(8),
+            "slot size must be a positive multiple of 8"
+        );
+        let hdr = unsafe { &*(mem as *const RingHeader) };
+        hdr.head.store(0, Ordering::Relaxed);
+        hdr.tail.store(0, Ordering::Relaxed);
+        hdr.capacity.store(capacity as u64, Ordering::Relaxed);
+        hdr.slot_size.store(slot_size as u64, Ordering::Relaxed);
+        // The magic is published last: an attacher that sees it also sees
+        // the geometry.
+        hdr.magic.store(RING_MAGIC, Ordering::Release);
+        SpscRing {
+            hdr,
+            slots: unsafe { mem.add(Self::HEADER_SIZE) },
+            capacity: capacity as u64,
+            slot_size,
+            _segment: PhantomData,
+        }
+    }
+
+    pub(crate) fn attach(mem: *mut u8, available: usize) -> io::Result<SpscRing<'a>> {
+        let hdr = unsafe { &*(mem as *const RingHeader) };
+        if hdr.magic.load(Ordering::Acquire) != RING_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "no initialised ring at this segment offset",
+            ));
+        }
+        let capacity = hdr.capacity.load(Ordering::Relaxed);
+        let slot_size = hdr.slot_size.load(Ordering::Relaxed) as usize;
+        let needed = Self::required_size(capacity as usize, slot_size);
+        if capacity == 0 || slot_size == 0 || needed > available {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ring geometry {capacity}x{slot_size} exceeds the mapped segment"),
+            ));
+        }
+        Ok(SpscRing {
+            hdr,
+            slots: unsafe { mem.add(Self::HEADER_SIZE) },
+            capacity,
+            slot_size,
+            _segment: PhantomData,
+        })
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Payload bytes per slot.
+    pub fn slot_size(&self) -> usize {
+        self.slot_size
+    }
+
+    /// Slots currently occupied (a racy snapshot when both sides run).
+    pub fn len(&self) -> usize {
+        let tail = self.hdr.tail.load(Ordering::Acquire);
+        let head = self.hdr.head.load(Ordering::Acquire);
+        tail.saturating_sub(head) as usize
+    }
+
+    /// Whether the ring currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes one message (exactly [`slot_size`](Self::slot_size)
+    /// bytes).  Returns `false` — leaving the ring untouched — when the
+    /// ring is full: the producer backs off instead of overwriting.
+    pub fn try_push(&self, msg: &[u8]) -> bool {
+        assert_eq!(msg.len(), self.slot_size, "message must fill the slot exactly");
+        let tail = self.hdr.tail.load(Ordering::Relaxed); // producer-owned
+        let head = self.hdr.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.capacity {
+            return false;
+        }
+        let slot = unsafe { self.slots.add((tail % self.capacity) as usize * self.slot_size) };
+        unsafe { std::ptr::copy_nonoverlapping(msg.as_ptr(), slot, self.slot_size) };
+        self.hdr.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumes one message into `out` (exactly
+    /// [`slot_size`](Self::slot_size) bytes).  Returns `false` when the
+    /// ring is empty.
+    pub fn try_pop(&self, out: &mut [u8]) -> bool {
+        assert_eq!(out.len(), self.slot_size, "output buffer must match the slot size");
+        let head = self.hdr.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.hdr.tail.load(Ordering::Acquire);
+        if head == tail {
+            return false;
+        }
+        let slot = unsafe { self.slots.add((head % self.capacity) as usize * self.slot_size) };
+        unsafe { std::ptr::copy_nonoverlapping(slot, out.as_mut_ptr(), self.slot_size) };
+        self.hdr.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ShmSegment;
+
+    #[test]
+    fn wraparound_preserves_fifo_order_across_many_laps() {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let ring = seg.init_ring(0, 4, 8);
+        let mut sent = 0_u64;
+        let mut received = 0_u64;
+        let mut buf = [0_u8; 8];
+        // 1000 messages through a 4-slot ring: 250 laps of the counters.
+        while received < 1000 {
+            while sent < 1000 && ring.try_push(&sent.to_le_bytes()) {
+                sent += 1;
+            }
+            while ring.try_pop(&mut buf) {
+                assert_eq!(u64::from_le_bytes(buf), received, "FIFO order across wraparound");
+                received += 1;
+            }
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn full_ring_refuses_pushes_until_drained() {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let ring = seg.init_ring(0, 3, 8);
+        for i in 0_u64..3 {
+            assert!(ring.try_push(&i.to_le_bytes()), "slot {i} fits");
+        }
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.try_push(&99_u64.to_le_bytes()), "a full ring must refuse");
+        assert!(!ring.try_push(&99_u64.to_le_bytes()), "and keep refusing");
+        let mut buf = [0_u8; 8];
+        assert!(ring.try_pop(&mut buf));
+        assert_eq!(u64::from_le_bytes(buf), 0, "backpressure never overwrote slot 0");
+        assert!(ring.try_push(&3_u64.to_le_bytes()), "one pop frees one slot");
+        assert!(!ring.try_push(&4_u64.to_le_bytes()));
+        for expected in 1_u64..4 {
+            assert!(ring.try_pop(&mut buf));
+            assert_eq!(u64::from_le_bytes(buf), expected);
+        }
+        assert!(!ring.try_pop(&mut buf), "drained ring is empty");
+    }
+
+    #[test]
+    fn attach_sees_the_initialised_geometry_and_contents() {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let producer = seg.init_ring(64, 8, 16);
+        let mut msg = [0_u8; 16];
+        msg[..8].copy_from_slice(&7_u64.to_le_bytes());
+        msg[8..].copy_from_slice(&11_u64.to_le_bytes());
+        assert!(producer.try_push(&msg));
+        let consumer = seg.ring(64).expect("attach");
+        assert_eq!(consumer.capacity(), 8);
+        assert_eq!(consumer.slot_size(), 16);
+        let mut out = [0_u8; 16];
+        assert!(consumer.try_pop(&mut out));
+        assert_eq!(out, msg);
+        assert!(seg.ring(1024).is_err(), "uninitialised offsets must not attach");
+    }
+
+    #[test]
+    fn cross_thread_transfer_is_in_order_and_complete() {
+        let seg = ShmSegment::anonymous(1 << 16).expect("map");
+        seg.init_ring(0, 16, 8);
+        const COUNT: u64 = 20_000;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let ring = seg.ring(0).expect("attach producer");
+                for i in 0..COUNT {
+                    while !ring.try_push(&i.to_le_bytes()) {
+                        std::thread::yield_now(); // single-core hosts: let the consumer drain
+                    }
+                }
+            });
+            scope.spawn(|| {
+                let ring = seg.ring(0).expect("attach consumer");
+                let mut buf = [0_u8; 8];
+                for expected in 0..COUNT {
+                    while !ring.try_pop(&mut buf) {
+                        std::thread::yield_now();
+                    }
+                    assert_eq!(
+                        u64::from_le_bytes(buf),
+                        expected,
+                        "messages must arrive exactly once, in order"
+                    );
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Seqlock-protected snapshot slots: one writer publishes a fixed-size
+//! record, any number of readers take tear-free copies without ever
+//! blocking the writer.
+//!
+//! The sequence word starts even; the writer bumps it odd, overwrites the
+//! payload, then bumps it even again with a release store.  A reader loads
+//! the sequence, copies the payload with volatile word reads, and accepts
+//! the copy only if the sequence was even and unchanged across the copy —
+//! otherwise the copy may be torn and is retried.  This is the classic
+//! Linux-kernel/crossbeam pattern; volatile per-word copies keep the
+//! compiler from caching or widening the racing accesses.
+
+use std::io;
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Identifies an initialised seqlock header in shared memory.
+const SEQLOCK_MAGIC: u64 = 0x434f_524b_5345_5156; // "CORKSEQV"
+
+#[repr(C)]
+struct SeqHeader {
+    /// Even = stable, odd = write in progress; publish count = `seq / 2`.
+    seq: AtomicU64,
+    data_len: AtomicU64,
+    magic: AtomicU64,
+    _pad: [u8; 40],
+}
+
+/// A seqlock snapshot slot laid out in a
+/// [`ShmSegment`](crate::ShmSegment).  Obtain one with
+/// [`ShmSegment::init_seqlock`](crate::ShmSegment::init_seqlock) (creator)
+/// or [`ShmSegment::seqlock`](crate::ShmSegment::seqlock) (attacher).
+///
+/// At most one process may call [`write`](Self::write); any number may
+/// read.  The payload length is fixed at init time and must be a multiple
+/// of 8 (the copy granularity).
+pub struct SeqlockSlot<'a> {
+    hdr: &'a SeqHeader,
+    data: *mut u64,
+    words: usize,
+    _segment: PhantomData<&'a ()>,
+}
+
+unsafe impl Send for SeqlockSlot<'_> {}
+unsafe impl Sync for SeqlockSlot<'_> {}
+
+impl<'a> SeqlockSlot<'a> {
+    /// Bytes of the seqlock header (one padded cache line).
+    pub const HEADER_SIZE: usize = std::mem::size_of::<SeqHeader>();
+
+    /// Total bytes a slot of `data_len` payload bytes needs, rounded up to
+    /// whole cache lines.
+    pub fn required_size(data_len: usize) -> usize {
+        (Self::HEADER_SIZE + data_len).div_ceil(64) * 64
+    }
+
+    pub(crate) fn init(mem: *mut u8, data_len: usize) -> SeqlockSlot<'a> {
+        assert!(
+            data_len > 0 && data_len.is_multiple_of(8),
+            "seqlock payload must be a positive multiple of 8 bytes"
+        );
+        let hdr = unsafe { &*(mem as *const SeqHeader) };
+        hdr.seq.store(0, Ordering::Relaxed);
+        hdr.data_len.store(data_len as u64, Ordering::Relaxed);
+        hdr.magic.store(SEQLOCK_MAGIC, Ordering::Release);
+        SeqlockSlot {
+            hdr,
+            data: unsafe { mem.add(Self::HEADER_SIZE).cast() },
+            words: data_len / 8,
+            _segment: PhantomData,
+        }
+    }
+
+    pub(crate) fn attach(mem: *mut u8, available: usize) -> io::Result<SeqlockSlot<'a>> {
+        let hdr = unsafe { &*(mem as *const SeqHeader) };
+        if hdr.magic.load(Ordering::Acquire) != SEQLOCK_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "no initialised seqlock at this segment offset",
+            ));
+        }
+        let data_len = hdr.data_len.load(Ordering::Relaxed) as usize;
+        if data_len == 0 || !data_len.is_multiple_of(8) || Self::required_size(data_len) > available
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("seqlock payload of {data_len} bytes exceeds the mapped segment"),
+            ));
+        }
+        Ok(SeqlockSlot {
+            hdr,
+            data: unsafe { mem.add(Self::HEADER_SIZE).cast() },
+            words: data_len / 8,
+            _segment: PhantomData,
+        })
+    }
+
+    /// Payload bytes per snapshot.
+    pub fn data_len(&self) -> usize {
+        self.words * 8
+    }
+
+    /// Number of snapshots published so far.
+    pub fn version(&self) -> u64 {
+        self.hdr.seq.load(Ordering::Acquire) / 2
+    }
+
+    /// Publishes a new snapshot (single writer only).
+    pub fn write(&self, payload: &[u8]) {
+        assert_eq!(payload.len(), self.data_len(), "payload must fill the slot exactly");
+        let seq = self.hdr.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(seq % 2, 0, "a second concurrent writer corrupted the seqlock");
+        self.hdr.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        for word in 0..self.words {
+            let value = u64::from_le_bytes(payload[word * 8..word * 8 + 8].try_into().unwrap());
+            unsafe { self.data.add(word).write_volatile(value) };
+        }
+        self.hdr.seq.store(seq.wrapping_add(2), Ordering::Release);
+    }
+
+    /// One snapshot attempt: copies the payload into `out` and returns the
+    /// publish count, or `None` if a concurrent write made the copy
+    /// potentially torn (the caller retries; `out` then holds garbage).
+    pub fn try_read(&self, out: &mut [u8]) -> Option<u64> {
+        assert_eq!(out.len(), self.data_len(), "output buffer must match the payload size");
+        let before = self.hdr.seq.load(Ordering::Acquire);
+        if before % 2 == 1 {
+            return None; // A write is in progress.
+        }
+        for word in 0..self.words {
+            let value = unsafe { self.data.add(word).read_volatile() };
+            out[word * 8..word * 8 + 8].copy_from_slice(&value.to_le_bytes());
+        }
+        fence(Ordering::Acquire);
+        (self.hdr.seq.load(Ordering::Relaxed) == before).then_some(before / 2)
+    }
+
+    /// Takes a consistent snapshot, retrying across concurrent writes, and
+    /// returns the publish count alongside.  Retries spin briefly, then
+    /// yield the CPU — on a single-core host a pure spin would otherwise
+    /// burn the writer's entire timeslice.
+    pub fn read(&self, out: &mut [u8]) -> u64 {
+        let mut attempts = 0_u32;
+        loop {
+            if let Some(version) = self.try_read(out) {
+                return version;
+            }
+            attempts += 1;
+            if attempts.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ShmSegment;
+
+    #[test]
+    fn versions_count_publishes_and_reads_round_trip() {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let slot = seg.init_seqlock(0, 32);
+        let mut out = [0_u8; 32];
+        assert_eq!(slot.try_read(&mut out), Some(0), "an initialised slot reads as version 0");
+        assert_eq!(out, [0_u8; 32], "zero-filled before the first publish");
+        let payload = [0xAB_u8; 32];
+        slot.write(&payload);
+        let reader = seg.seqlock(0).expect("attach");
+        assert_eq!(reader.read(&mut out), 1);
+        assert_eq!(out, payload);
+        slot.write(&[0x11_u8; 32]);
+        slot.write(&[0x22_u8; 32]);
+        assert_eq!(reader.read(&mut out), 3);
+        assert_eq!(out, [0x22_u8; 32]);
+        assert!(seg.seqlock(2048).is_err(), "uninitialised offsets must not attach");
+    }
+
+    #[test]
+    fn concurrent_writer_never_yields_a_torn_snapshot() {
+        // The writer publishes uniform-byte payloads (all 0x00, all 0x01,
+        // …); any mix of bytes in an accepted snapshot is a torn read.
+        const LEN: usize = 512; // Large payload: torn windows are wide.
+        let seg = ShmSegment::anonymous(8192).expect("map");
+        seg.init_seqlock(0, LEN);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let slot = seg.seqlock(0).expect("attach writer");
+                let mut value = 0_u8;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    value = value.wrapping_add(1);
+                    slot.write(&[value; LEN]);
+                }
+            });
+            scope.spawn(|| {
+                let slot = seg.seqlock(0).expect("attach reader");
+                let mut out = [0_u8; LEN];
+                let mut accepted = 0_u64;
+                let mut last_version = 0_u64;
+                while accepted < 5_000 {
+                    let version = slot.read(&mut out);
+                    let first = out[0];
+                    assert!(
+                        out.iter().all(|&b| b == first),
+                        "torn snapshot at version {version}: {:?} != {first}",
+                        out.iter().find(|&&b| b != first)
+                    );
+                    assert!(version >= last_version, "versions must be monotonic");
+                    last_version = version;
+                    accepted += 1;
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+    }
+}

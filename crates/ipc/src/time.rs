@@ -1,0 +1,34 @@
+//! The monotonic clock the live path timestamps with.
+//!
+//! Every process of a live run samples the *same* kernel clock
+//! (`CLOCK_MONOTONIC`), so nanosecond timestamps taken on different sides
+//! of a ring are directly comparable — that is what makes the per-hop
+//! transit measurements (request send → coordinator receive, …) meaningful
+//! without any cross-process clock synchronisation step.
+
+use crate::sys;
+
+/// Nanoseconds on `CLOCK_MONOTONIC` (comparable across the processes of a
+/// live run; the epoch is unspecified, so only differences are meaningful).
+pub fn monotonic_ns() -> u64 {
+    let mut ts = sys::Timespec { tv_sec: 0, tv_nsec: 0 };
+    let rc = unsafe { sys::clock_gettime(sys::CLOCK_MONOTONIC, &mut ts) };
+    assert_eq!(rc, 0, "CLOCK_MONOTONIC must be available");
+    (ts.tv_sec as u64) * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::monotonic_ns;
+
+    #[test]
+    fn the_clock_is_monotonic_and_advances() {
+        let a = monotonic_ns();
+        let mut b = monotonic_ns();
+        assert!(b >= a);
+        // A 1 ms sleep must advance the clock by a visible amount.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        b = monotonic_ns();
+        assert!(b - a >= 500_000, "clock advanced only {} ns across a 1 ms sleep", b - a);
+    }
+}

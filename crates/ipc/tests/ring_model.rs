@@ -1,0 +1,61 @@
+//! Property test: under any interleaving of pushes and pops, an SPSC ring
+//! behaves exactly like a bounded `VecDeque` — same accept/refuse
+//! decisions, same values, same order.
+
+use std::collections::VecDeque;
+
+use corki_ipc::ShmSegment;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ring_matches_a_bounded_vecdeque_model(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec((0u8..2, 0u64..u64::MAX), 256),
+    ) {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let ring = seg.init_ring(0, capacity, 8);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut buf = [0_u8; 8];
+        for (op, value) in ops {
+            if op == 0 {
+                let accepted = ring.try_push(&value.to_le_bytes());
+                prop_assert_eq!(accepted, model.len() < capacity);
+                if accepted {
+                    model.push_back(value);
+                }
+            } else {
+                let got = ring.try_pop(&mut buf).then(|| u64::from_le_bytes(buf));
+                prop_assert_eq!(got, model.pop_front());
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.is_empty(), model.is_empty());
+        }
+        // Drain: everything still queued comes out in order.
+        while let Some(expected) = model.pop_front() {
+            prop_assert!(ring.try_pop(&mut buf));
+            prop_assert_eq!(u64::from_le_bytes(buf), expected);
+        }
+        prop_assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn seqlock_snapshots_always_match_some_published_payload(
+        writes in proptest::collection::vec(0u64..u64::MAX, 64),
+    ) {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let slot = seg.init_seqlock(0, 64);
+        let mut out = [0_u8; 64];
+        for (i, seed) in writes.iter().enumerate() {
+            let mut payload = [0_u8; 64];
+            for word in 0..8 {
+                payload[word * 8..word * 8 + 8]
+                    .copy_from_slice(&seed.wrapping_mul(word as u64 + 1).to_le_bytes());
+            }
+            slot.write(&payload);
+            let version = slot.read(&mut out);
+            prop_assert_eq!(version, i as u64 + 1);
+            prop_assert_eq!(out, payload);
+        }
+    }
+}

@@ -1,0 +1,689 @@
+//! The coordinator of a live run: creates the shared segment, spawns the
+//! robot-client and inference-worker processes, hosts the router and the
+//! per-server batch schedulers (the same objects the DES engine drives),
+//! and aggregates the per-stage and cross-process latency samples into a
+//! simulator-shaped report.
+//!
+//! Cleanup is unconditional: the segment owner unlinks on drop, the child
+//! guard kills whatever is still running on any exit path, and stale
+//! segments of dead runs are swept on startup.
+
+use std::collections::HashMap;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use corki::fleet::FleetSweepRow;
+use corki_ipc::{monotonic_ns, ShmSegment, SpscRing};
+use corki_system::fleet::{batch_service_ms, trim_warmup, RobotProfile};
+use corki_system::{
+    mean, percentile, scenario_fingerprint, BatchScheduler, ConcreteScenario, ControlBackend,
+    PendingRequest, Router, ServerSnapshot,
+};
+
+use crate::proto::{
+    state, DoneMsg, RespMsg, RobotMsg, SegmentLayout, WorkMsg, LIVE_MAGIC, MAGIC_OFF, MSG_SIZE,
+    SHUTDOWN_BATCH, START_NS_OFF, STATE_OFF,
+};
+use crate::report::{LiveReport, StageStats, TransitStats};
+use crate::sync::{rel_ms, POLL_NAP};
+use crate::LiveError;
+
+/// Most robot processes a live run will spawn: beyond this, a single-host
+/// run measures scheduler thrash, not serving behaviour.
+pub const MAX_LIVE_ROBOTS: usize = 64;
+
+/// Most inference-worker processes a live run will spawn.
+pub const MAX_LIVE_SERVERS: usize = 16;
+
+/// Prefix of every live-run segment name (`corki-live-<pid>`).
+const SEGMENT_PREFIX: &str = "corki-live-";
+
+/// Head-start the coordinator gives the epoch so every attached child has
+/// left its ready-wait before time zero.
+const EPOCH_HEADROOM: Duration = Duration::from_millis(100);
+
+/// Checks that a cell is expressible as a live run.  The live path covers
+/// the fault-free serving model; fault injection, shared-accelerator
+/// arbitration and adaptive warm-up detection remain DES-only.
+pub fn ensure_live_supported(cell: &ConcreteScenario) -> Result<(), LiveError> {
+    let cfg = &cell.config;
+    if cfg.faults.is_some() {
+        return Err(LiveError::Unsupported("fault plans are DES-only".into()));
+    }
+    if cfg.control_backend != ControlBackend::PerRobot {
+        return Err(LiveError::Unsupported(
+            "shared-accelerator control arbitration is DES-only".into(),
+        ));
+    }
+    if cfg.auto_warmup {
+        return Err(LiveError::Unsupported(
+            "adaptive (MSER-5) warm-up detection is DES-only; use a fixed warmup_ms".into(),
+        ));
+    }
+    if cfg.robots.len() > MAX_LIVE_ROBOTS {
+        return Err(LiveError::Unsupported(format!(
+            "live runs spawn one process per robot; {} exceeds the cap of {MAX_LIVE_ROBOTS}",
+            cfg.robots.len()
+        )));
+    }
+    if cfg.servers.len() > MAX_LIVE_SERVERS {
+        return Err(LiveError::Unsupported(format!(
+            "live runs spawn one process per server; {} exceeds the cap of {MAX_LIVE_SERVERS}",
+            cfg.servers.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Unlinks `/dev/shm/corki-live-*` segments whose owning process is gone
+/// (a previous run died before its owner unlink ran).  Returns how many
+/// were removed.
+pub fn cleanup_stale_segments() -> usize {
+    let Ok(entries) = std::fs::read_dir("/dev/shm") else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = name.strip_prefix(SEGMENT_PREFIX) else { continue };
+        let alive = pid
+            .parse::<u32>()
+            .is_ok_and(|pid| std::path::Path::new(&format!("/proc/{pid}")).exists());
+        if !alive && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Kills every still-running child on drop — the "any exit path" half of
+/// the cleanup contract (the segment itself unlinks via its own owner
+/// drop).
+struct ChildGuard {
+    children: Vec<(String, Option<Child>)>,
+}
+
+impl ChildGuard {
+    fn new() -> Self {
+        ChildGuard { children: Vec::new() }
+    }
+
+    fn push(&mut self, label: String, child: Child) {
+        self.children.push((label, Some(child)));
+    }
+
+    /// Non-blocking reap: returns the labels of children that exited with
+    /// a failure status.
+    fn poll_failures(&mut self) -> Vec<String> {
+        let mut failed = Vec::new();
+        for (label, slot) in &mut self.children {
+            if let Some(child) = slot {
+                if let Ok(Some(status)) = child.try_wait() {
+                    if !status.success() {
+                        failed.push(format!("{label} exited with {status}"));
+                    }
+                    *slot = None;
+                }
+            }
+        }
+        failed
+    }
+
+    /// Which children are still running.
+    fn running(&mut self) -> Vec<String> {
+        self.children
+            .iter_mut()
+            .filter_map(|(label, slot)| {
+                let child = slot.as_mut()?;
+                matches!(child.try_wait(), Ok(None)).then(|| label.clone())
+            })
+            .collect()
+    }
+
+    /// Waits for every child to exit by `deadline`; returns the failures.
+    fn join_all(&mut self, deadline: Instant) -> Vec<String> {
+        let mut failures = Vec::new();
+        loop {
+            failures.extend(self.poll_failures());
+            if self.children.iter().all(|(_, slot)| slot.is_none()) {
+                return failures;
+            }
+            if Instant::now() > deadline {
+                for label in self.running() {
+                    failures.push(format!("{label} did not exit before the deadline"));
+                }
+                return failures;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for (_, slot) in &mut self.children {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Removes the temp config file on drop.
+struct TempConfig(std::path::PathBuf);
+
+impl Drop for TempConfig {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A request the pool has accepted but whose plan the robot has not yet
+/// acknowledged; accumulates the measured hop latencies as they happen.
+#[derive(Debug, Clone, Copy, Default)]
+struct PlanTrace {
+    capture_ns: u64,
+    publish_ns: u64,
+    request_transit_ns: f64,
+    dispatch_transit_ns: f64,
+    completion_transit_ns: f64,
+}
+
+/// A batch currently on a worker.
+struct InFlightBatch {
+    server: usize,
+    requests: Vec<PendingRequest>,
+    dispatch_ns: u64,
+    service_ns: u64,
+}
+
+/// Per-robot completion summary from its `Finished` message.
+#[derive(Debug, Clone, Copy)]
+struct RobotFin {
+    frames: u64,
+    finish_ns: u64,
+    link_wait_ns: u64,
+    upload_ns: u64,
+}
+
+/// Runs one concrete scenario cell live: spawns the fleet, serves it over
+/// shared memory, and aggregates the report.  `exe` is the binary hosting
+/// the hidden `__live-robot`/`__live-worker` roles (normally
+/// `std::env::current_exe()`).
+pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveReport, LiveError> {
+    ensure_live_supported(cell)?;
+    cleanup_stale_segments();
+
+    let cfg = &cell.config;
+    let robots = cfg.robots.len();
+    let servers = cfg.servers.len();
+    let layout = SegmentLayout::new(robots, servers);
+    let shm_name = format!("{SEGMENT_PREFIX}{}", std::process::id());
+    // A same-pid leftover (crashed previous run of a recycled pid) would
+    // make the exclusive create fail; it is stale by construction.
+    let _ = ShmSegment::unlink(&shm_name);
+    let seg = ShmSegment::create(&shm_name, layout.total_size()).map_err(LiveError::Io)?;
+
+    // Initialise every ring and slot before any child can attach.
+    let req_rings: Vec<SpscRing<'_>> = (0..robots)
+        .map(|r| seg.init_ring(layout.req_ring(r), crate::proto::REQ_RING_CAPACITY, MSG_SIZE))
+        .collect();
+    let resp_slots: Vec<_> =
+        (0..robots).map(|r| seg.init_seqlock(layout.resp_slot(r), MSG_SIZE)).collect();
+    let work_rings: Vec<SpscRing<'_>> = (0..servers)
+        .map(|s| seg.init_ring(layout.work_ring(s), crate::proto::WORK_RING_CAPACITY, MSG_SIZE))
+        .collect();
+    let done_rings: Vec<SpscRing<'_>> = (0..servers)
+        .map(|s| seg.init_ring(layout.done_ring(s), crate::proto::WORK_RING_CAPACITY, MSG_SIZE))
+        .collect();
+    let run_state = seg.atomic_u64(STATE_OFF);
+    seg.atomic_u64(MAGIC_OFF).store(LIVE_MAGIC, std::sync::atomic::Ordering::Release);
+
+    // Hand the children the resolved FleetConfig through a temp file.
+    let config_path =
+        std::env::temp_dir().join(format!("corki-live-{}-config.json", std::process::id()));
+    let config_json = serde_json::to_string(cfg)
+        .map_err(|e| LiveError::Protocol(format!("cannot serialise live config: {e}")))?;
+    std::fs::write(&config_path, config_json).map_err(LiveError::Io)?;
+    let _config_guard = TempConfig(config_path.clone());
+
+    let mut guard = ChildGuard::new();
+    let abort = |guard: &mut ChildGuard, err: LiveError| -> LiveError {
+        run_state.store(state::ABORT, std::sync::atomic::Ordering::Release);
+        let _ = guard; // children are killed by the guard's drop
+        err
+    };
+
+    for s in 0..servers {
+        let child = Command::new(exe)
+            .args([
+                "__live-worker",
+                "--shm",
+                &shm_name,
+                "--server",
+                &s.to_string(),
+                "--robots",
+                &robots.to_string(),
+                "--servers",
+                &servers.to_string(),
+            ])
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(LiveError::Io)?;
+        guard.push(format!("worker {s}"), child);
+    }
+    for r in 0..robots {
+        let child = Command::new(exe)
+            .args([
+                "__live-robot",
+                "--shm",
+                &shm_name,
+                "--robot",
+                &r.to_string(),
+                "--config",
+                config_path.to_str().expect("temp path is valid UTF-8"),
+            ])
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(LiveError::Io)?;
+        guard.push(format!("robot {r}"), child);
+    }
+
+    // Wait for the whole fleet to attach, then publish the epoch.
+    let ready = seg.atomic_u64(crate::proto::READY_OFF);
+    let ready_deadline = Instant::now() + crate::sync::START_TIMEOUT;
+    while (ready.load(std::sync::atomic::Ordering::Acquire) as usize) < robots + servers {
+        if let Some(failure) = guard.poll_failures().into_iter().next() {
+            return Err(abort(&mut guard, LiveError::ChildFailed(failure)));
+        }
+        if Instant::now() > ready_deadline {
+            return Err(abort(
+                &mut guard,
+                LiveError::Protocol("fleet did not attach before the deadline".into()),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let start_ns = monotonic_ns() + EPOCH_HEADROOM.as_nanos() as u64;
+    seg.atomic_u64(START_NS_OFF).store(start_ns, std::sync::atomic::Ordering::Release);
+    run_state.store(state::RUNNING, std::sync::atomic::Ordering::Release);
+
+    // ---- The serving loop: the same scheduler/router cores as the DES,
+    // driven by wall-clock milliseconds since the epoch. -------------------
+    let profiles: Vec<RobotProfile> =
+        cfg.robots.iter().map(|robot| RobotProfile::of(robot, cfg)).collect();
+    let mut schedulers: Vec<Box<dyn BatchScheduler>> =
+        cfg.servers.iter().map(|server| server.scheduler.build()).collect();
+    let mut router = Router::new(cfg.routing);
+    let mut busy: Vec<Option<u64>> = vec![None; servers];
+    let mut busy_ns: Vec<u64> = vec![0; servers];
+    let mut in_flight: HashMap<u64, InFlightBatch> = HashMap::new();
+    let mut open: Vec<Option<PlanTrace>> = vec![None; robots];
+    let mut awaiting: Vec<Option<PlanTrace>> = vec![None; robots];
+    let mut fins: Vec<Option<RobotFin>> = vec![None; robots];
+    let mut next_batch_id = 0_u64;
+    let mut next_seq = 0_u64;
+
+    // Samples.  Latency-style samples carry their completion timestamp
+    // (ms since epoch) for warm-up trimming, exactly like the DES.
+    let mut plan_samples: Vec<(f64, f64)> = Vec::new();
+    let mut queue_samples: Vec<(f64, f64)> = Vec::new();
+    let mut offloaded_e2e_ms: Vec<f64> = Vec::new();
+    let mut service_ms_samples: Vec<f64> = Vec::new();
+    let mut batch_sizes: Vec<usize> = Vec::new();
+    let mut transit_request: Vec<f64> = Vec::new();
+    let mut transit_dispatch: Vec<f64> = Vec::new();
+    let mut transit_completion: Vec<f64> = Vec::new();
+    let mut transit_response: Vec<f64> = Vec::new();
+    let mut transit_round_trip: Vec<f64> = Vec::new();
+
+    let watchdog =
+        Instant::now() + Duration::from_secs(120 + (cfg.frames_per_robot as u64).saturating_mul(1));
+    let mut buf = [0_u8; MSG_SIZE];
+    let mut batch: Vec<PendingRequest> = Vec::new();
+
+    let close_plan = |trace: PlanTrace,
+                      resp_recv_ns: u64,
+                      plan_samples: &mut Vec<(f64, f64)>,
+                      offloaded_e2e_ms: &mut Vec<f64>,
+                      transit_response: &mut Vec<f64>,
+                      transit_round_trip: &mut Vec<f64>| {
+        let latency_ms = resp_recv_ns.saturating_sub(trace.capture_ns) as f64 / 1e6;
+        plan_samples.push((rel_ms(resp_recv_ns, start_ns), latency_ms));
+        offloaded_e2e_ms.push(latency_ms);
+        let response_ns = resp_recv_ns.saturating_sub(trace.publish_ns) as f64;
+        transit_response.push(response_ns);
+        transit_round_trip.push(
+            trace.request_transit_ns
+                + trace.dispatch_transit_ns
+                + trace.completion_transit_ns
+                + response_ns,
+        );
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Robot messages.
+        for robot in 0..robots {
+            while req_rings[robot].try_pop(&mut buf) {
+                progressed = true;
+                let recv_ns = monotonic_ns();
+                let (from, msg) = RobotMsg::decode(&buf)
+                    .map_err(|e| abort(&mut guard, LiveError::Protocol(e)))?;
+                if from as usize != robot {
+                    return Err(abort(
+                        &mut guard,
+                        LiveError::Protocol(format!("robot {from} wrote into ring {robot}")),
+                    ));
+                }
+                match msg {
+                    RobotMsg::Request {
+                        attempt,
+                        planned_steps,
+                        capture_ns,
+                        send_ns,
+                        prev_resp_recv_ns,
+                    } => {
+                        if let Some(trace) = awaiting[robot].take() {
+                            if prev_resp_recv_ns > 0 {
+                                close_plan(
+                                    trace,
+                                    prev_resp_recv_ns,
+                                    &mut plan_samples,
+                                    &mut offloaded_e2e_ms,
+                                    &mut transit_response,
+                                    &mut transit_round_trip,
+                                );
+                            }
+                        }
+                        let wants_trajectory = !profiles[robot].is_baseline;
+                        let target = router.try_route_blind(servers).unwrap_or_else(|| {
+                            let snapshots: Vec<ServerSnapshot> = (0..servers)
+                                .map(|s| ServerSnapshot {
+                                    queue_depth: schedulers[s].pending()
+                                        + busy[s]
+                                            .map(|id| in_flight[&id].requests.len())
+                                            .unwrap_or(0),
+                                    service_ms: cfg.servers[s].service_ms(wants_trajectory),
+                                    up: true,
+                                })
+                                .collect();
+                            router.route(&snapshots)
+                        });
+                        next_seq += 1;
+                        schedulers[target].push(PendingRequest {
+                            robot,
+                            arrival_ms: rel_ms(recv_ns, start_ns),
+                            service_ms: cfg.servers[target].service_ms(wants_trajectory),
+                            planned_steps: planned_steps as usize,
+                            seq: next_seq,
+                            attempt,
+                        });
+                        open[robot] = Some(PlanTrace {
+                            capture_ns,
+                            request_transit_ns: recv_ns.saturating_sub(send_ns) as f64,
+                            ..PlanTrace::default()
+                        });
+                    }
+                    RobotMsg::LocalPlan { latency_ns, done_ns } => {
+                        plan_samples.push((rel_ms(done_ns, start_ns), latency_ns as f64 / 1e6));
+                    }
+                    RobotMsg::Finished {
+                        frames,
+                        plans: _,
+                        last_resp_recv_ns,
+                        finish_ns,
+                        link_wait_ns,
+                        upload_ns,
+                    } => {
+                        if let Some(trace) = awaiting[robot].take() {
+                            if last_resp_recv_ns > 0 {
+                                close_plan(
+                                    trace,
+                                    last_resp_recv_ns,
+                                    &mut plan_samples,
+                                    &mut offloaded_e2e_ms,
+                                    &mut transit_response,
+                                    &mut transit_round_trip,
+                                );
+                            }
+                        }
+                        fins[robot] = Some(RobotFin { frames, finish_ns, link_wait_ns, upload_ns });
+                    }
+                }
+            }
+        }
+
+        // Worker completions.
+        for done_ring in &done_rings {
+            while done_ring.try_pop(&mut buf) {
+                progressed = true;
+                let done_recv_ns = monotonic_ns();
+                let done = DoneMsg::decode(&buf);
+                let Some(flight) = in_flight.remove(&done.batch_id) else {
+                    return Err(abort(
+                        &mut guard,
+                        LiveError::Protocol(format!("unknown batch {} completed", done.batch_id)),
+                    ));
+                };
+                busy[flight.server] = None;
+                busy_ns[flight.server] += done.done_ns.saturating_sub(done.pop_ns);
+                let publish_ns = monotonic_ns();
+                for request in &flight.requests {
+                    let Some(mut trace) = open[request.robot].take() else {
+                        return Err(abort(
+                            &mut guard,
+                            LiveError::Protocol(format!(
+                                "robot {} has no open plan for batch {}",
+                                request.robot, done.batch_id
+                            )),
+                        ));
+                    };
+                    trace.dispatch_transit_ns =
+                        done.pop_ns.saturating_sub(flight.dispatch_ns) as f64;
+                    trace.completion_transit_ns = done_recv_ns.saturating_sub(done.done_ns) as f64;
+                    trace.publish_ns = publish_ns;
+                    transit_request.push(trace.request_transit_ns);
+                    transit_dispatch.push(trace.dispatch_transit_ns);
+                    transit_completion.push(trace.completion_transit_ns);
+                    let queue_wait_ms = rel_ms(flight.dispatch_ns, start_ns) - request.arrival_ms;
+                    resp_slots[request.robot].write(
+                        &RespMsg {
+                            attempt: request.attempt,
+                            plan_steps: request.planned_steps as u64,
+                            queue_wait_ns: crate::sync::ns_of_ms(queue_wait_ms.max(0.0)),
+                            service_ns: flight.service_ns,
+                            server: flight.server as u64,
+                            publish_ns,
+                        }
+                        .encode(),
+                    );
+                    awaiting[request.robot] = Some(trace);
+                }
+            }
+        }
+
+        // Dispatch: any idle server with a releasable batch gets one.
+        let now_ms = rel_ms(monotonic_ns(), start_ns);
+        for server in 0..servers {
+            if busy[server].is_some() {
+                continue;
+            }
+            schedulers[server].pop_batch_into(now_ms, &mut batch);
+            if batch.is_empty() {
+                continue;
+            }
+            progressed = true;
+            let base_ms = batch.iter().map(|r| r.service_ms).fold(0.0, f64::max);
+            let service_ms = batch_service_ms(base_ms, batch.len(), cfg.batch_overhead);
+            let dispatch_ns = monotonic_ns();
+            for request in &batch {
+                queue_samples.push((
+                    rel_ms(dispatch_ns, start_ns),
+                    (rel_ms(dispatch_ns, start_ns) - request.arrival_ms).max(0.0),
+                ));
+                service_ms_samples.push(service_ms);
+            }
+            batch_sizes.push(batch.len());
+            next_batch_id += 1;
+            let work = WorkMsg {
+                batch_id: next_batch_id,
+                batch_len: batch.len() as u64,
+                service_ns: crate::sync::ns_of_ms(service_ms),
+                dispatch_ns,
+            };
+            if !work_rings[server].try_push(&work.encode()) {
+                return Err(abort(
+                    &mut guard,
+                    LiveError::Protocol(format!("work ring of server {server} is full")),
+                ));
+            }
+            busy[server] = Some(next_batch_id);
+            in_flight.insert(
+                next_batch_id,
+                InFlightBatch {
+                    server,
+                    requests: std::mem::take(&mut batch),
+                    dispatch_ns,
+                    service_ns: work.service_ns,
+                },
+            );
+        }
+
+        // Done?
+        if fins.iter().all(Option::is_some)
+            && in_flight.is_empty()
+            && schedulers.iter().all(|s| s.pending() == 0)
+        {
+            break;
+        }
+
+        // Child health: a robot may exit cleanly once its Finished message
+        // is in; anything else ending early wedges the run.
+        if let Some(failure) = guard.poll_failures().into_iter().next() {
+            return Err(abort(&mut guard, LiveError::ChildFailed(failure)));
+        }
+        if Instant::now() > watchdog {
+            return Err(abort(
+                &mut guard,
+                LiveError::Protocol("live run exceeded its watchdog deadline".into()),
+            ));
+        }
+        if !progressed {
+            std::thread::sleep(POLL_NAP);
+        }
+    }
+
+    // Shut the workers down and reap everything.
+    for (server, ring) in work_rings.iter().enumerate() {
+        let sentinel =
+            WorkMsg { batch_id: SHUTDOWN_BATCH, batch_len: 0, service_ns: 0, dispatch_ns: 0 }
+                .encode();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !ring.try_push(&sentinel) {
+            if Instant::now() > deadline {
+                return Err(abort(
+                    &mut guard,
+                    LiveError::Protocol(format!("cannot deliver shutdown to server {server}")),
+                ));
+            }
+            std::thread::sleep(POLL_NAP);
+        }
+    }
+    let failures = guard.join_all(Instant::now() + Duration::from_secs(30));
+    if let Some(failure) = failures.into_iter().next() {
+        return Err(abort(&mut guard, LiveError::ChildFailed(failure)));
+    }
+    let end_ns = monotonic_ns();
+
+    // ---- Aggregation: the same estimators as the DES summary. ------------
+    let fins: Vec<RobotFin> = fins.into_iter().map(|f| f.expect("all robots finished")).collect();
+    let total_frames: u64 = fins.iter().map(|f| f.frames).sum();
+    let offloaded_plans: u64 = offloaded_e2e_ms.len() as u64;
+    let makespan_ms = fins.iter().map(|f| rel_ms(f.finish_ns, start_ns)).fold(0.0, f64::max);
+    let warmup_ms = cfg.warmup_ms;
+    let plan_latencies = trim_warmup(&plan_samples, warmup_ms);
+    let queue_waits = trim_warmup(&queue_samples, warmup_ms);
+    let total_link_wait_ms: f64 = fins.iter().map(|f| f.link_wait_ns as f64 / 1e6).sum();
+    let total_upload_ms: f64 = fins.iter().map(|f| f.upload_ns as f64 / 1e6).sum();
+    let inferences: usize = batch_sizes.iter().sum();
+
+    let mean_link_wait_ms =
+        if offloaded_plans > 0 { total_link_wait_ms / offloaded_plans as f64 } else { 0.0 };
+    let mean_stage_total_ms = if offloaded_plans > 0 {
+        mean_link_wait_ms
+            + total_upload_ms / offloaded_plans as f64
+            + mean(&queue_samples.iter().map(|(_, v)| *v).collect::<Vec<f64>>())
+            + mean(&service_ms_samples)
+    } else {
+        0.0
+    };
+    let ipc_overhead_ms =
+        if offloaded_plans > 0 { mean(&offloaded_e2e_ms) - mean_stage_total_ms } else { 0.0 };
+
+    let row = FleetSweepRow {
+        robots,
+        servers,
+        variant: cell.variant_label.clone(),
+        scheduler: cell.scheduler_label.clone(),
+        routing: cell.routing_label.clone(),
+        composition: cell.composition_label.clone(),
+        throughput_steps_per_s: if makespan_ms > 0.0 {
+            total_frames as f64 / makespan_ms * 1000.0
+        } else {
+            0.0
+        },
+        per_robot_rate_hz: if makespan_ms > 0.0 {
+            total_frames as f64 / makespan_ms * 1000.0 / robots as f64
+        } else {
+            0.0
+        },
+        mean_plan_latency_ms: mean(&plan_latencies),
+        p99_plan_latency_ms: percentile(&plan_latencies, 0.99),
+        mean_queue_delay_ms: mean(&queue_waits),
+        p99_queue_delay_ms: percentile(&queue_waits, 0.99),
+        server_utilization: if makespan_ms > 0.0 {
+            busy_ns.iter().map(|&ns| ns as f64 / 1e6).sum::<f64>() / (makespan_ms * servers as f64)
+        } else {
+            0.0
+        },
+        mean_batch_size: if batch_sizes.is_empty() {
+            0.0
+        } else {
+            inferences as f64 / batch_sizes.len() as f64
+        },
+        slo_violation_fraction: if plan_latencies.is_empty() {
+            0.0
+        } else {
+            plan_latencies.iter().filter(|&&latency| latency > cfg.slo_budget_ms).count() as f64
+                / plan_latencies.len() as f64
+        },
+        timed_out_requests: 0,
+        retries: 0,
+        dropped_requests: 0,
+        fallback_inferences: 0,
+        mean_recovery_ms: 0.0,
+    };
+
+    Ok(LiveReport {
+        scenario: cell.scenario.clone(),
+        fingerprint: scenario_fingerprint(std::slice::from_ref(cell)),
+        row,
+        wall_s: end_ns.saturating_sub(start_ns) as f64 / 1e9,
+        warmup_ms,
+        transit: TransitStats {
+            request: StageStats::of(&transit_request),
+            dispatch: StageStats::of(&transit_dispatch),
+            completion: StageStats::of(&transit_completion),
+            response: StageStats::of(&transit_response),
+            round_trip: StageStats::of(&transit_round_trip),
+        },
+        mean_link_wait_ms,
+        mean_stage_total_ms,
+        ipc_overhead_ms,
+        robots_completed: fins.iter().filter(|f| f.frames > 0).count(),
+        total_frames: total_frames as usize,
+        offloaded_plans: offloaded_plans as usize,
+    })
+}

@@ -1,0 +1,75 @@
+//! Start/abort synchronisation shared by every process of a live run, and
+//! the wall-clock sleep helpers the loops are paced with.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use corki_ipc::monotonic_ns;
+
+use crate::proto::state;
+use crate::LiveError;
+
+/// How long a child waits for the coordinator to publish the run epoch
+/// before giving up.
+pub const START_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A short nap between polls.  The modelled quantities are tens of
+/// milliseconds, so a fraction of a millisecond of poll latency is noise —
+/// while busy-spinning on the host's single core would steal the timeslice
+/// the other ten processes need to make progress at all.
+pub const POLL_NAP: Duration = Duration::from_micros(200);
+
+/// Increments the segment's ready counter: this process is attached and
+/// waiting for the epoch.
+pub fn announce_ready(ready: &AtomicU64) {
+    ready.fetch_add(1, Ordering::AcqRel);
+}
+
+/// Blocks until the coordinator flips the run state to
+/// [`state::RUNNING`], then returns the published epoch.
+pub fn wait_for_running(run_state: &AtomicU64, start_ns: &AtomicU64) -> Result<u64, LiveError> {
+    let deadline = std::time::Instant::now() + START_TIMEOUT;
+    loop {
+        match run_state.load(Ordering::Acquire) {
+            state::RUNNING => return Ok(start_ns.load(Ordering::Acquire)),
+            state::ABORT => return Err(LiveError::Aborted),
+            _ => {}
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(LiveError::Protocol("timed out waiting for the run epoch".into()));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Whether the coordinator has raised the abort flag.
+pub fn aborted(run_state: &AtomicU64) -> bool {
+    run_state.load(Ordering::Acquire) == state::ABORT
+}
+
+/// Sleeps until the monotonic clock reaches `target_ns` (no-op if it
+/// already has).
+pub fn sleep_until_ns(target_ns: u64) {
+    let now = monotonic_ns();
+    if target_ns > now {
+        std::thread::sleep(Duration::from_nanos(target_ns - now));
+    }
+}
+
+/// Sleeps for `ms` milliseconds of modelled time.
+pub fn sleep_ms(ms: f64) {
+    if ms > 0.0 {
+        std::thread::sleep(Duration::from_nanos(ns_of_ms(ms)));
+    }
+}
+
+/// Converts modelled milliseconds to integer nanoseconds.
+pub fn ns_of_ms(ms: f64) -> u64 {
+    (ms * 1_000_000.0).round().max(0.0) as u64
+}
+
+/// Milliseconds since the run epoch (clamped at zero for the instants just
+/// before the barrier releases).
+pub fn rel_ms(now_ns: u64, start_ns: u64) -> f64 {
+    now_ns.saturating_sub(start_ns) as f64 / 1_000_000.0
+}

@@ -1,0 +1,74 @@
+//! The inference-server worker process of a live run.
+//!
+//! A worker owns one server of the pool.  The batching decision stays with
+//! the coordinator (which runs the same [`BatchScheduler`] objects as the
+//! DES engine); the worker's only job is to *be busy* for the modelled
+//! service time of each batch it is handed, so queueing, batching and
+//! utilization emerge from real cross-process timing.
+//!
+//! [`BatchScheduler`]: corki_system::BatchScheduler
+
+use std::time::Duration;
+
+use corki_ipc::{monotonic_ns, ShmSegment};
+
+use crate::proto::{
+    DoneMsg, SegmentLayout, WorkMsg, LIVE_MAGIC, MAGIC_OFF, MSG_SIZE, READY_OFF, SHUTDOWN_BATCH,
+    START_NS_OFF, STATE_OFF,
+};
+use crate::sync::{announce_ready, wait_for_running, POLL_NAP};
+use crate::LiveError;
+
+/// Entry point of the hidden `__live-worker` role: serves server `server`
+/// of a pool of `servers` in a fleet of `robots`, against the shared
+/// segment `shm`.
+pub fn run_worker(
+    shm: &str,
+    server: usize,
+    robots: usize,
+    servers: usize,
+) -> Result<(), LiveError> {
+    if server >= servers {
+        return Err(LiveError::Protocol(format!(
+            "server index {server} out of range for a pool of {servers}"
+        )));
+    }
+    let layout = SegmentLayout::new(robots, servers);
+    let seg = ShmSegment::open(shm, layout.total_size()).map_err(LiveError::Io)?;
+    if seg.atomic_u64(MAGIC_OFF).load(std::sync::atomic::Ordering::Acquire) != LIVE_MAGIC {
+        return Err(LiveError::Protocol(format!("segment {shm} carries no live-run magic")));
+    }
+    let work = seg.ring(layout.work_ring(server)).map_err(LiveError::Io)?;
+    let done = seg.ring(layout.done_ring(server)).map_err(LiveError::Io)?;
+    let run_state = seg.atomic_u64(STATE_OFF);
+
+    announce_ready(seg.atomic_u64(READY_OFF));
+    wait_for_running(run_state, seg.atomic_u64(START_NS_OFF))?;
+
+    let mut buf = [0_u8; MSG_SIZE];
+    loop {
+        if !work.try_pop(&mut buf) {
+            if crate::sync::aborted(run_state) {
+                return Err(LiveError::Aborted);
+            }
+            std::thread::sleep(POLL_NAP);
+            continue;
+        }
+        let msg = WorkMsg::decode(&buf);
+        if msg.batch_id == SHUTDOWN_BATCH {
+            return Ok(());
+        }
+        let pop_ns = monotonic_ns();
+        // The modelled forward pass: the worker is simply busy for the
+        // batched service time the coordinator computed with the shared
+        // `batch_service_ms` model.
+        std::thread::sleep(Duration::from_nanos(msg.service_ns));
+        let notice = DoneMsg { batch_id: msg.batch_id, pop_ns, done_ns: monotonic_ns() };
+        while !done.try_push(&notice.encode()) {
+            if crate::sync::aborted(run_state) {
+                return Err(LiveError::Aborted);
+            }
+            std::thread::sleep(POLL_NAP);
+        }
+    }
+}

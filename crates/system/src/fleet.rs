@@ -37,6 +37,20 @@
 //! loop needs a few cycles to reach its stationary regime and short runs
 //! otherwise fold the transient into p99.
 //!
+//! # Module layout
+//!
+//! The state machines are split into transport- and clock-agnostic cores —
+//! [`scheduler`] (batching disciplines), [`session`] (robot profiles and
+//! per-robot state), [`server`] (pool configuration and the batch
+//! service-time model), [`faults`] (injection plans) and [`stats`] (run
+//! outputs and warm-up trimming) — all re-exported here, so the public
+//! `corki_system::fleet::*` paths are unchanged.  This module keeps what is
+//! genuinely DES-specific: the event enum, the engine that lowers session
+//! and server transitions onto the sharded event queue, and the simulator
+//! front-end.  The live `corki-serve` path drives the *same* cores from
+//! wall-clock time, which is why a live run can be checked against the DES
+//! as an oracle.
+//!
 //! # The sharded engine
 //!
 //! [`FleetSimulator::with_shards`] partitions the run across K shards:
@@ -54,618 +68,36 @@
 //! K-shard run is **byte-identical** to K = 1 (regression-proven by the
 //! shard-invariance suites and the unchanged `fleet_golden` fixtures).
 
+pub mod faults;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use faults::{ChurnSpec, CrashSpec, FaultPlan, LinkDegradationSpec, TimeoutSpec};
+pub use scheduler::{
+    BatchScheduler, DynamicBatchScheduler, FifoScheduler, ParsePoolScheduleError,
+    ParseSchedulerKindError, PendingRequest, PoolSchedule, SchedulerKind,
+    ShortestTrajectoryFirstScheduler,
+};
+pub use server::{batch_service_ms, ServerConfig};
+pub use session::{
+    fleet_robot_seed, on_robot_inference_cost, plan_upload_ms, ControlBackend, RobotCompute,
+    RobotConfig, RobotProfile, DEFAULT_EXECUTION_STEP_MS,
+};
+pub use stats::{trim_warmup, EventRecord, FleetOutcome, FleetSummary, RobotOutcome};
+
 use crate::des::{Scheduled, ShardedEventQueue, WindowCoordinator};
-use crate::devices::{baseline_control_ms, CommunicationModel, InferenceModel};
-use crate::pipeline::{mean, percentile, FrameKind, FrameTrace, PipelineConfig, StepsTakenModel};
+use crate::devices::CommunicationModel;
+use crate::pipeline::{mean, percentile, FrameKind, PipelineConfig};
 use crate::routing::{Router, RoutingPolicy, ServerSnapshot};
 use crate::variant::Variant;
 use corki_accel::{AcceleratorModel, Arbiter, CpuControlModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
-
-/// How requests waiting at one inference server are released as batches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum SchedulerKind {
-    /// Serve one request at a time, in arrival order.
-    Fifo,
-    /// Dynamic batching: release as soon as `max_batch` requests are queued,
-    /// or when the oldest request has waited `timeout_ms`.
-    DynamicBatch {
-        /// Largest batch the server will form.
-        max_batch: usize,
-        /// Longest a request may wait for co-batched requests.
-        timeout_ms: f64,
-    },
-    /// Serve one request at a time, shortest planned trajectory first
-    /// (shortest-job-first arbitration for mixed fleets).
-    ShortestTrajectoryFirst,
-}
-
-impl SchedulerKind {
-    /// A stable short name used in result tables (same as
-    /// [`Display`](std::fmt::Display)): `fifo`, `batch<max>-<timeout>ms` or
-    /// `stf`.
-    pub fn name(&self) -> String {
-        self.to_string()
-    }
-
-    /// Builds the scheduler implementation.
-    pub fn build(&self) -> Box<dyn BatchScheduler> {
-        match *self {
-            SchedulerKind::Fifo => Box::new(FifoScheduler::default()),
-            SchedulerKind::DynamicBatch { max_batch, timeout_ms } => {
-                Box::new(DynamicBatchScheduler::new(max_batch, timeout_ms))
-            }
-            SchedulerKind::ShortestTrajectoryFirst => {
-                Box::new(ShortestTrajectoryFirstScheduler::default())
-            }
-        }
-    }
-}
-
-impl std::fmt::Display for SchedulerKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SchedulerKind::Fifo => f.write_str("fifo"),
-            SchedulerKind::DynamicBatch { max_batch, timeout_ms } => {
-                // Integral timeouts keep the historical `batch8-15ms` form;
-                // fractional ones print exactly so two distinct schedulers
-                // never share a label (and the label parses back losslessly).
-                if timeout_ms.fract() == 0.0 {
-                    write!(f, "batch{max_batch}-{timeout_ms:.0}ms")
-                } else {
-                    write!(f, "batch{max_batch}-{timeout_ms}ms")
-                }
-            }
-            SchedulerKind::ShortestTrajectoryFirst => f.write_str("stf"),
-        }
-    }
-}
-
-/// Error produced when parsing an unknown batch-scheduler label.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseSchedulerKindError(String);
-
-impl std::fmt::Display for ParseSchedulerKindError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unknown batch scheduler `{}` (expected fifo, stf or batch<max>-<timeout>ms)",
-            self.0
-        )
-    }
-}
-
-impl std::error::Error for ParseSchedulerKindError {}
-
-impl std::str::FromStr for SchedulerKind {
-    type Err = ParseSchedulerKindError;
-
-    /// Parses the canonical table labels case-insensitively: `fifo`, `stf`
-    /// (or `shortest-trajectory-first`) and `batch<max>-<timeout>ms`.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let normalized = s.trim().to_ascii_lowercase();
-        match normalized.as_str() {
-            "fifo" => return Ok(SchedulerKind::Fifo),
-            "stf" | "shortest-trajectory-first" | "shortesttrajectoryfirst" => {
-                return Ok(SchedulerKind::ShortestTrajectoryFirst)
-            }
-            _ => {}
-        }
-        let parse_batch = || {
-            let body = normalized.strip_prefix("batch")?.strip_suffix("ms")?;
-            let (max_batch, timeout) = body.split_once('-')?;
-            let max_batch: usize = max_batch.parse().ok()?;
-            let timeout_ms: f64 = timeout.parse().ok()?;
-            (max_batch >= 1 && timeout_ms.is_finite() && timeout_ms >= 0.0)
-                .then_some(SchedulerKind::DynamicBatch { max_batch, timeout_ms })
-        };
-        parse_batch().ok_or_else(|| ParseSchedulerKindError(s.to_owned()))
-    }
-}
-
-/// The batching disciplines of a whole server pool, with the canonical
-/// label grammar used by every summary/bench table: a uniform pool prints
-/// the single shared [`SchedulerKind`] name, a mixed pool prints the
-/// `+`-joined per-server names (`fifo+stf`) — and **both** forms reparse
-/// via [`FromStr`](std::str::FromStr), closing the historical gap where
-/// `SchedulerKind::from_str` rejected the joined labels.
-///
-/// Parsing a single name yields a uniform one-entry schedule (the label
-/// does not encode the pool width); parsing `a+b+…` yields exactly one
-/// entry per `+`-separated name.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PoolSchedule(Vec<SchedulerKind>);
-
-impl PoolSchedule {
-    /// Wraps per-server disciplines into a pool schedule.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty list — a pool always has at least one server.
-    pub fn new(schedulers: Vec<SchedulerKind>) -> Self {
-        assert!(!schedulers.is_empty(), "a pool schedule needs at least one scheduler");
-        PoolSchedule(schedulers)
-    }
-
-    /// The schedule of an existing server pool.
-    pub fn of_servers(servers: &[ServerConfig]) -> Self {
-        PoolSchedule::new(servers.iter().map(|s| s.scheduler).collect())
-    }
-
-    /// The per-server disciplines, in pool order.
-    pub fn schedulers(&self) -> &[SchedulerKind] {
-        &self.0
-    }
-
-    /// Whether every server runs the same discipline.
-    pub fn is_uniform(&self) -> bool {
-        self.0.iter().all(|s| *s == self.0[0])
-    }
-}
-
-impl std::fmt::Display for PoolSchedule {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.is_uniform() {
-            return write!(f, "{}", self.0[0]);
-        }
-        for (index, scheduler) in self.0.iter().enumerate() {
-            if index > 0 {
-                f.write_str("+")?;
-            }
-            write!(f, "{scheduler}")?;
-        }
-        Ok(())
-    }
-}
-
-/// Error produced when parsing an unknown pool-schedule label.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParsePoolScheduleError(String);
-
-impl std::fmt::Display for ParsePoolScheduleError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unknown pool schedule `{}` (expected `+`-joined scheduler names, e.g. fifo+stf)",
-            self.0
-        )
-    }
-}
-
-impl std::error::Error for ParsePoolScheduleError {}
-
-impl std::str::FromStr for PoolSchedule {
-    type Err = ParsePoolScheduleError;
-
-    /// Parses `+`-joined [`SchedulerKind`] labels (each parsed by the
-    /// scheduler grammar, so `fifo`, `stf+batch4-15ms` etc. all work).
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let schedulers: Result<Vec<SchedulerKind>, _> =
-            s.split('+').map(str::parse::<SchedulerKind>).collect();
-        match schedulers {
-            Ok(list) if !list.is_empty() => Ok(PoolSchedule(list)),
-            _ => Err(ParsePoolScheduleError(s.to_owned())),
-        }
-    }
-}
-
-/// One inference request waiting at (or being served by) a server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct PendingRequest {
-    /// Index of the requesting robot.
-    pub robot: usize,
-    /// When the request reached the server (upload complete), ms.
-    pub arrival_ms: f64,
-    /// Unbatched service time of this request *on the server it was routed
-    /// to*, ms.
-    pub service_ms: f64,
-    /// Control steps the returned trajectory will execute.
-    pub planned_steps: usize,
-    /// Arrival sequence number (deterministic tie-breaker).
-    pub seq: u64,
-    /// The robot-local attempt that produced this request.  A robot that
-    /// times out abandons the attempt; a response carrying a stale attempt
-    /// id is ignored (the server still paid the service time).
-    pub attempt: u64,
-}
-
-/// Decides when queued inference requests are released as a batch.
-///
-/// The engine calls [`push`](BatchScheduler::push) on every arrival and
-/// [`pop_batch`](BatchScheduler::pop_batch) whenever the server goes idle;
-/// a scheduler that holds requests back (e.g. waiting for a batch to fill)
-/// reports the release deadline via
-/// [`next_release_ms`](BatchScheduler::next_release_ms) so the engine can
-/// schedule a wake-up event.
-pub trait BatchScheduler: std::fmt::Debug {
-    /// Accepts a newly arrived request.
-    fn push(&mut self, request: PendingRequest);
-    /// Releases the batch to serve now, or an empty vector to keep waiting.
-    fn pop_batch(&mut self, now_ms: f64) -> Vec<PendingRequest>;
-    /// Like [`pop_batch`](BatchScheduler::pop_batch), but fills a
-    /// caller-provided buffer (cleared first) so the engine's dispatch loop
-    /// can recycle batch allocations.  The default delegates to
-    /// `pop_batch`; the built-in schedulers override it to fill `out`
-    /// directly.
-    fn pop_batch_into(&mut self, now_ms: f64, out: &mut Vec<PendingRequest>) {
-        out.clear();
-        out.append(&mut self.pop_batch(now_ms));
-    }
-    /// The earliest time a held-back batch would be released without new
-    /// arrivals (None when the scheduler never holds requests back).
-    fn next_release_ms(&self) -> Option<f64>;
-    /// Number of queued requests.
-    fn pending(&self) -> usize;
-    /// Removes and returns every queued request (a crashed server drops its
-    /// queue; the abandoned robots recover via their timeouts).
-    fn drain(&mut self) -> Vec<PendingRequest>;
-}
-
-/// One-at-a-time FIFO service.
-#[derive(Debug, Default)]
-pub struct FifoScheduler {
-    queue: VecDeque<PendingRequest>,
-}
-
-impl BatchScheduler for FifoScheduler {
-    fn push(&mut self, request: PendingRequest) {
-        self.queue.push_back(request);
-    }
-
-    fn pop_batch(&mut self, _now_ms: f64) -> Vec<PendingRequest> {
-        self.queue.pop_front().into_iter().collect()
-    }
-
-    fn pop_batch_into(&mut self, _now_ms: f64, out: &mut Vec<PendingRequest>) {
-        out.clear();
-        out.extend(self.queue.pop_front());
-    }
-
-    fn next_release_ms(&self) -> Option<f64> {
-        None
-    }
-
-    fn pending(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn drain(&mut self) -> Vec<PendingRequest> {
-        self.queue.drain(..).collect()
-    }
-}
-
-/// Max-batch / timeout dynamic batching (the classic serving trade-off:
-/// larger batches amortise the forward pass, the timeout bounds how long a
-/// lone request waits for company).
-#[derive(Debug)]
-pub struct DynamicBatchScheduler {
-    max_batch: usize,
-    timeout_ms: f64,
-    queue: VecDeque<PendingRequest>,
-}
-
-impl DynamicBatchScheduler {
-    /// Creates a scheduler with the given knobs (`max_batch` is clamped to
-    /// at least 1).
-    pub fn new(max_batch: usize, timeout_ms: f64) -> Self {
-        DynamicBatchScheduler { max_batch: max_batch.max(1), timeout_ms, queue: VecDeque::new() }
-    }
-}
-
-impl BatchScheduler for DynamicBatchScheduler {
-    fn push(&mut self, request: PendingRequest) {
-        self.queue.push_back(request);
-    }
-
-    fn pop_batch(&mut self, now_ms: f64) -> Vec<PendingRequest> {
-        let ready_by_size = self.queue.len() >= self.max_batch;
-        let ready_by_timeout =
-            self.queue.front().is_some_and(|oldest| oldest.arrival_ms + self.timeout_ms <= now_ms);
-        if ready_by_size || ready_by_timeout {
-            let take = self.queue.len().min(self.max_batch);
-            self.queue.drain(..take).collect()
-        } else {
-            Vec::new()
-        }
-    }
-
-    fn pop_batch_into(&mut self, now_ms: f64, out: &mut Vec<PendingRequest>) {
-        out.clear();
-        let ready_by_size = self.queue.len() >= self.max_batch;
-        let ready_by_timeout =
-            self.queue.front().is_some_and(|oldest| oldest.arrival_ms + self.timeout_ms <= now_ms);
-        if ready_by_size || ready_by_timeout {
-            let take = self.queue.len().min(self.max_batch);
-            out.extend(self.queue.drain(..take));
-        }
-    }
-
-    fn next_release_ms(&self) -> Option<f64> {
-        self.queue.front().map(|oldest| oldest.arrival_ms + self.timeout_ms)
-    }
-
-    fn pending(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn drain(&mut self) -> Vec<PendingRequest> {
-        self.queue.drain(..).collect()
-    }
-}
-
-/// Shortest-trajectory-first arbitration: requests whose plans cover fewer
-/// control steps (robots that will be back soonest) are served first.
-#[derive(Debug, Default)]
-pub struct ShortestTrajectoryFirstScheduler {
-    queue: Vec<PendingRequest>,
-}
-
-impl BatchScheduler for ShortestTrajectoryFirstScheduler {
-    fn push(&mut self, request: PendingRequest) {
-        self.queue.push(request);
-    }
-
-    fn pop_batch(&mut self, _now_ms: f64) -> Vec<PendingRequest> {
-        if self.queue.is_empty() {
-            return Vec::new();
-        }
-        let best = self
-            .queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| (r.planned_steps, r.seq))
-            .map(|(i, _)| i)
-            .expect("queue is non-empty");
-        vec![self.queue.remove(best)]
-    }
-
-    fn pop_batch_into(&mut self, _now_ms: f64, out: &mut Vec<PendingRequest>) {
-        out.clear();
-        if let Some(best) = self
-            .queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| (r.planned_steps, r.seq))
-            .map(|(i, _)| i)
-        {
-            out.push(self.queue.remove(best));
-        }
-    }
-
-    fn next_release_ms(&self) -> Option<f64> {
-        None
-    }
-
-    fn pending(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn drain(&mut self) -> Vec<PendingRequest> {
-        std::mem::take(&mut self.queue)
-    }
-}
-
-/// Where a robot's control computation runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ControlBackend {
-    /// Every robot owns its control hardware (no contention).
-    PerRobot,
-    /// All accelerator-backed robots share one arbitrated accelerator.
-    SharedAccelerator,
-}
-
-/// Where a robot's LLM inference runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum RobotCompute {
-    /// Offload inference to the shared server pool over the uplink (the
-    /// paper's deployment and the PR 3 default).
-    Offloaded,
-    /// Run inference on the robot itself (e.g. a Jetson Orin board): no
-    /// frame upload, no queueing — but the on-board device is typically an
-    /// order of magnitude slower per inference.
-    OnRobot(InferenceModel),
-}
-
-/// One robot of the fleet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RobotConfig {
-    /// The policy/execution variant this robot runs.
-    pub variant: Variant,
-    /// Seed of the robot's private jitter stream.
-    pub seed: u64,
-    /// Where this robot's inference runs (offloaded to the pool or on an
-    /// on-robot device).
-    pub compute: RobotCompute,
-}
-
-/// One inference server of the pool: its own device/precision model and its
-/// own batching discipline in front of its own queue.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(deny_unknown_fields)]
-pub struct ServerConfig {
-    /// Device/precision model this server runs inference on.
-    pub inference: InferenceModel,
-    /// How this server batches queued requests.
-    pub scheduler: SchedulerKind,
-}
-
-impl ServerConfig {
-    /// Creates a server.
-    pub fn new(inference: InferenceModel, scheduler: SchedulerKind) -> Self {
-        ServerConfig { inference, scheduler }
-    }
-
-    /// Unbatched service time of one request on this server, ms.
-    pub fn service_ms(&self, wants_trajectory: bool) -> f64 {
-        if wants_trajectory {
-            self.inference.trajectory_latency_ms()
-        } else {
-            self.inference.action_latency_ms()
-        }
-    }
-
-    /// Energy of serving one request on this server, joules.
-    pub fn inference_energy_j(&self, wants_trajectory: bool) -> f64 {
-        if wants_trajectory {
-            self.inference.trajectory_energy_j()
-        } else {
-            self.inference.action_energy_j()
-        }
-    }
-}
-
-/// Real-time duration of one executed control step under the paper's 30 Hz
-/// camera rate, ms — the [`FleetConfig::execution_step_ms`] default and the
-/// lower bound on a robot's per-frame pacing (used by scenario validation to
-/// bound the run horizon from below).
-pub const DEFAULT_EXECUTION_STEP_MS: f64 = 1000.0 / 30.0;
-
-/// One injected server outage: the server goes down at `at_ms` (its
-/// in-flight batch is aborted and its queue dropped) and comes back
-/// `down_ms` later.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(deny_unknown_fields)]
-pub struct CrashSpec {
-    /// Index of the crashing server in the pool.
-    pub server: usize,
-    /// Crash onset, ms.
-    pub at_ms: f64,
-    /// Outage duration, ms (the server recovers at `at_ms + down_ms`).
-    pub down_ms: f64,
-}
-
-/// One shared-link degradation window `[from_ms, until_ms)`: uploads that
-/// start inside the window take `latency_factor` times longer, and each
-/// completed upload is lost with probability `loss` (drawn from a dedicated
-/// per-robot fault RNG, so jitter streams — and fault-free runs — are
-/// untouched).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(deny_unknown_fields)]
-pub struct LinkDegradationSpec {
-    /// Window start, ms (inclusive).
-    pub from_ms: f64,
-    /// Window end, ms (exclusive).
-    pub until_ms: f64,
-    /// Multiplier on upload durations started inside the window (≥ 1).
-    pub latency_factor: f64,
-    /// Probability that an upload completing inside the window is lost
-    /// (`[0, 1]`; a lost upload never reaches a server and the robot
-    /// recovers via its timeout).
-    pub loss: f64,
-}
-
-/// Per-request timeout and bounded-retry policy of offloaded robots.
-///
-/// The timeout clock starts when an upload completes (the robot has sent
-/// the frame and waits for a plan); a request that has not been answered
-/// `timeout_ms` later is abandoned and retried — re-uploading after an
-/// exponential backoff of `backoff_ms · 2^(retry-1)` — at most
-/// `max_retries` times before the robot gives up on the plan (falling back
-/// to its on-robot model when the fault plan provides one, or dropping the
-/// plan and executing one blind step otherwise).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(deny_unknown_fields)]
-pub struct TimeoutSpec {
-    /// How long a robot waits for a plan after its upload completes, ms.
-    pub timeout_ms: f64,
-    /// Upload retries before the robot gives up on the plan.
-    pub max_retries: usize,
-    /// Base backoff before a retry upload, ms (doubled per retry).
-    pub backoff_ms: f64,
-}
-
-/// One churn entry: a robot that joins the fleet late and/or leaves early.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(deny_unknown_fields)]
-pub struct ChurnSpec {
-    /// Index of the churning robot.
-    pub robot: usize,
-    /// When the robot captures its first frame, ms (`0` = from the start;
-    /// the deterministic start stagger still applies if it is later).
-    pub join_at_ms: f64,
-    /// When the robot leaves, ms (`null` = never): it stops at the first
-    /// capture at or after this instant, leaving its remaining frames
-    /// unexecuted.
-    pub leave_at_ms: Option<f64>,
-}
-
-/// A deterministic fault-injection plan: server crash/recovery windows,
-/// uplink degradation, per-request timeout/retry, robot churn and
-/// degraded-mode on-robot fallback.
-///
-/// Faults are ordinary DES events (crash/recover pairs are scheduled
-/// upfront in plan order; timeouts and retries are scheduled by the
-/// handlers that need them), so injected runs stay byte-identical across
-/// reruns and shard counts.  A config without a fault plan schedules no
-/// fault events and draws nothing from the fault RNGs — the fault-free
-/// golden traces are bit-for-bit unchanged.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(deny_unknown_fields)]
-pub struct FaultPlan {
-    /// Server outage windows, applied in order.
-    pub crashes: Vec<CrashSpec>,
-    /// Shared-uplink degradation windows (first matching window wins).
-    pub link_degradations: Vec<LinkDegradationSpec>,
-    /// Timeout/retry policy.  Required (by scenario validation) whenever
-    /// crashes or lossy link windows are present — without it a lost
-    /// request would strand its robot forever.
-    pub timeout: Option<TimeoutSpec>,
-    /// Robots that join late or leave early (at most one entry per robot).
-    pub churn: Vec<ChurnSpec>,
-    /// On-robot model an offloaded robot falls back to once its retries are
-    /// exhausted (e.g. while every server is down).  `null` drops the plan
-    /// instead: the robot executes one blind step and recaptures.
-    pub fallback: Option<InferenceModel>,
-}
-
-impl FaultPlan {
-    /// An empty plan (no faults).  Useful as a starting point for builders.
-    pub fn none() -> Self {
-        FaultPlan {
-            crashes: Vec::new(),
-            link_degradations: Vec::new(),
-            timeout: None,
-            churn: Vec::new(),
-            fallback: None,
-        }
-    }
-
-    /// Whether any crash window is declared.
-    pub fn has_crashes(&self) -> bool {
-        !self.crashes.is_empty()
-    }
-
-    /// Whether any link window can lose uploads.
-    pub fn has_loss(&self) -> bool {
-        self.link_degradations.iter().any(|w| w.loss > 0.0)
-    }
-
-    /// Upload latency multiplier in effect at `t_ms` (first matching
-    /// window wins; `1.0` outside every window).
-    pub fn link_factor_at(&self, t_ms: f64) -> f64 {
-        self.link_degradations
-            .iter()
-            .find(|w| w.from_ms <= t_ms && t_ms < w.until_ms)
-            .map_or(1.0, |w| w.latency_factor)
-    }
-
-    /// Upload loss probability in effect at `t_ms` (first matching window
-    /// wins; `0.0` outside every window).
-    pub fn link_loss_at(&self, t_ms: f64) -> f64 {
-        self.link_degradations
-            .iter()
-            .find(|w| w.from_ms <= t_ms && t_ms < w.until_ms)
-            .map_or(0.0, |w| w.loss)
-    }
-
-    /// The churn entry of `robot`, if any.
-    pub fn churn_of(&self, robot: usize) -> Option<&ChurnSpec> {
-        self.churn.iter().find(|c| c.robot == robot)
-    }
-}
+use server::ServerState;
+use session::{FrameTask, Session};
+use stats::mser5_warmup;
 
 /// Configuration of a fleet-serving simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -837,128 +269,6 @@ impl FleetConfig {
     }
 }
 
-/// Mixes a fleet seed with a robot index so per-robot jitter streams are
-/// decorrelated (robot 0 of a fleet seeded `s` does **not** reuse `s`
-/// verbatim; the single-robot compatibility path sets the seed explicitly).
-pub fn fleet_robot_seed(seed: u64, robot: u64) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(robot.wrapping_mul(0xD129_0286_4DB6_4AA7))
-}
-
-/// One recorded event of a fleet run (the determinism regression surface).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct EventRecord {
-    /// Event time, ms.
-    pub time_ms: f64,
-    /// Event queue sequence number.
-    pub seq: u64,
-    /// Event kind (`capture`, `upload_done`, `scheduler_wake`,
-    /// `inference_done`, `local_inference_done`, `step_done`,
-    /// `request_timeout`, `retry_upload`, `server_crash`,
-    /// `server_recover`).
-    pub kind: String,
-    /// The robot concerned, if any.
-    pub robot: Option<usize>,
-    /// The server concerned, if any.
-    pub server: Option<usize>,
-}
-
-/// Per-robot results of a fleet run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RobotOutcome {
-    /// Robot index.
-    pub robot: usize,
-    /// Variant name.
-    pub variant: String,
-    /// Frames executed.
-    pub frames: usize,
-    /// LLM inferences issued.
-    pub inferences: usize,
-    /// When the robot finished its last frame, ms.
-    pub completed_ms: f64,
-    /// Mean end-to-end plan latency (capture → trajectory received), ms.
-    pub mean_plan_latency_ms: f64,
-    /// Per-frame latency/energy traces (legacy-compatible attribution plus
-    /// any link/queue/arbitration waits absorbed by inference frames).
-    pub frame_traces: Vec<FrameTrace>,
-}
-
-/// Aggregate serving metrics of a fleet run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FleetSummary {
-    /// Number of robots.
-    pub robots: usize,
-    /// Number of inference servers in the pool.
-    pub servers: usize,
-    /// Frames executed per robot.
-    pub frames_per_robot: usize,
-    /// Scheduler name (per-server names joined when they differ).
-    pub scheduler: String,
-    /// Routing policy name.
-    pub routing: String,
-    /// Warm-up window excluded from plan/queue/link statistics (ms).
-    pub warmup_ms: f64,
-    /// Time until the last robot finished, ms.
-    pub makespan_ms: f64,
-    /// Executed control steps per second across the fleet.
-    pub throughput_steps_per_s: f64,
-    /// Mean per-frame latency over all robots (ms, includes waits).
-    pub mean_frame_latency_ms: f64,
-    /// 99th-percentile per-frame latency (ms).
-    pub p99_frame_latency_ms: f64,
-    /// Mean end-to-end plan latency: frame capture → trajectory received (ms).
-    pub mean_plan_latency_ms: f64,
-    /// 99th-percentile end-to-end plan latency (ms).
-    pub p99_plan_latency_ms: f64,
-    /// Mean time requests queued at their server (ms).
-    pub mean_queue_delay_ms: f64,
-    /// 99th-percentile server queueing delay (ms).
-    pub p99_queue_delay_ms: f64,
-    /// Mean wait for the shared uplink (ms).
-    pub mean_link_wait_ms: f64,
-    /// Fraction of the pool's capacity (makespan × servers) spent busy.
-    pub server_utilization: f64,
-    /// Busy fraction of each server of the pool over the makespan.
-    pub per_server_utilization: Vec<f64>,
-    /// Fraction of the makespan the uplink was busy.
-    pub link_utilization: f64,
-    /// Total inference requests served by the pool.
-    pub inferences: usize,
-    /// Inferences run on on-robot devices (bypassing the pool).
-    pub on_robot_inferences: usize,
-    /// Mean formed batch size.
-    pub mean_batch_size: f64,
-    /// Fraction of steady-state plan latencies exceeding
-    /// [`FleetConfig::slo_budget_ms`] (0 when no plan completed after the
-    /// warm-up window).
-    pub slo_violation_fraction: f64,
-    /// Requests abandoned by their robot after waiting past the fault
-    /// plan's timeout.
-    pub timed_out_requests: usize,
-    /// Upload retries issued after timeouts.
-    pub retries: usize,
-    /// Plans given up entirely after exhausting retries with no fallback
-    /// model configured (the robot executed one blind step instead).
-    pub dropped_requests: usize,
-    /// Plans served by the degraded-mode on-robot fallback model after
-    /// retries were exhausted.
-    pub fallback_inferences: usize,
-    /// Mean time from a crashed server's scheduled recovery instant to its
-    /// first completed inference afterwards, ms (0 when no crash window
-    /// recovered within the run).
-    pub mean_recovery_ms: f64,
-}
-
-/// Everything a fleet run produces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FleetOutcome {
-    /// Aggregate serving metrics.
-    pub summary: FleetSummary,
-    /// Per-robot results.
-    pub robots: Vec<RobotOutcome>,
-    /// Event log (empty unless [`FleetConfig::record_event_log`]).
-    pub event_log: Vec<EventRecord>,
-}
-
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum FleetEvent {
     Capture {
@@ -1000,114 +310,6 @@ enum FleetEvent {
     ServerRecover {
         server: usize,
     },
-}
-
-/// One undecorated frame observation, deferred until the next window
-/// barrier.  The engine records the exact latency/energy attribution at
-/// event time; the per-robot jitter draw and `FrameTrace` construction run
-/// later, shard-parallel, without changing any float expression or the
-/// order of the session's RNG stream (frames are appended — and therefore
-/// decorated — strictly in frame order).
-#[derive(Debug, Clone, Copy)]
-struct FrameTask {
-    index: usize,
-    kind: FrameKind,
-    latency_ms: f64,
-    energy_j: f64,
-}
-
-/// Per-robot runtime state.
-struct Session {
-    steps_model: StepsTakenModel,
-    rng: StdRng,
-    is_baseline: bool,
-    uses_shared_accelerator: bool,
-    variant_name: String,
-    // Calibrated constants.
-    control_ms: f64,
-    control_energy_j: f64,
-    comm_energy_j: f64,
-    /// Unbatched local service time and per-inference energy for
-    /// [`RobotCompute::OnRobot`] sessions; `None` when offloaded.
-    local: Option<(f64, f64)>,
-    // Progress.
-    frame_index: usize,
-    inference_count: usize,
-    plan_steps: usize,
-    step_in_plan: usize,
-    // Bookkeeping for the in-flight plan.
-    capture_ms: f64,
-    link_wait_ms: f64,
-    upload_ms: f64,
-    /// Undegraded duration of this plan's frame upload (the quantity a
-    /// retry re-sends; `upload_ms` accumulates what was actually paid).
-    base_upload_ms: f64,
-    queue_wait_ms: f64,
-    batch_service_ms: f64,
-    inference_energy_j: f64,
-    ctl_wait_ms: f64,
-    // Fault state.
-    /// Monotone attempt counter; each capture (and each retry) claims a
-    /// fresh id so stale deliveries and timeouts can be recognised.
-    attempt: u64,
-    /// The attempt currently awaiting a plan (None once answered, dropped
-    /// or handed to the fallback model).
-    active_attempt: Option<u64>,
-    retries_this_plan: usize,
-    /// When the robot leaves the fleet (from the churn plan).
-    leave_at_ms: Option<f64>,
-    /// Dedicated loss-draw RNG (only built when a fault plan exists), kept
-    /// apart from the jitter stream so fault-free traces never move.
-    fault_rng: Option<StdRng>,
-    /// Service time and energy of a fallback inference in flight.
-    fallback_pending: Option<(f64, f64)>,
-    // Outputs.
-    pending: Vec<FrameTask>,
-    traces: Vec<FrameTrace>,
-    plan_latency_sum_ms: f64,
-    finished_ms: f64,
-}
-
-/// Per-server runtime state.
-struct ServerState {
-    config: ServerConfig,
-    scheduler: Box<dyn BatchScheduler>,
-    busy: bool,
-    batch: Vec<PendingRequest>,
-    busy_since_ms: f64,
-    busy_ms: f64,
-    /// Timestamp of the latest busy-time accrual.  Under a timeout storm the
-    /// pool keeps burning abandoned requests after the last robot finishes,
-    /// so the utilization denominator must extend past the robot makespan.
-    busy_until_ms: f64,
-    next_wake_ms: Option<f64>,
-    /// Health flag: crashed servers take no arrivals and dispatch nothing.
-    up: bool,
-    /// Incarnation counter, bumped on every crash; in-flight completions
-    /// from an earlier incarnation are discarded.
-    epoch: u64,
-}
-
-impl ServerState {
-    fn new(config: ServerConfig) -> Self {
-        ServerState {
-            config,
-            scheduler: config.scheduler.build(),
-            busy: false,
-            batch: Vec::new(),
-            busy_since_ms: 0.0,
-            busy_ms: 0.0,
-            busy_until_ms: 0.0,
-            next_wake_ms: None,
-            up: true,
-            epoch: 0,
-        }
-    }
-
-    /// Queued plus in-flight requests, as seen by the router.
-    fn depth(&self) -> usize {
-        self.scheduler.pending() + if self.busy { self.batch.len() } else { 0 }
-    }
 }
 
 /// Simulates a fleet of robots sharing an inference server pool.
@@ -1323,104 +525,6 @@ impl FleetSimulator {
     }
 }
 
-/// Salt xored into a robot's seed for its loss-draw fault RNG, keeping the
-/// stream decorrelated from the jitter stream seeded by the raw seed.
-const FAULT_RNG_SALT: u64 = 0xFA17_C0DE_D15C_0BE5;
-
-impl Session {
-    fn new(index: usize, robot: &RobotConfig, cfg: &FleetConfig) -> Self {
-        let variant = &robot.variant;
-        let is_baseline = *variant == Variant::RoboFlamingo;
-        let steps_model = match variant {
-            Variant::RoboFlamingo => StepsTakenModel::Fixed(1),
-            Variant::CorkiFixed(n) => StepsTakenModel::Fixed(*n),
-            Variant::CorkiAdaptive => StepsTakenModel::Distribution(cfg.adaptive_lengths.clone()),
-            Variant::CorkiSoftware => StepsTakenModel::Fixed(5),
-        };
-        let control_ms = match variant {
-            Variant::RoboFlamingo => baseline_control_ms(),
-            Variant::CorkiSoftware => {
-                cfg.cpu.control_latency_ms * (1.0 - cfg.ace_skip_fraction * 0.42)
-            }
-            _ => cfg.accelerator.control_latency_with_skips(cfg.ace_skip_fraction).latency_ms,
-        };
-        let control_power_w = match variant {
-            Variant::RoboFlamingo | Variant::CorkiSoftware => cfg.cpu.power_w,
-            _ => cfg.accelerator_power_w,
-        };
-        let uses_shared_accelerator =
-            !matches!(variant, Variant::RoboFlamingo | Variant::CorkiSoftware);
-        // On-robot sessions never use the radio: no upload, no per-frame
-        // communication energy.
-        let (local, comm_energy_j) = match &robot.compute {
-            RobotCompute::Offloaded => (None, cfg.communication.energy_per_frame_j()),
-            RobotCompute::OnRobot(model) => {
-                let (service_ms, energy_j) = if is_baseline {
-                    (model.action_latency_ms(), model.action_energy_j())
-                } else {
-                    (model.trajectory_latency_ms(), model.trajectory_energy_j())
-                };
-                (Some((service_ms, energy_j)), 0.0)
-            }
-        };
-        Session {
-            steps_model,
-            rng: StdRng::seed_from_u64(robot.seed),
-            is_baseline,
-            uses_shared_accelerator,
-            variant_name: variant.name(),
-            control_ms,
-            control_energy_j: control_ms / 1000.0 * control_power_w,
-            comm_energy_j,
-            local,
-            frame_index: 0,
-            inference_count: 0,
-            plan_steps: 0,
-            step_in_plan: 0,
-            capture_ms: 0.0,
-            link_wait_ms: 0.0,
-            upload_ms: 0.0,
-            base_upload_ms: 0.0,
-            queue_wait_ms: 0.0,
-            batch_service_ms: 0.0,
-            inference_energy_j: 0.0,
-            ctl_wait_ms: 0.0,
-            attempt: 0,
-            active_attempt: None,
-            retries_this_plan: 0,
-            leave_at_ms: cfg
-                .faults
-                .as_ref()
-                .and_then(|f| f.churn_of(index))
-                .and_then(|c| c.leave_at_ms),
-            fault_rng: cfg
-                .faults
-                .as_ref()
-                .map(|_| StdRng::seed_from_u64(robot.seed ^ FAULT_RNG_SALT)),
-            fallback_pending: None,
-            pending: Vec::new(),
-            traces: Vec::with_capacity(cfg.frames_per_robot),
-            plan_latency_sum_ms: 0.0,
-            finished_ms: 0.0,
-        }
-    }
-
-    /// Decorates and appends every deferred frame: one jitter draw per
-    /// frame, in frame order — the same RNG stream and the same float
-    /// expressions as immediate decoration, whatever the flush cadence.
-    fn flush_pending(&mut self, jitter: f64) {
-        for task in self.pending.drain(..) {
-            let scale = 1.0 + self.rng.gen_range(-jitter..=jitter);
-            self.traces.push(FrameTrace {
-                index: task.index,
-                kind: task.kind,
-                latency_ms: task.latency_ms * scale,
-                energy_j: task.energy_j * scale,
-            });
-        }
-    }
-}
-
 impl Engine<'_> {
     /// The shard owning robot/server `index` (`index % shards`), computed
     /// with a mask when the shard count is a power of two — this runs on
@@ -1516,11 +620,12 @@ impl Engine<'_> {
             );
             return;
         }
-        session.base_upload_ms = if session.is_baseline || full_steps == 1 {
-            self.cfg.communication.per_frame_ms
-        } else {
-            self.cfg.communication.per_frame_ms * self.cfg.unhidden_comm_fraction
-        };
+        session.base_upload_ms = plan_upload_ms(
+            session.is_baseline,
+            full_steps,
+            self.cfg.communication.per_frame_ms,
+            self.cfg.unhidden_comm_fraction,
+        );
         session.upload_ms = match self.cfg.faults.as_ref() {
             Some(faults) => session.base_upload_ms * faults.link_factor_at(now),
             None => session.base_upload_ms,
@@ -1639,11 +744,7 @@ impl Engine<'_> {
         // Retries exhausted: the robot gives up on the pool for this plan.
         session.active_attempt = None;
         if let Some(model) = faults.fallback.as_ref() {
-            let (service_ms, energy_j) = if session.is_baseline {
-                (model.action_latency_ms(), model.action_energy_j())
-            } else {
-                (model.trajectory_latency_ms(), model.trajectory_energy_j())
-            };
+            let (service_ms, energy_j) = on_robot_inference_cost(model, session.is_baseline);
             session.fallback_pending = Some((service_ms, energy_j));
             self.queue.schedule(shard, now + service_ms, FleetEvent::LocalInferenceDone { robot });
         } else {
@@ -1726,7 +827,7 @@ impl Engine<'_> {
             return;
         }
         let base = batch.iter().map(|r| r.service_ms).fold(0.0_f64, f64::max);
-        let service = base * (1.0 + self.cfg.batch_overhead * (batch.len() as f64 - 1.0));
+        let service = batch_service_ms(base, batch.len(), self.cfg.batch_overhead);
         let inference_done = now + service;
         for request in &batch {
             let session = &mut self.sessions[request.robot];
@@ -2051,47 +1152,10 @@ impl Engine<'_> {
     }
 }
 
-/// Keeps the samples completed at or after the warm-up window.
-fn trim_warmup(samples: &[(f64, f64)], warmup_ms: f64) -> Vec<f64> {
-    samples.iter().filter(|(t, _)| *t >= warmup_ms).map(|(_, v)| *v).collect()
-}
-
-/// MSER-5 steady-state detection over a `(time, value)` series.
-///
-/// The series is condensed into batch means of five consecutive samples;
-/// for every truncation point `d` up to half the batches, the MSER
-/// statistic — the variance of the retained batch means divided by the
-/// square of their count — is evaluated, and the earliest minimiser wins.
-/// The returned warm-up is the timestamp of the first retained sample
-/// (`0` when the series is too short to batch meaningfully, so short runs
-/// degrade to the keep-everything behaviour instead of guessing).
-fn mser5_warmup(series: &[(f64, f64)]) -> f64 {
-    const BATCH: usize = 5;
-    let batches: Vec<f64> = series
-        .chunks_exact(BATCH)
-        .map(|chunk| chunk.iter().map(|(_, value)| value).sum::<f64>() / BATCH as f64)
-        .collect();
-    if batches.len() < 4 {
-        return 0.0;
-    }
-    let mut best = (0_usize, f64::INFINITY);
-    for d in 0..=batches.len() / 2 {
-        let kept = &batches[d..];
-        let n = kept.len() as f64;
-        let mean_kept = kept.iter().sum::<f64>() / n;
-        let statistic =
-            kept.iter().map(|b| (b - mean_kept) * (b - mean_kept)).sum::<f64>() / (n * n);
-        if statistic < best.1 {
-            best = (d, statistic);
-        }
-    }
-    series[best.0 * BATCH].0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::devices::{DataRepresentation, InferenceDevice};
+    use crate::devices::{DataRepresentation, InferenceDevice, InferenceModel};
 
     fn quick_fleet(variant: Variant, robots: usize, scheduler: SchedulerKind) -> FleetConfig {
         let mut cfg = FleetConfig::paper_defaults(variant, robots, 11);
