@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! bench [--quick] [--only <prefix>] [--json <path>] [--check <path>]
-//!       [--compare <baseline>] [--threshold-pct <p>]
+//!       [--compare <baseline>] [--threshold-pct <p>] [--flamegraph <path>]
 //! ```
 //!
 //! * default — run the full suite and print the report table;
@@ -29,7 +29,13 @@
 //!   threshold).  Live rows gate on their p99 plan latency — dominated by
 //!   modelled sleeps, so it moves with real serving regressions, not with
 //!   machine speed.  Edited scenarios (hash moved) are reported but never
-//!   gate.
+//!   gate;
+//! * `--flamegraph <path>` — write the telemetry stage rows as folded
+//!   stacks (`corki;<scenario>;<stage> <total_ns>`, one line per stage,
+//!   weighted by total recorded nanoseconds), ready to pipe through
+//!   `flamegraph.pl` or `inferno-flamegraph` for a per-stage time
+//!   breakdown of every deterministic fleet scenario.  Requires a run
+//!   that produced telemetry rows (i.e. the fleet_serving cases).
 
 use corki_bench::micro::{run_suite_filtered, BenchReport, RunnerConfig};
 
@@ -51,6 +57,7 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut compare_path: Option<String> = None;
     let mut threshold_pct: Option<f64> = None;
+    let mut flamegraph_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -74,6 +81,10 @@ fn main() {
             "--threshold-pct" => match args.next().map(|p| p.parse::<f64>()) {
                 Some(Ok(p)) if p.is_finite() && p >= 0.0 => threshold_pct = Some(p),
                 _ => fail("--threshold-pct requires a non-negative number"),
+            },
+            "--flamegraph" => match args.next() {
+                Some(path) => flamegraph_path = Some(path),
+                None => fail("--flamegraph requires a path argument"),
             },
             other => fail(&format!("unknown argument `{other}`")),
         }
@@ -107,6 +118,27 @@ fn main() {
         // write fails the run, not a later consumer.
         let _ = load_report(path);
         println!("(wrote and validated JSON report at {path})");
+    }
+
+    if let Some(path) = &flamegraph_path {
+        if report.telemetry.is_empty() {
+            fail("--flamegraph needs telemetry rows; run without --only or include fleet_serving");
+        }
+        // Folded-stack format: one `frame;frame;… weight` line per stage,
+        // weighted by the total nanoseconds that stage accumulated across
+        // the scenario.  Tools like flamegraph.pl / inferno-flamegraph
+        // turn this directly into an SVG.
+        let mut folded = String::new();
+        for row in &report.telemetry {
+            let scenario = row
+                .name
+                .trim_start_matches("telemetry/")
+                .trim_end_matches(&format!("/{}", row.stage));
+            let total_ns = (row.mean_ns * row.samples as f64).round() as u64;
+            folded.push_str(&format!("corki;{scenario};{} {total_ns}\n", row.stage));
+        }
+        std::fs::write(path, folded).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("(wrote folded flamegraph stacks at {path})");
     }
 
     if let Some(path) = compare_path {

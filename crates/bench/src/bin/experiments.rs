@@ -5,7 +5,8 @@
 //! ```text
 //! experiments [--full | --smoke] [--json <path>] [--servers <n>]
 //!             [--routing <policy>] [--scenario <file.json>] [--shards <k>]
-//!             [--threads <t|auto>] [--robots <n>] [--frames <n>] [name ...]
+//!             [--threads <t|auto>] [--robots <n>] [--frames <n>]
+//!             [--telemetry] [name ...]
 //! ```
 //!
 //! Experiment names: `fig2`, `table1`, `table2`, `fig11`, `fig12`, `fig13`,
@@ -13,6 +14,14 @@
 //! `fig15`, `bottleneck`, `fleet`, `serve`. With no names, everything except
 //! `serve` runs; the historical `only` keyword before names is still
 //! accepted.
+//!
+//! Both `fleet` and `serve` carry the always-on in-path telemetry recorder
+//! (`corki_telemetry`): per-stage latency histograms over the shared
+//! six-stage taxonomy (encode, uplink queue, pool queue, batch service,
+//! downlink, control step) plus bounded per-robot timelines.  The reports
+//! are always written to `--json` output (`fleet_telemetry`, and inside
+//! every `serve` report); `--telemetry` additionally renders the per-stage
+//! p50/p99/p99.9 tables on stdout.
 //!
 //! `serve` is the live counterpart of `fleet`: it lowers the `--scenario`
 //! cells into real processes — one robot client per robot, one inference
@@ -53,8 +62,8 @@
 
 use corki::experiments::{self, ExperimentScale};
 use corki::fleet::{
-    fleet_sweep, measured_adaptive_lengths, robots_within_budget, FleetExperiment, FleetScale,
-    FleetSweepRow,
+    measured_adaptive_lengths, robots_within_budget, DetailedSweepCell, FleetExperiment,
+    FleetScale, FleetSweepRow,
 };
 use corki::scenario::{ScenarioSpec, ThreadSpec};
 use corki::RoutingPolicy;
@@ -110,6 +119,37 @@ fn live_child_role(args: &[String]) -> i32 {
     }
 }
 
+/// Renders one telemetry report as a per-stage latency table plus a
+/// one-line timeline summary, indented under its cell's sweep row.
+/// Quantiles are log2-bucket ceilings, so they are conservative within one
+/// power of two of the exact nearest-rank value.
+fn print_telemetry(report: &corki_telemetry::TelemetryReport) {
+    println!(
+        "    {:<14} {:>9} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "samples", "dropped", "mean[ms]", "p50[ms]", "p99[ms]", "p99.9[ms]"
+    );
+    for stage in &report.stages {
+        println!(
+            "    {:<14} {:>9} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            stage.stage,
+            stage.samples,
+            stage.dropped,
+            stage.mean_ns / 1e6,
+            stage.p50_ns as f64 / 1e6,
+            stage.p99_ns as f64 / 1e6,
+            stage.p999_ns as f64 / 1e6,
+        );
+    }
+    let events: usize = report.timelines.iter().map(|t| t.events.len()).sum();
+    let dropped: u64 = report.timelines.iter().map(|t| t.dropped).sum();
+    println!(
+        "    timelines: {} robot(s), {} event(s) kept, {} beyond capacity",
+        report.timelines.len(),
+        events,
+        dropped,
+    );
+}
+
 fn main() {
     // The live coordinator re-executes this binary as its robot and worker
     // processes; those hidden roles bypass the experiment CLI entirely.
@@ -130,6 +170,7 @@ fn main() {
     let mut scenario_path: Option<String> = None;
     let mut robots_clamp: Option<usize> = None;
     let mut frames_clamp: Option<usize> = None;
+    let mut telemetry_tables = false;
     let mut positionals: Vec<String> = Vec::new();
     let mut raw = raw_args.into_iter().skip(1);
     while let Some(arg) = raw.next() {
@@ -213,6 +254,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--telemetry" => telemetry_tables = true,
             _ => positionals.push(arg),
         }
     }
@@ -522,7 +564,7 @@ fn main() {
 
     if wants("fleet") {
         println!("== Fleet serving: robots × variant × scheduler × pool × composition sweep ==");
-        let (rows, latency_budget_ms): (Vec<FleetSweepRow>, f64) = if let Some(path) =
+        let (detailed, latency_budget_ms): (Vec<DetailedSweepCell>, f64) = if let Some(path) =
             &scenario_path
         {
             // A declarative scenario file fully describes the experiment.
@@ -569,7 +611,7 @@ fn main() {
                 shards_label,
                 threads_label
             );
-            (corki::fleet::scenario_sweep(&cells), spec.latency_budget_ms)
+            (corki::fleet::scenario_sweep_detailed(&cells), spec.latency_budget_ms)
         } else {
             // Legacy flags: build the same experiment shim as before (it
             // lowers to a ScenarioSpec internally, so both paths run the
@@ -602,25 +644,22 @@ fn main() {
                 experiment.routing,
                 experiment.scale.warmup_ms
             );
-            let rows = if shards_override.is_some() || threads_override.is_some() {
-                // The shim lowers to a spec anyway; threading the shard and
-                // thread knobs through it keeps one expansion path.
-                let mut spec = experiment.to_scenario();
-                if let Some(shards) = shards_override {
-                    spec.shards = shards;
-                }
-                if let Some(threads) = threads_override {
-                    spec.threads = ThreadSpec::Fixed(threads.resolve(spec.shards).min(spec.shards));
-                }
-                let cells = spec
-                    .expand()
-                    .expect("FleetExperiment axis lists always lower to a valid scenario");
-                corki::fleet::scenario_sweep(&cells)
-            } else {
-                fleet_sweep(&experiment)
-            };
-            (rows, experiment.latency_budget_ms)
+            // The shim lowers to a spec anyway; threading the shard and
+            // thread knobs through it keeps one expansion path (and gives
+            // the legacy flags the same detailed, telemetry-carrying sweep
+            // as scenario files).
+            let mut spec = experiment.to_scenario();
+            if let Some(shards) = shards_override {
+                spec.shards = shards;
+            }
+            if let Some(threads) = threads_override {
+                spec.threads = ThreadSpec::Fixed(threads.resolve(spec.shards).min(spec.shards));
+            }
+            let cells =
+                spec.expand().expect("FleetExperiment axis lists always lower to a valid scenario");
+            (corki::fleet::scenario_sweep_detailed(&cells), experiment.latency_budget_ms)
         };
+        let rows: Vec<FleetSweepRow> = detailed.iter().map(|cell| cell.row.clone()).collect();
         println!(
             "  {:<12} {:<13} {:<26} {:>4} {:>4} {:>10} {:>9} {:>20} {:>20} {:>6} {:>6}",
             "variant",
@@ -706,9 +745,25 @@ fn main() {
                 row.variant, row.scheduler, row.composition, row.servers, row.max_robots
             );
         }
+        if telemetry_tables {
+            println!("\n  in-path telemetry (always-on recorder, warm-up included):");
+            for cell in &detailed {
+                println!(
+                    "  {} / {} / {} ({} robots, {} srv):",
+                    cell.row.variant,
+                    cell.row.scheduler,
+                    cell.row.composition,
+                    cell.row.robots,
+                    cell.row.servers
+                );
+                print_telemetry(&cell.telemetry);
+            }
+        }
         println!();
         json.insert("fleet".to_owned(), serde_json::to_value(&rows).unwrap());
         json.insert("fleet_budget".to_owned(), serde_json::to_value(&budget).unwrap());
+        let telemetry: Vec<_> = detailed.iter().map(|cell| &cell.telemetry).collect();
+        json.insert("fleet_telemetry".to_owned(), serde_json::to_value(&telemetry).unwrap());
     }
 
     if serve_selected {
@@ -826,6 +881,19 @@ fn main() {
                 report.mean_stage_total_ms,
                 report.ipc_overhead_ms,
             );
+        }
+        if telemetry_tables {
+            println!("\n  in-path telemetry (drained live from the shared segment):");
+            for report in &reports {
+                println!(
+                    "  {} ({} robots, {} srv, {} drain(s)):",
+                    report.row.variant,
+                    report.row.robots,
+                    report.row.servers,
+                    report.telemetry_drains
+                );
+                print_telemetry(&report.telemetry);
+            }
         }
         println!();
         json.insert("serve".to_owned(), serde_json::to_value(&reports).unwrap());

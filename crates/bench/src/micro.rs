@@ -52,8 +52,16 @@ use std::time::{Duration, Instant};
 /// (full mode only: the sibling `experiments serve` binary lowers the
 /// committed live scenario onto real processes over shared memory and the
 /// row records its throughput, plan/queue latencies and measured IPC
-/// transit), and `--only` accepts comma-separated prefixes.
-pub const SCHEMA_VERSION: u32 = 7;
+/// transit), and `--only` accepts comma-separated prefixes; 8 — adds the
+/// `telemetry` section (deterministic per-stage rows from the always-on
+/// in-path recorder: sample/dropped counts, exact means and log2-bucket
+/// p50/p99/p99.9 quantiles for each of the six serving stages of every
+/// committed fleet scenario, fingerprint-matched to their `fleet_serving`
+/// rows) plus the `telemetry/record` and `telemetry/shm_record` micro
+/// cases pinning the recorder's in-path cost in both of its homes, with a
+/// `telemetry/shm_overhead` comparison of the shared-memory atomics
+/// against plain memory.
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Timing-loop configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +238,37 @@ pub struct LiveServingRow {
     pub wall_s: f64,
 }
 
+/// One deterministic per-stage telemetry row from the always-on in-path
+/// recorder: extracted from the same DES runs as the `fleet_serving`
+/// metric rows, so like them these numbers are simulation outputs —
+/// byte-stable across machines — and `--compare` can track a drift in any
+/// serving stage's latency distribution exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TelemetryStageRow {
+    /// Row name (`telemetry/<scenario>/<stage>`).
+    pub name: String,
+    /// Content fingerprint of the expanded cell (16 lowercase hex chars) —
+    /// pairs the row with its `fleet_serving` sibling and its baseline.
+    pub scenario_hash: String,
+    /// Stage label (`encode`, `uplink_queue`, `pool_queue`,
+    /// `batch_service`, `downlink`, `control_step`).
+    pub stage: String,
+    /// Values recorded into the stage histogram.
+    pub samples: u64,
+    /// Values beyond the histogram range (counted, never recorded).
+    pub dropped: u64,
+    /// Exact mean of the recorded values, ns.
+    pub mean_ns: f64,
+    /// Median, ns (log2-bucket ceiling: conservative within one power of
+    /// two of the exact nearest-rank value).
+    pub p50_ns: u64,
+    /// 99th percentile, ns (log2-bucket ceiling).
+    pub p99_ns: u64,
+    /// 99.9th percentile, ns (log2-bucket ceiling).
+    pub p999_ns: u64,
+}
+
 /// The canonical report emitted as `BENCH_*.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
@@ -246,6 +285,9 @@ pub struct BenchReport {
     pub comparisons: Vec<Comparison>,
     /// Deterministic fleet-serving metrics (identical in every mode).
     pub fleet_rows: Vec<FleetServingRow>,
+    /// Deterministic per-stage telemetry rows from the same DES runs as
+    /// `fleet_rows` (identical in every mode).
+    pub telemetry: Vec<TelemetryStageRow>,
     /// End-to-end wall-clock rows (full mode only; empty when the
     /// `experiments` binary is not built alongside the runner).
     pub e2e: Vec<E2eWallClockRow>,
@@ -336,6 +378,23 @@ impl BenchReport {
                 return Err(format!("degenerate fault metrics for `{}`", row.name));
             }
         }
+        for row in &self.telemetry {
+            let quantiles_ok = row.mean_ns.is_finite()
+                && row.mean_ns >= 0.0
+                && row.p50_ns <= row.p99_ns
+                && row.p99_ns <= row.p999_ns;
+            if !quantiles_ok {
+                return Err(format!("degenerate telemetry row `{}`", row.name));
+            }
+            let hash_ok = row.scenario_hash.len() == 16
+                && row
+                    .scenario_hash
+                    .bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase());
+            if !hash_ok {
+                return Err(format!("malformed scenario hash for `{}`", row.name));
+            }
+        }
         for row in &self.e2e {
             let timings_ok = row.runs >= 1
                 && row.min_s.is_finite()
@@ -410,6 +469,16 @@ impl BenchReport {
                 row.p99_plan_latency_ms,
                 row.p99_queue_delay_ms,
                 row.server_utilization
+            ));
+        }
+        for row in &self.telemetry {
+            out.push_str(&format!(
+                "  {:<44} {:>8} samples  p50/p99/p99.9 {:>9.3}/{:>9.3}/{:>9.3} ms\n",
+                format!("telemetry: {}", row.name),
+                row.samples,
+                row.p50_ns as f64 / 1e6,
+                row.p99_ns as f64 / 1e6,
+                row.p999_ns as f64 / 1e6,
             ));
         }
         for row in &self.e2e {
@@ -824,14 +893,44 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
             }),
         });
     }
+    // The always-on recorder lives in the serving hot path, so its per-
+    // record cost is pinned in both homes: plain memory (the DES engine's
+    // `Recorder`) and a shm-layout page of atomics (the live processes'
+    // `ShmTelemetry`).  The page is leaked like the ipc fixture's segment —
+    // a few kilobytes once per suite run — so the handle can live `'static`
+    // inside the timing closure.
+    let mut recorder = corki_telemetry::Recorder::new(8);
+    let mut record_state = 0x9e37_79b9_7f4a_7c15u64;
+    cases.push(BenchCase {
+        name: "telemetry/record".to_owned(),
+        routine: Box::new(move || {
+            record_state = lcg(record_state);
+            recorder.record(corki_telemetry::Stage::PoolQueue, black_box(record_state >> 40));
+        }),
+    });
+    let page: &'static [std::sync::atomic::AtomicU64] = Box::leak(
+        (0..corki_telemetry::PAGE_WORDS)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice(),
+    );
+    let shm_recorder = corki_telemetry::ShmTelemetry::new(page);
+    let mut shm_state = 0x853c_49e6_748f_ea9bu64;
+    cases.push(BenchCase {
+        name: "telemetry/shm_record".to_owned(),
+        routine: Box::new(move || {
+            shm_state = lcg(shm_state);
+            shm_recorder.record(corki_telemetry::Stage::PoolQueue, black_box(shm_state >> 40));
+        }),
+    });
     cases.retain(|case| filter_keeps(filter, &case.name));
     // The deterministic fleet metric rows only matter when the report
     // covers fleet benches at all — a `--only trajectory` run should not
     // pay for fleet simulations it will not record.
-    let fleet_rows = if fleet_cases.iter().any(|(n, _)| filter_keeps(filter, n)) {
+    let (fleet_rows, telemetry_rows) = if fleet_cases.iter().any(|(n, _)| filter_keeps(filter, n)) {
         fleet_metric_rows(&fleet_cases)
     } else {
-        Vec::new()
+        (Vec::new(), Vec::new())
     };
     // End-to-end wall-clock rows are full-mode only (a quick CI run should
     // not spawn multi-second child processes) and need the sibling
@@ -892,6 +991,13 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         "ipc_transit/cross_thread_rtt".to_owned(),
         "ipc_transit/ring_push_pop".to_owned(),
     ));
+    // What the shared-memory home of the recorder costs over plain memory
+    // (fetch_add atomics vs ordinary adds on the same log2-bucket layout).
+    comparison_specs.push((
+        "telemetry/shm_overhead".to_owned(),
+        "telemetry/shm_record".to_owned(),
+        "telemetry/record".to_owned(),
+    ));
     let comparisons = comparison_specs
         .into_iter()
         .filter_map(|(name, reference, fast)| {
@@ -909,6 +1015,7 @@ pub fn run_suite_filtered(config: &RunnerConfig, mode: &str, filter: Option<&str
         benches,
         comparisons,
         fleet_rows,
+        telemetry: telemetry_rows,
         e2e,
         live,
     }
@@ -979,41 +1086,60 @@ pub fn fleet_scenario_cells() -> Vec<(String, ConcreteScenario)> {
 }
 
 /// Runs the canonical fleet cells once and extracts their deterministic
-/// serving metrics (simulation outputs: byte-stable across machines, unlike
-/// the timing medians).  Takes the cells the timing benches already
-/// expanded so both measure the same fleets by construction.
-fn fleet_metric_rows(cases: &[(String, ConcreteScenario)]) -> Vec<FleetServingRow> {
-    cases
-        .iter()
-        .map(|(name, cell)| {
-            let summary = FleetSimulator::new(cell.config.clone())
-                .with_shards(cell.shards)
-                .with_threads(cell.threads)
-                .run()
-                .summary;
-            FleetServingRow {
-                name: name.clone(),
-                robots: summary.robots,
-                servers: summary.servers,
-                variant: cell.variant_label.clone(),
-                scheduler: cell.scheduler_label.clone(),
-                routing: cell.routing_label.clone(),
-                scenario_hash: scenario_fingerprint(std::slice::from_ref(cell)),
-                composition: cell.composition_label.clone(),
-                warmup_ms: summary.warmup_ms,
-                throughput_steps_per_s: summary.throughput_steps_per_s,
-                p99_plan_latency_ms: summary.p99_plan_latency_ms,
-                p99_queue_delay_ms: summary.p99_queue_delay_ms,
-                server_utilization: summary.server_utilization,
-                slo_violation_fraction: summary.slo_violation_fraction,
-                timed_out_requests: summary.timed_out_requests,
-                retries: summary.retries,
-                dropped_requests: summary.dropped_requests,
-                fallback_inferences: summary.fallback_inferences,
-                mean_recovery_ms: summary.mean_recovery_ms,
-            }
-        })
-        .collect()
+/// serving metrics plus the per-stage telemetry rows the engine's always-on
+/// recorder produced alongside (both are simulation outputs: byte-stable
+/// across machines, unlike the timing medians).  Takes the cells the timing
+/// benches already expanded so all three measure the same fleets by
+/// construction.
+fn fleet_metric_rows(
+    cases: &[(String, ConcreteScenario)],
+) -> (Vec<FleetServingRow>, Vec<TelemetryStageRow>) {
+    let mut fleet_rows = Vec::with_capacity(cases.len());
+    let mut telemetry_rows = Vec::new();
+    for (name, cell) in cases {
+        let outcome = FleetSimulator::new(cell.config.clone())
+            .with_shards(cell.shards)
+            .with_threads(cell.threads)
+            .run();
+        let summary = &outcome.summary;
+        let scenario_hash = scenario_fingerprint(std::slice::from_ref(cell));
+        fleet_rows.push(FleetServingRow {
+            name: name.clone(),
+            robots: summary.robots,
+            servers: summary.servers,
+            variant: cell.variant_label.clone(),
+            scheduler: cell.scheduler_label.clone(),
+            routing: cell.routing_label.clone(),
+            scenario_hash: scenario_hash.clone(),
+            composition: cell.composition_label.clone(),
+            warmup_ms: summary.warmup_ms,
+            throughput_steps_per_s: summary.throughput_steps_per_s,
+            p99_plan_latency_ms: summary.p99_plan_latency_ms,
+            p99_queue_delay_ms: summary.p99_queue_delay_ms,
+            server_utilization: summary.server_utilization,
+            slo_violation_fraction: summary.slo_violation_fraction,
+            timed_out_requests: summary.timed_out_requests,
+            retries: summary.retries,
+            dropped_requests: summary.dropped_requests,
+            fallback_inferences: summary.fallback_inferences,
+            mean_recovery_ms: summary.mean_recovery_ms,
+        });
+        let stage_prefix = name.replacen("fleet_serving/", "telemetry/", 1);
+        for stage in &outcome.telemetry.stages {
+            telemetry_rows.push(TelemetryStageRow {
+                name: format!("{stage_prefix}/{}", stage.stage),
+                scenario_hash: scenario_hash.clone(),
+                stage: stage.stage.clone(),
+                samples: stage.samples,
+                dropped: stage.dropped,
+                mean_ns: stage.mean_ns,
+                p50_ns: stage.p50_ns,
+                p99_ns: stage.p99_ns,
+                p999_ns: stage.p999_ns,
+            });
+        }
+    }
+    (fleet_rows, telemetry_rows)
 }
 
 /// Times `experiments fleet --scenario <file>` end-to-end, hyperfine-style:
@@ -1144,8 +1270,8 @@ mod tests {
         assert_eq!(parsed, report);
         assert_eq!(
             report.comparisons.len(),
-            7,
-            "3 fast-path + sharding + threading + k1-parity + ipc-transit comparisons"
+            8,
+            "3 fast-path + sharding + threading + k1-parity + ipc-transit + telemetry comparisons"
         );
         assert!(report.benches.len() >= 16);
         assert!(report.benches.iter().any(|b| b.name.starts_with("fleet_serving/")));
@@ -1179,6 +1305,16 @@ mod tests {
         assert!(report.benches.iter().any(|b| b.name == "ipc_transit/seqlock_publish_read"));
         assert!(report.benches.iter().any(|b| b.name == "ipc_transit/cross_thread_rtt"));
         assert!(report.comparisons.iter().any(|c| c.name == "ipc_transit/scheduling_overhead"));
+        // The in-path recorder cases and their shared-memory-cost pairing.
+        assert!(report.benches.iter().any(|b| b.name == "telemetry/record"));
+        assert!(report.benches.iter().any(|b| b.name == "telemetry/shm_record"));
+        assert!(report.comparisons.iter().any(|c| c.name == "telemetry/shm_overhead"));
+        // Six stage rows per fleet cell, paired by fingerprint.
+        assert_eq!(report.telemetry.len(), report.fleet_rows.len() * 6);
+        assert!(report
+            .telemetry
+            .iter()
+            .any(|r| r.name == "telemetry/pool2_lqd_8robots_60frames/pool_queue" && r.samples > 0));
         assert!(report.live.is_empty(), "live serving rows are full-mode only");
     }
 
@@ -1197,6 +1333,7 @@ mod tests {
             .all(|b| b.name.starts_with("ipc_transit") || b.name == "des_queue/event_queue"));
         assert_eq!(report.comparisons.len(), 1, "only the ipc pair survives whole");
         assert!(report.fleet_rows.is_empty(), "no fleet benches -> no fleet metric rows");
+        assert!(report.telemetry.is_empty(), "no fleet benches -> no telemetry rows");
     }
 
     #[test]
@@ -1213,8 +1350,10 @@ mod tests {
         assert_eq!(report.comparisons.len(), 2);
         assert!(report.comparisons.iter().any(|c| c.name.ends_with("/sharding")));
         assert!(report.comparisons.iter().any(|c| c.name.ends_with("/threading")));
-        // The deterministic metric rows ride along in every mode.
+        // The deterministic metric rows ride along in every mode, each
+        // fleet cell contributing its six telemetry stage rows.
         assert_eq!(report.fleet_rows.len(), FLEET_SCENARIO_SOURCES.len());
+        assert_eq!(report.telemetry.len(), FLEET_SCENARIO_SOURCES.len() * 6);
     }
 
     #[test]
@@ -1227,9 +1366,10 @@ mod tests {
 
     #[test]
     fn fleet_metric_rows_are_deterministic_and_heterogeneous() {
-        let a = fleet_metric_rows(&fleet_scenario_cells());
-        let b = fleet_metric_rows(&fleet_scenario_cells());
+        let (a, telemetry_a) = fleet_metric_rows(&fleet_scenario_cells());
+        let (b, telemetry_b) = fleet_metric_rows(&fleet_scenario_cells());
         assert_eq!(a, b, "fleet metrics are simulation outputs and must be byte-stable");
+        assert_eq!(telemetry_a, telemetry_b, "telemetry rows must be byte-stable too");
         let mixed = a
             .iter()
             .find(|r| r.name.contains("mixed_jetson_v100"))

@@ -81,7 +81,8 @@ fn live_run_agrees_with_the_des_oracle_within_tolerance() {
         LIVE_FRAMES,
     );
     assert_eq!(cells.len(), 1);
-    let sim = &corki::fleet::scenario_sweep(&cells)[0];
+    let cell = &corki::fleet::scenario_sweep_detailed(&cells)[0];
+    let sim = &cell.row;
 
     // Provenance: the live row must fingerprint-match the simulated cell,
     // so bench history can pair the two by content.
@@ -113,6 +114,31 @@ fn live_run_agrees_with_the_des_oracle_within_tolerance() {
         live.row.p99_plan_latency_ms,
         sim.p99_plan_latency_ms,
     );
+
+    // Telemetry: both paths report the same six-stage taxonomy, and each
+    // live stage mean lands within the oracle tolerance of its DES
+    // counterpart.  Stage means are modelled-time dominated exactly like
+    // the plan latencies; an absolute 2 ms floor absorbs the stages whose
+    // modelled time is (near) zero, where real scheduling noise is all
+    // that remains on the live side.
+    const STAGE_FLOOR_NS: f64 = 2_000_000.0;
+    assert!(live.telemetry_drains >= 1, "the coordinator must drain telemetry at least once");
+    assert_eq!(live.telemetry.stages.len(), cell.telemetry.stages.len());
+    for (live_stage, sim_stage) in live.telemetry.stages.iter().zip(&cell.telemetry.stages) {
+        assert_eq!(live_stage.stage, sim_stage.stage, "stage taxonomy must match in order");
+        assert!(live_stage.samples > 0, "{}: the live run never sampled it", live_stage.stage);
+        let gap = (live_stage.mean_ns - sim_stage.mean_ns).abs();
+        let allowed = (TOLERANCE * sim_stage.mean_ns).max(STAGE_FLOOR_NS);
+        assert!(
+            gap < allowed,
+            "{} disagrees: live mean {} ns vs DES {} ns (gap {} ns past the {} ns allowance)",
+            live_stage.stage,
+            live_stage.mean_ns,
+            sim_stage.mean_ns,
+            gap,
+            allowed,
+        );
+    }
 
     // The live-only measurements are sane: the transit hops were actually
     // sampled, and the Lithos residual (e2e minus modelled stage totals)

@@ -39,6 +39,7 @@ use corki_system::scenario::{
     ConcreteScenario, ScenarioAxes, ScenarioSpec, ThreadSpec, VariantMix, WarmupSpec,
 };
 use corki_system::{ControlBackend, InferenceModel, RoutingPolicy, Variant};
+use corki_telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 
 use crate::variants::VariantSetup;
@@ -267,16 +268,45 @@ pub fn scenario_sweep(cells: &[ConcreteScenario]) -> Vec<FleetSweepRow> {
 /// count; their labels come from the cells, which derive them from the one
 /// canonical `Display` implementation per axis type.
 pub fn scenario_sweep_with_jobs(cells: &[ConcreteScenario], jobs: usize) -> Vec<FleetSweepRow> {
+    scenario_sweep_detailed_with_jobs(cells, jobs).into_iter().map(|cell| cell.row).collect()
+}
+
+/// One cell's full result: the sweep row plus the always-on in-path
+/// telemetry the engine recorded while producing it (per-stage latency
+/// histograms and per-robot timelines, the same six-stage taxonomy the
+/// live path reports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetailedSweepCell {
+    /// The summary row, exactly as [`scenario_sweep`] reports it.
+    pub row: FleetSweepRow,
+    /// The engine's telemetry report for this cell.
+    pub telemetry: TelemetryReport,
+}
+
+/// [`scenario_sweep`] keeping each cell's telemetry report alongside its
+/// row.
+pub fn scenario_sweep_detailed(cells: &[ConcreteScenario]) -> Vec<DetailedSweepCell> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    scenario_sweep_detailed_with_jobs(cells, cores)
+}
+
+/// [`scenario_sweep_detailed`] with an explicit worker count (`1` runs
+/// sequentially).  This is the primary sweep implementation; the row-only
+/// entry points project their rows out of it.
+pub fn scenario_sweep_detailed_with_jobs(
+    cells: &[ConcreteScenario],
+    jobs: usize,
+) -> Vec<DetailedSweepCell> {
     let run_cell = |cell: &ConcreteScenario| {
         // Honour the cell's shard and thread knobs; results are invariant
         // in both, so the rows stay byte-identical whatever the spec
         // requested.
-        let summary = FleetSimulator::new(cell.config.clone())
+        let outcome = FleetSimulator::new(cell.config.clone())
             .with_shards(cell.shards)
             .with_threads(cell.threads)
-            .run()
-            .summary;
-        FleetSweepRow {
+            .run();
+        let summary = &outcome.summary;
+        let row = FleetSweepRow {
             robots: cell.robots,
             servers: cell.servers,
             variant: cell.variant_label.clone(),
@@ -297,7 +327,8 @@ pub fn scenario_sweep_with_jobs(cells: &[ConcreteScenario], jobs: usize) -> Vec<
             dropped_requests: summary.dropped_requests,
             fallback_inferences: summary.fallback_inferences,
             mean_recovery_ms: summary.mean_recovery_ms,
-        }
+        };
+        DetailedSweepCell { row, telemetry: outcome.telemetry }
     };
     parallel_map(cells, |_, cell| run_cell(cell), jobs)
 }

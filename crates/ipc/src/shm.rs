@@ -168,6 +168,16 @@ impl ShmSegment {
         unsafe { &*ptr.cast::<AtomicU64>() }
     }
 
+    /// A bounds-checked slice of `len` bare shared atomics starting at
+    /// `offset` (8-byte aligned) — the backing store for telemetry pages:
+    /// arrays of monotonic counters written by one process and snapshot
+    /// by another without any further framing.
+    pub fn atomic_u64_array(&self, offset: usize, len: usize) -> &[AtomicU64] {
+        let size = len.checked_mul(8).expect("atomic array size overflows");
+        let ptr = self.range(offset, size, 8);
+        unsafe { std::slice::from_raw_parts(ptr.cast::<AtomicU64>(), len) }
+    }
+
     /// Initialises an SPSC ring of `capacity` slots of `slot_size` bytes at
     /// `offset` (creator side; the memory must not be shared yet).
     pub fn init_ring(&self, offset: usize, capacity: usize, slot_size: usize) -> SpscRing<'_> {
@@ -241,5 +251,25 @@ mod tests {
     fn out_of_bounds_accessors_panic() {
         let seg = ShmSegment::anonymous(4096).expect("map");
         let _ = seg.atomic_u64(4096);
+    }
+
+    #[test]
+    fn atomic_array_shares_memory_with_scalar_accessors() {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let words = seg.atomic_u64_array(64, 8);
+        assert_eq!(words.len(), 8);
+        words[3].store(42, std::sync::atomic::Ordering::Release);
+        assert_eq!(
+            seg.atomic_u64(64 + 3 * 8).load(std::sync::atomic::Ordering::Acquire),
+            42,
+            "the array view and the scalar view must alias the same words"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds mapping")]
+    fn out_of_bounds_atomic_array_panics() {
+        let seg = ShmSegment::anonymous(4096).expect("map");
+        let _ = seg.atomic_u64_array(4032, 9);
     }
 }

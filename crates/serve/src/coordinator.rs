@@ -19,6 +19,7 @@ use corki_system::{
     mean, percentile, scenario_fingerprint, BatchScheduler, ConcreteScenario, ControlBackend,
     PendingRequest, Router, ServerSnapshot,
 };
+use corki_telemetry::{Recorder, ShmTelemetry, Stage, PAGE_WORDS};
 
 use crate::proto::{
     state, DoneMsg, RespMsg, RobotMsg, SegmentLayout, WorkMsg, LIVE_MAGIC, MAGIC_OFF, MSG_SIZE,
@@ -41,6 +42,12 @@ const SEGMENT_PREFIX: &str = "corki-live-";
 /// Head-start the coordinator gives the epoch so every attached child has
 /// left its ready-wait before time zero.
 const EPOCH_HEADROOM: Duration = Duration::from_millis(100);
+
+/// How often the serving loop drains the telemetry pages mid-run.  Every
+/// page word is a monotonic counter written by exactly one process, so a
+/// drain is a plain snapshot — no pause, no coordination — and each drain
+/// *replaces* the previous view rather than accumulating into it.
+const TELEMETRY_DRAIN_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Checks that a cell is expressible as a live run.  The live path covers
 /// the fault-free serving model; fault injection, shared-accelerator
@@ -111,15 +118,15 @@ impl ChildGuard {
         self.children.push((label, Some(child)));
     }
 
-    /// Non-blocking reap: returns the labels of children that exited with
-    /// a failure status.
+    /// Non-blocking reap: returns a description — exit status plus captured
+    /// stderr — of every child that exited with a failure status.
     fn poll_failures(&mut self) -> Vec<String> {
         let mut failed = Vec::new();
         for (label, slot) in &mut self.children {
             if let Some(child) = slot {
                 if let Ok(Some(status)) = child.try_wait() {
                     if !status.success() {
-                        failed.push(format!("{label} exited with {status}"));
+                        failed.push(describe_failure(label, status, child.stderr.take()));
                     }
                     *slot = None;
                 }
@@ -156,6 +163,29 @@ impl ChildGuard {
             std::thread::sleep(Duration::from_millis(2));
         }
     }
+}
+
+/// Formats a failed child's exit status, appending whatever it wrote to
+/// its captured stderr (trimmed and bounded) so the coordinator's error
+/// says *why* the child died, not merely that it did.  Safe to read here:
+/// the child has already exited, so the pipe's write end is closed.
+fn describe_failure(
+    label: &str,
+    status: std::process::ExitStatus,
+    stderr: Option<std::process::ChildStderr>,
+) -> String {
+    let mut text = String::new();
+    if let Some(mut pipe) = stderr {
+        use std::io::Read;
+        let _ = pipe.read_to_string(&mut text);
+    }
+    let text = text.trim();
+    if text.is_empty() {
+        return format!("{label} exited with {status}");
+    }
+    const STDERR_CAP: usize = 2048;
+    let snippet: String = text.chars().take(STDERR_CAP).collect();
+    format!("{label} exited with {status}: {snippet}")
 }
 
 impl Drop for ChildGuard {
@@ -237,6 +267,14 @@ pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveRe
         .map(|s| seg.init_ring(layout.done_ring(s), crate::proto::WORK_RING_CAPACITY, MSG_SIZE))
         .collect();
     let run_state = seg.atomic_u64(STATE_OFF);
+    // Telemetry pages: one per child process, single-writer, freshly
+    // zeroed by the segment creation; the coordinator only reads them.
+    let robot_telemetry: Vec<ShmTelemetry<'_>> = (0..robots)
+        .map(|r| ShmTelemetry::new(seg.atomic_u64_array(layout.robot_telemetry(r), PAGE_WORDS)))
+        .collect();
+    let server_telemetry: Vec<ShmTelemetry<'_>> = (0..servers)
+        .map(|s| ShmTelemetry::new(seg.atomic_u64_array(layout.server_telemetry(s), PAGE_WORDS)))
+        .collect();
     seg.atomic_u64(MAGIC_OFF).store(LIVE_MAGIC, std::sync::atomic::Ordering::Release);
 
     // Hand the children the resolved FleetConfig through a temp file.
@@ -268,6 +306,7 @@ pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveRe
                 &servers.to_string(),
             ])
             .stdin(Stdio::null())
+            .stderr(Stdio::piped())
             .spawn()
             .map_err(LiveError::Io)?;
         guard.push(format!("worker {s}"), child);
@@ -284,6 +323,7 @@ pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveRe
                 config_path.to_str().expect("temp path is valid UTF-8"),
             ])
             .stdin(Stdio::null())
+            .stderr(Stdio::piped())
             .spawn()
             .map_err(LiveError::Io)?;
         guard.push(format!("robot {r}"), child);
@@ -341,6 +381,26 @@ pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveRe
         Instant::now() + Duration::from_secs(120 + (cfg.frames_per_robot as u64).saturating_mul(1));
     let mut buf = [0_u8; MSG_SIZE];
     let mut batch: Vec<PendingRequest> = Vec::new();
+
+    // Every page word is cumulative, so a drain rebuilds the fleet view
+    // from scratch instead of merging into the previous one (merging two
+    // drains of the same page would double-count).
+    let drain_telemetry = |drains: &mut usize| -> Recorder {
+        *drains += 1;
+        let mut recorder = Recorder::new(robots);
+        for (robot, page) in robot_telemetry.iter().enumerate() {
+            for stage in Stage::ALL {
+                recorder.merge_stage(stage, &page.snapshot_stage(stage));
+            }
+            recorder.merge_timeline(robot, &page.snapshot_timeline());
+        }
+        for page in &server_telemetry {
+            recorder.merge_stage(Stage::BatchService, &page.snapshot_stage(Stage::BatchService));
+        }
+        recorder
+    };
+    let mut telemetry_drains = 0_usize;
+    let mut last_drain = Instant::now();
 
     let close_plan = |trace: PlanTrace,
                       resp_recv_ns: u64,
@@ -559,6 +619,15 @@ pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveRe
             break;
         }
 
+        // Mid-run telemetry drain: exercises reading the pages while the
+        // fleet is still writing them.  Each drain is a complete snapshot,
+        // so the intermediate views are discarded — the final post-join
+        // drain below supersedes them all.
+        if last_drain.elapsed() >= TELEMETRY_DRAIN_INTERVAL {
+            drain_telemetry(&mut telemetry_drains);
+            last_drain = Instant::now();
+        }
+
         // Child health: a robot may exit cleanly once its Finished message
         // is in; anything else ending early wedges the run.
         if let Some(failure) = guard.poll_failures().into_iter().next() {
@@ -596,6 +665,9 @@ pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveRe
         return Err(abort(&mut guard, LiveError::ChildFailed(failure)));
     }
     let end_ns = monotonic_ns();
+    // The authoritative drain: every child has exited, so the pages are
+    // quiescent and this snapshot is exact, superseding the mid-run views.
+    let telemetry = drain_telemetry(&mut telemetry_drains);
 
     // ---- Aggregation: the same estimators as the DES summary. ------------
     let fins: Vec<RobotFin> = fins.into_iter().map(|f| f.expect("all robots finished")).collect();
@@ -685,5 +757,7 @@ pub fn run_live(cell: &ConcreteScenario, exe: &std::path::Path) -> Result<LiveRe
         robots_completed: fins.iter().filter(|f| f.frames > 0).count(),
         total_frames: total_frames as usize,
         offloaded_plans: offloaded_plans as usize,
+        telemetry: telemetry.report(),
+        telemetry_drains,
     })
 }

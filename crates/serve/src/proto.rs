@@ -286,10 +286,16 @@ impl RespMsg {
 /// ```text
 /// 0    magic                       320  per-robot regions  (request ring + response seqlock each)
 /// 64   state (init/running/abort)  ...  per-server regions (work ring + done ring each)
-/// 128  start_ns (run epoch)
-/// 192  link_free_ns (uplink arbiter clock)
+/// 128  start_ns (run epoch)        ...  per-robot telemetry pages
+/// 192  link_free_ns (uplink        ...  per-server telemetry pages
+///      arbiter clock)
 /// 256  ready_count
 /// ```
+///
+/// The telemetry pages sit after every ring/slot region so their addition
+/// moved no existing offset; each is one [`corki_telemetry::PAGE_BYTES`]
+/// block of monotonic `AtomicU64` counters, written by exactly one
+/// process and drained by the coordinator while the run is live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentLayout {
     robots: usize,
@@ -345,7 +351,7 @@ impl SegmentLayout {
 
     /// Total bytes the segment needs.
     pub fn total_size(&self) -> usize {
-        HEADER_SIZE + self.robots * self.robot_region + self.servers * self.server_region
+        self.telemetry_base() + (self.robots + self.servers) * corki_telemetry::PAGE_BYTES
     }
 
     /// Offset of robot `r`'s request ring (robot pushes, coordinator pops).
@@ -369,6 +375,25 @@ impl SegmentLayout {
     /// Offset of server `s`'s done ring (worker pushes, coordinator pops).
     pub fn done_ring(&self, server: usize) -> usize {
         self.work_ring(server) + self.work_ring_size
+    }
+
+    /// Where the telemetry pages start: after every ring/slot region.
+    fn telemetry_base(&self) -> usize {
+        HEADER_SIZE + self.robots * self.robot_region + self.servers * self.server_region
+    }
+
+    /// Offset of robot `r`'s telemetry page (robot records, coordinator
+    /// drains).
+    pub fn robot_telemetry(&self, robot: usize) -> usize {
+        assert!(robot < self.robots, "robot {robot} out of range");
+        self.telemetry_base() + robot * corki_telemetry::PAGE_BYTES
+    }
+
+    /// Offset of server `s`'s telemetry page (worker records, coordinator
+    /// drains).
+    pub fn server_telemetry(&self, server: usize) -> usize {
+        assert!(server < self.servers, "server {server} out of range");
+        self.telemetry_base() + (self.robots + server) * corki_telemetry::PAGE_BYTES
     }
 
     #[allow(dead_code)]
@@ -439,6 +464,12 @@ mod tests {
         for s in 0..2 {
             regions.push((layout.work_ring(s), layout.work_ring_size));
             regions.push((layout.done_ring(s), layout.work_ring_size));
+        }
+        for r in 0..8 {
+            regions.push((layout.robot_telemetry(r), corki_telemetry::PAGE_BYTES));
+        }
+        for s in 0..2 {
+            regions.push((layout.server_telemetry(s), corki_telemetry::PAGE_BYTES));
         }
         regions.sort();
         for pair in regions.windows(2) {

@@ -10,7 +10,7 @@
 //! of hops can be cross-checked.
 
 use corki::fleet::FleetSweepRow;
-use corki_system::{mean, percentile};
+use corki_telemetry::{mean, percentile, TelemetryReport};
 use serde::{Deserialize, Serialize};
 
 /// Distribution summary of one measured transit hop, nanoseconds.
@@ -93,4 +93,13 @@ pub struct LiveReport {
     pub total_frames: usize,
     /// Plans served by the pool (excludes on-robot plans).
     pub offloaded_plans: usize,
+    /// The always-on in-path recorder's view: per-stage p50/p99/p99.9
+    /// histograms and per-robot timelines, drained from the shared
+    /// segment's telemetry pages — the same six-stage taxonomy (and report
+    /// shape) the DES produces, so stages compare one-to-one.
+    pub telemetry: TelemetryReport,
+    /// How many times the coordinator drained the telemetry pages while
+    /// the run was still serving (at least one mid-run drain plus the
+    /// final authoritative one).
+    pub telemetry_drains: usize,
 }

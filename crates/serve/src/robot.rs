@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use corki_ipc::{monotonic_ns, ShmSegment};
 use corki_system::fleet::{plan_upload_ms, RobotProfile};
 use corki_system::FleetConfig;
+use corki_telemetry::{EventKind, ShmTelemetry, Stage, PAGE_WORDS};
 
 use crate::proto::{
     RespMsg, RobotMsg, SegmentLayout, LINK_FREE_OFF, LIVE_MAGIC, MAGIC_OFF, MSG_SIZE, READY_OFF,
@@ -48,6 +49,10 @@ pub fn run_robot(shm: &str, robot: usize, config_path: &str) -> Result<(), LiveE
     }
     let ring = seg.ring(layout.req_ring(robot)).map_err(LiveError::Io)?;
     let resp = seg.seqlock(layout.resp_slot(robot)).map_err(LiveError::Io)?;
+    // In-path telemetry: this process is the page's only writer; the
+    // coordinator drains it concurrently without stopping the run.
+    let telemetry =
+        ShmTelemetry::new(seg.atomic_u64_array(layout.robot_telemetry(robot), PAGE_WORDS));
     let link = LiveLink::new(seg.atomic_u64(LINK_FREE_OFF));
     let run_state = seg.atomic_u64(STATE_OFF);
     let profile = RobotProfile::of(&cfg.robots[robot], &cfg);
@@ -85,6 +90,11 @@ pub fn run_robot(shm: &str, robot: usize, config_path: &str) -> Result<(), LiveE
             // local service time.
             sleep_ms(service_ms);
             let done_ns = monotonic_ns();
+            telemetry.event(
+                done_ns.saturating_sub(start_ns),
+                EventKind::LocalPlan,
+                done_ns - capture_ns,
+            );
             push_with_retry(
                 &ring,
                 &RobotMsg::LocalPlan { latency_ns: done_ns - capture_ns, done_ns }
@@ -106,6 +116,8 @@ pub fn run_robot(shm: &str, robot: usize, config_path: &str) -> Result<(), LiveE
             let (grant_start, grant_end) = link.acquire(now, ns_of_ms(upload_ms));
             link_wait_ns += grant_start - now;
             upload_ns_total += grant_end - grant_start;
+            telemetry.record(Stage::UplinkQueue, grant_start - now);
+            telemetry.record(Stage::Encode, grant_end - grant_start);
             sleep_until_ns(grant_end);
             attempt += 1;
             push_with_retry(
@@ -120,16 +132,29 @@ pub fn run_robot(shm: &str, robot: usize, config_path: &str) -> Result<(), LiveE
                 .encode(robot as u64),
                 run_state,
             )?;
-            wait_for_response(&resp, attempt, &mut resp_buf, run_state)?;
+            let response = wait_for_response(&resp, attempt, &mut resp_buf, run_state)?;
             prev_resp_recv_ns = monotonic_ns();
             last_resp_recv_ns = prev_resp_recv_ns;
+            // The pool-side waits were measured by the coordinator and the
+            // worker; the downlink is the one hop only the robot can close
+            // (publish → observed, bounded by the response-poll nap).
+            telemetry.record(Stage::PoolQueue, response.queue_wait_ns);
+            telemetry
+                .record(Stage::Downlink, prev_resp_recv_ns.saturating_sub(response.publish_ns));
+            telemetry.event(
+                prev_resp_recv_ns.saturating_sub(start_ns),
+                EventKind::Plan,
+                prev_resp_recv_ns - capture_ns,
+            );
         }
         plans += 1;
 
         // Execute the plan, paced by the slower of control compute and the
         // physical step period.
         for step in 0..plan_steps {
+            let step_start_ns = monotonic_ns();
             sleep_ms(step_ms);
+            telemetry.record(Stage::ControlStep, monotonic_ns() - step_start_ns);
             frame_index += 1;
             // After the first executed step of a multi-step plan, the next
             // frame streams up in the background: reserve (but do not wait

@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use corki_ipc::{monotonic_ns, ShmSegment};
+use corki_telemetry::{ShmTelemetry, Stage, PAGE_WORDS};
 
 use crate::proto::{
     DoneMsg, SegmentLayout, WorkMsg, LIVE_MAGIC, MAGIC_OFF, MSG_SIZE, READY_OFF, SHUTDOWN_BATCH,
@@ -40,6 +41,10 @@ pub fn run_worker(
     }
     let work = seg.ring(layout.work_ring(server)).map_err(LiveError::Io)?;
     let done = seg.ring(layout.done_ring(server)).map_err(LiveError::Io)?;
+    // The worker is the only writer of its telemetry page: one
+    // batch-service sample per batch, drained live by the coordinator.
+    let telemetry =
+        ShmTelemetry::new(seg.atomic_u64_array(layout.server_telemetry(server), PAGE_WORDS));
     let run_state = seg.atomic_u64(STATE_OFF);
 
     announce_ready(seg.atomic_u64(READY_OFF));
@@ -64,6 +69,7 @@ pub fn run_worker(
         // `batch_service_ms` model.
         std::thread::sleep(Duration::from_nanos(msg.service_ns));
         let notice = DoneMsg { batch_id: msg.batch_id, pop_ns, done_ns: monotonic_ns() };
+        telemetry.record(Stage::BatchService, notice.done_ns - pop_ns);
         while !done.try_push(&notice.encode()) {
             if crate::sync::aborted(run_state) {
                 return Err(LiveError::Aborted);

@@ -93,6 +93,7 @@ use crate::pipeline::{mean, percentile, FrameKind, PipelineConfig};
 use crate::routing::{Router, RoutingPolicy, ServerSnapshot};
 use crate::variant::Variant;
 use corki_accel::{AcceleratorModel, Arbiter, CpuControlModel};
+use corki_telemetry::{ns_of_ms, EventKind, Recorder, Stage};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use server::ServerState;
@@ -380,6 +381,11 @@ struct Engine<'a> {
     /// allocation-counting test).
     batch_pool: Vec<Vec<PendingRequest>>,
     log: Vec<EventRecord>,
+    /// Always-on stage histograms + bounded per-robot timelines, recorded
+    /// with the same six-stage taxonomy as the live path.  Records only
+    /// already-computed values (no RNG draws, no scheduling), entirely in
+    /// the sequential control plane, so it cannot perturb determinism.
+    telemetry: Recorder,
 }
 
 /// How long a crashed server took to complete its first inference after
@@ -476,6 +482,7 @@ impl FleetSimulator {
             deferred_tasks: 0,
             batch_pool: Vec::new(),
             log: Vec::new(),
+            telemetry: Recorder::new(cfg.robots.len()),
         };
         for robot in 0..cfg.robots.len() {
             let mut start = robot as f64 * cfg.start_stagger_ms;
@@ -637,6 +644,8 @@ impl Engine<'_> {
         let grant = self.link.acquire(now, session.upload_ms);
         session.link_wait_ms = grant.wait_ms;
         self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
+        self.telemetry.record_ms(Stage::Encode, session.upload_ms);
+        self.telemetry.record_ms(Stage::UplinkQueue, grant.wait_ms);
         self.queue.schedule(self.shard_of(robot), grant.end_ms, FleetEvent::UploadDone { robot });
     }
 
@@ -775,6 +784,8 @@ impl Engine<'_> {
         let grant = self.link.acquire(now, retry_upload_ms);
         session.link_wait_ms += grant.wait_ms;
         self.link_waits_ms.push((grant.end_ms, grant.wait_ms));
+        self.telemetry.record_ms(Stage::Encode, retry_upload_ms);
+        self.telemetry.record_ms(Stage::UplinkQueue, grant.wait_ms);
         self.queue.schedule(self.shard_of(robot), grant.end_ms, FleetEvent::UploadDone { robot });
     }
 
@@ -842,8 +853,10 @@ impl Engine<'_> {
             session.batch_service_ms = service;
             session.inference_energy_j = server.config.inference_energy_j(!session.is_baseline);
             self.queue_waits_ms.push((now, wait));
+            self.telemetry.record_ms(Stage::PoolQueue, wait);
         }
         self.batch_sizes.push(batch.len());
+        self.telemetry.record_ms(Stage::BatchService, service);
         server.batch = batch;
         server.busy = true;
         server.busy_since_ms = now;
@@ -874,6 +887,16 @@ impl Engine<'_> {
             let plan_latency = now - session.capture_ms;
             session.plan_latency_sum_ms += plan_latency;
             self.plan_latencies_ms.push((now, plan_latency));
+            // The DES models the plan downlink as instantaneous; recording
+            // the zero keeps the stage present so the live path's (small,
+            // polling-bound) downlink has an explicit oracle to beat.
+            self.telemetry.record(Stage::Downlink, 0);
+            self.telemetry.event(
+                request.robot,
+                ns_of_ms(now),
+                EventKind::Plan,
+                ns_of_ms(plan_latency),
+            );
             self.start_step(request.robot, now);
         }
         batch.clear();
@@ -903,6 +926,7 @@ impl Engine<'_> {
         let plan_latency = now - session.capture_ms;
         session.plan_latency_sum_ms += plan_latency;
         self.plan_latencies_ms.push((now, plan_latency));
+        self.telemetry.event(robot, ns_of_ms(now), EventKind::LocalPlan, ns_of_ms(plan_latency));
         if fallback.is_some() {
             self.fallback_inferences += 1;
         } else {
@@ -926,6 +950,7 @@ impl Engine<'_> {
         // the step period or it becomes the bottleneck.
         let paced_end = now + self.cfg.execution_step_ms;
         let step_end = if compute_end > paced_end { compute_end } else { paced_end };
+        self.telemetry.record_ms(Stage::ControlStep, step_end - now);
         self.queue.schedule(self.shard_of(robot), step_end, FleetEvent::StepDone { robot });
     }
 
@@ -1148,7 +1173,7 @@ impl Engine<'_> {
                 frame_traces: session.traces,
             })
             .collect();
-        FleetOutcome { summary, robots, event_log: self.log }
+        FleetOutcome { summary, robots, event_log: self.log, telemetry: self.telemetry.report() }
     }
 }
 

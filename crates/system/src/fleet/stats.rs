@@ -7,6 +7,7 @@
 //! [`trim_warmup`], so the oracle comparison compares like with like.
 
 use crate::pipeline::FrameTrace;
+use corki_telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 
 /// One recorded event of a fleet run (the determinism regression surface).
@@ -123,6 +124,10 @@ pub struct FleetOutcome {
     /// Event log (empty unless
     /// [`FleetConfig::record_event_log`](super::FleetConfig::record_event_log)).
     pub event_log: Vec<EventRecord>,
+    /// Always-on per-stage latency histograms and bounded per-robot
+    /// timelines — the same six-stage taxonomy the live path records, so
+    /// a DES run and a live run of one scenario compare stage by stage.
+    pub telemetry: TelemetryReport,
 }
 
 /// Keeps the samples completed at or after the warm-up window: each sample

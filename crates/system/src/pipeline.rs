@@ -233,45 +233,10 @@ impl PipelineSimulator {
     }
 }
 
-/// Mean of a sample set. Shared with the fleet summaries.
-///
-/// Hardened for the serialisation path: an empty sample set yields `0.0`
-/// (never `NaN` from `0/0`), so summaries built from trimmed or degenerate
-/// runs always survive a JSON round trip.
-pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
-
-/// Index of the nearest-rank quantile `q` in a sorted sample of `len`
-/// elements — the one estimator shared by pipeline and fleet statistics.
-fn quantile_index(len: usize, q: f64) -> usize {
-    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
-    (((len as f64 - 1.0) * q).round() as usize).min(len - 1)
-}
-
-/// Nearest-rank quantile `q` of a sample set. Shared with the fleet
-/// summaries so pipeline and fleet p99s use the same estimator.
-///
-/// Edge cases are pinned so no `NaN`/`inf` can leak into serialized
-/// reports: `n = 0` yields `0.0`, `n = 1` yields the single sample for any
-/// `q`, and `q` outside `[0, 1]` (or `NaN`) is clamped.
-pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    // Selection, not a full sort: the nearest-rank estimator needs exactly
-    // one order statistic, and the k-th order statistic is the same value
-    // whether found by sorting or partitioning — O(n) instead of
-    // O(n log n) on the fleet-scale sample vectors.
-    let mut scratch = values.to_vec();
-    let index = quantile_index(scratch.len(), q);
-    let (_, kth, _) = scratch.select_nth_unstable_by(index, |a, b| a.total_cmp(b));
-    *kth
-}
+// The one nearest-rank estimator shared by pipeline, fleet, live-report
+// and telemetry-histogram statistics lives in `corki-telemetry`; the
+// re-exports keep this module the statistics home of the simulation side.
+pub use corki_telemetry::{mean, percentile, quantile_index};
 
 fn stats(latencies: &[f64]) -> ExecutionStats {
     if latencies.is_empty() {

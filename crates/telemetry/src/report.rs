@@ -1,0 +1,133 @@
+//! The serializable rendering of a recorder — the one report shape shared
+//! by `experiments fleet` (DES) and `experiments serve` (live), which is
+//! what makes per-stage live-vs-DES agreement checkable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Histogram, Stage, Timeline};
+
+/// One stage's histogram, rendered. Quantiles are log2-bucket upper
+/// bounds (within one bucket of exact nearest-rank); the mean is exact.
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct StageSummary {
+    /// Stage label (see [`Stage::label`]).
+    pub stage: String,
+    /// Recorded samples.
+    pub samples: u64,
+    /// Samples outside the bucket range — counted, never silently
+    /// saturated into the top bucket.
+    pub dropped: u64,
+    /// Exact mean of the recorded samples, in nanoseconds.
+    pub mean_ns: f64,
+    /// Bucketed nearest-rank p50, in nanoseconds.
+    pub p50_ns: u64,
+    /// Bucketed nearest-rank p99, in nanoseconds.
+    pub p99_ns: u64,
+    /// Bucketed nearest-rank p99.9, in nanoseconds.
+    pub p999_ns: u64,
+}
+
+impl StageSummary {
+    /// Renders one stage histogram.
+    pub fn of(stage: Stage, histogram: &Histogram) -> Self {
+        StageSummary {
+            stage: stage.label().to_owned(),
+            samples: histogram.count(),
+            dropped: histogram.dropped(),
+            mean_ns: histogram.mean_ns(),
+            p50_ns: histogram.quantile_ns(0.50),
+            p99_ns: histogram.quantile_ns(0.99),
+            p999_ns: histogram.quantile_ns(0.999),
+        }
+    }
+}
+
+/// One rendered timeline event (milliseconds for human readability; the
+/// raw recorder keeps nanoseconds).
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct TimelineEventRow {
+    /// When the event happened, ms since the run/process start.
+    pub at_ms: f64,
+    /// Event kind label (`plan` or `local_plan`).
+    pub kind: String,
+    /// The latency the event carries, in ms.
+    pub value_ms: f64,
+}
+
+/// One robot's rendered timeline.
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct RobotTimeline {
+    /// Robot index within the fleet.
+    pub robot: usize,
+    /// Events that arrived after the timeline filled.
+    pub dropped: u64,
+    /// The recorded events, oldest first.
+    pub events: Vec<TimelineEventRow>,
+}
+
+/// The full telemetry report of one run: all six stages in canonical
+/// order plus the bounded per-robot timelines.
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq, Default)]
+#[serde(deny_unknown_fields)]
+pub struct TelemetryReport {
+    /// Per-stage summaries, in [`Stage::ALL`] order.
+    pub stages: Vec<StageSummary>,
+    /// Per-robot timelines (first robots of the fleet only).
+    pub timelines: Vec<RobotTimeline>,
+}
+
+impl TelemetryReport {
+    /// Renders stage histograms plus timelines into a report.
+    pub fn of(stages: &[Histogram; Stage::COUNT], timelines: &[Timeline]) -> Self {
+        TelemetryReport {
+            stages: Stage::ALL
+                .iter()
+                .map(|&stage| StageSummary::of(stage, &stages[stage.index()]))
+                .collect(),
+            timelines: timelines
+                .iter()
+                .enumerate()
+                .map(|(robot, timeline)| RobotTimeline {
+                    robot,
+                    dropped: timeline.dropped(),
+                    events: timeline
+                        .events()
+                        .iter()
+                        .map(|event| TimelineEventRow {
+                            at_ms: event.at_ns as f64 / 1e6,
+                            kind: event.kind.label().to_owned(),
+                            value_ms: event.value_ns as f64 / 1e6,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Looks a stage summary up by its label.
+    pub fn stage(&self, label: &str) -> Option<&StageSummary> {
+        self.stages.iter().find(|summary| summary.stage == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Recorder};
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut recorder = Recorder::new(1);
+        recorder.record(Stage::BatchService, 42_000_000);
+        recorder.event(0, 1_000_000, EventKind::Plan, 42_000_000);
+        let report = recorder.report();
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let back: TelemetryReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, report);
+        assert_eq!(back.stage("batch_service").expect("stage present").samples, 1);
+        assert!(back.stage("nonesuch").is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! The shared-memory home of a recorder: one telemetry *page* of
+//! `AtomicU64` words per live robot/worker process.
+//!
+//! The page is written lock-free by exactly one process (single-writer
+//! discipline, `fetch_add`/`store` with relaxed ordering) and drained by
+//! the coordinator *while the run is live*: every histogram word is a
+//! monotonic counter, so a concurrent snapshot is at worst slightly stale
+//! — it can never tear a bucket or double-count. Timeline entries are
+//! append-only with a release-published length, so a drain that observes
+//! length `n` also observes all `n` entries.
+//!
+//! The module is deliberately ignorant of *where* the words live: the
+//! live path hands it a slice inside the mmap'd `/dev/shm` segment (via
+//! `corki-ipc`), the tests and benches hand it a plain boxed slice. All
+//! `unsafe` stays in `corki-ipc`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{
+    bucket_of, EventKind, Histogram, Stage, Timeline, TimelineEvent, BUCKETS, TIMELINE_CAP,
+};
+
+/// Words of one stage histogram inside a page: the buckets, the exact
+/// sum, and the dropped counter.
+pub const STAGE_WORDS: usize = BUCKETS + 2;
+
+/// Words of the timeline region: length, dropped counter, and three words
+/// (at, kind, value) per event slot.
+pub const TIMELINE_WORDS: usize = 2 + 3 * TIMELINE_CAP;
+
+/// Words of one whole telemetry page.
+pub const PAGE_WORDS: usize = Stage::COUNT * STAGE_WORDS + TIMELINE_WORDS;
+
+/// Bytes of one telemetry page inside a segment, rounded up to the cache
+/// line so consecutive pages of different writer processes never share a
+/// line.
+pub const PAGE_BYTES: usize = (PAGE_WORDS * 8).div_ceil(64) * 64;
+
+/// Word offsets inside a page.
+const SUM_WORD: usize = BUCKETS;
+const DROPPED_WORD: usize = BUCKETS + 1;
+const TIMELINE_BASE: usize = Stage::COUNT * STAGE_WORDS;
+const TIMELINE_LEN_WORD: usize = TIMELINE_BASE;
+const TIMELINE_DROPPED_WORD: usize = TIMELINE_BASE + 1;
+const TIMELINE_EVENTS_WORD: usize = TIMELINE_BASE + 2;
+
+/// A view of one telemetry page: [`PAGE_WORDS`] atomic words, recorded
+/// into by one process and snapshot by the coordinator.
+pub struct ShmTelemetry<'a> {
+    words: &'a [AtomicU64],
+}
+
+impl<'a> ShmTelemetry<'a> {
+    /// Wraps a page. The slice must hold at least [`PAGE_WORDS`] words
+    /// (a freshly created segment page is all-zero, i.e. empty).
+    pub fn new(words: &'a [AtomicU64]) -> Self {
+        assert!(
+            words.len() >= PAGE_WORDS,
+            "telemetry page needs {PAGE_WORDS} words, got {}",
+            words.len()
+        );
+        ShmTelemetry { words }
+    }
+
+    fn stage_base(stage: Stage) -> usize {
+        stage.index() * STAGE_WORDS
+    }
+
+    /// Records one value into a stage histogram. Lock-free,
+    /// allocation-free: one or two relaxed `fetch_add`s.
+    pub fn record(&self, stage: Stage, ns: u64) {
+        let base = Self::stage_base(stage);
+        match bucket_of(ns) {
+            Some(bucket) => {
+                self.words[base + bucket].fetch_add(1, Ordering::Relaxed);
+                self.words[base + SUM_WORD].fetch_add(ns, Ordering::Relaxed);
+            }
+            None => {
+                self.words[base + DROPPED_WORD].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Appends one timeline event, or counts it as dropped once the page
+    /// is full. Single-writer: the length word is only ever advanced by
+    /// the owning process, with a release store so a concurrent drain
+    /// that sees the new length also sees the entry words.
+    pub fn event(&self, at_ns: u64, kind: EventKind, value_ns: u64) {
+        let len = self.words[TIMELINE_LEN_WORD].load(Ordering::Relaxed) as usize;
+        if len >= TIMELINE_CAP {
+            self.words[TIMELINE_DROPPED_WORD].fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let entry = TIMELINE_EVENTS_WORD + 3 * len;
+        self.words[entry].store(at_ns, Ordering::Relaxed);
+        self.words[entry + 1].store(kind.code(), Ordering::Relaxed);
+        self.words[entry + 2].store(value_ns, Ordering::Relaxed);
+        self.words[TIMELINE_LEN_WORD].store(len as u64 + 1, Ordering::Release);
+    }
+
+    /// Snapshots one stage histogram. Safe concurrently with a writer:
+    /// monotonic counters mean the result is a valid (possibly slightly
+    /// stale) histogram, with at most the very latest sample's count and
+    /// sum split across two drains.
+    pub fn snapshot_stage(&self, stage: Stage) -> Histogram {
+        let base = Self::stage_base(stage);
+        let mut counts = [0_u64; BUCKETS];
+        for (bucket, count) in counts.iter_mut().enumerate() {
+            *count = self.words[base + bucket].load(Ordering::Relaxed);
+        }
+        Histogram::from_raw(
+            counts,
+            self.words[base + SUM_WORD].load(Ordering::Relaxed),
+            self.words[base + DROPPED_WORD].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshots the timeline: acquire-loads the published length, then
+    /// reads exactly that many (immutable once published) entries.
+    pub fn snapshot_timeline(&self) -> Timeline {
+        let len =
+            (self.words[TIMELINE_LEN_WORD].load(Ordering::Acquire) as usize).min(TIMELINE_CAP);
+        let mut events =
+            [TimelineEvent { at_ns: 0, kind: EventKind::Plan, value_ns: 0 }; TIMELINE_CAP];
+        let mut kept = 0;
+        for slot in 0..len {
+            let entry = TIMELINE_EVENTS_WORD + 3 * slot;
+            // Unknown kind codes (impossible under the single-writer
+            // protocol, conceivable from a corrupt segment) are skipped
+            // rather than invented.
+            if let Some(kind) = EventKind::from_code(self.words[entry + 1].load(Ordering::Relaxed))
+            {
+                events[kept] = TimelineEvent {
+                    at_ns: self.words[entry].load(Ordering::Relaxed),
+                    kind,
+                    value_ns: self.words[entry + 2].load(Ordering::Relaxed),
+                };
+                kept += 1;
+            }
+        }
+        Timeline::from_parts(
+            &events[..kept],
+            self.words[TIMELINE_DROPPED_WORD].load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Vec<AtomicU64> {
+        (0..PAGE_WORDS).map(|_| AtomicU64::new(0)).collect()
+    }
+
+    #[test]
+    fn page_constants_line_up() {
+        assert_eq!(STAGE_WORDS, 50);
+        assert_eq!(PAGE_WORDS, 6 * 50 + 2 + 96);
+        assert_eq!(PAGE_BYTES % 64, 0);
+        const { assert!(PAGE_BYTES >= PAGE_WORDS * 8) };
+    }
+
+    #[test]
+    fn shm_record_matches_plain_histogram() {
+        let words = page();
+        let shm = ShmTelemetry::new(&words);
+        let mut plain = Histogram::new();
+        for ns in [0, 1, 999, 40_000_000, u64::MAX] {
+            shm.record(Stage::BatchService, ns);
+            plain.record(ns);
+        }
+        assert_eq!(shm.snapshot_stage(Stage::BatchService), plain);
+        // Other stages stay untouched.
+        assert_eq!(shm.snapshot_stage(Stage::Encode), Histogram::new());
+    }
+
+    #[test]
+    fn shm_timeline_round_trips_and_caps() {
+        let words = page();
+        let shm = ShmTelemetry::new(&words);
+        for i in 0..(TIMELINE_CAP as u64 + 3) {
+            shm.event(i, if i % 2 == 0 { EventKind::Plan } else { EventKind::LocalPlan }, i * 10);
+        }
+        let timeline = shm.snapshot_timeline();
+        assert_eq!(timeline.events().len(), TIMELINE_CAP);
+        assert_eq!(timeline.dropped(), 3);
+        assert_eq!(timeline.events()[1].kind, EventKind::LocalPlan);
+        assert_eq!(timeline.events()[1].value_ns, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry page needs")]
+    fn short_page_is_rejected() {
+        let words: Vec<AtomicU64> = (0..10).map(|_| AtomicU64::new(0)).collect();
+        let _ = ShmTelemetry::new(&words);
+    }
+}
